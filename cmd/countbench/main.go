@@ -1,0 +1,284 @@
+// Command countbench regenerates the paper's quantitative results — the
+// tables recorded in EXPERIMENTS.md. Each experiment is selected with
+// -exp; -exp all runs everything:
+//
+//	countbench -exp depth        # E1/E2: depth formulas
+//	countbench -exp contention   # E10: cont(C(w,t),n) sweeps over n and t
+//	countbench -exp compare      # E11/E12: families head to head
+//	countbench -exp blocks       # E10: per-block stall attribution vs t
+//	countbench -exp slope        # E10: contention-vs-n slopes vs theory
+//	countbench -exp throughput   # E13: wall-clock counter throughput
+//	countbench -exp dist         # E13: distributed emulation throughput
+//	countbench -exp timesim      # E13: queueing simulation (host-independent)
+//	countbench -exp linearize    # E18: linearizability observation
+//	countbench -exp ablation     # E16/E17: bitonic merger, random init
+//
+// The table-producing logic lives in internal/experiments (tested); this
+// command is a thin front-end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/distnet"
+	"repro/internal/dtree"
+	"repro/internal/experiments"
+	"repro/internal/network"
+	"repro/internal/periodic"
+	"repro/internal/stats"
+	"repro/internal/timesim"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | dist | timesim | linearize | ablation | all")
+		rounds = flag.Int("rounds", 60, "tokens per process in simulations")
+		opsK   = flag.Int("ops", 50, "thousands of operations per throughput cell")
+	)
+	flag.Parse()
+
+	run := map[string]func(){
+		"depth":      expDepth,
+		"contention": func() { expContention(*rounds) },
+		"compare":    func() { expCompare(*rounds) },
+		"blocks":     func() { expBlocks(*rounds) },
+		"slope":      func() { expSlope(*rounds) },
+		"throughput": func() { expThroughput(*opsK * 1000) },
+		"dist":       func() { expDist(*opsK * 200) },
+		"timesim":    expTimesim,
+		"linearize":  expLinearize,
+		"ablation":   expAblation,
+	}
+	order := []string{"depth", "contention", "compare", "blocks", "slope",
+		"throughput", "dist", "timesim", "linearize", "ablation"}
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			run[name]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	f()
+}
+
+func must(n *network.Network, err error) *network.Network {
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func log2(x int) int {
+	k := 0
+	for x > 1 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+// E1/E2: depth of C(w,t) vs the Theorem 4.1 formula, vs baselines.
+func expDepth() {
+	rows := experiments.DepthTable([]int{4, 8, 16, 32, 64}, []int{1, 2, 4})
+	fmt.Print(experiments.FormatDepthTable(rows))
+}
+
+// E10: amortized contention of C(w,t) as n and t sweep.
+func expContention(rounds int) {
+	const w = 16
+	fmt.Printf("amortized contention (stalls/token), w=%d\n\n", w)
+	for _, advName := range []string{"strongest", "greedy", "random"} {
+		tb := stats.NewTable("n", "C(16,16)", "C(16,64)", "C(16,256)", "bitonic(16)")
+		for _, n := range []int{16, 64, 256, 1024} {
+			row := []any{n}
+			for _, build := range []func() *network.Network{
+				func() *network.Network { return must(core.New(w, 16)) },
+				func() *network.Network { return must(core.New(w, 64)) },
+				func() *network.Network { return must(core.New(w, 256)) },
+				func() *network.Network { return must(bitonic.New(w)) },
+			} {
+				row = append(row, experiments.Amortized(build(), n, rounds, advName))
+			}
+			tb.AddRowf(row...)
+		}
+		fmt.Printf("[%s adversary]\n%s\n", advName, tb.String())
+	}
+}
+
+// E11/E12: all families head to head under the strongest adversary.
+func expCompare(rounds int) {
+	rows := experiments.CompareTable(16, 64, rounds, []int{8, 32, 128, 512})
+	fmt.Println("strongest-adversary amortized contention (stalls/token, max over all strategies)")
+	fmt.Print(experiments.FormatCompareTable(16, 64, rows))
+}
+
+// E10 structural interpretation: stall share per block as t grows.
+func expBlocks(rounds int) {
+	rows := experiments.BlockShares(16, 256, rounds, []int{16, 32, 64, 128, 256})
+	fmt.Print(experiments.FormatBlockShares(16, 256, rows))
+}
+
+// E10: fitted slope of contention vs n.
+func expSlope(rounds int) {
+	rep := experiments.Slopes(16, rounds, []int{64, 128, 256, 512, 1024})
+	fmt.Printf("contention-vs-n slope, w=%d (lockstep adversary):\n", rep.W)
+	fmt.Printf("  bitonic(%d):  %.4f   (theory Θ(lg²w/w) = %.3f)\n",
+		rep.W, rep.BitonicSlope, float64(log2(rep.W)*log2(rep.W))/float64(rep.W))
+	fmt.Printf("  C(%d,%d):    %.4f   (theory O(lgw/w)  = %.3f)\n",
+		rep.W, rep.W*log2(rep.W), rep.CWTSlope, float64(log2(rep.W))/float64(rep.W))
+	fmt.Printf("  slope ratio bitonic/C = %.2f  (theory ~lgw = %d)\n", rep.Ratio, log2(rep.W))
+}
+
+// E13: wall-clock goroutine throughput of counter implementations.
+func expThroughput(ops int) {
+	const w = 16
+	fmt.Printf("counter throughput, ops/ms (GOMAXPROCS=%d, %d ops per cell)\n\n", runtime.GOMAXPROCS(0), ops)
+	counters := []func() counter.Counter{
+		func() counter.Counter { return counter.NewCentral() },
+		func() counter.Counter { return counter.NewLocked() },
+		func() counter.Counter { return counter.NewNetwork(must(bitonic.New(w))) },
+		func() counter.Counter { return counter.NewNetwork(must(periodic.New(w))) },
+		func() counter.Counter { return counter.NewNetwork(must(core.New(w, w))) },
+		func() counter.Counter { return counter.NewNetwork(must(core.New(w, w*log2(w)))) },
+		func() counter.Counter { return dtreeCounter(w) },
+	}
+	header := []string{"goroutines"}
+	for _, mk := range counters {
+		header = append(header, mk().Name())
+	}
+	tb := stats.NewTable(header...)
+	for _, g := range []int{1, 2, 4, 8, 16, 32} {
+		row := []any{g}
+		for _, mk := range counters {
+			row = append(row, fmt.Sprintf("%.0f", throughput(mk(), g, ops)))
+		}
+		tb.AddRowf(row...)
+	}
+	fmt.Print(tb.String())
+}
+
+type dtreeAdapter struct{ c *dtree.Counter }
+
+func (d dtreeAdapter) Inc(int) int64 { return d.c.Inc() }
+func (d dtreeAdapter) Name() string  { return "dtree" }
+
+func dtreeCounter(w int) counter.Counter {
+	c, err := dtree.NewCounter(w, dtree.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return dtreeAdapter{c}
+}
+
+// throughput returns ops/ms for `g` goroutines sharing `ops` operations.
+func throughput(c counter.Counter, g, ops int) float64 {
+	var remaining atomic.Int64
+	remaining.Store(int64(ops))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for pid := 0; pid < g; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for remaining.Add(-1) >= 0 {
+				c.Inc(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	if ms == 0 {
+		ms = 1e-3
+	}
+	return float64(ops) / ms
+}
+
+// E13 distributed: message-passing emulation throughput.
+func expDist(ops int) {
+	const w = 8
+	fmt.Printf("distributed emulation throughput, ops/ms (%d ops per cell)\n\n", ops)
+	tb := stats.NewTable("goroutines", "dist:bitonic(8)", "dist:C(8,8)", "dist:C(8,24)")
+	nets := []func() *network.Network{
+		func() *network.Network { return must(bitonic.New(w)) },
+		func() *network.Network { return must(core.New(w, 8)) },
+		func() *network.Network { return must(core.New(w, 24)) },
+	}
+	for _, g := range []int{1, 4, 16} {
+		row := []any{g}
+		for _, mk := range nets {
+			c := distnet.NewCounter(mk(), distnet.Config{LinkBuffer: 4})
+			row = append(row, fmt.Sprintf("%.0f", throughput(distAdapter{c}, g, ops)))
+			c.Stop()
+		}
+		tb.AddRowf(row...)
+	}
+	fmt.Print(tb.String())
+}
+
+type distAdapter struct{ c *distnet.Counter }
+
+func (d distAdapter) Inc(pid int) int64 { return d.c.Inc(pid) }
+func (d distAdapter) Name() string      { return d.c.Name() }
+
+// E13: host-independent discrete-event queueing simulation.
+func expTimesim() {
+	fmt.Println("queueing simulation (service=1, think=20, exponential): throughput / mean latency")
+	rows := experiments.TimesimTable(16, 64, []int{16, 64, 128, 256}, 80)
+	fmt.Print(experiments.FormatTimesimTable(16, 64, rows))
+
+	fmt.Println("\nwith memory-contention service inflation (factor 0.5), n=256:")
+	nets := []*network.Network{
+		experiments.SingleBalancer(),
+		must(bitonic.New(16)),
+		must(periodic.New(16)),
+		must(core.New(16, 16)),
+		must(core.New(16, 64)),
+	}
+	for _, net := range nets {
+		res := timesim.Run(net.Clone(), timesim.Config{
+			Processes: 256, Ops: 256 * 60, ServiceTime: 1,
+			Exponential: true, ContentionFactor: 0.5, Seed: 9,
+		})
+		fmt.Printf("  %-14s thr=%.4f  lat=%.0f  busiest-util=%.2f\n",
+			net.Name(), res.Throughput, res.MeanLat, res.BusiestUse)
+	}
+}
+
+// E18: linearizability observation.
+func expLinearize() {
+	fmt.Print(experiments.LinearizeReport(8, 8, 2000))
+}
+
+// E16/E17 ablations.
+func expAblation() {
+	fmt.Println("E17: C(w,t) with bitonic merger instead of M(t,δ) — depth blow-up")
+	fmt.Print(experiments.AblationDepths([][2]int{{8, 8}, {8, 16}, {8, 32}, {16, 64}}))
+
+	fmt.Println("\nE16: randomized initial states — observed output smoothness of C(8,8)")
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 3; trial++ {
+		net := must(core.New(8, 8))
+		net.RandomizeInitialStates(rng)
+		worst, err := network.MaxObservedSmoothness(net, 3, 2000, rng)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  trial %d: max observed smoothness %d (deterministic init would be 1)\n", trial, worst)
+	}
+}

@@ -1,0 +1,96 @@
+// Command netviz prints the structure of the paper's networks — the
+// textual regeneration of the construction figures (experiment E9):
+//
+//	netviz -net cwt -w 8 -t 16 -style summary      # Fig. 3 structure
+//	netviz -net cwt -w 4 -t 8  -style diagram      # Fig. 1 wiring
+//	netviz -net bitonic -w 8   -style brick        # Fig. 2 style drawing
+//	netviz -net cwt -w 8 -t 16 -blocks             # Na/Nb/Nc decomposition
+//	netviz -net merger -t 16 -delta 4              # Fig. 6 merger
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/registry"
+)
+
+func main() {
+	var (
+		family = flag.String("net", "cwt", fmt.Sprintf("network family %v", registry.Families()))
+		w      = flag.Int("w", 8, "input width")
+		t      = flag.Int("t", 0, "output width (cwt/prefix/merger; 0 = w)")
+		delta  = flag.Int("delta", 0, "merging parameter (merger; 0 = 2)")
+		style  = flag.String("style", "summary", "summary | diagram | brick | dot | json")
+		blocks = flag.Bool("blocks", false, "print the Na/Nb/Nc block decomposition (cwt only)")
+	)
+	flag.Parse()
+
+	n, err := registry.Build(*family, registry.Params{W: *w, T: *t, Delta: *delta})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch *style {
+	case "summary":
+		fmt.Print(network.Summary(n))
+	case "diagram":
+		fmt.Print(network.Diagram(n))
+	case "brick":
+		s, err := network.BrickDiagram(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(s)
+	case "dot":
+		fmt.Print(network.DOT(n))
+	case "json":
+		data, err := network.Marshal(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown style %q\n", *style)
+		os.Exit(2)
+	}
+
+	if *blocks {
+		if *family != "cwt" {
+			fmt.Fprintln(os.Stderr, "-blocks requires -net cwt")
+			os.Exit(2)
+		}
+		b := core.Decompose(n)
+		fmt.Printf("\nblock decomposition (Fig. 3):\n")
+		for _, row := range []struct {
+			name string
+			info core.BlockInfo
+		}{{"Na", b.Na}, {"Nb", b.Nb}, {"Nc", b.Nc}} {
+			fmt.Printf("  %-3s %3d balancers in %2d layers  %s\n",
+				row.name, row.info.Balancers, row.info.Layers, censusString(row.info.Arities))
+		}
+	}
+}
+
+func censusString(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%d x %s", m[k], k)
+	}
+	return out
+}

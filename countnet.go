@@ -1,0 +1,387 @@
+// Package countnet is a production-quality Go implementation of the
+// counting network of Busch & Mavronicolas, "An Efficient Counting
+// Network" (IPPS/SPDP'98; full version in Theoretical Computer Science
+// 411, 2010), together with every substrate and baseline the paper builds
+// on or compares against.
+//
+// # Overview
+//
+// A counting network (Aspnes, Herlihy & Shavit) is a distributed data
+// structure of asynchronous (p,q)-balancers that implements a shared
+// counter with low memory contention: tokens traverse the network from
+// input wires to output wires, and in every quiescent state the number of
+// tokens that exited each output wire satisfies the step property.
+//
+// The paper's contribution, constructed by NewCWT, is the irregular
+// network C(w,t) whose output width t = p·w may exceed its input width w:
+// its depth (lg²w+lgw)/2 depends only on w, while its amortized contention
+// O(n·lgw/w + n·lg²w/t + w·lg³w/t + lg²w) falls as t grows. With
+// t = w·lgw it beats the bitonic network of equal width and depth by a
+// lg w factor at high concurrency.
+//
+// # What the package provides
+//
+//   - Constructors for C(w,t), its difference merging network M(t,δ), the
+//     bitonic and periodic baselines, forward/backward butterflies, and
+//     the diffracting tree.
+//   - Lock-free concurrent traversal (one atomic add per balancer) and
+//     shared Fetch&Increment / Fetch&Decrement counters.
+//   - The Dwork–Herlihy–Waarts adversarial contention simulator.
+//   - Quiescent-state verification (counting / k-smoothing / difference
+//     merging properties).
+//   - The Section 7 byproduct: balancing networks as sorting networks.
+//   - A message-passing emulation of a distributed deployment.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package countnet
+
+import (
+	"math/rand"
+
+	"repro/internal/bitonic"
+	"repro/internal/butterfly"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/distnet"
+	"repro/internal/dtree"
+	"repro/internal/feasibility"
+	"repro/internal/linearize"
+	"repro/internal/merge"
+	"repro/internal/network"
+	"repro/internal/periodic"
+	"repro/internal/sorting"
+	"repro/internal/tcpnet"
+	"repro/internal/timesim"
+	"repro/internal/trace"
+)
+
+// Network is a balancing network: an immutable DAG of balancers with
+// ordered input and output wires, supporting lock-free concurrent token
+// traversal and quiescent-state evaluation.
+type Network = network.Network
+
+// Builder incrementally constructs custom balancing networks; see
+// NewBuilder.
+type Builder = network.Builder
+
+// Port is a dangling wire end handed out by a Builder.
+type Port = network.Port
+
+// NewBuilder starts a custom balancing network with the given input width.
+// Use Builder.Balancer to add balancers and Builder.Finalize to obtain the
+// Network.
+func NewBuilder(name string, inWidth int) (*Builder, []Port) {
+	return network.NewBuilder(name, inWidth)
+}
+
+// NewCWT constructs the paper's counting network C(w,t): input width
+// w = 2^k, output width t = p·w (k, p >= 1). Its depth is (lg²w+lgw)/2
+// regardless of t (Theorem 4.1) and it satisfies the counting property
+// (Theorem 4.2).
+func NewCWT(w, t int) (*Network, error) { return core.New(w, t) }
+
+// CWTValid reports whether (w,t) are valid C(w,t) parameters.
+func CWTValid(w, t int) bool { return core.Valid(w, t) }
+
+// CWTDepth returns the Theorem 4.1 depth formula (lg²w + lgw)/2.
+func CWTDepth(w int) int { return core.DepthFormula(w) }
+
+// NewCWTWithBitonicMerger is the §3.3/§1.3.2 ablation: C(w,t) built with
+// the bitonic merging network in place of M(t,δ). Still a counting
+// network, but its depth grows with t instead of depending on w alone —
+// the measured contrast is experiment E17.
+func NewCWTWithBitonicMerger(w, t int) (*Network, error) {
+	return core.NewWithBitonicMerger(w, t, bitonic.BuildMerger)
+}
+
+// NewMerger constructs the difference merging network M(t,δ) of Section 3:
+// width t, depth lg δ; merges two step input halves whose sums differ by
+// at most δ into a step output.
+func NewMerger(t, delta int) (*Network, error) { return merge.New(t, delta) }
+
+// NewCWTPrefix constructs C'(w,t): the first lgw layers of C(w,t) (blocks
+// Na and Nb), which are s-smoothing with s = floor(w·lgw/t)+2 (Lemma 6.6).
+func NewCWTPrefix(w, t int) (*Network, error) { return core.NewPrefix(w, t) }
+
+// NewLadder constructs the single-layer ladder network L(w) pairing wires
+// i and i+w/2.
+func NewLadder(w int) (*Network, error) { return core.NewLadder(w) }
+
+// NewBitonic constructs the bitonic counting network of width w (Aspnes,
+// Herlihy & Shavit), the paper's primary regular baseline.
+func NewBitonic(w int) (*Network, error) { return bitonic.New(w) }
+
+// NewPeriodic constructs the periodic counting network of width w, the
+// paper's second regular baseline (depth lg²w).
+func NewPeriodic(w int) (*Network, error) { return periodic.New(w) }
+
+// NewToggleTree constructs the diffracting tree's toggle-tree skeleton as
+// a balancing network with 1 input wire and w output wires (§1.4.1).
+func NewToggleTree(w int) (*Network, error) { return dtree.NewToggleNetwork(w) }
+
+// DiffractingTree is the randomized diffracting tree of Shavit & Zemach
+// with working prisms; see NewDiffractingTree.
+type DiffractingTree = dtree.Tree
+
+// DiffractingTreeOptions configures prism width and spin budget.
+type DiffractingTreeOptions = dtree.Options
+
+// NewDiffractingTree constructs a diffracting tree with w = 2^k leaves.
+func NewDiffractingTree(w int, opts DiffractingTreeOptions) (*DiffractingTree, error) {
+	return dtree.New(w, opts)
+}
+
+// Blocks is the Na/Nb/Nc block decomposition of C(w,t) (§1.3.2, Fig. 3).
+type Blocks = core.Blocks
+
+// Decompose returns the block decomposition of a network built by NewCWT.
+func Decompose(n *Network) Blocks { return core.Decompose(n) }
+
+// Counter is a shared Fetch&Increment counter.
+type Counter = counter.Counter
+
+// NetworkCounter is a counting-network-backed counter supporting both
+// Fetch&Increment and Fetch&Decrement.
+type NetworkCounter = counter.Network
+
+// NewCounter wraps a counting network as a shared counter: m concurrent
+// Inc operations return exactly the values 0..m-1.
+func NewCounter(n *Network) *NetworkCounter { return counter.NewNetwork(n) }
+
+// NewCentralCounter returns the single-atomic-word baseline counter.
+func NewCentralCounter() Counter { return counter.NewCentral() }
+
+// AdaptiveCounter migrates between a central word (low load) and a
+// counting network (high load), keeping values dense across migrations —
+// the Section 7 future-work direction (ref [27]).
+type AdaptiveCounter = counter.Adaptive
+
+// AdaptiveCounterConfig tunes the adaptive counter's migration thresholds.
+type AdaptiveCounterConfig = counter.AdaptiveConfig
+
+// NewAdaptiveCounter creates an adaptive counter starting in central mode.
+func NewAdaptiveCounter(cfg AdaptiveCounterConfig) *AdaptiveCounter {
+	return counter.NewAdaptive(cfg)
+}
+
+// NewLockedCounter returns the mutex-based baseline counter.
+func NewLockedCounter() Counter { return counter.NewLocked() }
+
+// Contention simulation ---------------------------------------------------
+
+// Adversary schedules token transitions in the contention simulator.
+type Adversary = contention.Adversary
+
+// GreedyAdversary maximizes immediate stalls (convoying).
+func GreedyAdversary() Adversary { return contention.Greedy{} }
+
+// RandomAdversary schedules uniformly at random.
+func RandomAdversary() Adversary { return contention.Random{} }
+
+// RoundRobinAdversary advances all tokens in lockstep generations — the
+// strongest strategy on counting networks (the DHW generation structure).
+func RoundRobinAdversary() Adversary { return &contention.RoundRobin{} }
+
+// ParkingAdversary keeps balancer crowds parked and runs the newest
+// arrivals through them.
+func ParkingAdversary() Adversary { return contention.Parking{} }
+
+// StarverAdversary drives k runner processes through the network while all
+// other tokens stay parked (the reservoir schedule).
+func StarverAdversary(runners int) Adversary { return contention.Starver{Runners: runners} }
+
+// AllAdversaries returns one instance of every built-in strategy.
+func AllAdversaries() []Adversary { return contention.AllAdversaries() }
+
+// MeasureContentionStrongest runs every built-in adversary and returns the
+// result with the highest amortized contention — the best empirical lower
+// bound on cont(B, n).
+func MeasureContentionStrongest(n *Network, procs, rounds int, seed int64) ContentionResult {
+	return contention.Strongest(n, contention.Config{N: procs, Rounds: rounds, Seed: seed})
+}
+
+// ContentionResult reports measured stalls for one simulated execution.
+type ContentionResult = contention.Result
+
+// MeasureContention runs m = n·rounds tokens through the network under the
+// adversary (nil = greedy) and returns the Dwork–Herlihy–Waarts stall
+// accounting, including per-layer and per-block attribution.
+func MeasureContention(n *Network, procs, rounds int, adv Adversary, seed int64) ContentionResult {
+	return contention.Run(n, contention.Config{N: procs, Rounds: rounds, Adversary: adv, Seed: seed})
+}
+
+// Verification -------------------------------------------------------------
+
+// VerifyCounting checks the counting property over exhaustive small inputs
+// plus `trials` random input count vectors. A nil error means no
+// counterexample was found.
+func VerifyCounting(n *Network, exhaustiveSum, trials int, rng *rand.Rand) error {
+	return network.CheckCounting(n, exhaustiveSum, trials, rng)
+}
+
+// VerifySmoothing checks the k-smoothing property over the same sweep.
+func VerifySmoothing(n *Network, k int64, exhaustiveSum, trials int, rng *rand.Rand) error {
+	return network.CheckSmoothing(n, k, exhaustiveSum, trials, rng)
+}
+
+// VerifyDifferenceMerger checks the difference-merging property with
+// parameter delta.
+func VerifyDifferenceMerger(n *Network, delta int64, exhaustiveSum, trials int, rng *rand.Rand) error {
+	return network.CheckDifferenceMerger(n, delta, exhaustiveSum, trials, rng)
+}
+
+// Rendering ----------------------------------------------------------------
+
+// Summary returns a structural description (widths, depth, per-layer
+// balancer census).
+func Summary(n *Network) string { return network.Summary(n) }
+
+// Diagram returns an exact layer-by-layer wiring listing.
+func Diagram(n *Network) string { return network.Diagram(n) }
+
+// BrickDiagram renders a classic horizontal-wire diagram for all-(2,2)
+// regular networks (the Fig. 2 style).
+func BrickDiagram(n *Network) (string, error) { return network.BrickDiagram(n) }
+
+// DOT renders the network as a Graphviz digraph.
+func DOT(n *Network) string { return network.DOT(n) }
+
+// Marshal serializes a network topology (including balancer initial
+// states and block labels) to JSON for interchange; Unmarshal rebuilds it.
+func Marshal(n *Network) ([]byte, error) { return network.Marshal(n) }
+
+// Unmarshal rebuilds a network from Marshal's JSON, re-validating the
+// wiring.
+func Unmarshal(data []byte) (*Network, error) { return network.Unmarshal(data) }
+
+// Cascade composes networks in series (outputs of each feed inputs of the
+// next); e.g. the periodic network is a cascade of lgw butterfly blocks.
+func Cascade(name string, stages ...*Network) (*Network, error) {
+	return network.Cascade(name, stages...)
+}
+
+// Sorting (§7) --------------------------------------------------------------
+
+// SortingNetwork is a comparator network derived from a balancing network.
+type SortingNetwork = sorting.Comparator
+
+// NewSortingNetwork converts a regular all-(2,2) balancing network into a
+// comparator network; if the source network counts, the result sorts
+// (Section 7: C(w,w) gives a new O(lg²w)-depth sorting network).
+func NewSortingNetwork(n *Network) (*SortingNetwork, error) { return sorting.FromNetwork(n) }
+
+// Distributed emulation -----------------------------------------------------
+
+// Distributed is a running message-passing deployment of a network: one
+// server goroutine per balancer (the refs [19,20] real-system stand-in).
+type Distributed = distnet.System
+
+// DistributedConfig tunes link buffering and per-hop latency.
+type DistributedConfig = distnet.Config
+
+// StartDistributed launches the servers; call Stop when done.
+func StartDistributed(n *Network, cfg DistributedConfig) *Distributed {
+	return distnet.Start(n, cfg)
+}
+
+// NewDistributedCounter starts a Fetch&Increment counter over a
+// distributed deployment of the network.
+func NewDistributedCounter(n *Network, cfg DistributedConfig) *distnet.Counter {
+	return distnet.NewCounter(n, cfg)
+}
+
+// Execution tracing (§2.2 executions as transition sequences) ----------------
+
+// TraceRecorder captures concurrent traversals for certification.
+type TraceRecorder = trace.Recorder
+
+// Trace is a linearized execution certificate.
+type Trace = trace.Trace
+
+// NewTraceRecorder returns an empty execution recorder. Shepherd tokens
+// with rec.Traverse(net, wire, token); then Linearize reconstructs a legal
+// serial schedule from the per-balancer sequence indices (an acyclicity
+// certificate for the lock-free run) and Trace.Replay re-validates it
+// against the network's semantics.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// Timing simulation (refs [19,20]) -------------------------------------------
+
+// TimingConfig parameterizes the discrete-event queueing simulator.
+type TimingConfig = timesim.Config
+
+// TimingResult reports simulated throughput, latency and utilization.
+type TimingResult = timesim.Result
+
+// SimulateTiming runs a closed-loop discrete-event queueing simulation of
+// the network: each balancer is a FIFO server, each process a client with
+// a think time; optional contention-dependent service inflation models
+// hot memory words. Host-independent reproduction of the refs [19,20]
+// throughput/latency sweeps.
+func SimulateTiming(n *Network, cfg TimingConfig) TimingResult {
+	return timesim.Run(n, cfg)
+}
+
+// TCP deployment (refs [19,20] real-system stand-in) -------------------------
+
+// TCPShard is one balancer server in a TCP-sharded deployment.
+type TCPShard = tcpnet.Shard
+
+// TCPCluster is the client-side view of a sharded deployment.
+type TCPCluster = tcpnet.Cluster
+
+// TCPSession is a single-goroutine client holding one connection per shard.
+type TCPSession = tcpnet.Session
+
+// StartTCPShard launches shard `index` of `shards` for the topology on
+// addr ("host:0" picks a free port). Shard i owns balancers and exit cells
+// with id ≡ i (mod shards); a balancer access is one TCP round trip — the
+// remote analogue of the §1.2 shared memory word.
+func StartTCPShard(addr string, topo *Network, index, shards int) (*TCPShard, error) {
+	return tcpnet.StartShard(addr, topo, index, shards)
+}
+
+// NewTCPCluster wires a topology to its shard addresses.
+func NewTCPCluster(topo *Network, addrs []string) *TCPCluster {
+	return tcpnet.NewCluster(topo, addrs)
+}
+
+// Butterflies (§5) ----------------------------------------------------------
+
+// NewForwardButterfly constructs the lgw-smoothing forward butterfly D(w).
+func NewForwardButterfly(w int) (*Network, error) { return butterfly.NewForward(w) }
+
+// NewBackwardButterfly constructs the backward butterfly E(w), isomorphic
+// to D(w) (Lemma 5.3).
+func NewBackwardButterfly(w int) (*Network, error) { return butterfly.NewBackward(w) }
+
+// Feasibility (§1.4.2, Aharonson–Attiya) -------------------------------------
+
+// Constructible reports whether a counting network of output width t can
+// possibly be built from balancers with the given output widths: every
+// prime factor of t must divide some balancer width. Returns the first
+// offending prime when not.
+func Constructible(t int, balancerOuts []int) (ok bool, offendingPrime int) {
+	return feasibility.Constructible(t, balancerOuts)
+}
+
+// AuditFeasibility checks a concrete network against the Aharonson–Attiya
+// necessary condition.
+func AuditFeasibility(n *Network) error { return feasibility.AuditNetwork(n) }
+
+// Linearizability observation (§1.4.2) --------------------------------------
+
+// LinearizabilityReport summarizes observed order inversions of a counter.
+type LinearizabilityReport = linearize.Report
+
+// ObserveLinearizability runs procs goroutines x per increments against
+// inc under a logical clock and counts linearizability violations
+// (operations that started after another finished yet received a smaller
+// value). Counting networks are not linearizable (ref [16]); a central
+// counter shows zero inversions.
+func ObserveLinearizability(procs, per int, inc func(pid int) int64) LinearizabilityReport {
+	var r linearize.Recorder
+	return linearize.Analyze(r.Record(procs, per, inc))
+}

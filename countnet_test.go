@@ -1,0 +1,184 @@
+package countnet
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// Integration: the full public API path a downstream user takes —
+// construct, verify, count, measure, sort.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	n, err := NewCWT(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Depth() != CWTDepth(8) {
+		t.Fatalf("depth %d != formula %d", n.Depth(), CWTDepth(8))
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := VerifyCounting(n, 3, 200, rng); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCounter(n)
+	const procs, per = 8, 500
+	var wg sync.WaitGroup
+	vals := make([][]int64, procs)
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				vals[pid] = append(vals[pid], c.Inc(pid))
+			}
+		}(pid)
+	}
+	wg.Wait()
+	var all []int64
+	for _, v := range vals {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			t.Fatalf("counter values not dense at %d: %d", i, v)
+		}
+	}
+}
+
+func TestConstructorsProduceCountingNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	builders := map[string]func() (*Network, error){
+		"C(4,8)":      func() (*Network, error) { return NewCWT(4, 8) },
+		"Bitonic(8)":  func() (*Network, error) { return NewBitonic(8) },
+		"Periodic(8)": func() (*Network, error) { return NewPeriodic(8) },
+		"DTree(8)":    func() (*Network, error) { return NewToggleTree(8) },
+	}
+	for name, build := range builders {
+		n, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifyCounting(n, 3, 200, rng); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestMergerAndPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewMerger(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDifferenceMerger(m, 4, 8, 100, rng); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewCWTPrefix(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySmoothing(p, 3, 3, 200, rng); err != nil { // s = 8*3/16+2 = 3
+		t.Fatal(err)
+	}
+}
+
+func TestContentionFacade(t *testing.T) {
+	n, err := NewCWT(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, adv := range []Adversary{GreedyAdversary(), RandomAdversary(), RoundRobinAdversary(), nil} {
+		res := MeasureContention(n, 16, 10, adv, 1)
+		if res.Tokens != 160 {
+			t.Fatalf("tokens = %d", res.Tokens)
+		}
+		if !seq.IsStep(res.Exits) {
+			t.Fatalf("exits not step under %v", adv)
+		}
+	}
+}
+
+func TestSortingFacade(t *testing.T) {
+	n, err := NewCWT(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSortingNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IsSortingNetwork(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedFacade(t *testing.T) {
+	n, err := NewBitonic(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewDistributedCounter(n, DistributedConfig{})
+	defer c.Stop()
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		v := c.Inc(i)
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDiffractingTreeFacade(t *testing.T) {
+	dt, err := NewDiffractingTree(8, DiffractingTreeOptions{PrismWidth: 4, SpinBudget: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, 8)
+	for i := 0; i < 64; i++ {
+		counts[dt.TraverseSequential()]++
+	}
+	if !seq.IsStep(counts) {
+		t.Fatalf("leaf counts %v", counts)
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	b, in := NewBuilder("custom", 2)
+	out := b.Balancer(in, 4)
+	n, err := b.Finalize(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.OutWidth() != 4 {
+		t.Fatal("custom network broken")
+	}
+}
+
+func TestRenderFacade(t *testing.T) {
+	n, err := NewCWT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Summary(n) == "" || Diagram(n) == "" {
+		t.Fatal("empty rendering")
+	}
+	if _, err := BrickDiagram(n); err != nil {
+		t.Fatal(err)
+	}
+	blocks := Decompose(n)
+	if blocks.Nb.Balancers != 2 {
+		t.Fatalf("blocks = %+v", blocks)
+	}
+}
+
+func TestCWTValidFacade(t *testing.T) {
+	if !CWTValid(8, 24) || CWTValid(6, 6) {
+		t.Fatal("CWTValid broken")
+	}
+}

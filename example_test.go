@@ -1,0 +1,130 @@
+package countnet_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	countnet "repro"
+)
+
+// Build the paper's counting network and inspect its geometry.
+func ExampleNewCWT() {
+	net, _ := countnet.NewCWT(8, 16)
+	fmt.Println(net.Name(), "depth", net.Depth(), "balancers", net.Size())
+	// Output: C(8,16) depth 6 balancers 36
+}
+
+// Theorem 4.1: the depth depends only on the input width.
+func ExampleCWTDepth() {
+	for _, p := range []int{1, 2, 8} {
+		net, _ := countnet.NewCWT(16, 16*p)
+		fmt.Println(net.Name(), "depth", net.Depth())
+	}
+	fmt.Println("formula:", countnet.CWTDepth(16))
+	// Output:
+	// C(16,16) depth 10
+	// C(16,32) depth 10
+	// C(16,128) depth 10
+	// formula: 10
+}
+
+// Shared counting: sequential increments return dense values.
+func ExampleNewCounter() {
+	net, _ := countnet.NewCWT(4, 8)
+	ctr := countnet.NewCounter(net)
+	for pid := 0; pid < 5; pid++ {
+		fmt.Print(ctr.Inc(pid), " ")
+	}
+	fmt.Println()
+	// Output: 0 1 2 3 4
+}
+
+// Quiescent evaluation: any input distribution yields a step output.
+func ExampleNetwork_quiescent() {
+	net, _ := countnet.NewCWT(4, 8)
+	y, _ := net.Quiescent([]int64{5, 0, 3, 2})
+	fmt.Println(y)
+	// Output: [2 2 1 1 1 1 1 1]
+}
+
+// Verify the counting property over exhaustive + randomized inputs.
+func ExampleVerifyCounting() {
+	net, _ := countnet.NewCWT(4, 4)
+	err := countnet.VerifyCounting(net, 5, 100, rand.New(rand.NewSource(1)))
+	fmt.Println("counterexample:", err)
+	// Output: counterexample: <nil>
+}
+
+// The Fig. 3 block decomposition of the network's structure.
+func ExampleDecompose() {
+	net, _ := countnet.NewCWT(8, 16)
+	b := countnet.Decompose(net)
+	fmt.Printf("Na: %d balancers / %d layers\n", b.Na.Balancers, b.Na.Layers)
+	fmt.Printf("Nb: %d balancers / %d layers\n", b.Nb.Balancers, b.Nb.Layers)
+	fmt.Printf("Nc: %d balancers / %d layers\n", b.Nc.Balancers, b.Nc.Layers)
+	// Output:
+	// Na: 8 balancers / 2 layers
+	// Nb: 4 balancers / 1 layers
+	// Nc: 24 balancers / 3 layers
+}
+
+// Measure adversarial contention in the DHW model.
+func ExampleMeasureContention() {
+	net, _ := countnet.NewCWT(8, 8)
+	res := countnet.MeasureContention(net, 16, 50, countnet.RoundRobinAdversary(), 1)
+	fmt.Println("tokens:", res.Tokens, "exits step:", len(res.Exits) == 8)
+	// Output: tokens: 800 exits step: true
+}
+
+// The Section 7 byproduct: C(w,w) as a sorting network.
+func ExampleNewSortingNetwork() {
+	net, _ := countnet.NewCWT(8, 8)
+	s, _ := countnet.NewSortingNetwork(net)
+	out, _ := s.Sort([]int{5, 3, 8, 1, 9, 2, 7, 4})
+	fmt.Println(out)
+	// Output: [1 2 3 4 5 7 8 9]
+}
+
+// The Aharonson–Attiya feasibility condition (§1.4.2).
+func ExampleConstructible() {
+	ok, p := countnet.Constructible(6, []int{2})
+	fmt.Println("width 6 from (·,2)-balancers:", ok, "- offending prime:", p)
+	ok, _ = countnet.Constructible(6, []int{2, 6})
+	fmt.Println("width 6 with a (·,6)-balancer:", ok)
+	// Output:
+	// width 6 from (·,2)-balancers: false - offending prime: 3
+	// width 6 with a (·,6)-balancer: true
+}
+
+// Antitokens implement Fetch&Decrement (ref [2]).
+func ExampleNetworkCounter_dec() {
+	net, _ := countnet.NewCWT(4, 4)
+	ctr := countnet.NewCounter(net)
+	ctr.Inc(0)
+	ctr.Inc(0)
+	fmt.Println("dec returns:", ctr.Dec(0))
+	fmt.Println("next inc:", ctr.Inc(0))
+	// Output:
+	// dec returns: 1
+	// next inc: 1
+}
+
+// Custom networks through the Builder: a single (2,6)-balancer.
+func ExampleNewBuilder() {
+	b, in := countnet.NewBuilder("demo", 2)
+	out := b.Balancer(in, 6)
+	net, _ := b.Finalize(out)
+	y, _ := net.Quiescent([]int64{7, 6})
+	fmt.Println(y)
+	// Output: [3 2 2 2 2 2]
+}
+
+// Closed-loop queueing simulation of throughput and latency.
+func ExampleSimulateTiming() {
+	net, _ := countnet.NewCWT(8, 8)
+	res := countnet.SimulateTiming(net, countnet.TimingConfig{
+		Processes: 1, Ops: 100, ServiceTime: 1,
+	})
+	fmt.Printf("latency %.0f = depth %d\n", res.MeanLat, net.Depth())
+	// Output: latency 6 = depth 6
+}

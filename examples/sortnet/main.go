@@ -1,0 +1,60 @@
+// The Section 7 byproduct: C(w,w) as a sorting network. The example
+// converts C(16,16) into a comparator network, proves it sorts via the 0-1
+// principle (all 2^16 binary inputs), sorts some data, and compares its
+// depth with the bitonic (Batcher) sorter derived the same way.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	countnet "repro"
+)
+
+func main() {
+	const w = 16
+
+	cwt, err := countnet.NewCWT(w, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ours, err := countnet.NewSortingNetwork(cwt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bit, err := countnet.NewBitonic(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batcher, err := countnet.NewSortingNetwork(bit)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sorting networks of width %d derived from counting networks:\n", w)
+	fmt.Printf("  from %-14s depth %2d, %3d comparators\n", cwt.Name(), ours.Depth(), ours.Size())
+	fmt.Printf("  from %-14s depth %2d, %3d comparators\n", bit.Name(), batcher.Depth(), batcher.Size())
+
+	fmt.Printf("\nverifying 0-1 principle over all %d binary inputs... ", 1<<w)
+	if err := ours.IsSortingNetwork(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ok — C(16,16) sorts")
+
+	rng := rand.New(rand.NewSource(7))
+	in := make([]int, w)
+	for i := range in {
+		in[i] = rng.Intn(1000)
+	}
+	out, err := ours.Sort(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsample:  %v\nsorted:  %v\n", in, out)
+
+	fmt.Println("\nnote: every comparison is data-independent, so the network sorts")
+	fmt.Println("in depth O(lg²w) on parallel hardware — the balancing network's")
+	fmt.Println("step property is exactly 'sortedness' under the 0-1 principle.")
+}

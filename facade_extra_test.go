@@ -1,0 +1,160 @@
+package countnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestButterflyFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d, err := NewForwardButterfly(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewBackwardButterfly(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*Network{d, e} {
+		if n.Depth() != 4 {
+			t.Fatalf("%s depth %d", n.Name(), n.Depth())
+		}
+		if err := VerifySmoothing(n, 4, 2, 200, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFeasibilityFacade(t *testing.T) {
+	if ok, _ := Constructible(8, []int{2}); !ok {
+		t.Fatal("width 8 from (·,2) should be constructible")
+	}
+	ok, p := Constructible(6, []int{2})
+	if ok || p != 3 {
+		t.Fatalf("width 6 from (·,2): ok=%v p=%d", ok, p)
+	}
+	n, err := NewCWT(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditFeasibility(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearizabilityFacade(t *testing.T) {
+	central := NewCentralCounter()
+	rep := ObserveLinearizability(4, 500, central.Inc)
+	if rep.Inversions != 0 {
+		t.Fatalf("central counter inverted %d times", rep.Inversions)
+	}
+	if rep.Ops != 2000 {
+		t.Fatalf("ops = %d", rep.Ops)
+	}
+}
+
+func TestStrongestFacade(t *testing.T) {
+	n, err := NewCWT(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := MeasureContentionStrongest(n, 32, 10, 1)
+	plain := MeasureContention(n, 32, 10, GreedyAdversary(), 1)
+	if best.Amortized < plain.Amortized {
+		t.Fatalf("strongest %.2f < greedy %.2f", best.Amortized, plain.Amortized)
+	}
+	if !seq.IsStep(best.Exits) {
+		t.Fatal("exits not step")
+	}
+	if len(AllAdversaries()) < 6 {
+		t.Fatal("adversary roster shrank")
+	}
+	for _, adv := range []Adversary{ParkingAdversary(), StarverAdversary(2)} {
+		res := MeasureContention(n, 16, 5, adv, 2)
+		if res.Tokens != 80 {
+			t.Fatalf("%s: tokens %d", adv.Name(), res.Tokens)
+		}
+	}
+}
+
+// Path-length uniformity: every token in C(w,t), bitonic, and the merger
+// crosses exactly Depth() balancers — the constructions are layered, so
+// latency is uniform across tokens (the paper's "depth determines
+// latency").
+func TestUniformPathLength(t *testing.T) {
+	builds := []func() (*Network, error){
+		func() (*Network, error) { return NewCWT(8, 16) },
+		func() (*Network, error) { return NewCWT(16, 16) },
+		func() (*Network, error) { return NewBitonic(8) },
+		func() (*Network, error) { return NewPeriodic(8) },
+		func() (*Network, error) { return NewMerger(16, 4) },
+		func() (*Network, error) { return NewForwardButterfly(8) },
+	}
+	for _, build := range builds {
+		n, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			_, path := n.TraverseTrace(i % n.InWidth())
+			if len(path) != n.Depth() {
+				t.Fatalf("%s: token crossed %d balancers, depth is %d",
+					n.Name(), len(path), n.Depth())
+			}
+		}
+	}
+}
+
+// Fuzz the Builder framework itself: random layered networks must preserve
+// token sums and match quiescent evaluation under concurrent traversal.
+func TestRandomNetworksSumPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := randomNetwork(t, rng)
+		x := make([]int64, n.InWidth())
+		var total int64
+		for i := range x {
+			x[i] = rng.Int63n(40)
+			total += x[i]
+		}
+		y, err := n.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Sum(y) != total {
+			t.Fatalf("trial %d: %s lost tokens: %d -> %d", trial, n.Name(), total, seq.Sum(y))
+		}
+	}
+}
+
+// randomNetwork builds a random valid layered network: each layer randomly
+// groups the current ports into balancers of arity 1..3 inputs and 1..4
+// outputs.
+func randomNetwork(t *testing.T, rng *rand.Rand) *Network {
+	t.Helper()
+	w := 2 + rng.Intn(7)
+	b, ports := NewBuilder("fuzz", w)
+	layers := 1 + rng.Intn(4)
+	for l := 0; l < layers; l++ {
+		rng.Shuffle(len(ports), func(i, j int) { ports[i], ports[j] = ports[j], ports[i] })
+		var next []Port
+		for len(ports) > 0 {
+			take := 1 + rng.Intn(3)
+			if take > len(ports) {
+				take = len(ports)
+			}
+			in := ports[:take]
+			ports = ports[take:]
+			out := b.Balancer(in, 1+rng.Intn(4))
+			next = append(next, out...)
+		}
+		ports = next
+	}
+	n, err := b.Finalize(ports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

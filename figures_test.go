@@ -1,0 +1,256 @@
+package countnet
+
+// Golden structural tests for every construction figure in the paper
+// (experiment E9). Each test pins the exact balancer counts, arities,
+// layer structure, and key wire pairings the figure depicts, so a
+// regression in any construction is caught against the paper's drawings.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+// census is a helper asserting the network's arity census.
+func requireCensus(t *testing.T, n *Network, want map[string]int) {
+	t.Helper()
+	got := network.ArityCensus(n)
+	if len(got) != len(want) {
+		t.Fatalf("%s: census %v, want %v", n.Name(), got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s: census %v, want %v", n.Name(), got, want)
+		}
+	}
+}
+
+// Fig. 1 left: a (4,6)-balancer distributing 13 tokens as 3,2,2,2,2,2.
+func TestFig1Balancer46(t *testing.T) {
+	b, in := NewBuilder("(4,6)", 4)
+	out := b.Balancer(in, 6)
+	n, err := b.Finalize(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := n.Quiescent([]int64{4, 2, 3, 4}) // 13 tokens, any split
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(y, []int64{3, 2, 2, 2, 2, 2}) {
+		t.Fatalf("(4,6)-balancer on 13 tokens: %v", y)
+	}
+}
+
+// Fig. 1 right: C(4,8) — input width 4, output width 8, the irregular
+// example network. 8 tokens in the depicted distribution exit one per wire.
+func TestFig1NetworkC48(t *testing.T) {
+	n, err := NewCWT(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCensus(t, n, map[string]int{"(2,2)": 6, "(2,4)": 2})
+	y, err := n.Quiescent([]int64{2, 3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(y, []int64{1, 1, 1, 1, 1, 1, 1, 1}) {
+		t.Fatalf("C(4,8) on 8 tokens: %v", y)
+	}
+}
+
+// Fig. 2: the regular networks C(4,4) and C(8,8) built from (2,2)s.
+func TestFig2RegularNetworks(t *testing.T) {
+	c44, err := NewCWT(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCensus(t, c44, map[string]int{"(2,2)": 6})
+	if c44.Depth() != 3 {
+		t.Fatalf("C(4,4) depth %d", c44.Depth())
+	}
+	c88, err := NewCWT(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCensus(t, c88, map[string]int{"(2,2)": 24})
+	if c88.Depth() != 6 {
+		t.Fatalf("C(8,8) depth %d", c88.Depth())
+	}
+}
+
+// Fig. 3: C(8,16) block partition: Na (2 layers x 4), Nb (1 x 4 of (2,4)),
+// Nc (3 layers x 8).
+func TestFig3BlockPartition(t *testing.T) {
+	n, err := NewCWT(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Decompose(n)
+	if b.Na.Balancers != 8 || b.Na.Layers != 2 {
+		t.Fatalf("Na = %+v", b.Na)
+	}
+	if b.Nb.Balancers != 4 || b.Nb.Layers != 1 || b.Nb.Arities["(2,4)"] != 4 {
+		t.Fatalf("Nb = %+v", b.Nb)
+	}
+	if b.Nc.Balancers != 24 || b.Nc.Layers != 3 {
+		t.Fatalf("Nc = %+v", b.Nc)
+	}
+}
+
+// Fig. 5 top: M(t,2) is one layer of t/2 balancers with the b0 wraparound
+// (x0 with y_{t/2-1} -> z0 and z_{t-1}).
+func TestFig5BaseMergerWiring(t *testing.T) {
+	n, err := NewMerger(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Depth() != 1 || n.Size() != 4 {
+		t.Fatalf("M(8,2): depth %d size %d", n.Depth(), n.Size())
+	}
+	// b0 consumes input wires 0 (x0) and 7 (y3) and feeds outputs 0 and 7.
+	b0in0, _ := n.InputDest(0)
+	b0in7, _ := n.InputDest(7)
+	if b0in0 != b0in7 {
+		t.Fatalf("x0 and y_{t/2-1} do not meet: nodes %d, %d", b0in0, b0in7)
+	}
+	src0, _ := n.OutputSource(0)
+	src7, _ := n.OutputSource(7)
+	if src0 != b0in0 || src7 != b0in0 {
+		t.Fatalf("b0 does not feed z0 and z7 (got %d, %d)", src0, src7)
+	}
+	// b_i (i=1..3) consumes y_{i-1} (wire 4+i-1) and x_i (wire i) and
+	// feeds z_{2i-1}, z_{2i}.
+	for i := 1; i < 4; i++ {
+		a, _ := n.InputDest(i)
+		bnode, _ := n.InputDest(4 + i - 1)
+		if a != bnode {
+			t.Fatalf("merger b%d inputs disagree", i)
+		}
+		s1, _ := n.OutputSource(2*i - 1)
+		s2, _ := n.OutputSource(2 * i)
+		if s1 != a || s2 != a {
+			t.Fatalf("merger b%d outputs misrouted", i)
+		}
+	}
+}
+
+// Fig. 6: M(8,4) and M(16,4): two M(t/2,2) sub-mergers plus an M(t,2)
+// output layer; depth 2, all (2,2).
+func TestFig6Mergers(t *testing.T) {
+	for _, tt := range []int{8, 16} {
+		n, err := NewMerger(tt, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Depth() != 2 {
+			t.Fatalf("M(%d,4) depth %d", tt, n.Depth())
+		}
+		requireCensus(t, n, map[string]int{"(2,2)": tt})
+		layers := n.Layers()
+		if len(layers[0]) != tt/2 || len(layers[1]) != tt/2 {
+			t.Fatalf("M(%d,4) layer sizes %d/%d", tt, len(layers[0]), len(layers[1]))
+		}
+	}
+}
+
+// Fig. 10: the recursive skeleton of C(w,t): first layer is the ladder
+// L(w) pairing input wires i and i+w/2.
+func TestFig10LadderFirst(t *testing.T) {
+	n, err := NewCWT(16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		a, pa := n.InputDest(i)
+		b, pb := n.InputDest(i + 8)
+		if a != b {
+			t.Fatalf("inputs %d and %d do not share a ladder balancer", i, i+8)
+		}
+		if pa != 0 || pb != 1 {
+			t.Fatalf("ladder port order wrong for pair (%d,%d)", i, i+8)
+		}
+	}
+}
+
+// Figs 11-13: the straightened networks C(4,4), C(4,8), C(8,8), C(8,16)
+// all verify as counting networks with the figure's geometry; their brick
+// renderings (where regular) exist.
+func TestFigs11to13Geometry(t *testing.T) {
+	cases := []struct{ w, tt, depth, size int }{
+		{4, 4, 3, 6}, {4, 8, 3, 8}, {8, 8, 6, 24}, {8, 16, 6, 36},
+	}
+	for _, c := range cases {
+		n, err := NewCWT(c.w, c.tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Depth() != c.depth || n.Size() != c.size {
+			t.Fatalf("C(%d,%d): depth %d size %d, want %d/%d",
+				c.w, c.tt, n.Depth(), n.Size(), c.depth, c.size)
+		}
+		if c.w == c.tt {
+			if _, err := BrickDiagram(n); err != nil {
+				t.Fatalf("C(%d,%d) brick: %v", c.w, c.tt, err)
+			}
+		}
+		d := Diagram(n)
+		if !strings.Contains(d, "layer 1:") {
+			t.Fatalf("diagram missing layers:\n%s", d)
+		}
+	}
+}
+
+// Fig. 14: D(8) and E(8) both have 3 layers of 4 balancers; D ends with a
+// ladder (outputs i, i+4 share a balancer), E starts with one (inputs i,
+// i+4 share a balancer).
+func TestFig14Butterflies(t *testing.T) {
+	d, err := NewForwardButterfly(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewBackwardButterfly(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*Network{d, e} {
+		if n.Depth() != 3 || n.Size() != 12 {
+			t.Fatalf("%s: depth %d size %d", n.Name(), n.Depth(), n.Size())
+		}
+	}
+	for i := 0; i < 4; i++ {
+		a, _ := d.OutputSource(i)
+		b, _ := d.OutputSource(i + 4)
+		if a != b {
+			t.Fatalf("D(8): outputs %d,%d not ladder-paired", i, i+4)
+		}
+		a2, _ := e.InputDest(i)
+		b2, _ := e.InputDest(i + 4)
+		if a2 != b2 {
+			t.Fatalf("E(8): inputs %d,%d not ladder-paired", i, i+4)
+		}
+	}
+}
+
+// Fig. 16: C'(w,t) has depth lgw with (2,2p) last layer; C''(w) is all
+// (2,2) and is a backward butterfly (same census and layer profile as
+// E(w)).
+func TestFig16PrefixNetworks(t *testing.T) {
+	p, err := NewCWTPrefix(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Depth() != 3 || p.OutWidth() != 16 {
+		t.Fatalf("C'(8,16): depth %d out %d", p.Depth(), p.OutWidth())
+	}
+	requireCensus(t, p, map[string]int{"(2,2)": 8, "(2,4)": 4})
+
+	e, err := NewBackwardButterfly(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C''(8) mirrors E(8) structurally.
+	requireCensus(t, e, map[string]int{"(2,2)": 12})
+}

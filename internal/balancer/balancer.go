@@ -1,0 +1,145 @@
+// Package balancer implements the asynchronous switch primitives of the
+// paper: (p,q)-balancers (Section 1.1, Fig. 1) realized as single atomic
+// memory words, supporting both tokens (Fetch&Increment traffic) and
+// antitokens (Fetch&Decrement traffic, per Aiello et al., ref [2] of the
+// paper), plus the randomized exchanger used by diffracting trees (§1.4.1).
+//
+// A (p,q)-balancer has state s in {0..q-1}: the i-th token to be processed
+// atomically exits on output wire s_i = (s0 + i) mod q. On an MIMD machine
+// the balancer is one shared memory word; contention arises from tokens
+// serializing on that word (§1.2).
+package balancer
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// PQ is a (p,q)-balancer state machine. The input width p does not affect
+// the transition behaviour (a balancer processes one token at a time
+// regardless of which input wire it arrived on); it is recorded for
+// structural bookkeeping. The zero value is a balancer with q unset and is
+// not usable; create with New.
+type PQ struct {
+	count atomic.Int64 // net number of (tokens - antitokens) processed
+	init  int64        // initial state s0 in [0, q)
+	p, q  int32
+}
+
+// New returns a (p,q)-balancer with initial state 0.
+func New(p, q int) *PQ {
+	if p < 1 || q < 1 {
+		panic(fmt.Sprintf("balancer: invalid widths (%d,%d)", p, q))
+	}
+	return &PQ{p: int32(p), q: int32(q)}
+}
+
+// NewInit returns a (p,q)-balancer whose first token exits on wire s0 mod q.
+// Randomized initial states are the Section 7 open-problem ablation.
+func NewInit(p, q int, s0 int64) *PQ {
+	b := New(p, q)
+	b.init = ((s0 % int64(q)) + int64(q)) % int64(q)
+	return b
+}
+
+// In returns the input width p.
+func (b *PQ) In() int { return int(b.p) }
+
+// Init returns the configured initial state s0.
+func (b *PQ) Init() int64 { return b.init }
+
+// Out returns the output width q.
+func (b *PQ) Out() int { return int(b.q) }
+
+// Step atomically processes one token and returns the output wire it exits
+// on. Safe for concurrent use; this is the single atomic transition
+// alpha(tau, b) of §2.2.
+func (b *PQ) Step() int {
+	k := b.count.Add(1) - 1 // state consumed by this token
+	return b.wire(k)
+}
+
+// StepK is Step that also returns the token's sequence index k at this
+// balancer (the k-th token ever processed takes port (init+k) mod q).
+// Used by execution tracing.
+func (b *PQ) StepK() (k int64, port int) {
+	k = b.count.Add(1) - 1
+	return k, b.wire(k)
+}
+
+// StepAnti atomically processes one antitoken: it decrements the balancer
+// state and exits on the wire the most recent token would have used, so a
+// token/antitoken pair cancels out (ref [2]).
+func (b *PQ) StepAnti() int {
+	k := b.count.Add(-1) // state after cancellation == wire of cancelled token
+	return b.wire(k)
+}
+
+// wire maps a (possibly negative) step index to an output wire.
+func (b *PQ) wire(k int64) int {
+	q := int64(b.q)
+	w := (b.init + k) % q
+	if w < 0 {
+		w += q
+	}
+	return int(w)
+}
+
+// State returns the current state (the wire the next token will take).
+// Only meaningful in a quiescent state.
+func (b *PQ) State() int { return b.wire(b.count.Load()) }
+
+// Count returns the net number of tokens minus antitokens processed.
+func (b *PQ) Count() int64 { return b.count.Load() }
+
+// Reset restores the balancer to its initial state. Not safe for use
+// concurrent with Step/StepAnti.
+func (b *PQ) Reset() { b.count.Store(0) }
+
+// OutputCounts returns, for a quiescent balancer, the number of tokens that
+// have exited on each output wire, assuming the recorded initial state and
+// a non-negative net count. The result always satisfies the step property
+// after rotating by the initial state; with init 0 it is exactly the step
+// sequence of §2.2.
+func (b *PQ) OutputCounts() []int64 {
+	return Distribute(b.init, b.count.Load(), int(b.q))
+}
+
+// Distribute returns how s tokens spread over q output wires when the first
+// token exits on wire s0: wire i receives one token for every j in [0,s)
+// with (s0+j) mod q == i. It panics for negative s.
+func Distribute(s0, s int64, q int) []int64 {
+	if s < 0 {
+		panic(fmt.Sprintf("balancer: Distribute of negative count %d", s))
+	}
+	out := make([]int64, q)
+	for i := range out {
+		// First j >= 0 with (s0+j) mod q == i.
+		d := (int64(i) - s0) % int64(q)
+		if d < 0 {
+			d += int64(q)
+		}
+		if d < s {
+			out[i] = (s - d + int64(q) - 1) / int64(q)
+		}
+	}
+	return out
+}
+
+// Toggle is the special case of a (p,2)-balancer, kept as a distinct type
+// because diffracting trees and ladder layers use it on their hot path.
+type Toggle struct {
+	count atomic.Int64
+}
+
+// Step returns 0 or 1, alternating atomically starting with 0.
+func (t *Toggle) Step() int { return int((t.count.Add(1) - 1) & 1) }
+
+// StepAnti undoes the most recent step.
+func (t *Toggle) StepAnti() int { return int(t.count.Add(-1) & 1) }
+
+// Count returns the net number of tokens processed.
+func (t *Toggle) Count() int64 { return t.count.Load() }
+
+// Reset restores the initial state (not concurrency-safe).
+func (t *Toggle) Reset() { t.count.Store(0) }

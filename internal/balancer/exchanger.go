@@ -1,0 +1,78 @@
+package balancer
+
+import (
+	"sync/atomic"
+)
+
+// Exchanger slot states, packed into the top bits of the slot word.
+// The low 32 bits carry the value being exchanged.
+const (
+	slotEmpty   int64 = 0 << 32
+	slotWaiting int64 = 1 << 32
+	slotBusy    int64 = 2 << 32
+	stateMask   int64 = ^int64(0) << 32
+	valueMask   int64 = (1 << 32) - 1
+)
+
+// Exchanger lets two concurrent callers swap 32-bit values. It is the
+// diffraction primitive of the diffracting tree (Shavit & Zemach, ref [26]):
+// two tokens that meet in a prism slot "collide and eliminate" — one is
+// sent left, the other right — without touching the tree's toggle.
+//
+// The zero value is ready to use.
+type Exchanger struct {
+	slot atomic.Int64
+}
+
+// Outcome of an exchange attempt.
+type Outcome int
+
+const (
+	// Timeout: no partner arrived within the spin budget.
+	Timeout Outcome = iota
+	// First: a partner arrived; this caller was first into the slot.
+	First
+	// Second: this caller found a waiting partner in the slot.
+	Second
+)
+
+// Exchange offers value v (must fit in 32 bits) and spins up to budget
+// iterations for a partner. On First/Second it returns the partner's value.
+func (e *Exchanger) Exchange(v uint32, budget int) (partner uint32, outcome Outcome) {
+	for i := 0; i < budget; i++ {
+		cur := e.slot.Load()
+		switch cur & stateMask {
+		case slotEmpty:
+			// Try to install ourselves as the waiter.
+			if !e.slot.CompareAndSwap(cur, slotWaiting|int64(v)) {
+				continue
+			}
+			// Wait for a partner to flip us to BUSY.
+			for j := i; j < budget; j++ {
+				now := e.slot.Load()
+				if now&stateMask == slotBusy {
+					e.slot.Store(slotEmpty)
+					return uint32(now & valueMask), First
+				}
+			}
+			// Withdraw; if the CAS fails a partner just arrived.
+			if e.slot.CompareAndSwap(slotWaiting|int64(v), slotEmpty) {
+				return 0, Timeout
+			}
+			now := e.slot.Load()
+			if now&stateMask == slotBusy {
+				e.slot.Store(slotEmpty)
+				return uint32(now & valueMask), First
+			}
+			return 0, Timeout
+		case slotWaiting:
+			// A partner is waiting: claim it.
+			if e.slot.CompareAndSwap(cur, slotBusy|int64(v)) {
+				return uint32(cur & valueMask), Second
+			}
+		case slotBusy:
+			// Two other tokens are completing an exchange; retry.
+		}
+	}
+	return 0, Timeout
+}

@@ -1,0 +1,112 @@
+package balancer
+
+import (
+	"sync"
+	"testing"
+)
+
+// White-box tests for Exchanger state transitions.
+
+func TestExchangerBusySlotRetries(t *testing.T) {
+	var ex Exchanger
+	// Force the slot into BUSY: a third party mid-exchange.
+	ex.slot.Store(slotBusy | 42)
+	if _, o := ex.Exchange(7, 50); o != Timeout {
+		t.Fatalf("exchange against busy slot = %v, want Timeout", o)
+	}
+	// Slot still busy (we must not have clobbered it).
+	if ex.slot.Load()&stateMask != slotBusy {
+		t.Fatal("busy slot clobbered")
+	}
+}
+
+func TestExchangerSecondClaimsWaiting(t *testing.T) {
+	var ex Exchanger
+	ex.slot.Store(slotWaiting | 99)
+	p, o := ex.Exchange(5, 10)
+	if o != Second || p != 99 {
+		t.Fatalf("= (%d,%v), want (99,Second)", p, o)
+	}
+	// Slot now BUSY with our value, awaiting the first party's pickup.
+	if got := ex.slot.Load(); got != slotBusy|5 {
+		t.Fatalf("slot = %x", got)
+	}
+}
+
+func TestExchangerFirstPicksUpAfterClaim(t *testing.T) {
+	var ex Exchanger
+	done := make(chan struct{})
+	var p1 uint32
+	var o1 Outcome
+	go func() {
+		defer close(done)
+		for {
+			p1, o1 = ex.Exchange(1, 100000)
+			if o1 != Timeout {
+				return
+			}
+		}
+	}()
+	var p2 uint32
+	var o2 Outcome
+	for {
+		p2, o2 = ex.Exchange(2, 100000)
+		if o2 != Timeout {
+			break
+		}
+	}
+	<-done
+	if o1 == o2 {
+		t.Fatalf("both outcomes %v", o1)
+	}
+	if o1 == First && (p1 != 2 || p2 != 1) {
+		t.Fatalf("values crossed wrong: %d, %d", p1, p2)
+	}
+	if o1 == Second && (p1 != 2 || p2 != 1) {
+		t.Fatalf("values crossed wrong: %d, %d", p1, p2)
+	}
+	// Slot drained.
+	if ex.slot.Load() != slotEmpty {
+		t.Fatal("slot not drained")
+	}
+}
+
+// Hammer: conservation holds across many concurrent exchanges on many
+// slots (prism-like usage).
+func TestExchangerArrayHammer(t *testing.T) {
+	const slots, procs, per = 4, 6, 3000
+	ex := make([]Exchanger, slots)
+	var firsts, seconds, timeouts int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < procs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var f, s, to int64
+			for i := 0; i < per; i++ {
+				_, o := ex[(g+i)%slots].Exchange(uint32(g), 64)
+				switch o {
+				case First:
+					f++
+				case Second:
+					s++
+				default:
+					to++
+				}
+			}
+			mu.Lock()
+			firsts += f
+			seconds += s
+			timeouts += to
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	if firsts != seconds {
+		t.Fatalf("pair conservation broken: %d firsts, %d seconds", firsts, seconds)
+	}
+	if firsts+seconds+timeouts != procs*per {
+		t.Fatalf("outcome conservation broken")
+	}
+}

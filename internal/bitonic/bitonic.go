@@ -1,0 +1,95 @@
+// Package bitonic implements the bitonic counting network of Aspnes,
+// Herlihy & Shavit (ref [5] of the paper, Section 3 there), the principal
+// regular baseline the paper compares against (§1.3.1): width w = 2^k,
+// depth (lg²w + lgw)/2, amortized contention Θ(n·lg²w / w) (Dwork et al.,
+// ref [12]).
+//
+// Construction:
+//
+//   - Bitonic[1] is a wire; Bitonic[w] is two copies of Bitonic[w/2] on the
+//     two input halves feeding Merger[w].
+//   - Merger[2] is one balancer. Merger[w] sends the even subsequence of x
+//     and the odd subsequence of y to one Merger[w/2], the odd of x and the
+//     even of y to another, and joins output i of each with a final-layer
+//     balancer emitting output wires 2i and 2i+1.
+//
+// The merger's depth is lg w — this is the §3.3 contrast with the paper's
+// M(t,δ), whose depth is lg δ.
+package bitonic
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// Valid reports whether w is a supported width (power of two >= 2).
+func Valid(w int) bool { return w >= 2 && w&(w-1) == 0 }
+
+// New constructs the bitonic counting network of width w.
+func New(w int) (*network.Network, error) {
+	if !Valid(w) {
+		return nil, fmt.Errorf("bitonic: width %d is not a power of two >= 2", w)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("Bitonic(%d)", w), w)
+	out := Build(b, in)
+	return b.Finalize(out)
+}
+
+// Build appends Bitonic[len(in)] to a builder and returns its outputs.
+func Build(b *network.Builder, in []network.Port) []network.Port {
+	w := len(in)
+	if w == 1 {
+		return in
+	}
+	x := Build(b, in[:w/2])
+	y := Build(b, in[w/2:])
+	return BuildMerger(b, x, y)
+}
+
+// BuildMerger appends Merger[2k] joining two step-producing subnetworks'
+// outputs x and y (len k each) and returns the merged outputs. Exported for
+// the E17 ablation (C(w,t) built with the bitonic merger).
+func BuildMerger(b *network.Builder, x, y []network.Port) []network.Port {
+	k := len(x)
+	if len(y) != k {
+		panic(fmt.Sprintf("bitonic: merger halves %d vs %d", k, len(y)))
+	}
+	if k == 1 {
+		return b.Balancer([]network.Port{x[0], y[0]}, 2)
+	}
+	xe, xo := split(x)
+	ye, yo := split(y)
+	z0 := BuildMerger(b, xe, yo) // even of x with odd of y
+	z1 := BuildMerger(b, xo, ye) // odd of x with even of y
+	out := make([]network.Port, 2*k)
+	for i := 0; i < k; i++ {
+		o := b.Balancer([]network.Port{z0[i], z1[i]}, 2)
+		if o == nil {
+			return out
+		}
+		out[2*i], out[2*i+1] = o[0], o[1]
+	}
+	return out
+}
+
+// NewMerger constructs Merger[w] standalone (w = 2k wires).
+func NewMerger(w int) (*network.Network, error) {
+	if !Valid(w) {
+		return nil, fmt.Errorf("bitonic: merger width %d is not a power of two >= 2", w)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("BitonicMerger(%d)", w), w)
+	out := BuildMerger(b, in[:w/2], in[w/2:])
+	return b.Finalize(out)
+}
+
+func split(s []network.Port) (even, odd []network.Port) {
+	for i, p := range s {
+		if i%2 == 0 {
+			even = append(even, p)
+		} else {
+			odd = append(odd, p)
+		}
+	}
+	return even, odd
+}

@@ -1,0 +1,121 @@
+package bitonic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+func log2(x int) int {
+	k := 0
+	for x > 1 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+func TestDepth(t *testing.T) {
+	// depth(Bitonic[w]) = (lg²w + lgw)/2, same as C(w,t) for equal w.
+	for _, w := range []int{2, 4, 8, 16, 32, 64} {
+		n, err := New(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := log2(w)
+		if want := (k*k + k) / 2; n.Depth() != want {
+			t.Errorf("depth(Bitonic(%d)) = %d, want %d", w, n.Depth(), want)
+		}
+	}
+}
+
+func TestMergerDepth(t *testing.T) {
+	// §3.3 contrast: bitonic merger depth is lg w (vs lg δ for M(t,δ)).
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		n, err := NewMerger(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Depth() != log2(w) {
+			t.Errorf("depth(Merger(%d)) = %d, want %d", w, n.Depth(), log2(w))
+		}
+	}
+}
+
+func TestCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct {
+		w          int
+		exhaustive int
+		trials     int
+	}{
+		{2, 10, 100}, {4, 6, 300}, {8, 4, 300}, {16, 0, 500}, {32, 0, 200},
+	} {
+		n, err := New(c.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := network.CheckCounting(n, c.exhaustive, c.trials, rng); err != nil {
+			t.Errorf("Bitonic(%d): %v", c.w, err)
+		}
+	}
+}
+
+// The bitonic merger merges any two step inputs regardless of their sum
+// difference (unlike M(t,δ)). Check over step pairs with large differences.
+func TestMergerMergesAnyDifference(t *testing.T) {
+	n, err := NewMerger(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sy := int64(0); sy <= 20; sy++ {
+		for d := int64(0); d <= 40; d += 7 {
+			x := append(seq.MakeStep(sy+d, 8), seq.MakeStep(sy, 8)...)
+			y, err := n.Quiescent(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.IsStep(y) {
+				t.Fatalf("Merger(16) on sums (%d,%d): %v", sy+d, sy, y)
+			}
+		}
+	}
+}
+
+func TestAllBalancers22(t *testing.T) {
+	n, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := network.ArityCensus(n)
+	if len(census) != 1 || census["(2,2)"] != n.Size() {
+		t.Fatalf("census = %v", census)
+	}
+	// Size: w/2 balancers per layer x depth layers.
+	if want := 16 / 2 * n.Depth(); n.Size() != want {
+		t.Fatalf("size = %d, want %d", n.Size(), want)
+	}
+}
+
+func TestInvalidWidth(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 6, 12} {
+		if _, err := New(w); err == nil {
+			t.Errorf("New(%d) accepted", w)
+		}
+		if _, err := NewMerger(w); err == nil {
+			t.Errorf("NewMerger(%d) accepted", w)
+		}
+	}
+}
+
+func TestMergerPanicsOnUnequalHalves(t *testing.T) {
+	b, in := network.NewBuilder("bad", 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unequal halves accepted")
+		}
+	}()
+	BuildMerger(b, in[:2], in[2:])
+}

@@ -1,0 +1,167 @@
+// Package butterfly implements the butterfly networks of Section 5 of the
+// paper: the forward butterfly D(w) (recursive halves followed by a ladder
+// layer) and the backward butterfly E(w) (a ladder layer followed by
+// recursive halves). Both are regular width-w networks of depth lgw built
+// from (2,2)-balancers; they are isomorphic (Lemma 5.3) and lgw-smoothing
+// (Lemma 5.2). The first lgw layers of the counting network C(w,t) are a
+// backward butterfly with widened last-layer balancers (Fig. 16), which is
+// how the butterfly enters the contention analysis of Section 6.
+package butterfly
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+// validWidth reports whether w is a power of two >= 1.
+func validWidth(w int) bool { return w >= 1 && w&(w-1) == 0 }
+
+// NewForward constructs the forward butterfly D(w) (§5.1, Fig. 14 top):
+//
+//   - D(1) is a wire.
+//   - D(w) is two copies of D(w/2) side by side whose concatenated outputs
+//     feed a ladder L(w).
+func NewForward(w int) (*network.Network, error) {
+	if !validWidth(w) {
+		return nil, fmt.Errorf("butterfly: width %d is not a power of two", w)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("D(%d)", w), w)
+	out := BuildForward(b, in)
+	return b.Finalize(out)
+}
+
+// BuildForward appends D(len(in)) to a builder and returns its outputs.
+func BuildForward(b *network.Builder, in []network.Port) []network.Port {
+	w := len(in)
+	if w == 1 {
+		return in
+	}
+	g := BuildForward(b, in[:w/2])
+	h := BuildForward(b, in[w/2:])
+	first, second := core.Ladder(b, append(append([]network.Port{}, g...), h...))
+	return append(first, second...)
+}
+
+// NewBackward constructs the backward butterfly E(w) (§5.2, Fig. 14
+// bottom):
+//
+//   - E(1) is a wire.
+//   - E(w) is a ladder L(w) whose first and second output halves feed two
+//     copies of E(w/2); the outputs are the concatenation of the copies'.
+func NewBackward(w int) (*network.Network, error) {
+	if !validWidth(w) {
+		return nil, fmt.Errorf("butterfly: width %d is not a power of two", w)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("E(%d)", w), w)
+	out := BuildBackward(b, in)
+	return b.Finalize(out)
+}
+
+// BuildBackward appends E(len(in)) to a builder and returns its outputs.
+func BuildBackward(b *network.Builder, in []network.Port) []network.Port {
+	w := len(in)
+	if w == 1 {
+		return in
+	}
+	first, second := core.Ladder(b, in)
+	g := BuildBackward(b, first)
+	h := BuildBackward(b, second)
+	return append(g, h...)
+}
+
+// FindIsomorphism searches for input/output permutations witnessing that
+// networks A and B (equal widths) are behaviourally isomorphic in the
+// quiescent sense of Lemma 2.7: permutations piIn, piOut such that for
+// every input x, B.Quiescent(piIn(x)) == piOut(A.Quiescent(x)).
+//
+// The search space is all pairs of permutations, so it is only feasible for
+// small widths (w <= 6 in practice for the input side); the candidate set
+// is pruned by testing each piIn against a fixed battery of probe inputs
+// before scanning piOut. Returns (piIn, piOut, true) on success.
+//
+// This is a *witness checker* for the structural Lemma 5.3 on small
+// instances; for large widths the lemma's measurable consequence (equal
+// smoothing behaviour) is validated instead.
+func FindIsomorphism(a, b *network.Network, probes [][]int64) (piIn, piOut []int, ok bool) {
+	w, t := a.InWidth(), a.OutWidth()
+	if b.InWidth() != w || b.OutWidth() != t {
+		return nil, nil, false
+	}
+	// Precompute A's outputs on the probes.
+	aOut := make([][]int64, len(probes))
+	for i, x := range probes {
+		y, err := a.Quiescent(x)
+		if err != nil {
+			return nil, nil, false
+		}
+		aOut[i] = y
+	}
+	perms := permutations(w)
+	outPerms := permutations(t)
+	apply := func(p []int, x []int64) []int64 {
+		y := make([]int64, len(x))
+		for i, v := range x {
+			y[p[i]] = v
+		}
+		return y
+	}
+	for _, pin := range perms {
+		// Compute B's outputs under this input permutation.
+		bOut := make([][]int64, len(probes))
+		for i, x := range probes {
+			y, err := b.Quiescent(apply(pin, x))
+			if err != nil {
+				return nil, nil, false
+			}
+			bOut[i] = y
+		}
+		// Look for a single output permutation mapping every aOut to bOut.
+		for _, pout := range outPerms {
+			match := true
+			for i := range probes {
+				z := apply(pout, aOut[i])
+				for j := range z {
+					if z[j] != bOut[i][j] {
+						match = false
+						break
+					}
+				}
+				if !match {
+					break
+				}
+			}
+			if match {
+				return pin, pout, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// permutations returns all permutations of {0..n-1}. Factorial blow-up;
+// callers keep n tiny.
+func permutations(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make([]int, n)
+			copy(cp, base)
+			out = append(out, cp)
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}

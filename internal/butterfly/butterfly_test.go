@@ -1,0 +1,241 @@
+package butterfly
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+func log2(x int) int {
+	k := 0
+	for x > 1 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+// E5 / Lemma 5.1: depth(D(w)) = lgw; same for E(w).
+func TestDepth(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
+		d, err := NewForward(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewBackward(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Depth() != log2(w) {
+			t.Errorf("depth(D(%d)) = %d, want %d", w, d.Depth(), log2(w))
+		}
+		if e.Depth() != log2(w) {
+			t.Errorf("depth(E(%d)) = %d, want %d", w, e.Depth(), log2(w))
+		}
+		// Size: (w/2) * lgw balancers each.
+		want := w / 2 * log2(w)
+		if d.Size() != want || e.Size() != want {
+			t.Errorf("sizes D=%d E=%d, want %d", d.Size(), e.Size(), want)
+		}
+	}
+}
+
+// E5 / Lemma 5.2: D(w) is lgw-smoothing.
+func TestForwardSmoothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		n, err := NewForward(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive := 4
+		if w > 8 {
+			exhaustive = 0
+		}
+		if err := network.CheckSmoothing(n, int64(log2(w)), exhaustive, 500, rng); err != nil {
+			t.Errorf("D(%d): %v", w, err)
+		}
+	}
+}
+
+// E6 consequence of Lemma 5.3: E(w) is lgw-smoothing too.
+func TestBackwardSmoothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		n, err := NewBackward(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exhaustive := 4
+		if w > 8 {
+			exhaustive = 0
+		}
+		if err := network.CheckSmoothing(n, int64(log2(w)), exhaustive, 500, rng); err != nil {
+			t.Errorf("E(%d): %v", w, err)
+		}
+	}
+}
+
+// Neither butterfly is a counting network for w >= 4 (they only smooth).
+func TestButterflyIsNotCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for _, build := range []func(int) (*network.Network, error){NewForward, NewBackward} {
+		n, err := build(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := network.CheckCounting(n, 5, 200, rng); err == nil {
+			t.Errorf("%s accepted as counting network", n.Name())
+		}
+	}
+}
+
+// E6 / Lemma 5.3: explicit isomorphism witness for small widths. The probe
+// battery (unit vectors + random vectors) pins the behaviour; the found
+// witness is then validated on fresh random inputs.
+func TestIsomorphismSmallW(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, w := range []int{1, 2, 4} {
+		d, err := NewForward(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewBackward(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var probes [][]int64
+		for i := 0; i < w; i++ {
+			u := make([]int64, w)
+			u[i] = 1
+			probes = append(probes, u)
+			u2 := make([]int64, w)
+			u2[i] = 3
+			probes = append(probes, u2)
+		}
+		for k := 0; k < 6; k++ {
+			x := make([]int64, w)
+			for i := range x {
+				x[i] = rng.Int63n(9)
+			}
+			probes = append(probes, x)
+		}
+		pin, pout, ok := FindIsomorphism(e, d, probes)
+		if !ok {
+			t.Fatalf("no isomorphism witness found for w=%d", w)
+		}
+		// Validate the witness on fresh random inputs (Lemma 2.7).
+		apply := func(p []int, x []int64) []int64 {
+			y := make([]int64, len(x))
+			for i, v := range x {
+				y[p[i]] = v
+			}
+			return y
+		}
+		for trial := 0; trial < 300; trial++ {
+			x := make([]int64, w)
+			for i := range x {
+				x[i] = rng.Int63n(50)
+			}
+			ye, err := e.Quiescent(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yd, err := d.Quiescent(apply(pin, x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.Equal(apply(pout, ye), yd) {
+				t.Fatalf("w=%d: witness fails on input %v", w, x)
+			}
+		}
+	}
+}
+
+// Structural sanity: E(8) matches the Fig. 14 bottom shape — first layer
+// pairs (i, i+4), second layer pairs (i, i+2) within halves, third layer
+// adjacent pairs.
+func TestBackwardStructure8(t *testing.T) {
+	n, err := NewBackward(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := n.Layers()
+	if len(layers) != 3 {
+		t.Fatalf("E(8) has %d layers", len(layers))
+	}
+	// Layer 1: inputs i and i+4 meet at the same balancer.
+	for i := 0; i < 4; i++ {
+		n1, _ := n.InputDest(i)
+		n2, _ := n.InputDest(i + 4)
+		if n1 != n2 {
+			t.Errorf("E(8): inputs %d and %d do not meet (nodes %d, %d)", i, i+4, n1, n2)
+		}
+	}
+}
+
+// The forward butterfly D(8): outputs i and i+4 come from the same final
+// balancer (ladder last).
+func TestForwardStructure8(t *testing.T) {
+	n, err := NewForward(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		n1, _ := n.OutputSource(i)
+		n2, _ := n.OutputSource(i + 4)
+		if n1 != n2 {
+			t.Errorf("D(8): outputs %d and %d from different balancers", i, i+4)
+		}
+	}
+}
+
+func TestInvalidWidth(t *testing.T) {
+	for _, w := range []int{0, 3, 6, -2} {
+		if _, err := NewForward(w); err == nil {
+			t.Errorf("NewForward(%d) accepted", w)
+		}
+		if _, err := NewBackward(w); err == nil {
+			t.Errorf("NewBackward(%d) accepted", w)
+		}
+	}
+}
+
+// Width-1 butterflies are wires: quiescent identity.
+func TestTrivialButterfly(t *testing.T) {
+	n, err := NewForward(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := n.Quiescent([]int64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 {
+		t.Fatalf("D(1) not a wire: %v", y)
+	}
+}
+
+// Sum preservation through both butterflies.
+func TestSumPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	d, _ := NewForward(16)
+	e, _ := NewBackward(16)
+	for trial := 0; trial < 200; trial++ {
+		x := make([]int64, 16)
+		for i := range x {
+			x[i] = rng.Int63n(30)
+		}
+		for _, n := range []*network.Network{d, e} {
+			y, err := n.Quiescent(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Sum(y) != seq.Sum(x) {
+				t.Fatalf("%s: sum %d -> %d", n.Name(), seq.Sum(x), seq.Sum(y))
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package contention
+
+import "repro/internal/network"
+
+// Additional adversary strategies beyond the core three. These exercise
+// structured worst-case schedules: targeting a specific layer, and a
+// two-phase accumulate/drain convoy.
+
+// LayerTarget herds tokens toward a chosen layer: tokens not yet at the
+// target depth are advanced first (cheaply, while balancers are empty);
+// once every in-flight token is at or past the layer, the most crowded
+// balancer is drained. This focuses stalls into one layer, probing how
+// much of the network's contention a single layer can be made to carry.
+type LayerTarget struct {
+	// Depth is the 1-based layer to target.
+	Depth int
+}
+
+// Name implements Adversary.
+func (a LayerTarget) Name() string { return "layertarget" }
+
+// Pick implements Adversary.
+func (a LayerTarget) Pick(s *Sim, active []int) int {
+	// Phase 1: advance a token strictly before the target layer, if any,
+	// preferring those at empty balancers (no stall spent).
+	bestBefore, bestBeforeOcc := -1, int(^uint(0)>>1)
+	for i, pid := range active {
+		nd := s.tokens[pid].node
+		d := s.net.Node(int(nd)).Depth()
+		if d < a.Depth {
+			if o := s.occ[nd]; o < bestBeforeOcc {
+				bestBefore, bestBeforeOcc = i, o
+			}
+		}
+	}
+	if bestBefore >= 0 {
+		return bestBefore
+	}
+	// Phase 2: all tokens at/after the layer — drain the biggest crowd.
+	best, bestOcc := 0, -1
+	for i, pid := range active {
+		if o := s.occ[s.tokens[pid].node]; o > bestOcc {
+			best, bestOcc = i, o
+		}
+	}
+	return best
+}
+
+// Starver implements the reservoir schedule behind the DHW-style lower
+// bounds: a small set of runner processes (pids < Runners) is driven
+// through the network at full speed while every other token stays parked
+// at its current balancer, so each runner crossing charges one stall per
+// parked token it passes. Parked tokens drain only after the runners
+// exhaust their quotas.
+type Starver struct {
+	// Runners is the number of processes allowed to move freely.
+	Runners int
+}
+
+// Name implements Adversary.
+func (a Starver) Name() string { return "starver" }
+
+// Pick implements Adversary.
+func (a Starver) Pick(s *Sim, active []int) int {
+	runners := a.Runners
+	if runners < 1 {
+		runners = 1
+	}
+	for i, pid := range active {
+		if pid < runners {
+			return i
+		}
+	}
+	// Runners done: drain the parked tokens LIFO from the largest crowd.
+	return Parking{}.Pick(s, active)
+}
+
+// Oblivious replays a fixed pseudorandom schedule independent of network
+// state — a baseline showing how much adaptivity (Greedy) buys the
+// adversary.
+type Oblivious struct{}
+
+// Name implements Adversary.
+func (Oblivious) Name() string { return "oblivious" }
+
+// Pick implements Adversary.
+func (Oblivious) Pick(s *Sim, active []int) int {
+	// Deterministic low-discrepancy walk over the active set, using only
+	// the transition counter (not occupancy or token positions).
+	return int(uint64(s.transitions) * 2654435761 % uint64(len(active)))
+}
+
+// AllAdversaries returns one instance of every built-in strategy.
+func AllAdversaries() []Adversary {
+	return []Adversary{
+		Greedy{}, Parking{}, Random{}, &RoundRobin{}, Oblivious{},
+		Starver{Runners: 1}, Starver{Runners: 4},
+		LayerTarget{Depth: 1},
+	}
+}
+
+// Strongest runs the configuration under every built-in adversary and
+// returns the result with the highest amortized contention — the
+// simulator's best empirical lower bound on cont(B, n).
+func Strongest(net *network.Network, cfg Config) Result {
+	var best Result
+	for i, adv := range AllAdversaries() {
+		c := cfg
+		c.Adversary = adv
+		res := Run(net, c)
+		if i == 0 || res.Amortized > best.Amortized {
+			best = res
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package contention
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seq"
+	"repro/internal/workload"
+)
+
+func TestLayerTargetFocusesStalls(t *testing.T) {
+	net, err := core.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 4 // a layer inside Nc
+	res := Run(net, Config{N: 32, Rounds: 40, Adversary: LayerTarget{Depth: target}})
+	if res.Tokens != 32*40 {
+		t.Fatalf("tokens = %d", res.Tokens)
+	}
+	// The targeted layer should carry a disproportionate stall share
+	// relative to a uniform split across depth layers.
+	var total int64
+	for _, v := range res.PerLayer {
+		total += v
+	}
+	if total == 0 {
+		t.Skip("no stalls at all (degenerate host?)")
+	}
+	uniform := float64(total) / float64(len(res.PerLayer))
+	if float64(res.PerLayer[target-1]) < uniform {
+		t.Errorf("layer %d stalls %d below uniform share %.1f: %v",
+			target, res.PerLayer[target-1], uniform, res.PerLayer)
+	}
+}
+
+// Theorem 6.7 upper bound: no adversary may push the amortized contention
+// of C(w,t) above 4n·lgw/w + n·lg²w/t + w·lg³w/t + 4lg²w + lgw. This is
+// the strongest validation the simulator can give the theorem: every
+// scheduling strategy stays below the proved bound.
+func TestAdversariesBelowTheoremBound(t *testing.T) {
+	lg := func(x int) float64 {
+		k := 0.0
+		for x > 1 {
+			x >>= 1
+			k++
+		}
+		return k
+	}
+	for _, c := range []struct{ w, tt int }{{8, 8}, {8, 32}, {16, 64}} {
+		net, err := core.New(c.w, c.tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lw := lg(c.w)
+		for _, n := range []int{16, 64, 128} {
+			bound := 4*float64(n)*lw/float64(c.w) +
+				float64(n)*lw*lw/float64(c.tt) +
+				float64(c.w)*lw*lw*lw/float64(c.tt) +
+				4*lw*lw + lw
+			for _, adv := range AllAdversaries() {
+				res := Run(net, Config{N: n, Rounds: 30, Adversary: adv, Seed: 11})
+				if res.Amortized > bound {
+					t.Errorf("C(%d,%d) n=%d %s: amortized %.2f exceeds Theorem 6.7 bound %.2f",
+						c.w, c.tt, n, adv.Name(), res.Amortized, bound)
+				}
+			}
+		}
+	}
+}
+
+// The strongest observed strategy must extract at least as many stalls as
+// plain greedy (it is included in the max).
+func TestStrongestAtLeastGreedy(t *testing.T) {
+	net, err := core.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 64, Rounds: 30, Seed: 1}
+	g := Run(net, Config{N: 64, Rounds: 30, Adversary: Greedy{}, Seed: 1})
+	best := Strongest(net, cfg)
+	if best.Amortized < g.Amortized {
+		t.Errorf("Strongest %.2f below greedy %.2f", best.Amortized, g.Amortized)
+	}
+	t.Logf("greedy=%.2f strongest=%.2f via %s", g.Amortized, best.Amortized, best.Adversary)
+}
+
+// Starver runners complete first and parked tokens still drain: the run
+// terminates with full conservation.
+func TestStarverCompletes(t *testing.T) {
+	net, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(net, Config{N: 32, Rounds: 25, Adversary: Starver{Runners: 2}})
+	if res.Tokens != 32*25 {
+		t.Fatalf("tokens = %d", res.Tokens)
+	}
+	if !seq.IsStep(res.Exits) {
+		t.Error("starver exits not step")
+	}
+}
+
+func TestHotspotAssignmentIncreasesContention(t *testing.T) {
+	net, err := core.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := Run(net, Config{N: 64, Rounds: 40, Adversary: Greedy{},
+		Assignment: workload.Uniform{}})
+	hotspot := Run(net, Config{N: 64, Rounds: 40, Adversary: Greedy{},
+		Assignment: workload.Hotspot{Percent: 100}})
+	// All tokens through wire 0: the first balancer becomes a convoy
+	// point, so contention must not be lower than uniform.
+	if hotspot.Amortized < uniform.Amortized {
+		t.Errorf("hotspot (%.2f) below uniform (%.2f)", hotspot.Amortized, uniform.Amortized)
+	}
+	if !seq.IsStep(hotspot.Exits) {
+		t.Error("hotspot exits not step")
+	}
+}
+
+func TestBurstyQuota(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workload.BurstyQuota{Mean: 10, Seed: 5}
+	res := Run(net, Config{N: 16, Rounds: 1, Adversary: Random{}, Seed: 2, Quota: q})
+	var want int64
+	for pid := 0; pid < 16; pid++ {
+		want += int64(q.Tokens(pid))
+	}
+	if res.Tokens != want {
+		t.Fatalf("tokens = %d, want %d", res.Tokens, want)
+	}
+	if !seq.IsStep(res.Exits) {
+		t.Error("bursty exits not step")
+	}
+}
+
+func TestAdversaryNames(t *testing.T) {
+	for _, c := range []struct {
+		adv  Adversary
+		want string
+	}{
+		{Greedy{}, "greedy"}, {Random{}, "random"}, {&RoundRobin{}, "roundrobin"},
+		{LayerTarget{Depth: 2}, "layertarget"}, {Oblivious{}, "oblivious"},
+		{Parking{}, "parking"}, {Starver{Runners: 2}, "starver"},
+	} {
+		if got := c.adv.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}

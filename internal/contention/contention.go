@@ -1,0 +1,359 @@
+// Package contention implements the Dwork–Herlihy–Waarts contention model
+// used by the paper (§1.2, §6, ref [12]) as a discrete-event adversarial
+// simulator over balancing networks.
+//
+// Model. n asynchronous processes each shepherd one token at a time
+// through the network; process l enters tokens on input wire l mod w. An
+// execution is a sequence of atomic balancer transitions chosen by an
+// adversary scheduler. Every time a token passes through a balancer it
+// causes one stall to each other token currently waiting at that balancer.
+// cont(B,n,m) is the maximum total number of stalls over executions of m
+// tokens; the amortized contention cont(B,n) is the limit of stalls/m.
+//
+// The simulator enumerates transitions exactly (no timing model — the
+// paper stresses that none is needed), with pluggable Adversary strategies:
+// greedy convoying (maximizes immediate stalls, approximating the
+// adversarial supremum from below), uniform random, and round-robin
+// (a fair scheduler, for the "typical" rather than adversarial regime).
+package contention
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// Sim is the mutable state of one simulated execution.
+type Sim struct {
+	net    *network.Network
+	state  []int64 // per-node balancer state (token count)
+	occ    []int   // tokens currently waiting at each node
+	tokens []tokenState
+	rng    *rand.Rand
+
+	stalls     int64
+	perLayer   []int64
+	perLabel   map[string]int64
+	maxOcc     int
+	transitions int64
+}
+
+type tokenState struct {
+	node  int32 // current node, or done if < 0
+	wire  int32 // entry wire of the current token
+	stamp int64 // transition count at arrival to the current node
+}
+
+const done = int32(-1)
+
+// Occ returns the number of tokens currently waiting at node id.
+func (s *Sim) Occ(id int) int { return s.occ[id] }
+
+// TokenNode returns the node process pid's token is waiting at (-1 if the
+// process has no in-flight token).
+func (s *Sim) TokenNode(pid int) int { return int(s.tokens[pid].node) }
+
+// Rand exposes the simulation's RNG (for randomized adversaries).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Network returns the simulated network topology.
+func (s *Sim) Network() *network.Network { return s.net }
+
+// Adversary chooses which in-flight token performs the next transition.
+type Adversary interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Pick returns an index into active, the pids of processes with an
+	// in-flight token (always non-empty).
+	Pick(s *Sim, active []int) int
+}
+
+// Greedy always advances a token waiting at a most-occupied balancer,
+// charging the maximum immediate stalls. It is myopic: it drains the
+// crowds it creates, so Parking usually extracts more total stalls.
+type Greedy struct{}
+
+// Name implements Adversary.
+func (Greedy) Name() string { return "greedy" }
+
+// Pick implements Adversary.
+func (Greedy) Pick(s *Sim, active []int) int {
+	best, bestOcc := 0, -1
+	for i, pid := range active {
+		if o := s.occ[s.tokens[pid].node]; o > bestOcc {
+			best, bestOcc = i, o
+		}
+	}
+	return best
+}
+
+// Parking is the strongest built-in adversary: it keeps crowds intact. At
+// the most crowded balancer it always advances the *newest* arrival,
+// leaving long-term residents parked; every fresh token that flows through
+// the crowd charges one stall per parked token, and the crowd only drains
+// when no fresh tokens remain. This models the reservoir schedules behind
+// the Dwork–Herlihy–Waarts lower bounds.
+type Parking struct{}
+
+// Name implements Adversary.
+func (Parking) Name() string { return "parking" }
+
+// Pick implements Adversary.
+func (Parking) Pick(s *Sim, active []int) int {
+	best := 0
+	bestOcc, bestStamp := -1, int64(-1)
+	for i, pid := range active {
+		tok := &s.tokens[pid]
+		o := s.occ[tok.node]
+		if o > bestOcc || (o == bestOcc && tok.stamp > bestStamp) {
+			best, bestOcc, bestStamp = i, o, tok.stamp
+		}
+	}
+	return best
+}
+
+// Random picks a uniformly random in-flight token each step.
+type Random struct{}
+
+// Name implements Adversary.
+func (Random) Name() string { return "random" }
+
+// Pick implements Adversary.
+func (Random) Pick(s *Sim, active []int) int { return s.rng.Intn(len(active)) }
+
+// RoundRobin cycles through the processes fairly.
+type RoundRobin struct{ next int }
+
+// Name implements Adversary.
+func (*RoundRobin) Name() string { return "roundrobin" }
+
+// Pick implements Adversary.
+func (a *RoundRobin) Pick(s *Sim, active []int) int {
+	a.next++
+	return (a.next - 1) % len(active)
+}
+
+// Config parameterizes a simulated execution.
+type Config struct {
+	// N is the concurrency: the number of processes.
+	N int
+	// Rounds is the number of tokens each process shepherds, so the total
+	// token count is m = N * Rounds (with the default even quota).
+	Rounds int
+	// Adversary is the scheduling strategy; nil means Greedy.
+	Adversary Adversary
+	// Seed seeds the simulation RNG (used by randomized adversaries).
+	Seed int64
+	// Assignment maps processes to input wires; nil means the paper's
+	// uniform rule (wire = pid mod w).
+	Assignment workload.Assignment
+	// Quota sets per-process token counts; nil means an even quota of
+	// Rounds tokens per process.
+	Quota workload.Quota
+	// CrashPids lists processes that fail-stop immediately after their
+	// first token enters the network: the token stays parked at its
+	// balancer forever (it still receives stalls from passers-by) and the
+	// process issues nothing more. This is the wait-freedom experiment
+	// (§1.4.2: counting networks are wait-free — stuck tokens cannot block
+	// others). When non-empty, the end-of-run determinism validation is
+	// skipped (the network never quiesces).
+	CrashPids []int
+}
+
+// Result reports the contention measured in one execution.
+type Result struct {
+	Net       string
+	Adversary string
+	N         int
+	Tokens    int64
+	Stalls    int64
+	// Amortized is Stalls/Tokens — the empirical cont(B,n,m)/m.
+	Amortized float64
+	// PerLayer attributes stalls to network layers (index = depth-1).
+	PerLayer []int64
+	// PerLabel attributes stalls to node labels (e.g. the Na/Nb/Nc blocks
+	// of C(w,t)); empty labels are aggregated under "".
+	PerLabel map[string]int64
+	// MaxOccupancy is the largest number of tokens ever waiting at one
+	// balancer.
+	MaxOccupancy int
+	// Transitions is the number of balancer crossings (sanity: tokens x
+	// mean path length).
+	Transitions int64
+	// Exits is the per-output-wire exit census, used for determinism
+	// validation.
+	Exits []int64
+}
+
+// Run executes m = cfg.N * cfg.Rounds tokens through net under the given
+// adversary and returns the measured contention. The network's live
+// balancer states are not touched; initial states are honoured. After the
+// run, the exit census is validated against the arithmetic quiescent
+// evaluation (§2.2 determinism); a mismatch is a simulator bug and panics.
+func Run(net *network.Network, cfg Config) Result {
+	if cfg.N < 1 || cfg.Rounds < 1 {
+		panic(fmt.Sprintf("contention: invalid config N=%d Rounds=%d", cfg.N, cfg.Rounds))
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = Greedy{}
+	}
+	s := &Sim{
+		net:      net,
+		state:    make([]int64, net.Size()),
+		occ:      make([]int, net.Size()),
+		tokens:   make([]tokenState, cfg.N),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		perLayer: make([]int64, net.Depth()),
+		perLabel: make(map[string]int64),
+	}
+	for i := 0; i < net.Size(); i++ {
+		s.state[i] = net.Node(i).Balancer().Init()
+	}
+	assign := cfg.Assignment
+	if assign == nil {
+		assign = workload.Uniform{}
+	}
+	var quotaOf workload.Quota = workload.EvenQuota{PerProcess: cfg.Rounds}
+	if cfg.Quota != nil {
+		quotaOf = cfg.Quota
+	}
+	quota := make([]int, cfg.N) // tokens remaining per process
+	injected := make([]int64, net.InWidth())
+	exits := make([]int64, net.OutWidth())
+	var tokensDone int64
+
+	inject := func(pid int) bool {
+		for quota[pid] > 0 {
+			quota[pid]--
+			wire := assign.Wire(pid, net.InWidth())
+			injected[wire]++
+			nd, port := net.InputDest(wire)
+			if nd < 0 {
+				// Degenerate wire straight to an output.
+				exits[port]++
+				tokensDone++
+				continue
+			}
+			s.tokens[pid] = tokenState{node: int32(nd), wire: int32(wire), stamp: s.transitions}
+			s.occ[nd]++
+			if s.occ[nd] > s.maxOcc {
+				s.maxOcc = s.occ[nd]
+			}
+			return true
+		}
+		s.tokens[pid].node = done
+		return false
+	}
+
+	crashed := make(map[int]bool, len(cfg.CrashPids))
+	for _, pid := range cfg.CrashPids {
+		if pid >= 0 && pid < cfg.N {
+			crashed[pid] = true
+		}
+	}
+	active := make([]int, 0, cfg.N)
+	for pid := 0; pid < cfg.N; pid++ {
+		quota[pid] = quotaOf.Tokens(pid)
+		if crashed[pid] {
+			quota[pid] = 1 // the one token that enters and parks forever
+		}
+		if inject(pid) && !crashed[pid] {
+			active = append(active, pid)
+		}
+	}
+
+	for len(active) > 0 {
+		i := adv.Pick(s, active)
+		pid := active[i]
+		tok := &s.tokens[pid]
+		id := int(tok.node)
+		// The pass: stall every other waiting token.
+		if waiting := int64(s.occ[id] - 1); waiting > 0 {
+			s.stalls += waiting
+			nd := s.net.Node(id)
+			s.perLayer[nd.Depth()-1] += waiting
+			s.perLabel[s.net.Label(id)] += waiting
+		}
+		s.transitions++
+		nd := s.net.Node(id)
+		q := int64(nd.Out())
+		port := int(((s.state[id] % q) + q) % q)
+		s.state[id]++
+		s.occ[id]--
+		next, nport := s.net.Dest(id, port)
+		if next >= 0 {
+			tok.node = int32(next)
+			tok.stamp = s.transitions
+			s.occ[next]++
+			if s.occ[next] > s.maxOcc {
+				s.maxOcc = s.occ[next]
+			}
+			continue
+		}
+		// Token exits the network.
+		exits[nport]++
+		tokensDone++
+		if !inject(pid) {
+			active = append(active[:i], active[i+1:]...)
+		}
+	}
+
+	// Determinism validation (§2.2): exits must equal the arithmetic
+	// quiescent output for the injected counts. Crashed tokens leave the
+	// network non-quiescent, so the check only applies to crash-free runs.
+	if len(crashed) == 0 {
+		want, err := net.Quiescent(injected)
+		if err != nil {
+			panic(fmt.Sprintf("contention: quiescent evaluation failed: %v", err))
+		}
+		for i := range want {
+			if want[i] != exits[i] {
+				panic(fmt.Sprintf("contention: simulator diverged from quiescent semantics on wire %d: got %d want %d",
+					i, exits[i], want[i]))
+			}
+		}
+	}
+
+	m := tokensDone
+	res := Result{
+		Net:          net.Name(),
+		Adversary:    adv.Name(),
+		N:            cfg.N,
+		Tokens:       m,
+		Stalls:       s.stalls,
+		PerLayer:     s.perLayer,
+		PerLabel:     s.perLabel,
+		MaxOccupancy: s.maxOcc,
+		Transitions:  s.transitions,
+		Exits:        exits,
+	}
+	if m > 0 {
+		res.Amortized = float64(s.stalls) / float64(m)
+	}
+	return res
+}
+
+// Amortized runs the simulation with increasing m (doubling rounds) until
+// the amortized contention stabilizes within tol relative change or
+// maxRounds is reached, returning the final Result. This estimates the
+// lim sup of §1.2 empirically.
+func Amortized(net *network.Network, n int, adv Adversary, seed int64, startRounds, maxRounds int, tol float64) Result {
+	rounds := startRounds
+	last := Run(net, Config{N: n, Rounds: rounds, Adversary: adv, Seed: seed})
+	for rounds < maxRounds {
+		rounds *= 2
+		cur := Run(net, Config{N: n, Rounds: rounds, Adversary: adv, Seed: seed})
+		rel := cur.Amortized - last.Amortized
+		if rel < 0 {
+			rel = -rel
+		}
+		if last.Amortized > 0 && rel/last.Amortized < tol {
+			return cur
+		}
+		last = cur
+	}
+	return last
+}

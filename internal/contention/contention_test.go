@@ -1,0 +1,224 @@
+package contention
+
+import (
+	"testing"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+func single(t *testing.T, q int) *network.Network {
+	t.Helper()
+	b, in := network.NewBuilder("single", 2)
+	out := b.Balancer(in, q)
+	n, err := b.Finalize(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// One balancer, n tokens all present: the greedy adversary extracts the
+// full convoy n(n-1)/2 stalls per generation of n tokens.
+func TestSingleBalancerConvoy(t *testing.T) {
+	n := single(t, 2)
+	res := Run(n, Config{N: 8, Rounds: 1, Adversary: Greedy{}})
+	if res.Tokens != 8 {
+		t.Fatalf("tokens = %d", res.Tokens)
+	}
+	if res.Stalls != 8*7/2 {
+		t.Fatalf("stalls = %d, want 28", res.Stalls)
+	}
+	if res.MaxOccupancy != 8 {
+		t.Fatalf("max occupancy = %d, want 8", res.MaxOccupancy)
+	}
+}
+
+// With one process there is never anyone to stall.
+func TestNoConcurrencyNoStalls(t *testing.T) {
+	n, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(n, Config{N: 1, Rounds: 50, Adversary: Greedy{}})
+	if res.Stalls != 0 {
+		t.Fatalf("stalls = %d with n=1", res.Stalls)
+	}
+	if res.Tokens != 50 {
+		t.Fatalf("tokens = %d", res.Tokens)
+	}
+}
+
+// Exits from the simulator must be step for counting networks (determinism
+// validation already panics on divergence; this re-checks the property).
+func TestSimulatedExitsAreStep(t *testing.T) {
+	for _, build := range []func() (*network.Network, error){
+		func() (*network.Network, error) { return core.New(8, 16) },
+		func() (*network.Network, error) { return bitonic.New(8) },
+	} {
+		n, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, adv := range []Adversary{Greedy{}, Random{}, &RoundRobin{}} {
+			res := Run(n, Config{N: 12, Rounds: 20, Adversary: adv, Seed: 99})
+			if !seq.IsStep(res.Exits) {
+				t.Errorf("%s under %s: exits %v not step", n.Name(), adv.Name(), res.Exits)
+			}
+			if seq.Sum(res.Exits) != res.Tokens {
+				t.Errorf("%s: token conservation broken", n.Name())
+			}
+		}
+	}
+}
+
+// Transition count = tokens x path length for uniform-depth networks.
+func TestTransitionAccounting(t *testing.T) {
+	n, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(n, Config{N: 4, Rounds: 25, Adversary: Random{}, Seed: 1})
+	want := res.Tokens * int64(n.Depth())
+	if res.Transitions != want {
+		t.Fatalf("transitions = %d, want %d", res.Transitions, want)
+	}
+}
+
+// Stall attribution: per-layer and per-label sums must equal the total.
+func TestStallAttribution(t *testing.T) {
+	n, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(n, Config{N: 16, Rounds: 30, Adversary: Greedy{}})
+	var layerSum, labelSum int64
+	for _, v := range res.PerLayer {
+		layerSum += v
+	}
+	for _, v := range res.PerLabel {
+		labelSum += v
+	}
+	if layerSum != res.Stalls || labelSum != res.Stalls {
+		t.Fatalf("attribution mismatch: layers %d labels %d total %d", layerSum, labelSum, res.Stalls)
+	}
+	// C(w,t) nodes are labelled Na/Nb/Nc; no unlabelled stalls.
+	if res.PerLabel[""] != 0 {
+		t.Fatalf("unlabelled stalls: %d", res.PerLabel[""])
+	}
+}
+
+// E12: the diffracting (toggle) tree has amortized contention Θ(n) under
+// the greedy adversary — the per-token stall count grows linearly in n —
+// while C(w, w·lgw) grows much slower. We check the ratio pattern:
+// doubling n roughly doubles the tree's amortized contention.
+func TestDTreeAdversarialLinear(t *testing.T) {
+	tree, err := dtree.NewToggleNetwork(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amort := func(n int) float64 {
+		return Run(tree, Config{N: n, Rounds: 40, Adversary: Greedy{}}).Amortized
+	}
+	a16, a32, a64 := amort(16), amort(32), amort(64)
+	if a32 < a16*1.5 || a64 < a32*1.5 {
+		t.Errorf("dtree contention not ~linear in n: %v %v %v", a16, a32, a64)
+	}
+	// And the absolute scale is a constant fraction of n.
+	if a64 < 10 {
+		t.Errorf("dtree amortized contention at n=64 suspiciously low: %v", a64)
+	}
+}
+
+// E10 shape: for fixed w and n, increasing t decreases the contention of
+// C(w,t) under both fair and adversarial scheduling.
+func TestContentionShapeInT(t *testing.T) {
+	const w, n = 8, 64
+	var prev float64
+	for i, tt := range []int{8, 32, 128} {
+		net, err := core.New(w, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Run(net, Config{N: n, Rounds: 60, Adversary: Random{}, Seed: 7})
+		if i > 0 && res.Amortized > prev*1.05 {
+			t.Errorf("contention did not fall when t grew: C(%d,%d)=%.2f after %.2f", w, tt, res.Amortized, prev)
+		}
+		prev = res.Amortized
+	}
+}
+
+// E10/E11 shape: at high concurrency, C(w, w·lgw) has lower amortized
+// contention than the bitonic network of the same width.
+func TestWideOutputBeatsBitonic(t *testing.T) {
+	const w, n = 16, 256
+	bit, err := bitonic.New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwt, err := core.New(w, w*4) // t = w lg w = 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := Run(cwt, Config{N: n, Rounds: 30, Adversary: Random{}, Seed: 3}).Amortized
+	base := Run(bit, Config{N: n, Rounds: 30, Adversary: Random{}, Seed: 3}).Amortized
+	if ours >= base {
+		t.Errorf("C(16,64) amortized %.2f not below Bitonic(16) %.2f at n=%d", ours, base, n)
+	}
+}
+
+// Observation 6.1: contention is monotone in n (within simulation noise,
+// checked under the deterministic greedy adversary).
+func TestMonotoneInN(t *testing.T) {
+	net, err := core.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, n := range []int{4, 16, 64} {
+		res := Run(net, Config{N: n, Rounds: 50, Adversary: Greedy{}})
+		if i > 0 && res.Amortized+1e-9 < prev {
+			t.Errorf("greedy contention fell from %.3f to %.3f as n grew to %d", prev, res.Amortized, n)
+		}
+		prev = res.Amortized
+	}
+}
+
+func TestAmortizedConverges(t *testing.T) {
+	net, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Amortized(net, 8, Random{}, 5, 8, 256, 0.05)
+	if res.Tokens < 8*8 {
+		t.Fatalf("too few tokens: %d", res.Tokens)
+	}
+	if res.Amortized < 0 {
+		t.Fatal("negative contention")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	net := single(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	Run(net, Config{N: 0, Rounds: 1})
+}
+
+// RoundRobin is fair: every process completes its quota.
+func TestRoundRobinCompletes(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(net, Config{N: 6, Rounds: 10, Adversary: &RoundRobin{}})
+	if res.Tokens != 60 {
+		t.Fatalf("tokens = %d, want 60", res.Tokens)
+	}
+}

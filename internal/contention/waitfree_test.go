@@ -1,0 +1,85 @@
+package contention
+
+import (
+	"testing"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+// E21 / §1.4.2: counting networks are wait-free — tokens stuck forever at
+// balancers cannot prevent other tokens from completing.
+func TestWaitFreedomUnderCrashes(t *testing.T) {
+	builds := []func() (*network.Network, error){
+		func() (*network.Network, error) { return core.New(8, 16) },
+		func() (*network.Network, error) { return bitonic.New(8) },
+		func() (*network.Network, error) { return dtree.NewToggleNetwork(8) },
+	}
+	for _, build := range builds {
+		net, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n, rounds = 24, 30
+		crash := []int{1, 5, 9, 13} // 4 of 24 processes fail-stop
+		for _, adv := range []Adversary{Greedy{}, Random{}, &RoundRobin{}} {
+			res := Run(net, Config{
+				N: n, Rounds: rounds, Adversary: adv, Seed: 3, CrashPids: crash,
+			})
+			// Every live process completes its full quota; each crashed
+			// process contributes zero completed tokens.
+			want := int64((n - len(crash)) * rounds)
+			if res.Tokens != want {
+				t.Errorf("%s under %s: completed %d tokens, want %d (live processes blocked?)",
+					net.Name(), adv.Name(), res.Tokens, want)
+			}
+			if seq.Sum(res.Exits) != res.Tokens {
+				t.Errorf("%s: exit conservation broken", net.Name())
+			}
+		}
+	}
+}
+
+// With every process crashed there is nothing to schedule: zero tokens
+// complete and the run still terminates.
+func TestAllCrashedTerminates(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(net, Config{N: 4, Rounds: 10, CrashPids: []int{0, 1, 2, 3}})
+	if res.Tokens != 0 {
+		t.Fatalf("tokens = %d", res.Tokens)
+	}
+}
+
+// Crashed tokens still occupy balancers: live tokens passing them take
+// stalls, so contention with parked wrecks is at least contention without.
+func TestCrashedTokensStillCauseStalls(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Run(net, Config{N: 8, Rounds: 40, Adversary: &RoundRobin{}, Seed: 1})
+	dirty := Run(net, Config{N: 12, Rounds: 40, Adversary: &RoundRobin{}, Seed: 1,
+		CrashPids: []int{8, 9, 10, 11}})
+	// Same 8 live processes; the 4 wrecks only add stalls.
+	if dirty.Stalls < clean.Stalls {
+		t.Errorf("wrecked run had fewer stalls (%d) than clean run (%d)", dirty.Stalls, clean.Stalls)
+	}
+}
+
+// Out-of-range crash pids are ignored.
+func TestCrashPidsOutOfRange(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(net, Config{N: 4, Rounds: 5, CrashPids: []int{-1, 99}})
+	if res.Tokens != 20 {
+		t.Fatalf("tokens = %d, want 20", res.Tokens)
+	}
+}

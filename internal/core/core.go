@@ -1,0 +1,257 @@
+// Package core implements the paper's primary contribution: the irregular
+// counting network C(w,t) of Section 4, with input width w = 2^k and output
+// width t = p·w (p, k >= 1), built from (2,2)- and (2,2p)-balancers.
+//
+// The construction is recursive on w (Fig. 10):
+//
+//   - C(2,t) is a single (2,t)-balancer.
+//   - C(w,t) is a ladder layer L(w) (w/2 (2,2)-balancers pairing wires i
+//     and i+w/2), whose top and bottom output halves feed two copies of
+//     C(w/2,t/2), whose outputs are merged by the difference merging
+//     network M(t,w/2) of Section 3.
+//
+// The ladder bounds the difference between the token counts entering the
+// two recursive halves by w/2, which is what lets M(t,w/2) have depth
+// lg(w/2) and makes the total depth (lg²w + lgw)/2 — a function of w only
+// (Theorem 4.1). C(w,t) is a counting network (Theorem 4.2).
+//
+// The package also exposes the structural objects used in the contention
+// analysis: the prefix network C'(w,t) (the first lgw layers, Fig. 16
+// left), the all-(2,2) variant C''(w) (Fig. 16 right, a backward
+// butterfly), and the block decomposition Na / Nb / Nc of §1.3.2 (Fig. 3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/merge"
+	"repro/internal/network"
+)
+
+// Valid reports whether (w,t) is a valid parameter pair: w = 2^k, t = p·w,
+// with k, p >= 1.
+func Valid(w, t int) bool {
+	if w < 2 || w&(w-1) != 0 {
+		return false
+	}
+	return t >= w && t%w == 0
+}
+
+// DepthFormula returns the Theorem 4.1 depth (lg²w + lgw)/2.
+func DepthFormula(w int) int {
+	k := log2(w)
+	return (k*k + k) / 2
+}
+
+// log2 returns floor(lg x).
+func log2(x int) int {
+	k := 0
+	for x > 1 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+// New constructs the counting network C(w,t).
+func New(w, t int) (*network.Network, error) {
+	if !Valid(w, t) {
+		return nil, fmt.Errorf("core: invalid parameters C(%d,%d): need w=2^k, t=p*w, k,p>=1", w, t)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("C(%d,%d)", w, t), w)
+	out := build(b, in, t)
+	n, err := b.Finalize(out)
+	if err != nil {
+		return nil, err
+	}
+	labelBlocks(n, w)
+	return n, nil
+}
+
+// build appends C(len(in), t) to the builder and returns its output ports.
+func build(b *network.Builder, in []network.Port, t int) []network.Port {
+	w := len(in)
+	if w == 2 {
+		// Recursive basis: a single (2,t)-balancer.
+		return b.Balancer(in, t)
+	}
+	// Sub-step 1: ladder L(w), then two copies of C(w/2, t/2).
+	e, f := Ladder(b, in)
+	g := build(b, e, t/2)
+	h := build(b, f, t/2)
+	// Sub-step 2: merge with M(t, w/2).
+	return merge.Build(b, concat(g, h), w/2)
+}
+
+// Ladder appends the ladder network L(w) of §4.1: a single layer of w/2
+// (2,2)-balancers where balancer b_i consumes input wires i and i+w/2 and
+// produces output wires i (top) and i+w/2 (bottom). It returns the first
+// and second halves of the output sequence.
+func Ladder(b *network.Builder, in []network.Port) (first, second []network.Port) {
+	w := len(in)
+	if w%2 != 0 {
+		panic(fmt.Sprintf("core: ladder of odd width %d", w))
+	}
+	first = make([]network.Port, w/2)
+	second = make([]network.Port, w/2)
+	for i := 0; i < w/2; i++ {
+		o := b.Balancer([]network.Port{in[i], in[i+w/2]}, 2)
+		if o == nil {
+			return first, second
+		}
+		first[i], second[i] = o[0], o[1]
+	}
+	return first, second
+}
+
+// NewLadder constructs L(w) as a standalone network.
+func NewLadder(w int) (*network.Network, error) {
+	if w < 2 || w%2 != 0 {
+		return nil, fmt.Errorf("core: ladder width %d must be even and >= 2", w)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("L(%d)", w), w)
+	first, second := Ladder(b, in)
+	return b.Finalize(concat(first, second))
+}
+
+// Block labels for the §1.3.2 decomposition.
+const (
+	BlockNa = "Na" // first lgw-1 layers: (2,2)-balancers, width w
+	BlockNb = "Nb" // layer lgw: (2,2p)-balancers, width w -> t
+	BlockNc = "Nc" // remaining layers: (2,2)-balancers, width t
+)
+
+// labelBlocks tags every node of a freshly built C(w,t) with its block.
+func labelBlocks(n *network.Network, w int) {
+	lgw := log2(w)
+	for i := 0; i < n.Size(); i++ {
+		d := n.Node(i).Depth()
+		switch {
+		case d < lgw:
+			n.SetLabel(i, BlockNa)
+		case d == lgw:
+			n.SetLabel(i, BlockNb)
+		default:
+			n.SetLabel(i, BlockNc)
+		}
+	}
+}
+
+// Blocks summarizes the Na/Nb/Nc decomposition of a C(w,t) network: for
+// each block, its balancer count, depth (number of layers), and arity
+// census. This regenerates the structural facts of Fig. 3.
+type Blocks struct {
+	Na, Nb, Nc BlockInfo
+}
+
+// BlockInfo describes one block of the decomposition.
+type BlockInfo struct {
+	Balancers int
+	Layers    int
+	Arities   map[string]int
+}
+
+// Decompose computes the block decomposition of a network built by New.
+func Decompose(n *network.Network) Blocks {
+	var blocks Blocks
+	info := map[string]*BlockInfo{
+		BlockNa: &blocks.Na,
+		BlockNb: &blocks.Nb,
+		BlockNc: &blocks.Nc,
+	}
+	layerSeen := map[string]map[int]bool{
+		BlockNa: {}, BlockNb: {}, BlockNc: {},
+	}
+	for i := 0; i < n.Size(); i++ {
+		l := n.Label(i)
+		bi, ok := info[l]
+		if !ok {
+			continue
+		}
+		if bi.Arities == nil {
+			bi.Arities = make(map[string]int)
+		}
+		nd := n.Node(i)
+		bi.Balancers++
+		bi.Arities[fmt.Sprintf("(%d,%d)", nd.In(), nd.Out())]++
+		layerSeen[l][nd.Depth()] = true
+	}
+	blocks.Na.Layers = len(layerSeen[BlockNa])
+	blocks.Nb.Layers = len(layerSeen[BlockNb])
+	blocks.Nc.Layers = len(layerSeen[BlockNc])
+	return blocks
+}
+
+// NewPrefix constructs C'(w,t) (Fig. 16, left): the network C(w,t) with
+// all difference-merging subnetworks removed — i.e. blocks Na and Nb only.
+// Its input width is w, output width t, depth lgw. By Lemma 6.6 it is
+// s-smoothing with s = floor(w·lgw / t) + 2.
+func NewPrefix(w, t int) (*network.Network, error) {
+	if !Valid(w, t) {
+		return nil, fmt.Errorf("core: invalid parameters C'(%d,%d)", w, t)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("C'(%d,%d)", w, t), w)
+	out := buildPrefix(b, in, t)
+	return b.Finalize(out)
+}
+
+func buildPrefix(b *network.Builder, in []network.Port, t int) []network.Port {
+	w := len(in)
+	if w == 2 {
+		return b.Balancer(in, t)
+	}
+	e, f := Ladder(b, in)
+	g := buildPrefix(b, e, t/2)
+	h := buildPrefix(b, f, t/2)
+	return concat(g, h)
+}
+
+// PrefixSmoothness returns the Lemma 6.6 smoothing bound for C'(w,t):
+// s = floor(w·lgw/t) + 2.
+func PrefixSmoothness(w, t int) int64 {
+	return int64(w*log2(w)/t) + 2
+}
+
+// NewPrefix22 constructs C''(w) (Fig. 16, right): C'(w,t) with every
+// (2,2p)-balancer of the last layer replaced by a (2,2)-balancer. It is a
+// backward butterfly of width w and is lgw-smoothing (proof of Lemma 6.6).
+func NewPrefix22(w int) (*network.Network, error) {
+	if w < 2 || w&(w-1) != 0 {
+		return nil, fmt.Errorf("core: invalid width %d for C''", w)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("C''(%d)", w), w)
+	out := buildPrefix(b, in, w)
+	return b.Finalize(out)
+}
+
+// NewWithBitonicMerger is the §1.3.2/§3.3 ablation: C(w,t) built with the
+// bitonic merging network in place of M(t,w/2). The merge stages then have
+// depth lg(t/2), lg(t/4), ..., so the total depth grows with t — measured
+// by experiment E17. The resulting network is still a counting network.
+// The bitonic merger construction is injected by the caller (package
+// bitonic provides it) to keep the package dependency graph acyclic.
+func NewWithBitonicMerger(w, t int, merger func(b *network.Builder, x, y []network.Port) []network.Port) (*network.Network, error) {
+	if !Valid(w, t) {
+		return nil, fmt.Errorf("core: invalid parameters C_bitonic(%d,%d)", w, t)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("Cbit(%d,%d)", w, t), w)
+	var rec func(in []network.Port, t int) []network.Port
+	rec = func(in []network.Port, t int) []network.Port {
+		w := len(in)
+		if w == 2 {
+			return b.Balancer(in, t)
+		}
+		e, f := Ladder(b, in)
+		g := rec(e, t/2)
+		h := rec(f, t/2)
+		return merger(b, g, h)
+	}
+	out := rec(in, t)
+	return b.Finalize(out)
+}
+
+func concat(a, b []network.Port) []network.Port {
+	out := make([]network.Port, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}

@@ -1,0 +1,187 @@
+package counter
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/network"
+)
+
+// Adaptive is the Section 7 "future work" counter (in the spirit of
+// Tirthapura's adaptive counting networks, ref [27] of the paper): it
+// serves increments from a central atomic word while contention is low —
+// minimal latency — and migrates to a counting network when measured
+// per-operation latency (a proxy for contention) crosses a threshold,
+// migrating back when load subsides. Values stay globally unique and
+// dense across migrations: each epoch's implementation continues the value
+// range where the previous one stopped.
+type Adaptive struct {
+	mu   sync.RWMutex
+	mode int32 // 0 = central, 1 = network (guarded by mu)
+
+	central   atomic.Int64 // next value in central mode
+	netCtr    *Network     // active network counter in network mode
+	buildNet  func() (*network.Network, error)
+	switching atomic.Bool
+
+	// Latency sampling: every sampleEvery-th operation is timed and folded
+	// into an EWMA (stored as nanoseconds).
+	ops        atomic.Uint64
+	ewmaNanos  atomic.Int64
+	upNanos    int64
+	downNanos  int64
+	minEpoch   int64 // minimum operations between migrations
+	epochStart atomic.Uint64
+	migrations atomic.Int64
+}
+
+// AdaptiveConfig tunes migration behaviour.
+type AdaptiveConfig struct {
+	// BuildNetwork constructs a fresh counting network for each network
+	// epoch (networks cannot be reused across epochs because balancer
+	// state encodes the old base).
+	BuildNetwork func() (*network.Network, error)
+	// UpLatency is the sampled-latency EWMA above which the counter
+	// migrates central -> network. Default 2µs.
+	UpLatency time.Duration
+	// DownLatency is the EWMA below which it migrates back. Default 250ns.
+	DownLatency time.Duration
+	// MinEpochOps is the minimum number of operations between migrations
+	// (hysteresis). Default 4096.
+	MinEpochOps int64
+}
+
+// NewAdaptive creates an adaptive counter starting in central mode.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
+	a := &Adaptive{
+		buildNet:  cfg.BuildNetwork,
+		upNanos:   int64(cfg.UpLatency),
+		downNanos: int64(cfg.DownLatency),
+		minEpoch:  cfg.MinEpochOps,
+	}
+	if a.upNanos <= 0 {
+		a.upNanos = 2000
+	}
+	if a.downNanos <= 0 {
+		a.downNanos = 250
+	}
+	if a.minEpoch <= 0 {
+		a.minEpoch = 4096
+	}
+	return a
+}
+
+// Name implements Counter.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// Mode returns "central" or "network".
+func (a *Adaptive) Mode() string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.mode == 0 {
+		return "central"
+	}
+	return "network"
+}
+
+// Migrations returns the number of mode switches performed.
+func (a *Adaptive) Migrations() int64 { return a.migrations.Load() }
+
+const sampleMask = 63 // time every 64th operation
+
+// Inc implements Counter.
+func (a *Adaptive) Inc(pid int) int64 {
+	n := a.ops.Add(1)
+	if n&sampleMask != 0 {
+		return a.incFast(pid)
+	}
+	start := time.Now()
+	v := a.incFast(pid)
+	lat := time.Since(start).Nanoseconds()
+	// EWMA with alpha = 1/8.
+	old := a.ewmaNanos.Load()
+	a.ewmaNanos.Store(old + (lat-old)/8)
+	a.maybeMigrate(n)
+	return v
+}
+
+func (a *Adaptive) incFast(pid int) int64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.mode == 0 {
+		return a.central.Add(1) - 1
+	}
+	return a.netCtr.Inc(pid)
+}
+
+// maybeMigrate checks thresholds and hysteresis and performs a migration
+// if warranted. Only one migration runs at a time.
+func (a *Adaptive) maybeMigrate(opCount uint64) {
+	if a.buildNet == nil {
+		return
+	}
+	if opCount-a.epochStart.Load() < uint64(a.minEpoch) {
+		return
+	}
+	ewma := a.ewmaNanos.Load()
+	a.mu.RLock()
+	mode := a.mode
+	a.mu.RUnlock()
+	var target int32
+	switch {
+	case mode == 0 && ewma > a.upNanos:
+		target = 1
+	case mode == 1 && ewma < a.downNanos:
+		target = 0
+	default:
+		return
+	}
+	if !a.switching.CompareAndSwap(false, true) {
+		return
+	}
+	defer a.switching.Store(false)
+	a.migrate(target)
+}
+
+// migrate switches modes under the exclusive lock, carrying the value
+// range forward so values remain dense.
+func (a *Adaptive) migrate(target int32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.mode == target {
+		return
+	}
+	var issued int64
+	if a.mode == 0 {
+		issued = a.central.Load()
+	} else {
+		issued = a.netCtr.base + a.netCtr.Issued()
+	}
+	if target == 1 {
+		if a.buildNet == nil {
+			return
+		}
+		net, err := a.buildNet()
+		if err != nil {
+			return // stay in central mode
+		}
+		a.netCtr = NewNetworkBase(net, issued)
+	} else {
+		a.central.Store(issued)
+		a.netCtr = nil
+	}
+	a.mode = target
+	a.epochStart.Store(a.ops.Load())
+	a.migrations.Add(1)
+}
+
+// ForceMode migrates immediately to "central" or "network" (testing and
+// operational override). It blocks until in-flight operations drain.
+func (a *Adaptive) ForceMode(mode string) {
+	var target int32
+	if mode == "network" {
+		target = 1
+	}
+	a.migrate(target)
+}

@@ -1,0 +1,147 @@
+// Package counter implements shared Fetch&Increment / Fetch&Decrement
+// counters, the primary application of counting networks (§1.1 of the
+// paper): tokens traverse the network to an output wire i holding a cell
+// v_i initialized to i; a token atomically takes v_i and advances it by
+// the output width t, so m tokens receive exactly the values 0..m-1.
+//
+// Decrements follow Aiello et al. (ref [2]): an antitoken traverses the
+// network cancelling the most recent token at each balancer and returns
+// the most recent value handed out at its exit cell.
+//
+// Baselines for the throughput experiments (E13): a central atomic
+// counter (minimal latency, maximal contention on one word) and a
+// mutex-protected counter.
+package counter
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/network"
+)
+
+// Counter is the common Fetch&Increment interface. Implementations are
+// safe for concurrent use. The pid identifies the calling process; network
+// counters map it to input wire pid mod w as in §1.2.
+type Counter interface {
+	// Inc returns the next counter value (Fetch&Increment).
+	Inc(pid int) int64
+	// Name identifies the implementation in benchmark tables.
+	Name() string
+}
+
+// cell is a padded counter cell: one per output wire, each on its own
+// cache line to avoid false sharing between adjacent wires.
+type cell struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// Network is a counting-network-backed counter.
+type Network struct {
+	net   *network.Network
+	cells []cell
+	w     int
+	t     int64
+	base  int64
+}
+
+// NewNetwork wraps a counting network as a shared counter. The network
+// must be freshly reset (or never traversed); the caller keeps ownership.
+func NewNetwork(net *network.Network) *Network { return NewNetworkBase(net, 0) }
+
+// NewNetworkBase is NewNetwork with the value range starting at base: the
+// counter hands out base, base+1, ... . Used by the adaptive counter to
+// continue a range started by another implementation.
+func NewNetworkBase(net *network.Network, base int64) *Network {
+	c := &Network{
+		net:   net,
+		cells: make([]cell, net.OutWidth()),
+		w:     net.InWidth(),
+		t:     int64(net.OutWidth()),
+		base:  base,
+	}
+	for i := range c.cells {
+		c.cells[i].v.Store(base + int64(i))
+	}
+	return c
+}
+
+// Issued returns the number of values handed out so far. Only meaningful
+// in a quiescent state (no concurrent Inc/Dec).
+func (c *Network) Issued() int64 {
+	var total int64
+	for i := range c.cells {
+		// Cell i holds base+i+t*k after handing out k values.
+		total += (c.cells[i].v.Load() - c.base - int64(i)) / c.t
+	}
+	return total
+}
+
+// Name implements Counter.
+func (c *Network) Name() string { return c.net.Name() }
+
+// Inc implements Counter: traverse, then claim the exit cell's value.
+func (c *Network) Inc(pid int) int64 {
+	i := c.net.Traverse(pid % c.w)
+	return c.cells[i].v.Add(c.t) - c.t
+}
+
+// IncStalls is Inc with measured-stall instrumentation (adds observed
+// collisions to *stalls).
+func (c *Network) IncStalls(pid int, stalls *int64) int64 {
+	i := c.net.TraverseStalls(pid%c.w, stalls)
+	return c.cells[i].v.Add(c.t) - c.t
+}
+
+// Dec performs Fetch&Decrement via an antitoken (ref [2]): it undoes the
+// most recent increment on its exit wire and returns the value that
+// increment had handed out. A Dec concurrent with Incs returns some
+// recently issued value; in quiescent alternation Inc();Dec() is the
+// identity on the counter state.
+func (c *Network) Dec(pid int) int64 {
+	i := c.net.TraverseAnti(pid % c.w)
+	return c.cells[i].v.Add(-c.t)
+}
+
+// Central is the trivial baseline: one atomic word. Lowest possible
+// latency, but every operation serializes on the same cache line, so
+// throughput collapses under high concurrency — the regime counting
+// networks are built for.
+type Central struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// NewCentral returns a central atomic counter starting at 0.
+func NewCentral() *Central { return &Central{} }
+
+// Name implements Counter.
+func (*Central) Name() string { return "central" }
+
+// Inc implements Counter.
+func (c *Central) Inc(int) int64 { return c.v.Add(1) - 1 }
+
+// Dec implements Fetch&Decrement on the central counter.
+func (c *Central) Dec(int) int64 { return c.v.Add(-1) }
+
+// Locked is a mutex-protected counter, the classic lock-based baseline.
+type Locked struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// NewLocked returns a lock-based counter starting at 0.
+func NewLocked() *Locked { return &Locked{} }
+
+// Name implements Counter.
+func (*Locked) Name() string { return "locked" }
+
+// Inc implements Counter.
+func (c *Locked) Inc(int) int64 {
+	c.mu.Lock()
+	v := c.v
+	c.v++
+	c.mu.Unlock()
+	return v
+}

@@ -1,0 +1,223 @@
+package counter
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"unsafe"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+// checkUnique runs goroutines x per Incs concurrently and asserts the
+// returned values are exactly {0..m-1}.
+func checkUnique(t *testing.T, c Counter, goroutines, per int) {
+	t.Helper()
+	vals := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				vals[g] = append(vals[g], c.Inc(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var all []int64
+	for _, v := range vals {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			t.Fatalf("%s: values are not {0..%d}: position %d holds %d", c.Name(), len(all)-1, i, v)
+		}
+	}
+}
+
+// E13 correctness prerequisite: every counter implementation hands out
+// exactly {0..m-1}.
+func TestUniqueValuesAllImplementations(t *testing.T) {
+	cwt, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Counter{NewNetwork(cwt), NewNetwork(bit), NewCentral(), NewLocked()} {
+		checkUnique(t, c, 8, 500)
+	}
+}
+
+func TestSequentialOrder(t *testing.T) {
+	net, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewNetwork(net)
+	for i := int64(0); i < 100; i++ {
+		if got := c.Inc(int(i)); got != i {
+			t.Fatalf("sequential Inc %d returned %d", i, got)
+		}
+	}
+}
+
+// E15: Fetch&Decrement. Sequential Inc* then Dec* hands back the most
+// recent values in LIFO order and restores the counter.
+func TestFetchDecrement(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewNetwork(net)
+	for i := int64(0); i < 10; i++ {
+		c.Inc(0)
+	}
+	// All tokens entered on wire 0; antitokens on the same wire cancel the
+	// most recent token, so Decs return 9, 8, ....
+	for i := int64(9); i >= 0; i-- {
+		if got := c.Dec(0); got != i {
+			t.Fatalf("Dec returned %d, want %d", got, i)
+		}
+	}
+	// The counter is restored: the next Inc hands out 0.
+	if got := c.Inc(0); got != 0 {
+		t.Fatalf("Inc after full unwind returned %d, want 0", got)
+	}
+}
+
+// E15 network-level: with mixed concurrent tokens and antitokens (tokens
+// always in the majority), the quiescent *net* exit counts still satisfy
+// the step property — this is the theorem of ref [2].
+func TestAntitokens(t *testing.T) {
+	net, err := core.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const per = 600
+	exits := make([][]int64, 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ { // token processes
+		exits[g] = make([]int64, net.OutWidth())
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				exits[g][net.Traverse(g%8)]++
+			}
+		}(g)
+	}
+	for g := 8; g < 12; g++ { // antitoken processes
+		exits[g] = make([]int64, net.OutWidth())
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				exits[g][net.TraverseAnti(g%8)]--
+			}
+		}(g)
+	}
+	wg.Wait()
+	netCounts := make([]int64, net.OutWidth())
+	for _, e := range exits {
+		for i, v := range e {
+			netCounts[i] += v
+		}
+	}
+	if seq.Sum(netCounts) != int64(8*per-4*per) {
+		t.Fatalf("net count conservation broken: %d", seq.Sum(netCounts))
+	}
+	if !seq.IsStep(netCounts) {
+		t.Fatalf("net exit counts %v not step", netCounts)
+	}
+}
+
+func TestCentralDec(t *testing.T) {
+	c := NewCentral()
+	c.Inc(0)
+	c.Inc(0)
+	if got := c.Dec(0); got != 1 {
+		t.Fatalf("central Dec = %d, want 1", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	net, err := core.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NewNetwork(net).Name() != "C(2,2)" {
+		t.Fatal("network counter name")
+	}
+	if NewCentral().Name() != "central" || NewLocked().Name() != "locked" {
+		t.Fatal("baseline names")
+	}
+}
+
+// IncStalls must agree with Inc on the values handed out.
+func TestIncStalls(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewNetwork(net)
+	var stalls int64
+	vals := map[int64]bool{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := c.IncStalls(g, &stalls)
+				mu.Lock()
+				vals[v] = true
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(vals) != 2000 {
+		t.Fatalf("duplicate values: %d distinct of 2000", len(vals))
+	}
+}
+
+// Ensure padded cells actually separate wires (structural check: cell size
+// is a multiple of 64 bytes).
+func TestCellPadding(t *testing.T) {
+	const want = 64
+	if size := int(unsafe.Sizeof(cell{})); size%want != 0 {
+		t.Fatalf("cell size %d not a multiple of %d", size, want)
+	}
+}
+
+func TestLockedParallel(t *testing.T) {
+	checkUnique(t, NewLocked(), 8, 300)
+}
+
+func dummyNetwork(t *testing.T) *network.Network {
+	t.Helper()
+	b, in := network.NewBuilder("dummy", 2)
+	out := b.Balancer(in, 2)
+	n, err := b.Finalize(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPidWrapsToWire(t *testing.T) {
+	c := NewNetwork(dummyNetwork(t))
+	// pids beyond the width map onto wires mod w without panicking.
+	for pid := 0; pid < 10; pid++ {
+		c.Inc(pid)
+	}
+}

@@ -1,0 +1,169 @@
+// Package distnet emulates a distributed implementation of a balancing
+// network, standing in for the real-system experiments of refs [19,20] of
+// the paper (10 Sun UltraSparc-10 workstations): each balancer runs as its
+// own server goroutine owning its state; wires are channels; a token is a
+// message routed hop by hop from an input wire to an output wire.
+//
+// The emulation preserves the distributed structure that produced the
+// throughput results in [19,20] — a balancer is a remote shared object
+// serializing one token at a time, a wire is a link with bounded capacity,
+// and per-hop latency can be injected — while running on one machine.
+package distnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/network"
+)
+
+// Config tunes the emulation.
+type Config struct {
+	// LinkBuffer is the channel capacity of each balancer's inbox
+	// (default 1: a balancer accepts the next token while processing one).
+	LinkBuffer int
+	// HopLatency is an optional processing delay per balancer crossing,
+	// emulating network round trips (0 for none).
+	HopLatency time.Duration
+}
+
+// System is a running distributed emulation of one balancing network.
+// Create with Start; Stop it when done (all tokens must have exited).
+type System struct {
+	net     *network.Network
+	inboxes []chan token
+	wg      sync.WaitGroup
+	cfg     Config
+	pool    sync.Pool // of chan int
+	stopped bool
+}
+
+type token struct {
+	done chan int // receives the network output wire on exit
+}
+
+// Start builds the server goroutines for the network. The network's
+// balancer states are owned by the servers from now on via their own
+// copies; the original network object is only read for topology.
+func Start(net *network.Network, cfg Config) *System {
+	if cfg.LinkBuffer < 1 {
+		cfg.LinkBuffer = 1
+	}
+	s := &System{
+		net:     net,
+		inboxes: make([]chan token, net.Size()),
+		cfg:     cfg,
+	}
+	s.pool.New = func() any { return make(chan int, 1) }
+	for i := range s.inboxes {
+		s.inboxes[i] = make(chan token, cfg.LinkBuffer)
+	}
+	for i := 0; i < net.Size(); i++ {
+		nd := net.Node(i)
+		s.wg.Add(1)
+		go s.serve(i, nd.Out(), nd.Balancer().Init())
+	}
+	return s
+}
+
+// serve is the balancer server loop: single-threaded ownership of the
+// balancer state, exactly one token processed at a time (§1.2's atomic
+// memory location, as a process instead).
+func (s *System) serve(id, q int, init int64) {
+	defer s.wg.Done()
+	state := init
+	for tok := range s.inboxes[id] {
+		if s.cfg.HopLatency > 0 {
+			time.Sleep(s.cfg.HopLatency)
+		}
+		port := int(state % int64(q))
+		state++
+		next, nport := s.net.Dest(id, port)
+		if next < 0 {
+			tok.done <- nport
+			continue
+		}
+		s.inboxes[next] <- tok
+	}
+}
+
+// Inject shepherds one token in on the given input wire and blocks until
+// it exits, returning the output wire. Safe for concurrent use.
+func (s *System) Inject(wire int) int {
+	nd, port := s.net.InputDest(wire)
+	if nd < 0 {
+		return port
+	}
+	done := s.pool.Get().(chan int)
+	s.inboxes[nd] <- token{done: done}
+	out := <-done
+	s.pool.Put(done)
+	return out
+}
+
+// Stop shuts down all servers. All injected tokens must have exited.
+func (s *System) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	for _, ch := range s.inboxes {
+		close(ch)
+	}
+	s.wg.Wait()
+}
+
+// Counter layers Fetch&Increment cells over a distributed network, the
+// full counter deployment of [19,20].
+type Counter struct {
+	sys   *System
+	cells []cell
+	w     int
+	t     int64
+	mu    sync.Mutex
+}
+
+type cell struct {
+	mu sync.Mutex
+	v  int64
+	_  [6]int64
+}
+
+// NewCounter starts a distributed counter over the network.
+func NewCounter(net *network.Network, cfg Config) *Counter {
+	c := &Counter{
+		sys:   Start(net, cfg),
+		cells: make([]cell, net.OutWidth()),
+		w:     net.InWidth(),
+		t:     int64(net.OutWidth()),
+	}
+	for i := range c.cells {
+		c.cells[i].v = int64(i)
+	}
+	return c
+}
+
+// Inc implements Fetch&Increment through the distributed network.
+func (c *Counter) Inc(pid int) int64 {
+	wire := pid % c.w
+	i := c.sys.Inject(wire)
+	cl := &c.cells[i]
+	cl.mu.Lock()
+	v := cl.v
+	cl.v += c.t
+	cl.mu.Unlock()
+	return v
+}
+
+// Name identifies the counter in benchmark tables.
+func (c *Counter) Name() string { return "dist:" + c.sys.net.Name() }
+
+// Stop shuts the underlying system down.
+func (c *Counter) Stop() { c.sys.Stop() }
+
+// String describes the deployment.
+func (s *System) String() string {
+	return fmt.Sprintf("distnet(%s: %d servers, buffer %d, latency %v)",
+		s.net.Name(), len(s.inboxes), s.cfg.LinkBuffer, s.cfg.HopLatency)
+}

@@ -1,0 +1,131 @@
+package distnet
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+// Distributed execution must reach the same quiescent output counts as the
+// arithmetic evaluation (§2.2 determinism, across process boundaries).
+func TestMatchesQuiescent(t *testing.T) {
+	net, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Start(net, Config{})
+	defer sys.Stop()
+
+	const procs, per = 16, 200
+	exits := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		exits[pid] = make([]int64, net.OutWidth())
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				exits[pid][sys.Inject(pid%8)]++
+			}
+		}(pid)
+	}
+	wg.Wait()
+	got := make([]int64, net.OutWidth())
+	for _, e := range exits {
+		for i, v := range e {
+			got[i] += v
+		}
+	}
+	if !seq.IsStep(got) {
+		t.Fatalf("distributed exits %v not step", got)
+	}
+	x := make([]int64, 8)
+	for pid := 0; pid < procs; pid++ {
+		x[pid%8] += per
+	}
+	fresh, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Quiescent(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(got, want) {
+		t.Fatalf("distributed %v != quiescent %v", got, want)
+	}
+}
+
+func TestCounterUnique(t *testing.T) {
+	net, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(net, Config{LinkBuffer: 4})
+	defer c.Stop()
+	const procs, per = 8, 300
+	vals := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				vals[pid] = append(vals[pid], c.Inc(pid))
+			}
+		}(pid)
+	}
+	wg.Wait()
+	var all []int64
+	for _, v := range vals {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			t.Fatalf("values not {0..m-1} at %d: %d", i, v)
+		}
+	}
+}
+
+func TestHopLatency(t *testing.T) {
+	net, err := core.New(2, 2) // depth 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Start(net, Config{HopLatency: 5 * time.Millisecond})
+	defer sys.Stop()
+	start := time.Now()
+	sys.Inject(0)
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	net, err := core.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Start(net, Config{})
+	sys.Inject(0)
+	sys.Stop()
+	sys.Stop() // must not panic
+}
+
+func TestString(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Start(net, Config{LinkBuffer: 2})
+	defer sys.Stop()
+	if sys.String() == "" {
+		t.Fatal("empty description")
+	}
+}

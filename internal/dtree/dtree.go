@@ -1,0 +1,197 @@
+// Package dtree implements the diffracting tree of Shavit & Zemach
+// (ref [26] of the paper), the irregular baseline of §1.4.1: a binary tree
+// of (1,2)-balancers with 1 input wire and w output wires (the leaves),
+// depth lgw. Each internal node carries a prism — an array of exchangers —
+// in which pairs of concurrently arriving tokens "collide and eliminate":
+// one goes left and the other right without touching the node's toggle,
+// cutting contention on the toggle under high load. A token that fails to
+// pair within its spin budget falls through to the toggle.
+//
+// The tree balances exactly: in any quiescent state the leaf counts are
+// step (pairs split evenly, the toggle alternates on the remainder), so
+// with per-leaf counters it implements a shared counter. Its *adversarial*
+// amortized contention is Θ(n), since a scheduler can defeat the prism and
+// pile all tokens on the root toggle (§1.4.1) — experiment E12.
+package dtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/balancer"
+)
+
+// Options configures prism behaviour.
+type Options struct {
+	// PrismWidth is the number of exchanger slots per node; 0 disables
+	// diffraction entirely (pure toggle tree).
+	PrismWidth int
+	// SpinBudget is the number of polling iterations a token spends trying
+	// to pair in the prism before falling through to the toggle.
+	SpinBudget int
+}
+
+// DefaultOptions matches the common experimental configuration: prism
+// width proportional to expected concurrency at the node, modest spins.
+func DefaultOptions() Options {
+	return Options{PrismWidth: 8, SpinBudget: 64}
+}
+
+// Tree is a diffracting tree with w leaves.
+type Tree struct {
+	root   *node
+	leaves int
+	depth  int
+	// Diffractions counts tokens that were routed by pairing rather than
+	// by a toggle (two per successful collision).
+	diffractions atomic.Int64
+	toggles      atomic.Int64
+}
+
+type node struct {
+	toggle      balancer.Toggle
+	prism       []balancer.Exchanger
+	spin        int
+	left, right *node
+}
+
+// New builds a diffracting tree with w = 2^k leaves (k >= 0).
+//
+// Leaf numbering follows the counting-tree convention: the root's decision
+// is the *least* significant bit of the leaf index (the left subtree owns
+// the even leaves, the right subtree the odd leaves). This interleaving is
+// what makes the quiescent leaf counts a step sequence: the root splits m
+// tokens into ceil(m/2) for the evens and floor(m/2) for the odds, and the
+// interleaving of two step sequences whose sums differ by at most one is
+// step.
+func New(w int, opts Options) (*Tree, error) {
+	if w < 1 || w&(w-1) != 0 {
+		return nil, fmt.Errorf("dtree: leaf count %d is not a power of two", w)
+	}
+	t := &Tree{leaves: w}
+	var build func(span int) *node
+	build = func(span int) *node {
+		if span == 1 {
+			return nil
+		}
+		n := &node{spin: opts.SpinBudget}
+		if opts.PrismWidth > 0 {
+			n.prism = make([]balancer.Exchanger, opts.PrismWidth)
+		}
+		n.left = build(span / 2)
+		n.right = build(span / 2)
+		return n
+	}
+	t.root = build(w)
+	for s := w; s > 1; s >>= 1 {
+		t.depth++
+	}
+	return t, nil
+}
+
+// Leaves returns the number of leaves (output wires).
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Depth returns the tree depth lg(leaves).
+func (t *Tree) Depth() int { return t.depth }
+
+// Diffractions returns the number of tokens routed by prism collisions.
+func (t *Tree) Diffractions() int64 { return t.diffractions.Load() }
+
+// Toggles returns the number of tokens routed by toggles.
+func (t *Tree) Toggles() int64 { return t.toggles.Load() }
+
+// Traverse shepherds one token to a leaf and returns the leaf index.
+// rng supplies prism slot choices; each goroutine should use its own
+// *rand.Rand (callers may pass nil to disable diffraction for this token).
+func (t *Tree) Traverse(rng *rand.Rand) int {
+	n := t.root
+	leaf, bit := 0, 1
+	for n != nil {
+		goRight := false
+		diffracted := false
+		if len(n.prism) > 0 && rng != nil {
+			slot := rng.Intn(len(n.prism))
+			if _, outcome := n.prism[slot].Exchange(1, n.spin); outcome != balancer.Timeout {
+				// Pair: first goes left, second goes right.
+				goRight = outcome == balancer.Second
+				diffracted = true
+			}
+		}
+		if diffracted {
+			t.diffractions.Add(1)
+		} else {
+			goRight = n.toggle.Step() == 1
+			t.toggles.Add(1)
+		}
+		if goRight {
+			leaf += bit
+			n = n.right
+		} else {
+			n = n.left
+		}
+		bit <<= 1
+	}
+	return leaf
+}
+
+// TraverseSequential routes one token using toggles only; used for
+// quiescent verification where no partner can exist.
+func (t *Tree) TraverseSequential() int { return t.Traverse(nil) }
+
+// Reset restores all toggles (not safe concurrently with Traverse).
+func (t *Tree) Reset() {
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		n.toggle.Reset()
+		rec(n.left)
+		rec(n.right)
+	}
+	rec(t.root)
+	t.diffractions.Store(0)
+	t.toggles.Store(0)
+}
+
+// Counter wraps a diffracting tree with per-leaf counters to form a shared
+// counter, mirroring the counting-network counter construction of §1.1.
+type Counter struct {
+	tree  *Tree
+	cells []cell
+	pool  sync.Pool
+}
+
+type cell struct {
+	v atomic.Int64
+	_ [7]int64 // pad to a cache line to avoid false sharing
+}
+
+// NewCounter builds a diffracting-tree counter with w leaves.
+func NewCounter(w int, opts Options) (*Counter, error) {
+	t, err := New(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Counter{tree: t, cells: make([]cell, w)}
+	for i := range c.cells {
+		c.cells[i].v.Store(int64(i))
+	}
+	c.pool.New = func() any { return rand.New(rand.NewSource(rand.Int63())) }
+	return c, nil
+}
+
+// Inc performs Fetch&Increment: it returns a unique value; values issued
+// in quiescent periods form a contiguous prefix 0..m-1.
+func (c *Counter) Inc() int64 {
+	rng := c.pool.Get().(*rand.Rand)
+	leaf := c.tree.Traverse(rng)
+	c.pool.Put(rng)
+	return c.cells[leaf].v.Add(int64(c.tree.leaves)) - int64(c.tree.leaves)
+}
+
+// Tree exposes the underlying tree (for stats).
+func (c *Counter) Tree() *Tree { return c.tree }

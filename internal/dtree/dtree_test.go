@@ -1,0 +1,172 @@
+package dtree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestDepth(t *testing.T) {
+	for w, want := range map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 16: 4} {
+		tr, err := New(w, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Depth() != want {
+			t.Errorf("Depth(%d leaves) = %d, want %d", w, tr.Depth(), want)
+		}
+		if tr.Leaves() != w {
+			t.Errorf("Leaves = %d, want %d", tr.Leaves(), w)
+		}
+	}
+}
+
+func TestInvalidWidth(t *testing.T) {
+	for _, w := range []int{0, 3, 6, -4} {
+		if _, err := New(w, DefaultOptions()); err == nil {
+			t.Errorf("New(%d) accepted", w)
+		}
+	}
+}
+
+// Sequential tokens (toggles only) must produce a step leaf distribution
+// at every prefix.
+func TestSequentialStep(t *testing.T) {
+	tr, err := New(8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, 8)
+	for m := 1; m <= 100; m++ {
+		counts[tr.TraverseSequential()]++
+		if !seq.IsStep(counts) {
+			t.Fatalf("after %d tokens leaf counts %v not step", m, counts)
+		}
+	}
+}
+
+// Concurrent tokens with diffraction enabled: quiescent leaf counts step.
+func TestConcurrentStepWithDiffraction(t *testing.T) {
+	tr, err := New(8, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 2000
+	counts := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		counts[g] = make([]int64, 8)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				counts[g][tr.Traverse(rng)]++
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := make([]int64, 8)
+	for _, c := range counts {
+		for i, v := range c {
+			total[i] += v
+		}
+	}
+	if !seq.IsStep(total) {
+		t.Fatalf("quiescent leaf counts %v not step (diffractions=%d toggles=%d)",
+			total, tr.Diffractions(), tr.Toggles())
+	}
+	if seq.Sum(total) != goroutines*per {
+		t.Fatalf("token conservation broken: %d", seq.Sum(total))
+	}
+}
+
+// Under heavy concurrency some tokens should actually diffract.
+func TestDiffractionHappens(t *testing.T) {
+	tr, err := New(4, Options{PrismWidth: 4, SpinBudget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < 5000; i++ {
+				tr.Traverse(rng)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Diffractions() == 0 {
+		t.Skip("no diffraction observed on this host (timing dependent); prism unused")
+	}
+	if tr.Diffractions()%2 != 0 {
+		t.Fatalf("diffractions = %d, must be even (pairs)", tr.Diffractions())
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr, err := New(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.TraverseSequential()
+	tr.TraverseSequential()
+	tr.Reset()
+	if got := tr.TraverseSequential(); got != first {
+		t.Fatalf("after reset first token at leaf %d, want %d", got, first)
+	}
+	// One traversal after reset crosses Depth() toggles.
+	if tr.Toggles() != int64(tr.Depth()) {
+		t.Fatalf("stats not reset: %d toggles, want %d", tr.Toggles(), tr.Depth())
+	}
+}
+
+// Counter: m concurrent Incs return exactly {0..m-1}.
+func TestCounterUnique(t *testing.T) {
+	c, err := NewCounter(8, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 1000
+	got := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got[g] = append(got[g], c.Inc())
+			}
+		}(g)
+	}
+	wg.Wait()
+	var all []int64
+	for _, s := range got {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			t.Fatalf("values not {0..m-1}: position %d has %d", i, v)
+		}
+	}
+}
+
+// Width-1 tree: every token lands on leaf 0.
+func TestSingleLeaf(t *testing.T) {
+	tr, err := New(1, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if got := tr.TraverseSequential(); got != 0 {
+			t.Fatalf("leaf = %d", got)
+		}
+	}
+}

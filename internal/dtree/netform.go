@@ -1,0 +1,54 @@
+package dtree
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// NewToggleNetwork builds the diffracting tree's balancing-network skeleton
+// — the binary tree of (1,2)-balancers with one input wire and w output
+// wires (§1.4.1) — as a network.Network, so the adversarial contention
+// simulator can schedule it (experiment E12).
+//
+// The prism is deliberately absent: an adversary defeats diffraction by
+// never letting two tokens meet in a slot, so the adversarial behaviour of
+// the diffracting tree is exactly that of its toggle tree; this is how the
+// paper's Θ(n) amortized contention claim arises.
+//
+// Leaf wiring matches New: the root decides the least significant bit of
+// the output wire index.
+func NewToggleNetwork(w int) (*network.Network, error) {
+	if w < 2 || w&(w-1) != 0 {
+		return nil, fmt.Errorf("dtree: leaf count %d is not a power of two >= 2", w)
+	}
+	b, in := network.NewBuilder(fmt.Sprintf("DTree(%d)", w), 1)
+	outs := make([]network.Port, w)
+	var rec func(p network.Port, wires []int)
+	rec = func(p network.Port, wires []int) {
+		if len(wires) == 1 {
+			outs[wires[0]] = p
+			return
+		}
+		o := b.Balancer([]network.Port{p}, 2)
+		if o == nil {
+			return
+		}
+		var even, odd []int
+		for i, wire := range wires {
+			if i%2 == 0 {
+				even = append(even, wire)
+			} else {
+				odd = append(odd, wire)
+			}
+		}
+		rec(o[0], even)
+		rec(o[1], odd)
+	}
+	all := make([]int, w)
+	for i := range all {
+		all[i] = i
+	}
+	rec(in[0], all)
+	return b.Finalize(outs)
+}

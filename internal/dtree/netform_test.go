@@ -1,0 +1,109 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+func TestToggleNetworkGeometry(t *testing.T) {
+	for w, depth := range map[int]int{2: 1, 4: 2, 8: 3, 16: 4} {
+		n, err := NewToggleNetwork(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.InWidth() != 1 || n.OutWidth() != w || n.Depth() != depth {
+			t.Fatalf("w=%d: in=%d out=%d depth=%d", w, n.InWidth(), n.OutWidth(), n.Depth())
+		}
+		if n.Size() != w-1 {
+			t.Fatalf("w=%d: %d balancers, want %d", w, n.Size(), w-1)
+		}
+		census := network.ArityCensus(n)
+		if census["(1,2)"] != w-1 {
+			t.Fatalf("census = %v", census)
+		}
+	}
+}
+
+func TestToggleNetworkIsCounting(t *testing.T) {
+	n, err := NewToggleNetwork(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := network.CheckCounting(n, 40, 200, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The network form and the live tree route tokens identically (toggles
+// only): leaf sequences agree token by token.
+func TestToggleNetworkMatchesTree(t *testing.T) {
+	n, err := NewToggleNetwork(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		a := n.Traverse(0)
+		b := tr.TraverseSequential()
+		if a != b {
+			t.Fatalf("token %d: network leaf %d, tree leaf %d", i, a, b)
+		}
+	}
+}
+
+func TestToggleNetworkInvalidWidth(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 6} {
+		if _, err := NewToggleNetwork(w); err == nil {
+			t.Errorf("NewToggleNetwork(%d) accepted", w)
+		}
+	}
+}
+
+func TestCounterTreeAccessorAndStats(t *testing.T) {
+	c, err := NewCounter(4, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tree() == nil || c.Tree().Leaves() != 4 {
+		t.Fatal("Tree accessor broken")
+	}
+	for i := 0; i < 100; i++ {
+		c.Inc()
+	}
+	if c.Tree().Toggles()+c.Tree().Diffractions() == 0 {
+		t.Fatal("no routing events recorded")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.PrismWidth <= 0 || o.SpinBudget <= 0 {
+		t.Fatalf("DefaultOptions = %+v", o)
+	}
+}
+
+// Prism disabled (PrismWidth 0) but rng passed: all routing via toggles.
+func TestNoPrismWithRng(t *testing.T) {
+	tr, err := New(4, Options{PrismWidth: 0, SpinBudget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int64, 4)
+	for i := 0; i < 40; i++ {
+		counts[tr.Traverse(rng)]++
+	}
+	if tr.Diffractions() != 0 {
+		t.Fatal("diffraction without a prism")
+	}
+	if !seq.IsStep(counts) {
+		t.Fatalf("counts %v", counts)
+	}
+}

@@ -1,0 +1,289 @@
+// Package experiments implements the paper-reproduction experiment suite
+// as a library: each function regenerates one EXPERIMENTS.md table or
+// report as a string (or structured rows), so the results are testable and
+// cmd/countbench is a thin front-end. Experiment IDs follow DESIGN.md §3.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitonic"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/dtree"
+	"repro/internal/linearize"
+	"repro/internal/network"
+	"repro/internal/periodic"
+	"repro/internal/stats"
+	"repro/internal/timesim"
+)
+
+func must(n *network.Network, err error) *network.Network {
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func log2(x int) int {
+	k := 0
+	for x > 1 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+// DepthRow is one line of the E1 depth table.
+type DepthRow struct {
+	W, T                     int
+	Depth, Formula           int
+	BitonicDepth, PeriodicDepth int // -1 when t != w
+}
+
+// DepthTable regenerates E1/E2: measured vs formula depth across (w,t),
+// with baselines at t = w.
+func DepthTable(ws []int, ps []int) []DepthRow {
+	var rows []DepthRow
+	for _, w := range ws {
+		for _, p := range ps {
+			t := p * w
+			r := DepthRow{
+				W: w, T: t,
+				Depth:   must(core.New(w, t)).Depth(),
+				Formula: core.DepthFormula(w),
+				BitonicDepth:  -1,
+				PeriodicDepth: -1,
+			}
+			if p == 1 {
+				r.BitonicDepth = must(bitonic.New(w)).Depth()
+				r.PeriodicDepth = must(periodic.New(w)).Depth()
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// FormatDepthTable renders DepthTable rows.
+func FormatDepthTable(rows []DepthRow) string {
+	tb := stats.NewTable("w", "t", "depth C(w,t)", "formula", "bitonic", "periodic")
+	for _, r := range rows {
+		bd, pd := "-", "-"
+		if r.BitonicDepth >= 0 {
+			bd = fmt.Sprint(r.BitonicDepth)
+			pd = fmt.Sprint(r.PeriodicDepth)
+		}
+		tb.AddRowf(r.W, r.T, r.Depth, r.Formula, bd, pd)
+	}
+	return tb.String()
+}
+
+// Amortized measures one cell of the contention tables.
+func Amortized(net *network.Network, n, rounds int, advName string) float64 {
+	var adv contention.Adversary
+	switch advName {
+	case "random":
+		adv = contention.Random{}
+	case "roundrobin":
+		adv = &contention.RoundRobin{}
+	case "parking":
+		adv = contention.Parking{}
+	case "strongest":
+		return contention.Strongest(net, contention.Config{N: n, Rounds: rounds, Seed: 7}).Amortized
+	default:
+		adv = contention.Greedy{}
+	}
+	return contention.Run(net, contention.Config{
+		N: n, Rounds: rounds, Adversary: adv, Seed: 7,
+	}).Amortized
+}
+
+// CompareRow is one line of the E11 family comparison.
+type CompareRow struct {
+	N       int
+	Central, DTree, Periodic, Bitonic, CWTEqual, CWTWide float64
+}
+
+// CompareTable regenerates E11/E12: families head to head at width w under
+// the strongest adversary. wide is the output width of the wide variant
+// (the paper's t = w·lgw choice by default).
+func CompareTable(w, wide, rounds int, ns []int) []CompareRow {
+	var rows []CompareRow
+	for _, n := range ns {
+		rows = append(rows, CompareRow{
+			N:        n,
+			Central:  Amortized(SingleBalancer(), n, rounds, "strongest"),
+			DTree:    Amortized(must(dtree.NewToggleNetwork(w)), n, rounds, "strongest"),
+			Periodic: Amortized(must(periodic.New(w)), n, rounds, "strongest"),
+			Bitonic:  Amortized(must(bitonic.New(w)), n, rounds, "strongest"),
+			CWTEqual: Amortized(must(core.New(w, w)), n, rounds, "strongest"),
+			CWTWide:  Amortized(must(core.New(w, wide)), n, rounds, "strongest"),
+		})
+	}
+	return rows
+}
+
+// FormatCompareTable renders CompareTable rows.
+func FormatCompareTable(w, wide int, rows []CompareRow) string {
+	tb := stats.NewTable("n", "central", fmt.Sprintf("dtree(%d)", w),
+		fmt.Sprintf("periodic(%d)", w), fmt.Sprintf("bitonic(%d)", w),
+		fmt.Sprintf("C(%d,%d)", w, w), fmt.Sprintf("C(%d,%d)", w, wide))
+	for _, r := range rows {
+		tb.AddRowf(r.N, r.Central, r.DTree, r.Periodic, r.Bitonic, r.CWTEqual, r.CWTWide)
+	}
+	return tb.String()
+}
+
+// SingleBalancer builds the 2-wire single-balancer network modeling a
+// central counter in the stall model.
+func SingleBalancer() *network.Network {
+	b, in := network.NewBuilder("central", 2)
+	out := b.Balancer(in, 2)
+	n, err := b.Finalize(out)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// BlockShareRow is one line of the E10 block-attribution sweep.
+type BlockShareRow struct {
+	T         int
+	Amortized float64
+	NaShare, NbShare, NcShare float64 // fractions in [0,1]
+}
+
+// BlockShares regenerates the E10 t-sweep with Na/Nb/Nc attribution.
+func BlockShares(w, n, rounds int, ts []int) []BlockShareRow {
+	var rows []BlockShareRow
+	for _, t := range ts {
+		net := must(core.New(w, t))
+		res := contention.Run(net, contention.Config{
+			N: n, Rounds: rounds, Adversary: &contention.RoundRobin{}, Seed: 7,
+		})
+		row := BlockShareRow{T: t, Amortized: res.Amortized}
+		if res.Stalls > 0 {
+			row.NaShare = float64(res.PerLabel[core.BlockNa]) / float64(res.Stalls)
+			row.NbShare = float64(res.PerLabel[core.BlockNb]) / float64(res.Stalls)
+			row.NcShare = float64(res.PerLabel[core.BlockNc]) / float64(res.Stalls)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatBlockShares renders BlockShares rows.
+func FormatBlockShares(w, n int, rows []BlockShareRow) string {
+	tb := stats.NewTable("t", "amortized", "Na share", "Nb share", "Nc share")
+	for _, r := range rows {
+		tb.AddRowf(r.T, r.Amortized,
+			fmt.Sprintf("%.1f%%", 100*r.NaShare),
+			fmt.Sprintf("%.1f%%", 100*r.NbShare),
+			fmt.Sprintf("%.1f%%", 100*r.NcShare))
+	}
+	return fmt.Sprintf("C(%d,t) at n=%d: contention by block\n%s", w, n, tb.String())
+}
+
+// SlopeReport regenerates the E10 contention-vs-n slope comparison.
+type SlopeReport struct {
+	W                   int
+	BitonicSlope, CWTSlope float64
+	Ratio               float64
+}
+
+// Slopes fits amortized contention against n for bitonic(w) and
+// C(w, w·lgw) under the lockstep adversary.
+func Slopes(w, rounds int, ns []int) SlopeReport {
+	xs := make([]float64, len(ns))
+	fit := func(build func() *network.Network) float64 {
+		ys := make([]float64, len(ns))
+		for i, n := range ns {
+			xs[i] = float64(n)
+			ys[i] = Amortized(build(), n, rounds, "roundrobin")
+		}
+		s, _ := stats.LinearFit(xs, ys)
+		return s
+	}
+	rep := SlopeReport{W: w}
+	rep.BitonicSlope = fit(func() *network.Network { return must(bitonic.New(w)) })
+	rep.CWTSlope = fit(func() *network.Network { return must(core.New(w, w*log2(w))) })
+	if rep.CWTSlope > 0 {
+		rep.Ratio = rep.BitonicSlope / rep.CWTSlope
+	}
+	return rep
+}
+
+// TimesimRow is one line of the E13 queueing table.
+type TimesimRow struct {
+	N     int
+	Cells []timesim.Result
+}
+
+// TimesimTable regenerates the E13 queueing simulation sweep over the
+// standard family set (central, bitonic, periodic, C(w,w), C(w,wide)).
+func TimesimTable(w, wide int, ns []int, opsPerProc int64) []TimesimRow {
+	nets := []*network.Network{
+		SingleBalancer(),
+		must(bitonic.New(w)),
+		must(periodic.New(w)),
+		must(core.New(w, w)),
+		must(core.New(w, wide)),
+	}
+	var rows []TimesimRow
+	for _, n := range ns {
+		row := TimesimRow{N: n}
+		for _, net := range nets {
+			row.Cells = append(row.Cells, timesim.Run(net.Clone(), timesim.Config{
+				Processes: n, Ops: int64(n) * opsPerProc,
+				ServiceTime: 1, ThinkTime: 20, Exponential: true, Seed: 9,
+			}))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTimesimTable renders TimesimTable rows.
+func FormatTimesimTable(w, wide int, rows []TimesimRow) string {
+	tb := stats.NewTable("n", "central", fmt.Sprintf("bitonic(%d)", w),
+		fmt.Sprintf("periodic(%d)", w), fmt.Sprintf("C(%d,%d)", w, w),
+		fmt.Sprintf("C(%d,%d)", w, wide))
+	for _, r := range rows {
+		cells := []any{r.N}
+		for _, c := range r.Cells {
+			cells = append(cells, fmt.Sprintf("%.2f/%.0f", c.Throughput, c.MeanLat))
+		}
+		tb.AddRowf(cells...)
+	}
+	return tb.String()
+}
+
+// AblationDepths regenerates E17: depth with M(t,δ) vs the bitonic merger.
+func AblationDepths(cases [][2]int) string {
+	tb := stats.NewTable("w", "t", "depth M(t,δ)", "depth bitonic merger")
+	for _, c := range cases {
+		ours := must(core.New(c[0], c[1]))
+		abl := must(core.NewWithBitonicMerger(c[0], c[1], bitonic.BuildMerger))
+		tb.AddRowf(c[0], c[1], ours.Depth(), abl.Depth())
+	}
+	return tb.String()
+}
+
+// LinearizeReport regenerates E18: inversion counts for the central
+// counter vs a counting-network counter under identical concurrent load.
+func LinearizeReport(w, procs, per int) string {
+	var b strings.Builder
+	var r1 linearize.Recorder
+	central := counter.NewCentral()
+	repC := linearize.Analyze(r1.Record(procs, per, central.Inc))
+	fmt.Fprintf(&b, "central counter:  %d ops, %d inversions (linearizable)\n", repC.Ops, repC.Inversions)
+	var r2 linearize.Recorder
+	netCtr := counter.NewNetwork(must(core.New(w, w)))
+	repN := linearize.Analyze(r2.Record(procs, per, netCtr.Inc))
+	fmt.Fprintf(&b, "C(%d,%d) counter: %d ops, %d inversions, max lag %d (not linearizable in general)\n",
+		w, w, repN.Ops, repN.Inversions, repN.MaxLag)
+	return b.String()
+}

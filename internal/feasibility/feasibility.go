@@ -1,0 +1,89 @@
+// Package feasibility implements the Aharonson–Attiya impossibility
+// condition discussed in §1.4.2 of the paper (ref [1]): a counting (indeed
+// smoothing) network with output width t cannot be constructed from
+// balancers whose output widths are b_1..b_k if some prime factor p of t
+// divides none of the b_i. The package provides the arithmetic test and a
+// structural audit that checks a concrete network against the condition —
+// every constructible network in this repository passes by construction.
+package feasibility
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// PrimeFactors returns the distinct prime factors of n >= 2 in increasing
+// order. It returns nil for n < 2.
+func PrimeFactors(n int) []int {
+	if n < 2 {
+		return nil
+	}
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Constructible reports whether the necessary Aharonson–Attiya condition
+// holds for building a counting network of output width t from balancers
+// with the given output widths: every prime factor of t must divide at
+// least one balancer output width. (The condition is necessary, not
+// sufficient.) It returns the first offending prime, or 0.
+func Constructible(t int, balancerOuts []int) (ok bool, offendingPrime int) {
+	if t < 1 {
+		return false, 0
+	}
+	for _, p := range PrimeFactors(t) {
+		divides := false
+		for _, b := range balancerOuts {
+			if b > 0 && b%p == 0 {
+				divides = true
+				break
+			}
+		}
+		if !divides {
+			return false, p
+		}
+	}
+	return true, 0
+}
+
+// AuditNetwork checks a concrete network against the condition using its
+// actual balancer arities, returning an error naming the offending prime
+// if the network's own output width is incompatible with its balancer
+// inventory. A counting network that verified correct will always pass;
+// the audit is useful when prototyping new constructions with the Builder.
+func AuditNetwork(n *network.Network) error {
+	outs := balancerOutWidths(n)
+	if ok, p := Constructible(n.OutWidth(), outs); !ok {
+		return fmt.Errorf(
+			"feasibility: output width %d has prime factor %d dividing no balancer output width %v (Aharonson–Attiya); the network cannot be counting",
+			n.OutWidth(), p, outs)
+	}
+	return nil
+}
+
+// balancerOutWidths returns the distinct balancer output widths of n.
+func balancerOutWidths(n *network.Network) []int {
+	set := map[int]bool{}
+	for i := 0; i < n.Size(); i++ {
+		set[n.Node(i).Out()] = true
+	}
+	out := make([]int, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}

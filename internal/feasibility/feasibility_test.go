@@ -1,0 +1,107 @@
+package feasibility
+
+import (
+	"testing"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/merge"
+	"repro/internal/network"
+)
+
+func TestPrimeFactors(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{1, nil}, {0, nil}, {2, []int{2}}, {12, []int{2, 3}},
+		{16, []int{2}}, {30, []int{2, 3, 5}}, {97, []int{97}},
+		{49, []int{7}}, {360, []int{2, 3, 5}},
+	}
+	for _, c := range cases {
+		got := PrimeFactors(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("PrimeFactors(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("PrimeFactors(%d) = %v, want %v", c.n, got, c.want)
+			}
+		}
+	}
+}
+
+func TestConstructible(t *testing.T) {
+	cases := []struct {
+		t     int
+		bals  []int
+		ok    bool
+		prime int
+	}{
+		{8, []int{2}, true, 0},           // powers of two from (·,2)
+		{6, []int{2}, false, 3},          // 3 | 6 but 3 ∤ 2 — the classic impossibility
+		{6, []int{2, 3}, true, 0},        // a (·,3)-balancer fixes it
+		{12, []int{2, 6}, true, 0},       // 6 covers the 3
+		{30, []int{2, 3}, false, 5},      //
+		{30, []int{10, 3}, true, 0},      //
+		{7, []int{2, 4}, false, 7},       //
+		{16, []int{4, 2}, true, 0},       //
+		{0, []int{2}, false, 0},          // nonsense width
+	}
+	for _, c := range cases {
+		ok, p := Constructible(c.t, c.bals)
+		if ok != c.ok || p != c.prime {
+			t.Errorf("Constructible(%d, %v) = (%v, %d), want (%v, %d)",
+				c.t, c.bals, ok, p, c.ok, c.prime)
+		}
+	}
+}
+
+// Every network in this repository satisfies the necessary condition.
+func TestRepositoryNetworksPass(t *testing.T) {
+	nets := []func() (*network.Network, error){
+		func() (*network.Network, error) { return core.New(8, 16) },
+		func() (*network.Network, error) { return core.New(4, 12) }, // (2,6)-balancers
+		func() (*network.Network, error) { return bitonic.New(16) },
+		func() (*network.Network, error) { return merge.New(16, 4) },
+	}
+	for _, build := range nets {
+		n, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := AuditNetwork(n); err != nil {
+			t.Errorf("%s: %v", n.Name(), err)
+		}
+	}
+}
+
+// A hand-built network with output width 6 using only (2,2)-balancers
+// violates the condition and the audit must say so.
+func TestAuditDetectsImpossibleWidth(t *testing.T) {
+	b, in := network.NewBuilder("bad6", 6)
+	o0 := b.Balancer([]network.Port{in[0], in[1]}, 2)
+	o1 := b.Balancer([]network.Port{in[2], in[3]}, 2)
+	o2 := b.Balancer([]network.Port{in[4], in[5]}, 2)
+	n, err := b.Finalize([]network.Port{o0[0], o0[1], o1[0], o1[1], o2[0], o2[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditNetwork(n); err == nil {
+		t.Fatal("width-6 all-(2,2) network passed the audit")
+	}
+}
+
+// C(4,12) uses (2,6)-balancers: 12 = 2²·3 and 6 covers the 3 — the
+// irregular construction is exactly how the paper sidesteps the
+// impossibility for non-power-of-two output widths.
+func TestIrregularWidthIsCovered(t *testing.T) {
+	n, err := core.New(4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AuditNetwork(n); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		t, delta int
+		want     bool
+	}{
+		{4, 2, true},    // t=1*4, δ=2: j=1 < i=2
+		{8, 2, true},    // Fig. 5 top
+		{8, 4, true},    // Fig. 6 left
+		{16, 4, true},   // Fig. 6 right
+		{16, 8, true},   //
+		{12, 2, true},   // t=3*4
+		{12, 4, false},  // δ=4 needs 8 | t
+		{24, 4, true},   // t=3*8
+		{4, 4, false},   // j=2 not < i=2
+		{2, 2, false},   // too narrow
+		{8, 3, false},   // δ not a power of two
+		{8, 1, false},   // δ < 2
+		{6, 2, false},   // t=6 not divisible by 4
+		{10, 2, false},  // not divisible by 4
+		{64, 16, true},  //
+		{64, 32, true}, // 64 = 1*2^6, δ=2^5: j=5 < i=6
+	}
+	for _, c := range cases {
+		if got := Valid(c.t, c.delta); got != c.want {
+			t.Errorf("Valid(%d,%d) = %v, want %v", c.t, c.delta, got, c.want)
+		}
+	}
+}
+
+func TestDepthIsLogDelta(t *testing.T) {
+	// Lemma 3.1: depth(M(t,δ)) = lg δ, independent of t.
+	for _, c := range []struct{ t, delta, want int }{
+		{4, 2, 1}, {8, 2, 1}, {8, 4, 2}, {16, 2, 1}, {16, 4, 2}, {16, 8, 3},
+		{32, 4, 2}, {32, 8, 3}, {32, 16, 4}, {64, 16, 4}, {24, 4, 2}, {48, 8, 3},
+	} {
+		n, err := New(c.t, c.delta)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", c.t, c.delta, err)
+		}
+		if n.Depth() != c.want {
+			t.Errorf("depth(M(%d,%d)) = %d, want %d", c.t, c.delta, n.Depth(), c.want)
+		}
+	}
+}
+
+func TestSizeFormula(t *testing.T) {
+	// Each layer has t/2 balancers, so size = (t/2) * lg δ.
+	for _, c := range []struct{ t, delta int }{{8, 4}, {16, 8}, {32, 16}, {64, 4}} {
+		n, err := New(c.t, c.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := c.t / 2 * n.Depth()
+		if n.Size() != want {
+			t.Errorf("size(M(%d,%d)) = %d, want %d", c.t, c.delta, n.Size(), want)
+		}
+	}
+}
+
+func TestAllBalancersAre22(t *testing.T) {
+	n, err := New(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	census := network.ArityCensus(n)
+	if len(census) != 1 || census["(2,2)"] != n.Size() {
+		t.Fatalf("census = %v", census)
+	}
+}
+
+func TestInvalidParameters(t *testing.T) {
+	for _, c := range []struct{ t, delta int }{{6, 2}, {8, 3}, {4, 4}, {0, 2}, {8, 0}} {
+		if _, err := New(c.t, c.delta); err == nil {
+			t.Errorf("New(%d,%d) accepted", c.t, c.delta)
+		}
+	}
+}
+
+// Lemma 3.2 / Figs 7-9: M(t,2) merges step halves with sum difference in
+// [0,2]. Exhaustive over the case analysis space.
+func TestBaseMergerExhaustive(t *testing.T) {
+	for _, width := range []int{4, 8, 12, 16} {
+		n, err := New(width, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		half := width / 2
+		for sy := int64(0); sy <= int64(3*half); sy++ {
+			for d := int64(0); d <= 2; d++ {
+				x := append(seq.MakeStep(sy+d, half), seq.MakeStep(sy, half)...)
+				y, err := n.Quiescent(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !seq.IsStep(y) {
+					t.Fatalf("M(%d,2): sums (%d,%d) give non-step %v", width, sy+d, sy, y)
+				}
+			}
+		}
+	}
+}
+
+// The Fig. 7-9 case analysis, named case by case. For each case we build
+// input halves with the prescribed step points and maxima and check the
+// output is step.
+func TestMergerCases(t *testing.T) {
+	const half = 4 // t = 8
+	n, err := New(2*half, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stepSeq builds the step sequence of length half with max value a and
+	// step point k (all entries a before k, a-1 after).
+	stepSeq := func(a int64, k int) []int64 {
+		s := make([]int64, half)
+		for i := range s {
+			if i < k {
+				s[i] = a
+			} else {
+				s[i] = a - 1
+			}
+		}
+		return s
+	}
+	cases := []struct {
+		name         string
+		a, b         int64 // maxima of x and y
+		k, l         int   // step points
+		wantPreOK    bool  // whether 0 <= sum(x)-sum(y) <= 2 holds
+	}{
+		{"Fig7a k=l<t/2", 5, 5, 2, 2, true},
+		{"Fig8a k=l=t/2", 5, 5, half, half, true},
+		{"Fig7b k=l+1", 5, 5, 3, 2, true},
+		{"Fig8b k=t/2,l=t/2-1", 5, 5, half, half - 1, true},
+		{"Fig7c k=l+2", 5, 5, 3, 1, true},
+		{"Fig8c k=t/2,l=t/2-2", 5, 5, half, half - 2, true},
+		{"Fig9a a=b+1,k=1,l=t/2-1", 5, 4, 1, half - 1, true},
+		{"Fig9b a=b+1,k=1,l=t/2", 5, 4, 1, half, true},
+		{"Fig9c a=b+1,k=2,l=t/2", 5, 4, 2, half, true},
+	}
+	for _, c := range cases {
+		x := stepSeq(c.a, c.k)
+		y := stepSeq(c.b, c.l)
+		d := seq.Sum(x) - seq.Sum(y)
+		if (d >= 0 && d <= 2) != c.wantPreOK {
+			t.Fatalf("%s: precondition setup wrong (diff=%d)", c.name, d)
+		}
+		out, err := n.Quiescent(append(seq.Clone(x), y...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.IsStep(out) {
+			t.Errorf("%s: output %v not step (x=%v y=%v)", c.name, out, x, y)
+		}
+	}
+}
+
+// Lemma 3.3: M(t,δ) is a difference merging network for every valid (t,δ).
+func TestDifferenceMergingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, c := range []struct{ t, delta int }{
+		{4, 2}, {8, 2}, {8, 4}, {16, 4}, {16, 8}, {32, 8}, {32, 16}, {24, 4},
+	} {
+		n, err := New(c.t, c.delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := network.CheckDifferenceMerger(n, int64(c.delta), 12, 300, rng); err != nil {
+			t.Errorf("M(%d,%d): %v", c.t, c.delta, err)
+		}
+	}
+}
+
+// Outside the contract the merger may legitimately fail: difference > δ.
+// Verify our checker (not the network) can see such failures, documenting
+// that δ is tight for at least one width.
+func TestDeltaIsMeaningful(t *testing.T) {
+	n, err := New(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find some step halves with difference > 2 that break the output.
+	broken := false
+	for sy := int64(0); sy <= 20 && !broken; sy++ {
+		for d := int64(3); d <= 8 && !broken; d++ {
+			x := append(seq.MakeStep(sy+d, 4), seq.MakeStep(sy, 4)...)
+			out, err := n.Quiescent(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.IsStep(out) {
+				broken = true
+			}
+		}
+	}
+	if !broken {
+		t.Error("M(8,2) merged all halves differing by 3..8; delta bound looks vacuous")
+	}
+}
+
+// Sum preservation through the merger.
+func TestSumPreservation(t *testing.T) {
+	n, err := New(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		x := make([]int64, 16)
+		for i := range x {
+			x[i] = rng.Int63n(50)
+		}
+		y, err := n.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Sum(y) != seq.Sum(x) {
+			t.Fatalf("sum not preserved: in %d out %d", seq.Sum(x), seq.Sum(y))
+		}
+	}
+}
+
+func TestBuildPanicsOnOddWidth(t *testing.T) {
+	b, in := network.NewBuilder("odd", 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd width accepted")
+		}
+	}()
+	Build(b, in, 2)
+}

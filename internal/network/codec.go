@@ -1,0 +1,181 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Wire-format types for network topology interchange. A serialized network
+// can be rebuilt byte-identically on another machine — used to ship
+// topologies to distributed deployments and to freeze regression fixtures.
+
+// Spec is the serializable description of a balancing network.
+type Spec struct {
+	Name      string     `json:"name"`
+	InWidth   int        `json:"in_width"`
+	Balancers []BalSpec  `json:"balancers"`
+	Outputs   []PortSpec `json:"outputs"`
+	Labels    []string   `json:"labels,omitempty"`
+}
+
+// BalSpec describes one balancer: its ordered input sources, output width
+// and initial state. Balancers appear in topological order.
+type BalSpec struct {
+	Ins  []PortSpec `json:"ins"`
+	Out  int        `json:"out"`
+	Init int64      `json:"init,omitempty"`
+}
+
+// PortSpec names a wire source: balancer Node's output Port, or a network
+// input wire (Node == -1, Port = wire index).
+type PortSpec struct {
+	Node int `json:"node"`
+	Port int `json:"port"`
+}
+
+// ToSpec extracts the serializable topology of a network.
+func ToSpec(n *Network) Spec {
+	s := Spec{
+		Name:    n.name,
+		InWidth: n.inWidth,
+	}
+	for id := 0; id < n.Size(); id++ {
+		nd := n.Node(id)
+		bs := BalSpec{Out: nd.Out(), Init: nd.bal.Init()}
+		for p := 0; p < nd.In(); p++ {
+			src := nd.in[p]
+			bs.Ins = append(bs.Ins, PortSpec{Node: int(src.node), Port: int(src.port)})
+		}
+		s.Balancers = append(s.Balancers, bs)
+	}
+	for i := 0; i < n.OutWidth(); i++ {
+		src := n.sources[i]
+		s.Outputs = append(s.Outputs, PortSpec{Node: int(src.node), Port: int(src.port)})
+	}
+	if n.labels != nil {
+		s.Labels = append([]string(nil), n.labels...)
+	}
+	return s
+}
+
+// FromSpec rebuilds a network from its serialized topology, validating the
+// wiring through the normal Builder checks.
+func FromSpec(s Spec) (*Network, error) {
+	b, in := NewBuilder(s.Name, s.InWidth)
+	ports := make(map[endpoint]Port, len(s.Balancers)*2)
+	for i, p := range in {
+		ports[endpoint{node: External, port: int32(i)}] = p
+	}
+	lookup := func(ps PortSpec) (Port, error) {
+		p, ok := ports[endpoint{node: int32(ps.Node), port: int32(ps.Port)}]
+		if !ok {
+			return Port{}, fmt.Errorf("network: spec references unknown or reused port (node %d, port %d)", ps.Node, ps.Port)
+		}
+		return p, nil
+	}
+	for id, bs := range s.Balancers {
+		ins := make([]Port, len(bs.Ins))
+		for i, ps := range bs.Ins {
+			p, err := lookup(ps)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = p
+		}
+		outs := b.BalancerInit(ins, bs.Out, bs.Init)
+		if outs == nil {
+			return nil, b.Err()
+		}
+		for p, op := range outs {
+			ports[endpoint{node: int32(id), port: int32(p)}] = op
+		}
+	}
+	outs := make([]Port, len(s.Outputs))
+	for i, ps := range s.Outputs {
+		p, err := lookup(ps)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = p
+	}
+	n, err := b.Finalize(outs)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Labels) == len(s.Balancers) {
+		for i, l := range s.Labels {
+			if l != "" {
+				n.SetLabel(i, l)
+			}
+		}
+	}
+	return n, nil
+}
+
+// Marshal encodes the network topology as indented JSON.
+func Marshal(n *Network) ([]byte, error) {
+	return json.MarshalIndent(ToSpec(n), "", "  ")
+}
+
+// Unmarshal decodes a network topology produced by Marshal.
+func Unmarshal(data []byte) (*Network, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("network: bad topology JSON: %w", err)
+	}
+	return FromSpec(s)
+}
+
+// DOT renders the network as a Graphviz digraph: balancers as boxes
+// (rank = layer), wires as edges labelled with port indices.
+func DOT(n *Network) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box];\n", n.Name())
+	for i := 0; i < n.InWidth(); i++ {
+		fmt.Fprintf(&b, "  in%d [shape=plaintext];\n", i)
+	}
+	for i := 0; i < n.OutWidth(); i++ {
+		fmt.Fprintf(&b, "  out%d [shape=plaintext];\n", i)
+	}
+	for id := 0; id < n.Size(); id++ {
+		nd := n.Node(id)
+		label := fmt.Sprintf("b%d (%d,%d)", id, nd.In(), nd.Out())
+		if l := n.Label(id); l != "" {
+			label += "\\n" + l
+		}
+		fmt.Fprintf(&b, "  b%d [label=%q];\n", id, label)
+	}
+	// Group balancers of a layer at equal rank.
+	for d, layer := range n.Layers() {
+		fmt.Fprintf(&b, "  { rank=same;")
+		for _, id := range layer {
+			fmt.Fprintf(&b, " b%d;", id)
+		}
+		fmt.Fprintf(&b, " } // layer %d\n", d+1)
+	}
+	edge := func(srcName, dstName string, port int) {
+		fmt.Fprintf(&b, "  %s -> %s [label=\"%d\"];\n", srcName, dstName, port)
+	}
+	for i := 0; i < n.InWidth(); i++ {
+		dst := n.inputs[i]
+		if dst.node == External {
+			edge(fmt.Sprintf("in%d", i), fmt.Sprintf("out%d", dst.port), 0)
+		} else {
+			edge(fmt.Sprintf("in%d", i), fmt.Sprintf("b%d", dst.node), int(dst.port))
+		}
+	}
+	for id := 0; id < n.Size(); id++ {
+		nd := n.Node(id)
+		for p := 0; p < nd.Out(); p++ {
+			dst := nd.out[p]
+			if dst.node == External {
+				edge(fmt.Sprintf("b%d", id), fmt.Sprintf("out%d", dst.port), p)
+			} else {
+				edge(fmt.Sprintf("b%d", id), fmt.Sprintf("b%d", dst.node), p)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package network
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig, err := RandomCascadeProbe("probe", 8, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.SetLabel(2, "Na")
+	data, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != orig.Name() || back.Depth() != orig.Depth() ||
+		back.Size() != orig.Size() || back.InWidth() != orig.InWidth() ||
+		back.OutWidth() != orig.OutWidth() {
+		t.Fatal("geometry lost in round trip")
+	}
+	if back.Label(2) != "Na" {
+		t.Fatal("labels lost in round trip")
+	}
+	for trial := 0; trial < 100; trial++ {
+		x := make([]int64, 8)
+		for i := range x {
+			x[i] = rng.Int63n(40)
+		}
+		a, err := orig.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(a, b) {
+			t.Fatalf("behaviour lost in round trip on %v", x)
+		}
+	}
+}
+
+func TestSpecPreservesInitialStates(t *testing.T) {
+	n := buildSingle(t, 4)
+	n.RandomizeInitialStates(rand.New(rand.NewSource(11)))
+	want := n.Node(0).Balancer().Init()
+	data, err := Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Node(0).Balancer().Init(); got != want {
+		t.Fatalf("init = %d, want %d", got, want)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	// Dangling reference: balancer 0 consumes a port that does not exist.
+	spec := Spec{
+		Name:    "bad",
+		InWidth: 2,
+		Balancers: []BalSpec{
+			{Ins: []PortSpec{{Node: 5, Port: 0}, {Node: -1, Port: 1}}, Out: 2},
+		},
+		Outputs: []PortSpec{{Node: 0, Port: 0}, {Node: 0, Port: 1}},
+	}
+	if _, err := FromSpec(spec); err == nil {
+		t.Fatal("unknown port reference accepted")
+	}
+	// Port reused twice.
+	spec2 := Spec{
+		Name:    "bad2",
+		InWidth: 1,
+		Balancers: []BalSpec{
+			{Ins: []PortSpec{{Node: -1, Port: 0}, {Node: -1, Port: 0}}, Out: 2},
+		},
+		Outputs: []PortSpec{{Node: 0, Port: 0}, {Node: 0, Port: 1}},
+	}
+	if _, err := FromSpec(spec2); err == nil {
+		t.Fatal("double-consumed port accepted")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	n := buildLadder4(t)
+	n.SetLabel(0, "Na")
+	dot := DOT(n)
+	for _, want := range []string{"digraph", "b0", "rank=same", "in0", "out3", "Na"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Edge count: inputs + all balancer output ports.
+	if got := strings.Count(dot, "->"); got != 4+4 {
+		t.Fatalf("DOT has %d edges, want 8", got)
+	}
+}

@@ -1,0 +1,140 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Clone returns a fresh copy of the network with all balancers in their
+// initial states. The topology is shared-nothing: traversals of the clone
+// never touch the original. Labels are copied.
+func (n *Network) Clone() *Network {
+	b, in := NewBuilder(n.name, n.inWidth)
+	// Recreate nodes in their original (topological) order, mapping old
+	// output ports to new Ports.
+	ports := make(map[endpoint]Port, len(n.nodes)*2)
+	for i := range in {
+		ports[endpoint{node: External, port: int32(i)}] = in[i]
+	}
+	for id := range n.nodes {
+		nd := &n.nodes[id]
+		inPorts := make([]Port, nd.In())
+		for p := range inPorts {
+			inPorts[p] = ports[nd.in[p]]
+		}
+		outs := b.BalancerInit(inPorts, nd.Out(), nd.bal.Init())
+		for p, op := range outs {
+			ports[endpoint{node: int32(id), port: int32(p)}] = op
+		}
+	}
+	outs := make([]Port, n.outWidth)
+	for i := range outs {
+		outs[i] = ports[n.sources[i]]
+	}
+	clone, err := b.Finalize(outs)
+	if err != nil {
+		panic(fmt.Sprintf("network: Clone of %s failed: %v", n.name, err))
+	}
+	if n.labels != nil {
+		clone.labels = append([]string(nil), n.labels...)
+	}
+	return clone
+}
+
+// Cascade composes networks in series: the output wires of each feed the
+// input wires of the next, in order. Widths must chain (out of stage i ==
+// in of stage i+1). The periodic counting network, for example, is a
+// cascade of lgw butterfly blocks. The input networks are only read; the
+// result is fresh.
+func Cascade(name string, stages ...*Network) (*Network, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("network: Cascade of zero stages")
+	}
+	for i := 1; i < len(stages); i++ {
+		if stages[i-1].OutWidth() != stages[i].InWidth() {
+			return nil, fmt.Errorf("network: Cascade width mismatch between stage %d (out %d) and %d (in %d)",
+				i-1, stages[i-1].OutWidth(), i, stages[i].InWidth())
+		}
+	}
+	b, in := NewBuilder(name, stages[0].InWidth())
+	cur := in
+	for _, st := range stages {
+		next := appendStage(b, st, cur)
+		cur = next
+	}
+	return b.Finalize(cur)
+}
+
+// appendStage replays the topology of st onto the builder, consuming cur
+// as its input wires, and returns its output wires.
+func appendStage(b *Builder, st *Network, cur []Port) []Port {
+	ports := make(map[endpoint]Port, st.Size()*2)
+	for i, p := range cur {
+		ports[endpoint{node: External, port: int32(i)}] = p
+	}
+	for id := 0; id < st.Size(); id++ {
+		nd := st.Node(id)
+		inPorts := make([]Port, nd.In())
+		for p := range inPorts {
+			inPorts[p] = ports[nd.in[p]]
+		}
+		outs := b.BalancerInit(inPorts, nd.Out(), nd.bal.Init())
+		for p, op := range outs {
+			ports[endpoint{node: int32(id), port: int32(p)}] = op
+		}
+	}
+	out := make([]Port, st.OutWidth())
+	for i := range out {
+		out[i] = ports[st.sources[i]]
+	}
+	return out
+}
+
+// Mirror returns the network with its input wires permuted by pi: input
+// wire i of the result maps to input wire pi[i] of the original. Output
+// order is unchanged. Useful for testing isomorphism hypotheses
+// (§2.3) and for constructing permuted variants.
+func Mirror(n *Network, pi []int) (*Network, error) {
+	if len(pi) != n.InWidth() {
+		return nil, fmt.Errorf("network: Mirror permutation length %d, want %d", len(pi), n.InWidth())
+	}
+	seen := make([]bool, len(pi))
+	for _, v := range pi {
+		if v < 0 || v >= len(pi) || seen[v] {
+			return nil, fmt.Errorf("network: Mirror permutation %v is not a bijection", pi)
+		}
+		seen[v] = true
+	}
+	b, in := NewBuilder(n.name+"~", n.inWidth)
+	permuted := make([]Port, len(in))
+	for i := range in {
+		// New input wire i plays the role of original wire pi[i].
+		permuted[pi[i]] = in[i]
+	}
+	out := appendStage(b, n, permuted)
+	return b.Finalize(out)
+}
+
+// RandomCascadeProbe builds `stages` random-width-preserving ladder-like
+// shuffled layers for fuzz tests: each stage pairs wires randomly with
+// (2,2)-balancers (width must be even). Exposed for test reuse.
+func RandomCascadeProbe(name string, width, stages int, rng *rand.Rand) (*Network, error) {
+	if width < 2 || width%2 != 0 {
+		return nil, fmt.Errorf("network: probe width %d must be even and >= 2", width)
+	}
+	b, in := NewBuilder(name, width)
+	cur := in
+	for s := 0; s < stages; s++ {
+		perm := rng.Perm(width)
+		next := make([]Port, width)
+		for i := 0; i < width/2; i++ {
+			o := b.Balancer([]Port{cur[perm[2*i]], cur[perm[2*i+1]]}, 2)
+			if o == nil {
+				return nil, b.Err()
+			}
+			next[2*i], next[2*i+1] = o[0], o[1]
+		}
+		cur = next
+	}
+	return b.Finalize(cur)
+}

@@ -1,0 +1,172 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestCloneIndependentState(t *testing.T) {
+	n := buildLadder4(t)
+	n.Traverse(0)
+	n.Traverse(0)
+	c := n.Clone()
+	// Clone starts fresh: first token through b0 exits port 0.
+	if got := c.Traverse(0); got != 0 {
+		t.Fatalf("clone first traverse = %d, want 0", got)
+	}
+	// Original state unaffected by the clone's traffic.
+	if got := n.Traverse(0); got != 0 {
+		t.Fatalf("original third traverse = %d, want 0", got)
+	}
+	if c.Depth() != n.Depth() || c.Size() != n.Size() || c.InWidth() != n.InWidth() {
+		t.Fatal("clone geometry differs")
+	}
+}
+
+func TestCloneKeepsInitialStates(t *testing.T) {
+	n := buildSingle(t, 4)
+	n.RandomizeInitialStates(rand.New(rand.NewSource(5)))
+	want := n.Node(0).Balancer().Init()
+	c := n.Clone()
+	if got := c.Node(0).Balancer().Init(); got != want {
+		t.Fatalf("clone init = %d, want %d", got, want)
+	}
+}
+
+func TestCloneKeepsLabels(t *testing.T) {
+	n := buildLadder4(t)
+	n.SetLabel(1, "Na")
+	c := n.Clone()
+	if c.Label(1) != "Na" {
+		t.Fatal("labels not cloned")
+	}
+}
+
+func TestCloneBehaviourIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, err := RandomCascadeProbe("probe", 8, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := n.Clone()
+	for trial := 0; trial < 100; trial++ {
+		x := make([]int64, 8)
+		for i := range x {
+			x[i] = rng.Int63n(30)
+		}
+		a, err := n.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(a, b) {
+			t.Fatalf("clone diverges on %v: %v vs %v", x, a, b)
+		}
+	}
+}
+
+func TestCascadeWidthMismatch(t *testing.T) {
+	a := buildLadder4(t)
+	b := buildSingle(t, 2) // in width 2 != out width 4
+	if _, err := Cascade("bad", a, b); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if _, err := Cascade("empty"); err == nil {
+		t.Fatal("empty cascade accepted")
+	}
+}
+
+func TestCascadeEquivalentToSequentialEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, err := RandomCascadeProbe("a", 8, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomCascadeProbe("b", 8, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cas, err := Cascade("a;b", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cas.Depth() != a.Depth()+b.Depth() {
+		t.Fatalf("cascade depth %d, want %d", cas.Depth(), a.Depth()+b.Depth())
+	}
+	for trial := 0; trial < 100; trial++ {
+		x := make([]int64, 8)
+		for i := range x {
+			x[i] = rng.Int63n(25)
+		}
+		mid, err := a.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := b.Quiescent(mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cas.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(got, want) {
+			t.Fatalf("cascade(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestMirrorPermutesInputs(t *testing.T) {
+	n := buildLadder4(t)
+	pi := []int{2, 0, 3, 1}
+	m, err := Mirror(n, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		x := make([]int64, 4)
+		for i := range x {
+			x[i] = rng.Int63n(20)
+		}
+		// Mirror input wire i plays original wire pi[i]: so feeding x to
+		// the mirror equals feeding y to the original with y[pi[i]]=x[i].
+		y := make([]int64, 4)
+		for i := range x {
+			y[pi[i]] = x[i]
+		}
+		got, err := m.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := n.Quiescent(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(got, want) {
+			t.Fatalf("mirror mismatch on %v", x)
+		}
+	}
+}
+
+func TestMirrorRejectsBadPermutation(t *testing.T) {
+	n := buildLadder4(t)
+	if _, err := Mirror(n, []int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := Mirror(n, []int{0, 0, 1, 2}); err == nil {
+		t.Fatal("non-bijection accepted")
+	}
+}
+
+func TestRandomCascadeProbeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if _, err := RandomCascadeProbe("x", 3, 1, rng); err == nil {
+		t.Fatal("odd width accepted")
+	}
+}

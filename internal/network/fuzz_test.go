@@ -1,0 +1,83 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// Native fuzz targets. The seed corpus runs in ordinary `go test`;
+// `go test -fuzz=FuzzQuiescentStep ./internal/network` explores further.
+
+// fuzzNet builds a fixed C(8,16)-shaped network without importing core
+// (avoiding an import cycle): ladder, two (2,4) base balancers per half,
+// merger layers — actually we just exercise the framework invariants on a
+// ladder cascade, which is enough for sum preservation and determinism.
+func fuzzNet(tb testing.TB) *Network {
+	tb.Helper()
+	b, in := NewBuilder("fuzz-cascade", 8)
+	cur := in
+	for layer := 0; layer < 3; layer++ {
+		next := make([]Port, 8)
+		for i := 0; i < 4; i++ {
+			o := b.Balancer([]Port{cur[i], cur[i+4]}, 2)
+			next[i], next[i+4] = o[0], o[1]
+		}
+		cur = next
+	}
+	n, err := b.Finalize(cur)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return n
+}
+
+// FuzzQuiescentSum: for arbitrary input counts, quiescent evaluation
+// preserves the token sum and is deterministic.
+func FuzzQuiescentSum(f *testing.F) {
+	f.Add(uint16(1), uint16(2), uint16(3), uint16(4), uint16(5), uint16(6), uint16(7), uint16(8))
+	f.Add(uint16(0), uint16(0), uint16(0), uint16(0), uint16(0), uint16(0), uint16(0), uint16(1000))
+	n := fuzzNet(f)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i uint16) {
+		x := []int64{int64(a), int64(b), int64(c), int64(d), int64(e), int64(g), int64(h), int64(i)}
+		y1, err := n.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y2, err := n.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(y1, y2) {
+			t.Fatal("quiescent evaluation nondeterministic")
+		}
+		if seq.Sum(y1) != seq.Sum(x) {
+			t.Fatalf("sum not preserved: %d -> %d", seq.Sum(x), seq.Sum(y1))
+		}
+	})
+}
+
+// FuzzSequentialMatchesQuiescent: pushing tokens one by one through the
+// live balancers reaches exactly the arithmetic prediction.
+func FuzzSequentialMatchesQuiescent(f *testing.F) {
+	f.Add(uint8(3), uint8(0), uint8(7), uint8(1), uint8(0), uint8(2), uint8(9), uint8(4))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i uint8) {
+		n := fuzzNet(t)
+		x := []int64{int64(a % 32), int64(b % 32), int64(c % 32), int64(d % 32),
+			int64(e % 32), int64(g % 32), int64(h % 32), int64(i % 32)}
+		exits := make([]int64, n.OutWidth())
+		for wire, cnt := range x {
+			for k := int64(0); k < cnt; k++ {
+				exits[n.Traverse(wire)]++
+			}
+		}
+		fresh := fuzzNet(t)
+		want, err := fresh.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(exits, want) {
+			t.Fatalf("live run %v != prediction %v for %v", exits, want, x)
+		}
+	})
+}

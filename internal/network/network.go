@@ -1,0 +1,451 @@
+// Package network provides the balancing-network substrate of the paper
+// (§1.1, §2.2): acyclic networks of (p,q)-balancers with ordered wires,
+// built through a Builder whose API mirrors the paper's "directly-connected
+// sequences" style, supporting
+//
+//   - lock-free concurrent token (and antitoken) traversal,
+//   - O(#balancers) quiescent-state evaluation from input token counts,
+//   - depth / layer decomposition (§2.2),
+//   - structural analysis and verification (counting, smoothing,
+//     difference-merging behaviour in quiescent states),
+//   - stall-instrumented traversal for measured contention.
+//
+// Networks are immutable after Builder.Finalize except for balancer states.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/balancer"
+)
+
+// External marks a port endpoint on the network boundary rather than on a
+// balancer node.
+const External = int32(-1)
+
+// endpoint identifies where a wire leads: either input port `port` of node
+// `node`, or (node == External) network output wire `port`. Symmetrically
+// for sources: either output port of a node or a network input wire.
+type endpoint struct {
+	node int32
+	port int32
+}
+
+// Node is one balancer inside a network.
+type Node struct {
+	bal   *balancer.PQ
+	out   []endpoint // destination of each output port
+	in    []endpoint // source of each input port
+	depth int32      // 1-based layer index (§2.2)
+	id    int32
+}
+
+// In returns the node's input width.
+func (n *Node) In() int { return n.bal.In() }
+
+// Out returns the node's output width.
+func (n *Node) Out() int { return n.bal.Out() }
+
+// Depth returns the node's 1-based depth (layer index).
+func (n *Node) Depth() int { return int(n.depth) }
+
+// ID returns the node's index within its network.
+func (n *Node) ID() int { return int(n.id) }
+
+// Balancer exposes the node's balancer state machine.
+func (n *Node) Balancer() *balancer.PQ { return n.bal }
+
+// Network is a finalized balancing network.
+type Network struct {
+	name     string
+	inWidth  int
+	outWidth int
+	nodes    []Node
+	inputs   []endpoint // per input wire: the consumer it feeds
+	sources  []endpoint // per output wire: the producer feeding it
+	depth    int
+	layers   [][]int32 // node ids grouped by depth, 0-indexed by depth-1
+
+	occ    []atomic.Int64 // per-node occupancy, for instrumented traversal
+	labels []string       // optional per-node block labels
+}
+
+// Name returns the network's descriptive name.
+func (n *Network) Name() string { return n.name }
+
+// InWidth returns the number of network input wires (w in the paper).
+func (n *Network) InWidth() int { return n.inWidth }
+
+// OutWidth returns the number of network output wires (t in the paper).
+func (n *Network) OutWidth() int { return n.outWidth }
+
+// Depth returns the network depth: the maximum number of balancers on any
+// input-to-output path (§2.2). A balancer-free network has depth 0.
+func (n *Network) Depth() int { return n.depth }
+
+// Size returns the number of balancers.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// Node returns balancer i.
+func (n *Network) Node(i int) *Node { return &n.nodes[i] }
+
+// Layers returns the node ids of each layer, layer 1 first. The slices are
+// shared; callers must not modify them.
+func (n *Network) Layers() [][]int32 { return n.layers }
+
+// Reset restores every balancer to its initial state. Not safe to call
+// concurrently with traversals.
+func (n *Network) Reset() {
+	for i := range n.nodes {
+		n.nodes[i].bal.Reset()
+	}
+}
+
+// Traverse shepherds one token from input wire `wire` through the network
+// and returns the output wire it exits on. Safe for concurrent use by any
+// number of goroutines; each balancer crossing is a single atomic add.
+func (n *Network) Traverse(wire int) int {
+	ep := n.inputs[wire]
+	for ep.node != External {
+		nd := &n.nodes[ep.node]
+		ep = nd.out[nd.bal.Step()]
+	}
+	return int(ep.port)
+}
+
+// TraverseAnti shepherds one antitoken (Fetch&Decrement traffic, ref [2])
+// from input wire `wire` and returns the output wire it exits on.
+func (n *Network) TraverseAnti(wire int) int {
+	ep := n.inputs[wire]
+	for ep.node != External {
+		nd := &n.nodes[ep.node]
+		ep = nd.out[nd.bal.StepAnti()]
+	}
+	return int(ep.port)
+}
+
+// TraverseStalls is Traverse with measured-contention instrumentation: for
+// each balancer crossing it adds to *stalls the number of other tokens
+// concurrently present at that balancer (the §1.2 stall measure, observed
+// rather than adversarially scheduled).
+func (n *Network) TraverseStalls(wire int, stalls *int64) int {
+	ep := n.inputs[wire]
+	for ep.node != External {
+		nd := &n.nodes[ep.node]
+		waiting := n.occ[ep.node].Add(1) - 1
+		if waiting > 0 {
+			atomic.AddInt64(stalls, waiting)
+		}
+		port := nd.bal.Step()
+		n.occ[ep.node].Add(-1)
+		ep = nd.out[port]
+	}
+	return int(ep.port)
+}
+
+// Quiescent computes the network's output sequence in the quiescent state
+// reached after x[i] tokens have entered on each input wire i (§2.2: the
+// output sequence depends only on these counts). It does not disturb the
+// live balancer states; initial balancer states are honoured.
+func (n *Network) Quiescent(x []int64) ([]int64, error) {
+	if len(x) != n.inWidth {
+		return nil, fmt.Errorf("network %s: input length %d, want %d", n.name, len(x), n.inWidth)
+	}
+	for i, v := range x {
+		if v < 0 {
+			return nil, fmt.Errorf("network %s: negative token count %d on wire %d", n.name, v, i)
+		}
+	}
+	y := make([]int64, n.outWidth)
+	in := make([]int64, len(n.nodes)) // accumulated input count per node
+	route := func(ep endpoint, c int64) {
+		if ep.node == External {
+			y[ep.port] += c
+		} else {
+			in[ep.node] += c
+		}
+	}
+	for i, v := range x {
+		route(n.inputs[i], v)
+	}
+	// Nodes were created in topological order by the Builder.
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		counts := balancer.Distribute(nd.bal.Init(), in[i], nd.Out())
+		for p, c := range counts {
+			if c != 0 {
+				route(nd.out[p], c)
+			}
+		}
+	}
+	return y, nil
+}
+
+// TraceStep is a single balancer crossing in a token's path.
+type TraceStep struct {
+	Node int // balancer id
+	Port int // output port taken
+}
+
+// TraverseObserve is Traverse with an observation callback invoked for
+// every balancer crossing: the node id, the token's sequence index k at
+// that balancer (it was the k-th token the balancer processed), and the
+// exit port. The callback runs on the traversing goroutine; execution
+// tracing builds on this hook.
+func (n *Network) TraverseObserve(wire int, obs func(node int, k int64, port int)) int {
+	ep := n.inputs[wire]
+	for ep.node != External {
+		nd := &n.nodes[ep.node]
+		k, port := nd.bal.StepK()
+		obs(int(ep.node), k, port)
+		ep = nd.out[port]
+	}
+	return int(ep.port)
+}
+
+// TraverseTrace is Traverse that also records the token's full path. It is
+// intended for tests and debugging, not hot paths.
+func (n *Network) TraverseTrace(wire int) (int, []TraceStep) {
+	var path []TraceStep
+	ep := n.inputs[wire]
+	for ep.node != External {
+		nd := &n.nodes[ep.node]
+		p := nd.bal.Step()
+		path = append(path, TraceStep{Node: int(ep.node), Port: p})
+		ep = nd.out[p]
+	}
+	return int(ep.port), path
+}
+
+// Wiring inspection -----------------------------------------------------
+
+// InputDest returns, for network input wire i, the node id and input port
+// it feeds; node == -1 means it connects straight to output wire port.
+func (n *Network) InputDest(i int) (node, port int) {
+	ep := n.inputs[i]
+	return int(ep.node), int(ep.port)
+}
+
+// OutputSource returns, for network output wire i, the node id and output
+// port feeding it; node == -1 means it is fed straight from input wire port.
+func (n *Network) OutputSource(i int) (node, port int) {
+	ep := n.sources[i]
+	return int(ep.node), int(ep.port)
+}
+
+// Dest returns where output port p of node id leads: a (node, inPort) pair,
+// or node == -1 and the network output wire index.
+func (n *Network) Dest(id, p int) (node, port int) {
+	ep := n.nodes[id].out[p]
+	return int(ep.node), int(ep.port)
+}
+
+// Source returns what feeds input port p of node id: a (node, outPort)
+// pair, or node == -1 and the network input wire index.
+func (n *Network) Source(id, p int) (node, port int) {
+	ep := n.nodes[id].in[p]
+	return int(ep.node), int(ep.port)
+}
+
+// Label returns the block label assigned to node id ("" if none).
+func (n *Network) Label(id int) string {
+	if n.labels == nil {
+		return ""
+	}
+	return n.labels[id]
+}
+
+// SetLabel assigns a block label (e.g. "Na", "Nb", "Nc") to node id.
+func (n *Network) SetLabel(id int, label string) {
+	if n.labels == nil {
+		n.labels = make([]string, len(n.nodes))
+	}
+	n.labels[id] = label
+}
+
+// RandomizeInitialStates rebuilds every balancer with a uniformly random
+// initial state drawn from rng (the Section 7 randomization ablation).
+// Not safe to call concurrently with traversals.
+func (n *Network) RandomizeInitialStates(rng *rand.Rand) {
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		nd.bal = balancer.NewInit(nd.In(), nd.Out(), rng.Int63n(int64(nd.Out())))
+	}
+}
+
+// Builder ----------------------------------------------------------------
+
+// Port is a dangling wire end produced by the Builder: either a network
+// input wire or an output port of an already-created balancer. Each Port
+// must be consumed exactly once (by Balancer or Finalize).
+type Port struct {
+	src endpoint
+	b   *Builder
+	seq int64 // creation sequence, for error messages
+}
+
+// Builder incrementally constructs a balancing network. Balancers must be
+// created in dependency order (a balancer can only consume already-existing
+// ports), which makes creation order a topological order.
+type Builder struct {
+	name     string
+	inWidth  int
+	nodes    []Node
+	inputs   []endpoint
+	consumed map[endpoint]bool
+	seq      int64
+	err      error
+}
+
+// NewBuilder starts a network with inWidth input wires.
+func NewBuilder(name string, inWidth int) (*Builder, []Port) {
+	b := &Builder{
+		name:     name,
+		inWidth:  inWidth,
+		inputs:   make([]endpoint, inWidth),
+		consumed: make(map[endpoint]bool),
+	}
+	if inWidth < 1 {
+		b.fail(fmt.Errorf("network %s: input width %d < 1", name, inWidth))
+	}
+	ports := make([]Port, inWidth)
+	for i := range ports {
+		ports[i] = Port{src: endpoint{node: External, port: int32(i)}, b: b}
+	}
+	return b, ports
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Err returns the first construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Balancer adds a (len(in), outWidth)-balancer consuming the given ports in
+// order, and returns its output ports in order. A nil return indicates a
+// construction error (recorded; surfaced by Finalize).
+func (b *Builder) Balancer(in []Port, outWidth int) []Port {
+	return b.BalancerInit(in, outWidth, 0)
+}
+
+// BalancerInit is Balancer with an explicit initial state s0.
+func (b *Builder) BalancerInit(in []Port, outWidth int, s0 int64) []Port {
+	if b.err != nil {
+		return nil
+	}
+	if len(in) < 1 || outWidth < 1 {
+		b.fail(fmt.Errorf("network %s: balancer widths (%d,%d) invalid", b.name, len(in), outWidth))
+		return nil
+	}
+	id := int32(len(b.nodes))
+	node := Node{
+		bal: balancer.NewInit(len(in), outWidth, s0),
+		out: make([]endpoint, outWidth),
+		in:  make([]endpoint, len(in)),
+		id:  id,
+	}
+	depth := int32(0)
+	for p, port := range in {
+		if !b.consume(port, endpoint{node: id, port: int32(p)}) {
+			return nil
+		}
+		node.in[p] = port.src
+		if port.src.node != External {
+			if d := b.nodes[port.src.node].depth; d > depth {
+				depth = d
+			}
+		}
+	}
+	node.depth = depth + 1
+	b.nodes = append(b.nodes, node)
+	outs := make([]Port, outWidth)
+	for p := range outs {
+		b.seq++
+		outs[p] = Port{src: endpoint{node: id, port: int32(p)}, b: b, seq: b.seq}
+	}
+	return outs
+}
+
+// consume marks a port used and records its wiring; false on error.
+func (b *Builder) consume(p Port, dest endpoint) bool {
+	if b.consumed == nil {
+		b.fail(ErrSpent)
+		return false
+	}
+	if p.b != b {
+		b.fail(fmt.Errorf("network %s: port from a different builder", b.name))
+		return false
+	}
+	if b.consumed[p.src] {
+		b.fail(fmt.Errorf("network %s: port %v consumed twice", b.name, p.src))
+		return false
+	}
+	b.consumed[p.src] = true
+	if p.src.node == External {
+		b.inputs[p.src.port] = dest
+	} else {
+		b.nodes[p.src.node].out[p.src.port] = dest
+	}
+	return true
+}
+
+// Finalize declares the given ports to be the network's output wires, in
+// order, validates that every port in the network was consumed exactly
+// once, and returns the immutable Network.
+func (b *Builder) Finalize(outputs []Port) (*Network, error) {
+	if b.err == nil {
+		for i, p := range outputs {
+			b.consume(p, endpoint{node: External, port: int32(i)})
+		}
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	// Completeness: every node output port and every network input must be
+	// consumed.
+	for i := 0; i < b.inWidth; i++ {
+		if !b.consumed[endpoint{node: External, port: int32(i)}] {
+			return nil, fmt.Errorf("network %s: input wire %d left dangling", b.name, i)
+		}
+	}
+	for id := range b.nodes {
+		for p := 0; p < b.nodes[id].Out(); p++ {
+			if !b.consumed[endpoint{node: int32(id), port: int32(p)}] {
+				return nil, fmt.Errorf("network %s: balancer %d output %d left dangling", b.name, id, p)
+			}
+		}
+	}
+	n := &Network{
+		name:     b.name,
+		inWidth:  b.inWidth,
+		outWidth: len(outputs),
+		nodes:    b.nodes,
+		inputs:   b.inputs,
+		occ:      make([]atomic.Int64, len(b.nodes)),
+	}
+	n.sources = make([]endpoint, len(outputs))
+	for i, p := range outputs {
+		n.sources[i] = p.src
+	}
+	for i := range n.nodes {
+		if d := int(n.nodes[i].depth); d > n.depth {
+			n.depth = d
+		}
+	}
+	n.layers = make([][]int32, n.depth)
+	for i := range n.nodes {
+		d := n.nodes[i].depth - 1
+		n.layers[d] = append(n.layers[d], int32(i))
+	}
+	b.consumed = nil // builder is spent
+	return n, nil
+}
+
+// ErrSpent is returned when a Builder is reused after Finalize.
+var ErrSpent = errors.New("network: builder already finalized")

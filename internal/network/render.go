@@ -1,0 +1,217 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary returns a one-paragraph structural description of the network:
+// widths, depth, balancer count, arity census and per-layer widths. This is
+// the textual regeneration of the paper's construction figures.
+func Summary(n *Network) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: in=%d out=%d depth=%d balancers=%d\n",
+		n.Name(), n.InWidth(), n.OutWidth(), n.Depth(), n.Size())
+	fmt.Fprintf(&b, "  arities: %s\n", formatCensus(ArityCensus(n)))
+	widths := LayerWidths(n)
+	arities := LayerArities(n)
+	for d := 0; d < n.Depth(); d++ {
+		fmt.Fprintf(&b, "  layer %2d: %3d balancers, width %3d, %s\n",
+			d+1, len(n.Layers()[d]), widths[d], formatCensus(arities[d]))
+	}
+	return b.String()
+}
+
+func formatCensus(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d x %s", m[k], k)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// wireName names the edge leaving a source endpoint.
+func wireName(src endpoint) string {
+	if src.node == External {
+		return fmt.Sprintf("in%d", src.port)
+	}
+	return fmt.Sprintf("b%d.%d", src.node, src.port)
+}
+
+// destName names the consumer of an edge.
+func destName(dst endpoint) string {
+	if dst.node == External {
+		return fmt.Sprintf("out%d", dst.port)
+	}
+	return fmt.Sprintf("b%d[%d]", dst.node, dst.port)
+}
+
+// Diagram returns a full layer-by-layer wiring listing: every balancer with
+// the named wires entering and leaving it, e.g.
+//
+//	layer 1:
+//	  b0 (2,2)  in: in0 in4   out: ->b2[0] ->b3[0]
+//
+// It is exact (the network can be reconstructed from it) and is what
+// cmd/netviz prints for the figure-reproduction experiments (E9).
+func Diagram(n *Network) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (in=%d, out=%d, depth=%d)\n", n.Name(), n.InWidth(), n.OutWidth(), n.Depth())
+	for d, layer := range n.Layers() {
+		fmt.Fprintf(&b, "layer %d:\n", d+1)
+		ids := append([]int32(nil), layer...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			nd := n.Node(int(id))
+			ins := make([]string, nd.In())
+			for p := range ins {
+				ins[p] = wireName(nd.in[p])
+			}
+			outs := make([]string, nd.Out())
+			for p := range outs {
+				outs[p] = "->" + destName(nd.out[p])
+			}
+			label := ""
+			if l := n.Label(int(id)); l != "" {
+				label = " [" + l + "]"
+			}
+			fmt.Fprintf(&b, "  b%-3d (%d,%d)%s  in: %s   out: %s\n",
+				id, nd.In(), nd.Out(), label, strings.Join(ins, " "), strings.Join(outs, " "))
+		}
+	}
+	// Output wire sources.
+	outs := make([]string, n.OutWidth())
+	for i := range outs {
+		outs[i] = fmt.Sprintf("out%d<-%s", i, wireName(n.sources[i]))
+	}
+	fmt.Fprintf(&b, "outputs: %s\n", strings.Join(outs, " "))
+	return b.String()
+}
+
+// BrickDiagram renders a classic horizontal-wire diagram for networks whose
+// balancers are all (2,2) (the style of Fig. 2 of the paper). Wires are
+// drawn as rows; each balancer is a vertical connector between the two rows
+// its endpoints occupy in the straightened drawing, where row identity is
+// inherited from output position. Networks with irregular balancers are
+// rendered by Diagram instead; BrickDiagram returns an error for them.
+func BrickDiagram(n *Network) (string, error) {
+	for i := 0; i < n.Size(); i++ {
+		nd := n.Node(i)
+		if nd.In() != 2 || nd.Out() != 2 {
+			return "", fmt.Errorf("network %s: BrickDiagram requires all (2,2) balancers, found (%d,%d)",
+				n.Name(), nd.In(), nd.Out())
+		}
+	}
+	if n.InWidth() != n.OutWidth() {
+		return "", fmt.Errorf("network %s: BrickDiagram requires equal widths", n.Name())
+	}
+	w := n.OutWidth()
+	// Assign each node a pair of rows by propagating rows backward from the
+	// outputs: a node's output port p occupies the row of whatever consumes
+	// it. Consumers are either network outputs (row = wire index) or later
+	// nodes whose rows are already known (process layers back to front).
+	rows := make([][2]int, n.Size())
+	resolved := make([]bool, n.Size())
+	rowOf := func(dst endpoint) (int, bool) {
+		if dst.node == External {
+			return int(dst.port), true
+		}
+		if !resolved[dst.node] {
+			return 0, false
+		}
+		return rows[dst.node][dst.port], true
+	}
+	for d := n.Depth() - 1; d >= 0; d-- {
+		for _, id := range n.Layers()[d] {
+			nd := n.Node(int(id))
+			r0, ok0 := rowOf(nd.out[0])
+			r1, ok1 := rowOf(nd.out[1])
+			if !ok0 || !ok1 {
+				return "", fmt.Errorf("network %s: cannot straighten wires for brick diagram", n.Name())
+			}
+			rows[id] = [2]int{r0, r1}
+			resolved[id] = true
+		}
+	}
+	// Columns: each layer gets enough sub-columns that overlapping balancer
+	// spans are drawn side by side. Wires are '-' rows, balancers are
+	// vertical 'o...|...o' spans.
+	type span struct{ lo, hi int }
+	layerSpans := make([][]span, n.Depth())
+	subCols := make([]int, n.Depth())
+	for d := 0; d < n.Depth(); d++ {
+		var spans []span
+		for _, id := range n.Layers()[d] {
+			lo, hi := rows[id][0], rows[id][1]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			spans = append(spans, span{lo, hi})
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		layerSpans[d] = spans
+		// Greedy interval partitioning into non-overlapping sub-columns.
+		var colEnds []int
+		for _, s := range spans {
+			placed := false
+			for c := range colEnds {
+				if colEnds[c] < s.lo {
+					colEnds[c] = s.hi
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				colEnds = append(colEnds, s.hi)
+			}
+		}
+		subCols[d] = len(colEnds)
+		if subCols[d] == 0 {
+			subCols[d] = 1
+		}
+	}
+	colStart := make([]int, n.Depth()+1)
+	colStart[0] = 2
+	for d := 0; d < n.Depth(); d++ {
+		colStart[d+1] = colStart[d] + 2*subCols[d] + 2
+	}
+	total := colStart[n.Depth()] + 2
+	grid := make([][]byte, w)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat("-", total))
+	}
+	for d := 0; d < n.Depth(); d++ {
+		colEnds := make([]int, 0, subCols[d])
+		for _, s := range layerSpans[d] {
+			c := -1
+			for i := range colEnds {
+				if colEnds[i] < s.lo {
+					c, colEnds[i] = i, s.hi
+					break
+				}
+			}
+			if c == -1 {
+				c = len(colEnds)
+				colEnds = append(colEnds, s.hi)
+			}
+			col := colStart[d] + 2*c
+			grid[s.lo][col] = 'o'
+			grid[s.hi][col] = 'o'
+			for r := s.lo + 1; r < s.hi; r++ {
+				grid[r][col] = '|'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (w=%d, depth=%d)\n", n.Name(), w, n.Depth())
+	for r := 0; r < w; r++ {
+		fmt.Fprintf(&b, "%2d %s %2d\n", r, string(grid[r]), r)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,185 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// Verification of quiescent-state behaviour (§2.2 network families).
+//
+// The quiescent output of a balancing network is a pure function of the
+// per-wire input counts, so the families of §2.2 (counting, k-smoothing,
+// difference merging) can be checked by evaluating Quiescent over input
+// count vectors: exhaustively over small totals, and randomized beyond.
+
+// CheckCounting verifies the counting-network property (every quiescent
+// output is a step sequence) over an exhaustive enumeration of input count
+// vectors with totals up to exhaustiveSum, plus `trials` random vectors
+// with entries below 1000, drawn from rng. It returns nil or a descriptive
+// counterexample error.
+func CheckCounting(n *Network, exhaustiveSum int, trials int, rng *rand.Rand) error {
+	check := func(x []int64) error {
+		y, err := n.Quiescent(x)
+		if err != nil {
+			return err
+		}
+		if !seq.IsStep(y) {
+			return fmt.Errorf("network %s: input %v yields non-step output %v", n.Name(), x, y)
+		}
+		if seq.Sum(y) != seq.Sum(x) {
+			return fmt.Errorf("network %s: input %v sum %d but output sum %d", n.Name(), x, seq.Sum(x), seq.Sum(y))
+		}
+		return nil
+	}
+	return sweep(n, exhaustiveSum, trials, rng, check)
+}
+
+// CheckSmoothing verifies the k-smoothing property over the same input
+// sweep as CheckCounting.
+func CheckSmoothing(n *Network, k int64, exhaustiveSum int, trials int, rng *rand.Rand) error {
+	check := func(x []int64) error {
+		y, err := n.Quiescent(x)
+		if err != nil {
+			return err
+		}
+		if !seq.IsKSmooth(y, k) {
+			return fmt.Errorf("network %s: input %v yields output %v with smoothness %d > %d",
+				n.Name(), x, y, seq.Smoothness(y), k)
+		}
+		return nil
+	}
+	return sweep(n, exhaustiveSum, trials, rng, check)
+}
+
+// MaxObservedSmoothness returns the largest Max-Min spread observed on the
+// outputs over the standard sweep; useful for measuring (rather than
+// asserting) smoothing behaviour.
+func MaxObservedSmoothness(n *Network, exhaustiveSum int, trials int, rng *rand.Rand) (int64, error) {
+	var worst int64
+	err := sweep(n, exhaustiveSum, trials, rng, func(x []int64) error {
+		y, err := n.Quiescent(x)
+		if err != nil {
+			return err
+		}
+		if s := seq.Smoothness(y); s > worst {
+			worst = s
+		}
+		return nil
+	})
+	return worst, err
+}
+
+// CheckDifferenceMerger verifies the difference-merging property (§2.2)
+// with merging parameter delta: whenever the first and second halves of the
+// input are step sequences with sum difference in [0, delta], the output
+// must be step. Inputs are generated directly as pairs of step sequences:
+// exhaustively over second-half sums up to exhaustiveSum with every
+// feasible difference, plus `trials` random pairs.
+func CheckDifferenceMerger(n *Network, delta int64, exhaustiveSum int, trials int, rng *rand.Rand) error {
+	if n.InWidth()%2 != 0 {
+		return fmt.Errorf("network %s: difference merger needs even input width, have %d", n.Name(), n.InWidth())
+	}
+	half := n.InWidth() / 2
+	check := func(sx, sy int64) error {
+		x := append(seq.MakeStep(sx, half), seq.MakeStep(sy, half)...)
+		y, err := n.Quiescent(x)
+		if err != nil {
+			return err
+		}
+		if !seq.IsStep(y) {
+			return fmt.Errorf("network %s: step halves (sums %d, %d, delta %d) yield non-step output %v",
+				n.Name(), sx, sy, delta, y)
+		}
+		return nil
+	}
+	for sy := int64(0); sy <= int64(exhaustiveSum); sy++ {
+		for d := int64(0); d <= delta; d++ {
+			if err := check(sy+d, sy); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < trials; i++ {
+		sy := rng.Int63n(100000)
+		if err := check(sy+rng.Int63n(delta+1), sy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweep enumerates input count vectors and applies check to each: all
+// vectors with total <= exhaustiveSum (compositions of the total into
+// InWidth parts), then `trials` random vectors.
+func sweep(n *Network, exhaustiveSum, trials int, rng *rand.Rand, check func([]int64) error) error {
+	w := n.InWidth()
+	x := make([]int64, w)
+	var rec func(i int, left int64) error
+	rec = func(i int, left int64) error {
+		if i == w-1 {
+			x[i] = left
+			defer func() { x[i] = 0 }()
+			return check(x)
+		}
+		for v := int64(0); v <= left; v++ {
+			x[i] = v
+			if err := rec(i+1, left-v); err != nil {
+				return err
+			}
+		}
+		x[i] = 0
+		return nil
+	}
+	for total := int64(0); total <= int64(exhaustiveSum); total++ {
+		if err := rec(0, total); err != nil {
+			return err
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		for i := range x {
+			x[i] = rng.Int63n(1000)
+		}
+		if err := check(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ArityCensus counts balancers by (in,out) arity, e.g. {"(2,2)": 12}.
+func ArityCensus(n *Network) map[string]int {
+	m := make(map[string]int)
+	for i := 0; i < n.Size(); i++ {
+		nd := n.Node(i)
+		m[fmt.Sprintf("(%d,%d)", nd.In(), nd.Out())]++
+	}
+	return m
+}
+
+// LayerWidths returns, for each layer, the total number of output wires of
+// that layer's balancers (the width of the network at that depth).
+func LayerWidths(n *Network) []int {
+	out := make([]int, n.Depth())
+	for d, layer := range n.Layers() {
+		for _, id := range layer {
+			out[d] += n.Node(int(id)).Out()
+		}
+	}
+	return out
+}
+
+// LayerArities returns, per layer, the census of balancer arities.
+func LayerArities(n *Network) []map[string]int {
+	out := make([]map[string]int, n.Depth())
+	for d, layer := range n.Layers() {
+		m := make(map[string]int)
+		for _, id := range layer {
+			nd := n.Node(int(id))
+			m[fmt.Sprintf("(%d,%d)", nd.In(), nd.Out())]++
+		}
+		out[d] = m
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package periodic
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+func log2(x int) int {
+	k := 0
+	for x > 1 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+func TestDepth(t *testing.T) {
+	// depth(Periodic[w]) = lg²w.
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		n, err := New(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := log2(w)
+		if n.Depth() != k*k {
+			t.Errorf("depth(Periodic(%d)) = %d, want %d", w, n.Depth(), k*k)
+		}
+	}
+}
+
+func TestBlockDepth(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		n, err := NewBlock(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Depth() != log2(w) {
+			t.Errorf("depth(Block(%d)) = %d, want %d", w, n.Depth(), log2(w))
+		}
+	}
+}
+
+func TestCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, c := range []struct {
+		w          int
+		exhaustive int
+		trials     int
+	}{
+		{2, 10, 100}, {4, 6, 300}, {8, 4, 300}, {16, 0, 500}, {32, 0, 200},
+	} {
+		n, err := New(c.w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := network.CheckCounting(n, c.exhaustive, c.trials, rng); err != nil {
+			t.Errorf("Periodic(%d): %v", c.w, err)
+		}
+	}
+}
+
+// A single block is not a counting network for w >= 4, which is why lgw of
+// them are cascaded.
+func TestSingleBlockNotCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n, err := NewBlock(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := network.CheckCounting(n, 4, 300, rng); err == nil {
+		t.Error("Block(8) accepted as counting network")
+	}
+}
+
+// A block applied to a step-smooth-ish input preserves sums.
+func TestSumPreservation(t *testing.T) {
+	n, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		x := make([]int64, 16)
+		for i := range x {
+			x[i] = rng.Int63n(40)
+		}
+		y, err := n.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Sum(y) != seq.Sum(x) {
+			t.Fatalf("sum %d -> %d", seq.Sum(x), seq.Sum(y))
+		}
+	}
+}
+
+func TestMirrorWiring(t *testing.T) {
+	n, err := NewBlock(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First layer: inputs i and 7-i meet at the same balancer.
+	for i := 0; i < 4; i++ {
+		n1, _ := n.InputDest(i)
+		n2, _ := n.InputDest(7 - i)
+		if n1 != n2 {
+			t.Errorf("inputs %d and %d do not meet", i, 7-i)
+		}
+	}
+}
+
+// The periodic network is behaviourally identical to a generic Cascade of
+// lgw standalone blocks — cross-validating the Cascade combinator against
+// the direct construction.
+func TestEqualsCascadeOfBlocks(t *testing.T) {
+	const w = 8
+	direct, err := New(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []*network.Network
+	for i := 0; i < log2(w); i++ {
+		blk, err := NewBlock(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, blk)
+	}
+	cascaded, err := network.Cascade("Periodic-cascade(8)", blocks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cascaded.Depth() != direct.Depth() || cascaded.Size() != direct.Size() {
+		t.Fatalf("cascade geometry differs: depth %d/%d size %d/%d",
+			cascaded.Depth(), direct.Depth(), cascaded.Size(), direct.Size())
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		x := make([]int64, w)
+		for i := range x {
+			x[i] = rng.Int63n(60)
+		}
+		a, err := direct.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cascaded.Quiescent(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(a, b) {
+			t.Fatalf("cascade diverges from direct periodic on %v", x)
+		}
+	}
+}
+
+func TestInvalidWidth(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 10} {
+		if _, err := New(w); err == nil {
+			t.Errorf("New(%d) accepted", w)
+		}
+		if _, err := NewBlock(w); err == nil {
+			t.Errorf("NewBlock(%d) accepted", w)
+		}
+	}
+}

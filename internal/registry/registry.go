@@ -1,0 +1,71 @@
+// Package registry resolves network family names to constructors, shared
+// by the command-line tools and the benchmark harness.
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitonic"
+	"repro/internal/butterfly"
+	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/merge"
+	"repro/internal/network"
+	"repro/internal/periodic"
+)
+
+// Params carries the size parameters a family may need.
+type Params struct {
+	W     int // input width
+	T     int // output width (families with t != w)
+	Delta int // merging parameter (merger family)
+}
+
+// Families lists the available family names.
+func Families() []string {
+	names := make([]string, 0, len(builders))
+	for k := range builders {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var builders = map[string]func(Params) (*network.Network, error){
+	"cwt":        func(p Params) (*network.Network, error) { return core.New(p.W, defT(p)) },
+	"prefix":     func(p Params) (*network.Network, error) { return core.NewPrefix(p.W, defT(p)) },
+	"prefix22":   func(p Params) (*network.Network, error) { return core.NewPrefix22(p.W) },
+	"ladder":     func(p Params) (*network.Network, error) { return core.NewLadder(p.W) },
+	"merger":     func(p Params) (*network.Network, error) { return merge.New(defT(p), defDelta(p)) },
+	"bitonic":    func(p Params) (*network.Network, error) { return bitonic.New(p.W) },
+	"bitmerger":  func(p Params) (*network.Network, error) { return bitonic.NewMerger(p.W) },
+	"periodic":   func(p Params) (*network.Network, error) { return periodic.New(p.W) },
+	"block":      func(p Params) (*network.Network, error) { return periodic.NewBlock(p.W) },
+	"butterfly":  func(p Params) (*network.Network, error) { return butterfly.NewForward(p.W) },
+	"bbutterfly": func(p Params) (*network.Network, error) { return butterfly.NewBackward(p.W) },
+	"dtree":      func(p Params) (*network.Network, error) { return dtree.NewToggleNetwork(p.W) },
+}
+
+func defT(p Params) int {
+	if p.T == 0 {
+		return p.W
+	}
+	return p.T
+}
+
+func defDelta(p Params) int {
+	if p.Delta == 0 {
+		return 2
+	}
+	return p.Delta
+}
+
+// Build constructs the named network family with the given parameters.
+func Build(family string, p Params) (*network.Network, error) {
+	f, ok := builders[family]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown family %q (known: %v)", family, Families())
+	}
+	return f(p)
+}

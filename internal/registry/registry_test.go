@@ -1,0 +1,61 @@
+package registry
+
+import (
+	"testing"
+)
+
+func TestAllFamiliesBuild(t *testing.T) {
+	p := Params{W: 8, T: 16, Delta: 4}
+	for _, f := range Families() {
+		n, err := Build(f, p)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if n.Size() == 0 && f != "wire" {
+			t.Errorf("%s: empty network", f)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	// T defaults to W; Delta defaults to 2.
+	n, err := Build("cwt", Params{W: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.OutWidth() != 8 {
+		t.Fatalf("default t: out width %d", n.OutWidth())
+	}
+	m, err := Build("merger", Params{T: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Depth() != 1 {
+		t.Fatalf("default delta: depth %d", m.Depth())
+	}
+}
+
+func TestUnknownFamily(t *testing.T) {
+	if _, err := Build("nope", Params{W: 8}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestInvalidParamsPropagate(t *testing.T) {
+	if _, err := Build("cwt", Params{W: 6}); err == nil {
+		t.Fatal("invalid width accepted")
+	}
+}
+
+func TestFamiliesSorted(t *testing.T) {
+	fams := Families()
+	if len(fams) < 10 {
+		t.Fatalf("only %d families", len(fams))
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1] >= fams[i] {
+			t.Fatalf("families not sorted: %v", fams)
+		}
+	}
+}

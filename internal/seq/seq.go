@@ -1,0 +1,325 @@
+// Package seq implements the integer-sequence machinery of Section 2.1 of
+// Busch & Mavronicolas, "An efficient counting network" (TCS 411, 2010;
+// preliminary version IPPS/SPDP'98): step sequences, k-smooth sequences,
+// even/odd subsequences, step points, and the arithmetic facts of
+// Lemmas 2.1-2.4 used throughout the construction proofs.
+//
+// A sequence x of length w represents the number of tokens observed on each
+// of w wires of a balancing network in a quiescent state.
+package seq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEmpty is returned by operations that require a non-empty sequence.
+var ErrEmpty = errors.New("seq: empty sequence")
+
+// Sum returns the sum of the elements of x.
+func Sum(x []int64) int64 {
+	var s int64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element of x. It panics if x is empty.
+func Max(x []int64) int64 {
+	if len(x) == 0 {
+		panic(ErrEmpty)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element of x. It panics if x is empty.
+func Min(x []int64) int64 {
+	if len(x) == 0 {
+		panic(ErrEmpty)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// IsStep reports whether x has the step property of [5]:
+// 0 <= x[i]-x[j] <= 1 for every pair of indices i < j.
+// Equivalently, x is non-increasing and Max(x)-Min(x) <= 1.
+// The empty sequence and all singletons are step.
+func IsStep(x []int64) bool {
+	if len(x) <= 1 {
+		return true
+	}
+	first, last := x[0], x[len(x)-1]
+	if first-last > 1 || first < last {
+		return false
+	}
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKSmooth reports whether x has the k-smooth property:
+// |x[i]-x[j]| <= k for all pairs i, j.
+func IsKSmooth(x []int64, k int64) bool {
+	if len(x) <= 1 {
+		return true
+	}
+	return Max(x)-Min(x) <= k
+}
+
+// Smoothness returns the smallest k such that x is k-smooth,
+// i.e. Max(x)-Min(x). It panics if x is empty.
+func Smoothness(x []int64) int64 {
+	return Max(x) - Min(x)
+}
+
+// StepPoint returns the step point of a step sequence x: the unique index i
+// with x[i] < x[i-1], or len(x) if all elements are equal (paper §2.1).
+// It panics if x is not a step sequence.
+func StepPoint(x []int64) int {
+	if !IsStep(x) {
+		panic(fmt.Sprintf("seq: StepPoint of non-step sequence %v", x))
+	}
+	for i := 1; i < len(x); i++ {
+		if x[i] < x[i-1] {
+			return i
+		}
+	}
+	return len(x)
+}
+
+// StepValue returns element i of the step sequence of length w summing to
+// sum, per Eq. (1) of the paper: x_i = ceil((sum - i) / w).
+// It requires 0 <= i < w and sum >= 0.
+func StepValue(sum int64, w, i int) int64 {
+	if i < 0 || i >= w {
+		panic(fmt.Sprintf("seq: StepValue index %d out of range [0,%d)", i, w))
+	}
+	return ceilDiv(sum-int64(i), int64(w))
+}
+
+// MakeStep returns the unique step sequence of length w whose elements sum
+// to sum (sum >= 0), using Eq. (1).
+func MakeStep(sum int64, w int) []int64 {
+	x := make([]int64, w)
+	for i := range x {
+		x[i] = StepValue(sum, w, i)
+	}
+	return x
+}
+
+// ceilDiv returns ceil(a/b) for b > 0 and any integer a.
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("seq: ceilDiv requires positive divisor")
+	}
+	q := a / b
+	if a%b > 0 {
+		q++
+	}
+	return q
+}
+
+// Even returns the even subsequence x_0, x_2, x_4, ... of x.
+func Even(x []int64) []int64 {
+	out := make([]int64, 0, (len(x)+1)/2)
+	for i := 0; i < len(x); i += 2 {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// Odd returns the odd subsequence x_1, x_3, x_5, ... of x.
+func Odd(x []int64) []int64 {
+	out := make([]int64, 0, len(x)/2)
+	for i := 1; i < len(x); i += 2 {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// Halves splits x (of even length) into its first and second half.
+func Halves(x []int64) (first, second []int64) {
+	if len(x)%2 != 0 {
+		panic(fmt.Sprintf("seq: Halves of odd-length sequence (len %d)", len(x)))
+	}
+	return x[:len(x)/2], x[len(x)/2:]
+}
+
+// Subsequence returns the subsequence of x selected by the strictly
+// increasing index list idx. Lemma 2.1: any subsequence of a step sequence
+// is step.
+func Subsequence(x []int64, idx []int) []int64 {
+	out := make([]int64, len(idx))
+	prev := -1
+	for k, i := range idx {
+		if i <= prev || i >= len(x) {
+			panic(fmt.Sprintf("seq: Subsequence indices must be strictly increasing and in range, got %v", idx))
+		}
+		out[k] = x[i]
+		prev = i
+	}
+	return out
+}
+
+// Permutation is a bijection on {0..w-1}, represented so that p[i] is the
+// image of i. Section 2.3: permuting a k-smooth sequence preserves
+// k-smoothness (Lemma 2.6).
+type Permutation []int
+
+// Identity returns the identity permutation on w elements.
+func Identity(w int) Permutation {
+	p := make(Permutation, w)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Valid reports whether p is a bijection on {0..len(p)-1}.
+func (p Permutation) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Inverse returns the inverse permutation p^R with p^R(p(i)) = i.
+func (p Permutation) Inverse() Permutation {
+	inv := make(Permutation, len(p))
+	for i, v := range p {
+		inv[v] = i
+	}
+	return inv
+}
+
+// Compose returns the permutation q∘p (apply p first, then q).
+func (p Permutation) Compose(q Permutation) Permutation {
+	if len(p) != len(q) {
+		panic("seq: composing permutations of different sizes")
+	}
+	out := make(Permutation, len(p))
+	for i := range p {
+		out[i] = q[p[i]]
+	}
+	return out
+}
+
+// Apply returns pi(x): the sequence y with x[i] = y[pi(i)]
+// (the paper's convention in §2.3).
+func (p Permutation) Apply(x []int64) []int64 {
+	if len(p) != len(x) {
+		panic("seq: permutation/sequence length mismatch")
+	}
+	y := make([]int64, len(x))
+	for i, v := range x {
+		y[p[i]] = v
+	}
+	return y
+}
+
+// Equal reports whether two sequences are element-wise equal.
+func Equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of x.
+func Clone(x []int64) []int64 {
+	out := make([]int64, len(x))
+	copy(out, x)
+	return out
+}
+
+// CheckLemma22 verifies Lemma 2.2 for a concrete pair of step sequences:
+// if 0 <= Sum(x)-Sum(y) <= delta then 0 <= Max(x)-Max(y) <= floor(delta/w)+1.
+// It returns an error describing the first violated condition, or nil.
+// The preconditions (both step, length >= 2, equal lengths) are validated.
+func CheckLemma22(x, y []int64, delta int64) error {
+	if len(x) != len(y) || len(x) < 2 {
+		return fmt.Errorf("seq: Lemma 2.2 needs equal lengths >= 2, got %d and %d", len(x), len(y))
+	}
+	if !IsStep(x) || !IsStep(y) {
+		return errors.New("seq: Lemma 2.2 needs step sequences")
+	}
+	d := Sum(x) - Sum(y)
+	if d < 0 || d > delta {
+		return fmt.Errorf("seq: Lemma 2.2 precondition 0 <= %d <= %d fails", d, delta)
+	}
+	a, b := Max(x), Max(y)
+	bound := delta/int64(len(x)) + 1
+	if a-b < 0 || a-b > bound {
+		return fmt.Errorf("seq: Lemma 2.2 conclusion fails: Max(x)-Max(y)=%d not in [0,%d]", a-b, bound)
+	}
+	return nil
+}
+
+// CheckLemma23 verifies Lemma 2.3 for a concrete step sequence of even
+// length >= 2: 0 <= Sum(Even(x)) - Sum(Odd(x)) <= 1.
+func CheckLemma23(x []int64) error {
+	if len(x) < 2 || len(x)%2 != 0 {
+		return fmt.Errorf("seq: Lemma 2.3 needs even length >= 2, got %d", len(x))
+	}
+	if !IsStep(x) {
+		return errors.New("seq: Lemma 2.3 needs a step sequence")
+	}
+	d := Sum(Even(x)) - Sum(Odd(x))
+	if d < 0 || d > 1 {
+		return fmt.Errorf("seq: Lemma 2.3 conclusion fails: diff=%d", d)
+	}
+	return nil
+}
+
+// CheckLemma24 verifies Lemma 2.4 for concrete step sequences x, y of even
+// length with an even delta: if 0 <= Sum(x)-Sum(y) <= delta then both the
+// even and odd subsequences have sum differences within [0, delta/2].
+func CheckLemma24(x, y []int64, delta int64) error {
+	if len(x) != len(y) || len(x) < 2 || len(x)%2 != 0 {
+		return fmt.Errorf("seq: Lemma 2.4 needs equal even lengths >= 2, got %d and %d", len(x), len(y))
+	}
+	if delta%2 != 0 {
+		return fmt.Errorf("seq: Lemma 2.4 needs even delta, got %d", delta)
+	}
+	if !IsStep(x) || !IsStep(y) {
+		return errors.New("seq: Lemma 2.4 needs step sequences")
+	}
+	d := Sum(x) - Sum(y)
+	if d < 0 || d > delta {
+		return fmt.Errorf("seq: Lemma 2.4 precondition 0 <= %d <= %d fails", d, delta)
+	}
+	de := Sum(Even(x)) - Sum(Even(y))
+	do := Sum(Odd(x)) - Sum(Odd(y))
+	if de < 0 || de > delta/2 {
+		return fmt.Errorf("seq: Lemma 2.4 even conclusion fails: %d not in [0,%d]", de, delta/2)
+	}
+	if do < 0 || do > delta/2 {
+		return fmt.Errorf("seq: Lemma 2.4 odd conclusion fails: %d not in [0,%d]", do, delta/2)
+	}
+	return nil
+}

@@ -1,0 +1,414 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMaxMin(t *testing.T) {
+	x := []int64{3, 5, 1, 4}
+	if got := Sum(x); got != 13 {
+		t.Errorf("Sum = %d, want 13", got)
+	}
+	if got := Max(x); got != 5 {
+		t.Errorf("Max = %d, want 5", got)
+	}
+	if got := Min(x); got != 1 {
+		t.Errorf("Min = %d, want 1", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %d, want 0", got)
+	}
+}
+
+func TestMaxMinPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func([]int64) int64{"Max": Max, "Min": Min} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(empty) did not panic", name)
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+func TestIsStep(t *testing.T) {
+	cases := []struct {
+		x    []int64
+		want bool
+	}{
+		{nil, true},
+		{[]int64{7}, true},
+		{[]int64{2, 2, 2}, true},
+		{[]int64{3, 3, 2, 2}, true},
+		{[]int64{3, 2, 2, 2}, true},
+		{[]int64{3, 3, 3, 2}, true},
+		{[]int64{3, 2, 3}, false},   // increases after decrease
+		{[]int64{4, 2}, false},      // gap of 2
+		{[]int64{2, 3}, false},      // increasing
+		{[]int64{0, 0, 0, 0}, true}, // all zero
+		{[]int64{1, 0, 1, 0}, false},
+		{[]int64{5, 5, 4, 5}, false},
+	}
+	for _, c := range cases {
+		if got := IsStep(c.x); got != c.want {
+			t.Errorf("IsStep(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestIsKSmooth(t *testing.T) {
+	cases := []struct {
+		x    []int64
+		k    int64
+		want bool
+	}{
+		{nil, 0, true},
+		{[]int64{5}, 0, true},
+		{[]int64{3, 5, 4}, 2, true},
+		{[]int64{3, 5, 4}, 1, false},
+		{[]int64{1, 1, 1}, 0, true},
+		{[]int64{0, 3}, 3, true},
+		{[]int64{0, 4}, 3, false},
+	}
+	for _, c := range cases {
+		if got := IsKSmooth(c.x, c.k); got != c.want {
+			t.Errorf("IsKSmooth(%v, %d) = %v, want %v", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSmoothness(t *testing.T) {
+	if got := Smoothness([]int64{2, 7, 4}); got != 5 {
+		t.Errorf("Smoothness = %d, want 5", got)
+	}
+	if got := Smoothness([]int64{3}); got != 0 {
+		t.Errorf("Smoothness singleton = %d, want 0", got)
+	}
+}
+
+func TestStepPoint(t *testing.T) {
+	cases := []struct {
+		x    []int64
+		want int
+	}{
+		{[]int64{2, 2, 2, 2}, 4}, // all equal -> w
+		{[]int64{3, 2, 2, 2}, 1},
+		{[]int64{3, 3, 2, 2}, 2},
+		{[]int64{3, 3, 3, 2}, 3},
+		{[]int64{1}, 1},
+	}
+	for _, c := range cases {
+		if got := StepPoint(c.x); got != c.want {
+			t.Errorf("StepPoint(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStepPointPanicsOnNonStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StepPoint of non-step sequence did not panic")
+		}
+	}()
+	StepPoint([]int64{1, 2})
+}
+
+func TestMakeStepMatchesEquationOne(t *testing.T) {
+	for w := 1; w <= 16; w *= 2 {
+		for sum := int64(0); sum <= 3*int64(w)+1; sum++ {
+			x := MakeStep(sum, w)
+			if !IsStep(x) {
+				t.Fatalf("MakeStep(%d, %d) = %v not step", sum, w, x)
+			}
+			if Sum(x) != sum {
+				t.Fatalf("MakeStep(%d, %d) sums to %d", sum, w, Sum(x))
+			}
+			// Eq (1): element-wise agreement with StepValue.
+			for i := range x {
+				if x[i] != StepValue(sum, w, i) {
+					t.Fatalf("MakeStep(%d,%d)[%d]=%d != StepValue=%d", sum, w, i, x[i], StepValue(sum, w, i))
+				}
+			}
+		}
+	}
+}
+
+func TestStepValueBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StepValue out-of-range index did not panic")
+		}
+	}()
+	StepValue(5, 4, 4)
+}
+
+func TestEvenOdd(t *testing.T) {
+	x := []int64{10, 11, 12, 13, 14}
+	if got := Even(x); !Equal(got, []int64{10, 12, 14}) {
+		t.Errorf("Even = %v", got)
+	}
+	if got := Odd(x); !Equal(got, []int64{11, 13}) {
+		t.Errorf("Odd = %v", got)
+	}
+	if got := Even(nil); len(got) != 0 {
+		t.Errorf("Even(nil) = %v", got)
+	}
+}
+
+func TestHalves(t *testing.T) {
+	a, b := Halves([]int64{1, 2, 3, 4})
+	if !Equal(a, []int64{1, 2}) || !Equal(b, []int64{3, 4}) {
+		t.Errorf("Halves = %v, %v", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Halves of odd length did not panic")
+		}
+	}()
+	Halves([]int64{1, 2, 3})
+}
+
+func TestSubsequence(t *testing.T) {
+	x := []int64{5, 6, 7, 8}
+	if got := Subsequence(x, []int{0, 2, 3}); !Equal(got, []int64{5, 7, 8}) {
+		t.Errorf("Subsequence = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-increasing index list did not panic")
+		}
+	}()
+	Subsequence(x, []int{2, 1})
+}
+
+// Lemma 2.1: any subsequence of a step sequence is step.
+func TestLemma21Subsequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 500; trial++ {
+		w := 2 + rng.Intn(30)
+		x := MakeStep(rng.Int63n(100), w)
+		var idx []int
+		for i := 0; i < w; i++ {
+			if rng.Intn(2) == 0 {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		sub := Subsequence(x, idx)
+		if !IsStep(sub) {
+			t.Fatalf("Lemma 2.1 violated: x=%v idx=%v sub=%v", x, idx, sub)
+		}
+	}
+}
+
+func TestLemma22(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 2000; trial++ {
+		w := 2 + rng.Intn(14)
+		delta := rng.Int63n(20)
+		sy := rng.Int63n(200)
+		sx := sy + rng.Int63n(delta+1)
+		x, y := MakeStep(sx, w), MakeStep(sy, w)
+		if err := CheckLemma22(x, y, delta); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestLemma22PreconditionErrors(t *testing.T) {
+	if err := CheckLemma22([]int64{1}, []int64{1}, 1); err == nil {
+		t.Error("length-1 sequences accepted")
+	}
+	if err := CheckLemma22([]int64{1, 2}, []int64{1, 1}, 1); err == nil {
+		t.Error("non-step x accepted")
+	}
+	if err := CheckLemma22([]int64{1, 1}, []int64{3, 3}, 1); err == nil {
+		t.Error("violated sum precondition accepted")
+	}
+}
+
+func TestLemma23(t *testing.T) {
+	for w := 2; w <= 32; w += 2 {
+		for sum := int64(0); sum <= 4*int64(w); sum++ {
+			if err := CheckLemma23(MakeStep(sum, w)); err != nil {
+				t.Fatalf("w=%d sum=%d: %v", w, sum, err)
+			}
+		}
+	}
+}
+
+func TestLemma24(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 2000; trial++ {
+		w := 2 * (1 + rng.Intn(10))
+		delta := 2 * rng.Int63n(10)
+		sy := rng.Int63n(300)
+		sx := sy + rng.Int63n(delta+1)
+		if err := CheckLemma24(MakeStep(sx, w), MakeStep(sy, w), delta); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestPermutationBasics(t *testing.T) {
+	id := Identity(4)
+	if !id.Valid() {
+		t.Fatal("identity not valid")
+	}
+	p := Permutation{2, 0, 3, 1}
+	if !p.Valid() {
+		t.Fatal("p should be valid")
+	}
+	bad := Permutation{0, 0, 1, 2}
+	if bad.Valid() {
+		t.Fatal("duplicate image accepted")
+	}
+	inv := p.Inverse()
+	for i := range p {
+		if inv[p[i]] != i {
+			t.Fatalf("inverse broken at %d", i)
+		}
+	}
+	if got := p.Compose(inv); !permEqual(got, id) {
+		t.Fatalf("p then p^R = %v, want identity", got)
+	}
+}
+
+func permEqual(a, b Permutation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPermutationApply(t *testing.T) {
+	p := Permutation{2, 0, 1}
+	x := []int64{10, 20, 30}
+	y := p.Apply(x)
+	// Convention: x[i] = y[p[i]].
+	for i := range x {
+		if y[p[i]] != x[i] {
+			t.Fatalf("Apply convention broken: x=%v y=%v", x, y)
+		}
+	}
+	// Round trip through the inverse.
+	if got := p.Inverse().Apply(y); !Equal(got, x) {
+		t.Fatalf("inverse apply = %v, want %v", got, x)
+	}
+}
+
+// Lemma 2.6: permutations preserve k-smoothness.
+func TestLemma26PermutationPreservesSmoothness(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 500; trial++ {
+		w := 2 + rng.Intn(20)
+		x := make([]int64, w)
+		for i := range x {
+			x[i] = rng.Int63n(7)
+		}
+		p := randPerm(rng, w)
+		if Smoothness(p.Apply(x)) != Smoothness(x) {
+			t.Fatalf("smoothness changed under permutation: %v -> %v", x, p.Apply(x))
+		}
+	}
+}
+
+func randPerm(rng *rand.Rand, w int) Permutation {
+	p := make(Permutation, w)
+	for i, v := range rng.Perm(w) {
+		p[i] = v
+	}
+	return p
+}
+
+// Property: MakeStep always yields a step sequence with the requested sum.
+func TestQuickMakeStep(t *testing.T) {
+	f := func(sumRaw int64, wRaw uint8) bool {
+		w := int(wRaw%63) + 1
+		sum := sumRaw % (1 << 40)
+		if sum < 0 {
+			sum = -sum
+		}
+		x := MakeStep(sum, w)
+		return IsStep(x) && Sum(x) == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the step sequence of a given sum and width is unique, so
+// MakeStep(Sum(x), len(x)) == x for any step x.
+func TestQuickStepUniqueness(t *testing.T) {
+	f := func(sumRaw int64, wRaw uint8) bool {
+		w := int(wRaw%31) + 2
+		sum := sumRaw % 100000
+		if sum < 0 {
+			sum = -sum
+		}
+		x := MakeStep(sum, w)
+		return Equal(MakeStep(Sum(x), len(x)), x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Lemma 2.3 via quick): even/odd sums of a step sequence differ
+// by 0 or 1.
+func TestQuickLemma23(t *testing.T) {
+	f := func(sumRaw int64, wRaw uint8) bool {
+		w := 2 * (int(wRaw%16) + 1)
+		sum := sumRaw % 100000
+		if sum < 0 {
+			sum = -sum
+		}
+		x := MakeStep(sum, w)
+		d := Sum(Even(x)) - Sum(Odd(x))
+		return d == 0 || d == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := []int64{1, 2, 3}
+	y := Clone(x)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(nil, nil) || !Equal([]int64{1}, []int64{1}) {
+		t.Error("Equal false negative")
+	}
+	if Equal([]int64{1}, []int64{2}) || Equal([]int64{1}, []int64{1, 2}) {
+		t.Error("Equal false positive")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2},
+		{-1, 4, 0}, {-4, 4, -1}, {-5, 4, -1},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package smoothing studies smoothing networks and the impact of
+// randomization, the Section 7 discussion of the paper (refs [17]
+// Herlihy–Tirthapura, [24] Mavronicolas–Sauerwald): a balancing network is
+// k-smoothing if every quiescent output is k-smooth, and randomizing the
+// balancers' initial states can improve the *typical* smoothness well
+// below the worst-case guarantee.
+//
+// The package measures worst-observed smoothness across input sweeps and
+// across random initializations, quantifying how much randomization buys
+// on the paper's butterfly (which is exactly lgw-smoothing in the worst
+// case, Lemma 5.2).
+package smoothing
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// WorstObserved returns the maximum output spread (Max-Min) of the network
+// over `trials` random input count vectors with entries below bound.
+func WorstObserved(n *network.Network, trials int, bound int64, rng *rand.Rand) (int64, error) {
+	var worst int64
+	x := make([]int64, n.InWidth())
+	for trial := 0; trial < trials; trial++ {
+		for i := range x {
+			x[i] = rng.Int63n(bound)
+		}
+		y, err := n.Quiescent(x)
+		if err != nil {
+			return 0, err
+		}
+		lo, hi := y[0], y[0]
+		for _, v := range y[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > worst {
+			worst = hi - lo
+		}
+	}
+	return worst, nil
+}
+
+// RandomInitReport summarizes a randomized-initialization study.
+type RandomInitReport struct {
+	// Deterministic is the worst spread observed with zeroed initial
+	// states over the input sweep.
+	Deterministic int64
+	// Mean and Worst summarize the per-initialization worst spreads
+	// across random initial states.
+	Mean  float64
+	Worst int64
+	Inits int
+}
+
+// RandomInitStudy measures the worst-observed smoothness of the network
+// under `inits` random initializations, `trials` random inputs each, and
+// compares with the deterministic (all-zero) initialization. The build
+// function must return a fresh network each call.
+func RandomInitStudy(build func() (*network.Network, error), inits, trials int, bound int64, seed int64) (RandomInitReport, error) {
+	rng := rand.New(rand.NewSource(seed))
+	det, err := build()
+	if err != nil {
+		return RandomInitReport{}, err
+	}
+	rep := RandomInitReport{Inits: inits}
+	rep.Deterministic, err = WorstObserved(det, trials, bound, rng)
+	if err != nil {
+		return rep, err
+	}
+	var s stats.Stream
+	for i := 0; i < inits; i++ {
+		n, err := build()
+		if err != nil {
+			return rep, err
+		}
+		n.RandomizeInitialStates(rng)
+		w, err := WorstObserved(n, trials, bound, rng)
+		if err != nil {
+			return rep, err
+		}
+		s.Add(float64(w))
+		if w > rep.Worst {
+			rep.Worst = w
+		}
+	}
+	rep.Mean = s.Mean()
+	return rep, nil
+}
+
+// String renders the report.
+func (r RandomInitReport) String() string {
+	return fmt.Sprintf("deterministic worst %d | random init (%d draws): mean %.2f, worst %d",
+		r.Deterministic, r.Inits, r.Mean, r.Worst)
+}
+
+// CascadePreservesSmoothness is the Lemma 2.5 corollary at network scale:
+// cascading a regular all-equal-width network after a k-smoothing stage
+// cannot worsen the k-smoothness. The function verifies it empirically for
+// the concrete pair (stage, rest) over `trials` random inputs, returning a
+// counterexample error if the composed spread ever exceeds the stage
+// spread.
+func CascadePreservesSmoothness(stage, rest *network.Network, trials int, bound int64, seed int64) error {
+	if stage.OutWidth() != rest.InWidth() || rest.InWidth() != rest.OutWidth() {
+		return fmt.Errorf("smoothing: need stage.out == rest.in == rest.out, have %d/%d/%d",
+			stage.OutWidth(), rest.InWidth(), rest.OutWidth())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]int64, stage.InWidth())
+	for trial := 0; trial < trials; trial++ {
+		for i := range x {
+			x[i] = rng.Int63n(bound)
+		}
+		mid, err := stage.Quiescent(x)
+		if err != nil {
+			return err
+		}
+		out, err := rest.Quiescent(mid)
+		if err != nil {
+			return err
+		}
+		if spread(out) > spread(mid) {
+			return fmt.Errorf("smoothing: composition worsened spread %d -> %d on input %v",
+				spread(mid), spread(out), x)
+		}
+	}
+	return nil
+}
+
+func spread(x []int64) int64 {
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,108 @@
+package smoothing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/butterfly"
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+func log2(x int) int {
+	k := 0
+	for x > 1 {
+		x >>= 1
+		k++
+	}
+	return k
+}
+
+func TestWorstObservedButterflyWithinLemma52(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 32} {
+		n, err := butterfly.NewForward(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := WorstObserved(n, 2000, 200, rand.New(rand.NewSource(int64(w))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > int64(log2(w)) {
+			t.Errorf("D(%d): observed smoothness %d exceeds lgw", w, worst)
+		}
+		if worst == 0 && w > 2 {
+			t.Errorf("D(%d): suspiciously perfect smoothness", w)
+		}
+	}
+}
+
+// E23: randomized initial states keep the butterfly within its
+// deterministic worst-case bound, and on average do no worse.
+func TestRandomInitStudyButterfly(t *testing.T) {
+	const w = 16
+	rep, err := RandomInitStudy(func() (*network.Network, error) {
+		return butterfly.NewForward(w)
+	}, 20, 400, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	// The randomized worst must stay within lgw + 1 (randomization may
+	// cost at most the one extra level seen in E16).
+	if rep.Worst > int64(log2(w))+1 {
+		t.Errorf("randomized worst %d far above lgw", rep.Worst)
+	}
+	if rep.Deterministic > int64(log2(w)) {
+		t.Errorf("deterministic worst %d above Lemma 5.2 bound", rep.Deterministic)
+	}
+	if rep.Mean <= 0 {
+		t.Error("degenerate study")
+	}
+}
+
+// The C(w,t) prefix study: randomization across the whole counting
+// network keeps outputs within 2 of step on the sweep (E16 again through
+// the study API).
+func TestRandomInitStudyCWT(t *testing.T) {
+	rep, err := RandomInitStudy(func() (*network.Network, error) {
+		return core.New(8, 8)
+	}, 10, 400, 100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deterministic > 1 {
+		t.Errorf("deterministic counting network spread %d > 1", rep.Deterministic)
+	}
+	if rep.Worst > 3 {
+		t.Errorf("randomized counting network spread %d > 3", rep.Worst)
+	}
+}
+
+func TestCascadePreservesSmoothness(t *testing.T) {
+	stage, err := butterfly.NewForward(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := butterfly.NewBackward(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CascadePreservesSmoothness(stage, rest, 500, 100, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCascadePreservesSmoothnessWidthCheck(t *testing.T) {
+	stage, err := butterfly.NewForward(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CascadePreservesSmoothness(stage, rest, 10, 10, 1); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package sorting implements the Section 7 byproduct of the paper: any
+// regular balancing network built from (2,2)-balancers becomes a
+// comparator network by replacing each balancer with a comparator, and if
+// the balancing network counts, the comparator network sorts (Aspnes,
+// Herlihy & Shavit, ref [5]). Applied to C(w,w) this yields a novel
+// sorting network of depth O(lg²w).
+//
+// Balancer-to-comparator correspondence: a balancer's upper output wire
+// (port 0) receives the larger share of tokens (ceil of the sum), so the
+// corresponding comparator routes the *maximum* to port 0 — the network
+// sorts into non-increasing order along the output wire index, exactly
+// mirroring the step property "excess tokens emerge on the upper wires".
+package sorting
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/network"
+)
+
+// Comparator is a comparator network derived from a balancing network.
+// The zero value is unusable; construct with FromNetwork.
+type Comparator struct {
+	name  string
+	width int
+	depth int
+	// ops is the comparator list in topological order: each element
+	// references the two value slots it compares in a flat working array
+	// laid out as [input wires | one slot per balancer output port].
+	ops []op
+	// outSlot maps each output wire to its producing slot.
+	outSlot []int
+	slots   int
+}
+
+type op struct {
+	a, b   int // input slots
+	oa, ob int // output slots (max to oa, min to ob)
+}
+
+// FromNetwork converts a regular all-(2,2) balancing network into a
+// comparator network. Returns an error if any balancer is not (2,2) or if
+// the widths differ.
+func FromNetwork(n *network.Network) (*Comparator, error) {
+	if n.InWidth() != n.OutWidth() {
+		return nil, fmt.Errorf("sorting: network %s has unequal widths %d and %d",
+			n.Name(), n.InWidth(), n.OutWidth())
+	}
+	for i := 0; i < n.Size(); i++ {
+		nd := n.Node(i)
+		if nd.In() != 2 || nd.Out() != 2 {
+			return nil, fmt.Errorf("sorting: network %s contains a (%d,%d)-balancer; only (2,2) convert to comparators",
+				n.Name(), nd.In(), nd.Out())
+		}
+	}
+	w := n.InWidth()
+	c := &Comparator{
+		name:    "Sort[" + n.Name() + "]",
+		width:   w,
+		depth:   n.Depth(),
+		outSlot: make([]int, w),
+		slots:   w + 2*n.Size(),
+	}
+	// Slot numbering: input wire i -> slot i; node id's output port p ->
+	// slot w + 2*id + p.
+	slotOfSource := func(node, port int) int {
+		if node < 0 {
+			return port // network input wire
+		}
+		return w + 2*node + port
+	}
+	for id := 0; id < n.Size(); id++ {
+		c.ops = append(c.ops, op{
+			a:  slotOfSource(n.Source(id, 0)),
+			b:  slotOfSource(n.Source(id, 1)),
+			oa: w + 2*id + 0,
+			ob: w + 2*id + 1,
+		})
+	}
+	for i := 0; i < w; i++ {
+		c.outSlot[i] = slotOfSource(n.OutputSource(i))
+	}
+	return c, nil
+}
+
+// Width returns the number of values the network sorts.
+func (c *Comparator) Width() int { return c.width }
+
+// Depth returns the comparator depth (equals the balancing network's).
+func (c *Comparator) Depth() int { return c.depth }
+
+// Size returns the number of comparators.
+func (c *Comparator) Size() int { return len(c.ops) }
+
+// Name identifies the network.
+func (c *Comparator) Name() string { return c.name }
+
+// Apply routes the input values through the comparators and returns the
+// output wire values (non-increasing if the source network counts).
+func (c *Comparator) Apply(in []int) ([]int, error) {
+	if len(in) != c.width {
+		return nil, fmt.Errorf("sorting: %s expects %d values, got %d", c.name, c.width, len(in))
+	}
+	slots := make([]int, c.slots)
+	copy(slots, in)
+	for _, o := range c.ops {
+		a, b := slots[o.a], slots[o.b]
+		if a < b {
+			a, b = b, a
+		}
+		slots[o.oa], slots[o.ob] = a, b // max up, min down
+	}
+	out := make([]int, c.width)
+	for i := range out {
+		out[i] = slots[c.outSlot[i]]
+	}
+	return out, nil
+}
+
+// Sort sorts values in ascending order using the network (the network's
+// natural order is descending; Sort reverses it). The input is not
+// modified.
+func (c *Comparator) Sort(in []int) ([]int, error) {
+	out, err := c.Apply(in)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out, nil
+}
+
+// IsSortingNetwork verifies the 0-1 principle exhaustively: the network
+// sorts every input iff it sorts all 2^w binary inputs. Feasible up to
+// w ≈ 20. Returns a counterexample error or nil.
+func (c *Comparator) IsSortingNetwork() error {
+	if c.width > 24 {
+		return fmt.Errorf("sorting: exhaustive 0-1 check infeasible for width %d", c.width)
+	}
+	in := make([]int, c.width)
+	for mask := 0; mask < 1<<c.width; mask++ {
+		ones := 0
+		for i := 0; i < c.width; i++ {
+			in[i] = (mask >> i) & 1
+			ones += in[i]
+		}
+		out, err := c.Apply(in)
+		if err != nil {
+			return err
+		}
+		// Descending: the first `ones` wires carry 1, the rest 0.
+		for i, v := range out {
+			want := 0
+			if i < ones {
+				want = 1
+			}
+			if v != want {
+				return fmt.Errorf("sorting: %s fails 0-1 input %0*b: output %v", c.name, c.width, mask, out)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckRandom sorts `trials` random permutations plus duplicate-heavy
+// inputs and verifies against sort.Ints.
+func (c *Comparator) CheckRandom(trials int, next func(n int) int) error {
+	for trial := 0; trial < trials; trial++ {
+		in := make([]int, c.width)
+		for i := range in {
+			in[i] = next(100)
+		}
+		got, err := c.Sort(in)
+		if err != nil {
+			return err
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("sorting: %s mis-sorts %v -> %v", c.name, in, got)
+			}
+		}
+	}
+	return nil
+}

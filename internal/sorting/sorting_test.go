@@ -1,0 +1,223 @@
+package sorting
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/periodic"
+)
+
+// E14: C(w,w) converts to a sorting network (0-1 principle, exhaustive).
+func TestCWTSorts(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16} {
+		net, err := core.New(w, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := FromNetwork(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.IsSortingNetwork(); err != nil {
+			t.Errorf("w=%d: %v", w, err)
+		}
+		if c.Depth() != net.Depth() {
+			t.Errorf("comparator depth %d != network depth %d", c.Depth(), net.Depth())
+		}
+	}
+}
+
+// The bitonic and periodic counting networks also convert to sorters
+// (ref [5]); this cross-validates FromNetwork.
+func TestBaselinesSort(t *testing.T) {
+	bit, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := periodic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range []*network.Network{bit, per} {
+		c, err := FromNetwork(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.IsSortingNetwork(); err != nil {
+			t.Errorf("%s: %v", net.Name(), err)
+		}
+	}
+}
+
+func TestSortRandomLarge(t *testing.T) {
+	net, err := core.New(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	if err := c.CheckRandom(500, rng.Intn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortAscending(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Sort([]int{3, 1, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sort = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestApplyDescending(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Apply([]int{3, 1, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 3, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Apply = %v, want %v (descending)", got, want)
+		}
+	}
+}
+
+// Property: Sort output is a sorted permutation of the input.
+func TestQuickSortIsPermutation(t *testing.T) {
+	net, err := core.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(vals [8]int16) bool {
+		in := make([]int, 8)
+		hist := map[int]int{}
+		for i, v := range vals {
+			in[i] = int(v)
+			hist[int(v)]++
+		}
+		out, err := c.Sort(in)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i-1] > out[i] {
+				return false
+			}
+		}
+		for _, v := range out {
+			hist[v]--
+		}
+		for _, c := range hist {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIrregularNetworkRejected(t *testing.T) {
+	net, err := core.New(4, 8) // contains (2,4)-balancers, widths differ
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromNetwork(net); err == nil {
+		t.Fatal("irregular network accepted")
+	}
+}
+
+func TestWrongInputLength(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Apply([]int{1, 2}); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, err := c.Sort([]int{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("long input accepted")
+	}
+}
+
+// A deliberately non-counting network must fail the 0-1 check: the ladder
+// alone does not sort.
+func TestNonSorterDetected(t *testing.T) {
+	ladder, err := core.NewLadder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromNetwork(ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IsSortingNetwork(); err == nil {
+		t.Fatal("ladder accepted as sorting network")
+	}
+}
+
+func TestTooWideForExhaustive(t *testing.T) {
+	net, err := core.New(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.IsSortingNetwork(); err == nil {
+		t.Fatal("width-32 exhaustive check should refuse")
+	}
+}
+
+func TestSizeMatchesNetwork(t *testing.T) {
+	net, err := core.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != net.Size() || c.Width() != 8 || c.Name() == "" {
+		t.Fatalf("metadata: size=%d width=%d name=%q", c.Size(), c.Width(), c.Name())
+	}
+}

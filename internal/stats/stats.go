@@ -1,0 +1,214 @@
+// Package stats provides the small statistics and reporting toolkit used
+// by the experiment harness: streaming moments, percentiles, least-squares
+// fits (for contention-vs-concurrency slopes), and aligned text tables for
+// the EXPERIMENTS.md data.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stream accumulates observations with Welford's algorithm.
+type Stream struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 for n < 2).
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 for an empty stream).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty stream).
+func (s *Stream) Max() float64 { return s.max }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation. It panics on an empty slice; xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty data")
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[lo]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// LinearFit returns the least-squares slope and intercept of y against x.
+// It panics if lengths differ or fewer than two points are given.
+func LinearFit(x, y []float64) (slope, intercept float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		panic(fmt.Sprintf("stats: LinearFit needs matched data of length >= 2, got %d and %d", len(x), len(y)))
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(len(x)), sy/float64(len(y))
+	var num, den float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	slope = num / den
+	return slope, my - slope*mx
+}
+
+// R2 returns the coefficient of determination of the fit (slope,
+// intercept) on (x, y).
+func R2(x, y []float64, slope, intercept float64) float64 {
+	if len(x) != len(y) || len(y) < 2 {
+		panic("stats: R2 needs matched data of length >= 2")
+	}
+	var sy float64
+	for _, v := range y {
+		sy += v
+	}
+	my := sy / float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		pred := slope*x[i] + intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - my) * (y[i] - my)
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Table accumulates rows and renders them with aligned columns; numeric
+// formatting is the caller's concern (pass pre-formatted cells).
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each argument is rendered
+// with %v, except float64 which uses %.3g.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.header, " | ") + " |\n")
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Fatal("empty stream not zeroed")
+	}
+}
+
+func TestStreamSingle(t *testing.T) {
+	var s Stream
+	s.Add(3)
+	if s.Var() != 0 || s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-element stream broken")
+	}
+}
+
+// Property: streaming mean equals batch mean.
+func TestQuickStreamMean(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var s Stream
+		var sum float64
+		for _, x := range clean {
+			s.Add(x)
+			sum += x
+		}
+		return math.Abs(s.Mean()-sum/float64(len(clean))) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input not modified.
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty data")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = (%v, %v)", slope, intercept)
+	}
+	if r2 := R2(x, y, slope, intercept); math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", r2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{0.1, 0.9, 2.1, 2.9}
+	slope, intercept := LinearFit(x, y)
+	if slope < 0.9 || slope > 1.1 {
+		t.Fatalf("slope = %v", slope)
+	}
+	if r2 := R2(x, y, slope, intercept); r2 < 0.99 {
+		t.Fatalf("R2 = %v", r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for _, c := range []struct{ x, y []float64 }{
+		{[]float64{1}, []float64{1}},
+		{[]float64{1, 2}, []float64{1}},
+		{[]float64{2, 2}, []float64{1, 3}}, // constant x
+	} {
+		func() {
+			defer func() { recover() }()
+			LinearFit(c.x, c.y)
+			t.Errorf("LinearFit(%v,%v) did not panic", c.x, c.y)
+		}()
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("net", "n", "contention")
+	tb.AddRowf("C(8,16)", 64, 3.14159)
+	tb.AddRow("bitonic")
+	s := tb.String()
+	if !strings.Contains(s, "C(8,16)") || !strings.Contains(s, "3.142") {
+		t.Fatalf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	md := tb.Markdown()
+	if !strings.HasPrefix(md, "| net | n | contention |") {
+		t.Fatalf("markdown header wrong:\n%s", md)
+	}
+}

@@ -1,0 +1,230 @@
+// Package tcpnet deploys a counting network across TCP servers — the
+// closest reproduction of the real-system experiments of refs [19,20] of
+// the paper (10 Sun UltraSparc-10 workstations): balancers are partitioned
+// across shard servers, a balancer access is one request/response round
+// trip to the shard that owns it (the remote analogue of §1.2's shared
+// memory word), and counter cells live on the shard owning the exit wire.
+//
+// A client session shepherds a token by walking the wiring locally and
+// performing one STEP RPC per balancer crossing, then one CELL RPC at the
+// exit — exactly depth(B)+1 round trips per Fetch&Increment.
+//
+// The wire protocol is fixed-size binary frames (encoding/binary, big
+// endian):
+//
+//	request:  op(1) id(4)            op 1 = STEP node, op 2 = CELL wire
+//	response: val(8)                 STEP: exit port; CELL: counter value
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/balancer"
+	"repro/internal/network"
+)
+
+// Protocol op codes.
+const (
+	opStep byte = 1
+	opCell byte = 2
+)
+
+// Shard is one balancer server: it owns the state of the balancers and
+// counter cells assigned to it and serves STEP/CELL requests over TCP.
+type Shard struct {
+	ln    net.Listener
+	bals  map[int32]*balancer.PQ
+	cells map[int32]*atomic.Int64
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+// StartShard launches a shard on addr (use "127.0.0.1:0" for tests). The
+// shard owns every network node with id ≡ index (mod shards) and every
+// output-wire cell with wire ≡ index (mod shards); cells are initialized
+// to their wire index per §1.1.
+func StartShard(addr string, topo *network.Network, index, shards int) (*Shard, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shard{
+		ln:    ln,
+		bals:  make(map[int32]*balancer.PQ),
+		cells: make(map[int32]*atomic.Int64),
+		done:  make(chan struct{}),
+	}
+	for id := 0; id < topo.Size(); id++ {
+		if id%shards == index {
+			nd := topo.Node(id)
+			s.bals[int32(id)] = balancer.NewInit(nd.In(), nd.Out(), nd.Balancer().Init())
+		}
+	}
+	for wire := 0; wire < topo.OutWidth(); wire++ {
+		if wire%shards == index {
+			c := &atomic.Int64{}
+			c.Store(int64(wire))
+			s.cells[int32(wire)] = c
+		}
+	}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the shard's listening address.
+func (s *Shard) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the shard; in-flight connections are dropped.
+func (s *Shard) Close() {
+	close(s.done)
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *Shard) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+// serve handles one client connection until EOF.
+func (s *Shard) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	var req [5]byte
+	var resp [8]byte
+	for {
+		if _, err := io.ReadFull(conn, req[:]); err != nil {
+			return
+		}
+		id := int32(binary.BigEndian.Uint32(req[1:]))
+		var val int64
+		switch req[0] {
+		case opStep:
+			b, ok := s.bals[id]
+			if !ok {
+				return // protocol violation: drop the connection
+			}
+			val = int64(b.Step())
+		case opCell:
+			// The stride (output width t) rides in the upper bits of the
+			// id to keep the protocol stateless: id = wire | stride<<16.
+			// Networks therefore must have t < 65536 — far beyond any
+			// practical configuration.
+			wire := id & 0xffff
+			stride := int64(id >> 16)
+			c, ok := s.cells[wire]
+			if !ok {
+				return
+			}
+			val = c.Add(stride) - stride
+		default:
+			return
+		}
+		binary.BigEndian.PutUint64(resp[:], uint64(val))
+		if _, err := conn.Write(resp[:]); err != nil {
+			return
+		}
+	}
+}
+
+// Cluster is a client-side view of a sharded deployment: the topology plus
+// shard addresses. Sessions (one per goroutine) hold a connection to each
+// shard.
+type Cluster struct {
+	net    *network.Network
+	addrs  []string
+	stride int64
+}
+
+// NewCluster wires a topology to its shard addresses (shard i owns nodes
+// and cells ≡ i mod len(addrs)).
+func NewCluster(n *network.Network, addrs []string) *Cluster {
+	return &Cluster{net: n, addrs: addrs, stride: int64(n.OutWidth())}
+}
+
+// Session is a single-goroutine client: one persistent connection per
+// shard.
+type Session struct {
+	c     *Cluster
+	conns []net.Conn
+}
+
+// NewSession dials every shard.
+func (c *Cluster) NewSession() (*Session, error) {
+	s := &Session{c: c, conns: make([]net.Conn, len(c.addrs))}
+	for i, addr := range c.addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("tcpnet: dial shard %d: %w", i, err)
+		}
+		s.conns[i] = conn
+	}
+	return s, nil
+}
+
+// Close drops the session's connections.
+func (s *Session) Close() {
+	for _, conn := range s.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// rpc performs one fixed-frame request/response on the shard owning id.
+func (s *Session) rpc(op byte, shard int, id int32) (int64, error) {
+	var req [5]byte
+	req[0] = op
+	binary.BigEndian.PutUint32(req[1:], uint32(id))
+	conn := s.conns[shard]
+	if _, err := conn.Write(req[:]); err != nil {
+		return 0, err
+	}
+	var resp [8]byte
+	if _, err := io.ReadFull(conn, resp[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(resp[:])), nil
+}
+
+// Inc shepherds one token through the distributed network and returns its
+// counter value: depth RPCs for the balancer crossings plus one for the
+// exit cell.
+func (s *Session) Inc(pid int) (int64, error) {
+	shards := len(s.c.addrs)
+	wire := pid % s.c.net.InWidth()
+	node, port := s.c.net.InputDest(wire)
+	for node >= 0 {
+		p, err := s.rpc(opStep, node%shards, int32(node))
+		if err != nil {
+			return 0, err
+		}
+		node, port = s.c.net.Dest(node, int(p))
+	}
+	// port now names the exit wire; fetch the cell value with the stride
+	// packed into the id's upper bits.
+	id := int32(port) | int32(s.c.stride)<<16
+	return s.rpc(opCell, port%shards, id)
+}
+
+// Hops returns the number of round trips one Inc costs.
+func (c *Cluster) Hops() int { return c.net.Depth() + 1 }

@@ -1,0 +1,185 @@
+package tcpnet
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/seq"
+)
+
+// startCluster launches `shards` shard servers on loopback for the given
+// topology and returns the client cluster plus a shutdown func.
+func startCluster(t *testing.T, topo *network.Network, shards int) (*Cluster, func()) {
+	t.Helper()
+	var servers []*Shard
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		s, err := StartShard("127.0.0.1:0", topo, i, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, s)
+		addrs[i] = s.Addr()
+	}
+	return NewCluster(topo, addrs), func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+// The headline test: a C(4,8) counting network deployed across 3 TCP
+// shards hands out dense unique values to concurrent client sessions.
+func TestDistributedCounterDense(t *testing.T) {
+	topo, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 3)
+	defer stop()
+
+	const procs, per = 6, 150
+	vals := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			sess, err := cluster.NewSession()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Close()
+			for i := 0; i < per; i++ {
+				v, err := sess.Inc(pid)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				vals[pid] = append(vals[pid], v)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var all []int64
+	for _, s := range vals {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			t.Fatalf("values not dense at %d: %d", i, v)
+		}
+	}
+}
+
+// Per-session sequential behaviour matches the in-memory network exactly.
+func TestDistributedMatchesLocal(t *testing.T) {
+	topo, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 2)
+	defer stop()
+	sess, err := cluster.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	local, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localCells := []int64{0, 1, 2, 3}
+	for i := 0; i < 60; i++ {
+		got, err := sess.Inc(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire := local.Traverse(i % 4)
+		want := localCells[wire]
+		localCells[wire] += 4
+		if got != want {
+			t.Fatalf("op %d: distributed %d, local %d", i, got, want)
+		}
+	}
+}
+
+// Exit distribution across wires keeps the step property.
+func TestDistributedStepProperty(t *testing.T) {
+	topo, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 4)
+	defer stop()
+	if cluster.Hops() != topo.Depth()+1 {
+		t.Fatalf("hops = %d", cluster.Hops())
+	}
+
+	counts := make([]int64, 16)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for pid := 0; pid < 8; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			sess, err := cluster.NewSession()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Close()
+			for i := 0; i < 100; i++ {
+				v, err := sess.Inc(pid)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				counts[v%16]++
+				mu.Unlock()
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// 800 tokens, 16 wires: values mod 16 identify exit cells; dense
+	// values 0..799 mean exactly 50 per residue class.
+	if !seq.IsStep(counts) {
+		t.Fatalf("exit counts %v not step", counts)
+	}
+}
+
+func TestSessionDialFailure(t *testing.T) {
+	topo, err := core.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := NewCluster(topo, []string{"127.0.0.1:1"}) // nothing listens
+	if _, err := cluster.NewSession(); err == nil {
+		t.Fatal("dial to dead shard succeeded")
+	}
+}
+
+func TestShardCloseIdempotentEnough(t *testing.T) {
+	topo, err := core.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := StartShard("127.0.0.1:0", topo, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // must terminate cleanly with no clients
+}

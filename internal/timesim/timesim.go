@@ -1,0 +1,253 @@
+// Package timesim is a discrete-event queueing simulator for balancing
+// networks — the "generic simulation of counting networks" companion of
+// the paper's experimental references ([19]: Klein, A Generic Simulation
+// of Counting Networks; [20]: Klein, Busch & Musser). Where package
+// contention counts stalls under an adversary (the DHW model the paper
+// analyzes), timesim attaches *time*: each balancer is a FIFO server with
+// a service time, each process is a closed-loop client with a think time,
+// and the simulator measures throughput and latency as concurrency grows.
+//
+// The two models illuminate the same mechanism from different angles: in
+// a closed loop, throughput = n / (latency + think), and the latency a
+// token accumulates is queueing delay in the network's *narrow* layers.
+// C(w,t) has only lgw narrow layers (block Na,b) before fanning out to
+// width t, while the bitonic network is narrow for all (lg²w+lgw)/2
+// layers — so the wide-output network saturates at lower latency, which
+// is the queueing-theoretic face of the paper's contention advantage.
+package timesim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Processes is the closed-loop client count (the concurrency n).
+	Processes int
+	// Ops is the total number of operations to complete.
+	Ops int64
+	// ServiceTime is the mean balancer service time (time units/token).
+	ServiceTime float64
+	// ThinkTime is the mean client-side delay between operations.
+	ThinkTime float64
+	// Exponential draws service and think times from exponential
+	// distributions with the configured means; otherwise they are
+	// deterministic constants.
+	Exponential bool
+	// ContentionFactor models memory contention at a hot balancer: a
+	// token beginning service at a balancer with q tokens present takes
+	// ServiceTime * (1 + ContentionFactor*(q-1)). This is the §1.2
+	// mechanism ("all unsuccessful tokens must wait and try again") in
+	// timing form: crowded memory words serve slower, which is what makes
+	// wide output blocks pay off in refs [19,20]. Zero disables it.
+	ContentionFactor float64
+	// Seed drives the random draws (used only when Exponential).
+	Seed int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	Net        string
+	Processes  int
+	Ops        int64
+	Duration   float64 // simulated time to complete all ops
+	Throughput float64 // ops per time unit
+	MeanLat    float64 // mean token latency (injection to exit)
+	P95Lat     float64
+	MaxQueue   int     // longest balancer queue observed
+	BusiestUse float64 // utilization of the busiest balancer
+}
+
+// event kinds
+const (
+	evService = iota // a balancer finishes serving its head token
+	evInject         // a process injects its next token
+)
+
+type event struct {
+	at   float64
+	kind int
+	node int32 // evService: which balancer
+	pid  int32 // evInject: which process
+	seq  int64 // tiebreak for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type token struct {
+	pid     int32
+	started float64
+}
+
+type server struct {
+	queue []token
+	busy  bool
+	state int64
+	work  float64 // accumulated busy time
+}
+
+// Run simulates the network under the configuration and returns measured
+// throughput and latency. It panics on invalid configuration.
+func Run(net *network.Network, cfg Config) Result {
+	if cfg.Processes < 1 || cfg.Ops < 1 || cfg.ServiceTime <= 0 {
+		panic(fmt.Sprintf("timesim: invalid config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	draw := func(mean float64) float64 {
+		if mean <= 0 {
+			return 0
+		}
+		if cfg.Exponential {
+			return rng.ExpFloat64() * mean
+		}
+		return mean
+	}
+
+	servers := make([]server, net.Size())
+	for i := range servers {
+		servers[i].state = net.Node(i).Balancer().Init()
+	}
+	var (
+		h         eventHeap
+		seq       int64
+		now       float64
+		completed int64
+		launched  int64
+		latencies []float64
+		maxQueue  int
+	)
+	push := func(e event) {
+		seq++
+		e.seq = seq
+		heap.Push(&h, e)
+	}
+
+	// arrive delivers a token to a node (or the exit) at time `now`.
+	var arrive func(tok token, node, port int)
+	arrive = func(tok token, node, port int) {
+		if node < 0 {
+			// Exit: record and schedule the process's next op.
+			latencies = append(latencies, now-tok.started)
+			completed++
+			if launched < cfg.Ops {
+				launched++
+				push(event{at: now + draw(cfg.ThinkTime), kind: evInject, pid: tok.pid})
+			}
+			return
+		}
+		s := &servers[node]
+		s.queue = append(s.queue, tok)
+		if len(s.queue) > maxQueue {
+			maxQueue = len(s.queue)
+		}
+		if !s.busy {
+			s.busy = true
+			st := serviceTime(cfg, draw, len(s.queue))
+			s.work += st
+			push(event{at: now + st, kind: evService, node: int32(node)})
+		}
+	}
+
+	inject := func(pid int32) {
+		tok := token{pid: pid, started: now}
+		wire := int(pid) % net.InWidth()
+		node, port := net.InputDest(wire)
+		arrive(tok, node, port)
+	}
+
+	// Prime the loop: each process injects one token at time ~0.
+	for pid := 0; pid < cfg.Processes && launched < cfg.Ops; pid++ {
+		launched++
+		push(event{at: draw(cfg.ThinkTime) * 0.01, kind: evInject, pid: int32(pid)})
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		now = e.at
+		switch e.kind {
+		case evInject:
+			inject(e.pid)
+		case evService:
+			s := &servers[e.node]
+			tok := s.queue[0]
+			s.queue = s.queue[1:]
+			nd := net.Node(int(e.node))
+			q := int64(nd.Out())
+			port := int(((s.state % q) + q) % q)
+			s.state++
+			next, nport := net.Dest(int(e.node), port)
+			if len(s.queue) > 0 {
+				st := serviceTime(cfg, draw, len(s.queue))
+				s.work += st
+				push(event{at: now + st, kind: evService, node: e.node})
+			} else {
+				s.busy = false
+			}
+			arrive(tok, next, nport)
+		}
+	}
+
+	res := Result{
+		Net:       net.Name(),
+		Processes: cfg.Processes,
+		Ops:       completed,
+		Duration:  now,
+		MaxQueue:  maxQueue,
+	}
+	if now > 0 {
+		res.Throughput = float64(completed) / now
+	}
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.MeanLat = sum / float64(len(latencies))
+		res.P95Lat = stats.Percentile(latencies, 95)
+	}
+	for i := range servers {
+		if u := servers[i].work / now; u > res.BusiestUse {
+			res.BusiestUse = u
+		}
+	}
+	return res
+}
+
+// serviceTime draws one service time for a balancer currently holding q
+// tokens (including the one starting service).
+func serviceTime(cfg Config, draw func(float64) float64, q int) float64 {
+	st := draw(cfg.ServiceTime)
+	if cfg.ContentionFactor > 0 && q > 1 {
+		st *= 1 + cfg.ContentionFactor*float64(q-1)
+	}
+	return st
+}
+
+// Sweep runs the simulation across the given concurrency levels and
+// returns one Result per level, holding ops per process constant.
+func Sweep(net *network.Network, ns []int, opsPerProc int64, base Config) []Result {
+	out := make([]Result, 0, len(ns))
+	for _, n := range ns {
+		cfg := base
+		cfg.Processes = n
+		cfg.Ops = int64(n) * opsPerProc
+		out = append(out, Run(net, cfg))
+	}
+	return out
+}

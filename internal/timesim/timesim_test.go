@@ -1,0 +1,244 @@
+package timesim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+func single(t *testing.T) *network.Network {
+	t.Helper()
+	b, in := network.NewBuilder("central", 2)
+	out := b.Balancer(in, 2)
+	n, err := b.Finalize(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// A single server with deterministic service time s saturates at 1/s.
+func TestSingleServerSaturation(t *testing.T) {
+	n := single(t)
+	res := Run(n, Config{Processes: 16, Ops: 4000, ServiceTime: 2.0})
+	want := 1.0 / 2.0
+	if math.Abs(res.Throughput-want)/want > 0.05 {
+		t.Fatalf("throughput %.4f, want ~%.4f", res.Throughput, want)
+	}
+	if res.BusiestUse < 0.95 {
+		t.Fatalf("utilization %.3f, want ~1", res.BusiestUse)
+	}
+}
+
+// One process, no think time: latency = depth * service time exactly
+// (deterministic), throughput = 1/latency.
+func TestSingleProcessLatency(t *testing.T) {
+	net, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(net, Config{Processes: 1, Ops: 500, ServiceTime: 1.0})
+	want := float64(net.Depth())
+	if math.Abs(res.MeanLat-want) > 1e-9 {
+		t.Fatalf("latency %.4f, want %.4f", res.MeanLat, want)
+	}
+	if math.Abs(res.Throughput-1/want) > 1e-9 {
+		t.Fatalf("throughput %.4f, want %.4f", res.Throughput, 1/want)
+	}
+}
+
+// Little's law: mean in-flight tokens = throughput x mean latency <= n.
+func TestLittlesLaw(t *testing.T) {
+	net, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 8, 32} {
+		res := Run(net, Config{Processes: n, Ops: int64(n) * 400, ServiceTime: 1.0, Seed: 3})
+		inFlight := res.Throughput * res.MeanLat
+		if inFlight > float64(n)*1.01 {
+			t.Fatalf("n=%d: Little's law violated: %.2f in flight", n, inFlight)
+		}
+		if inFlight <= 0 {
+			t.Fatalf("n=%d: degenerate in-flight %.2f", n, inFlight)
+		}
+	}
+}
+
+// Throughput is (weakly) monotone in n for a closed loop.
+func TestThroughputMonotoneInN(t *testing.T) {
+	net, err := core.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, n := range []int{1, 4, 16, 64} {
+		res := Run(net, Config{Processes: n, Ops: int64(n) * 300, ServiceTime: 1.0})
+		if i > 0 && res.Throughput < prev*0.98 {
+			t.Fatalf("throughput fell from %.4f to %.4f at n=%d", prev, res.Throughput, n)
+		}
+		prev = res.Throughput
+	}
+}
+
+// E13 crossover (refs [19,20] simulation regime): near saturation,
+// variance-driven queueing accumulates in every *narrow* layer. The
+// bitonic network is narrow for all 10 layers; C(16,64) is narrow for 4
+// and wide (cool) for 6, so at equal depth it shows lower latency and, in
+// the closed loop, higher throughput. Margins grow with load (probed:
+// thr-gain 1.03 -> 1.10, lat-gain 1.13 -> 1.24 as n goes 128 -> 256).
+func TestCrossoverAndLatencyAdvantage(t *testing.T) {
+	bit, err := bitonic.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwt, err := core.New(16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 256
+	cfg := Config{Processes: n, Ops: n * 80, ServiceTime: 1.0, ThinkTime: 20,
+		Exponential: true, Seed: 9}
+	rb := Run(bit, cfg)
+	rc64 := Run(cwt, cfg)
+	if rc64.Throughput < rb.Throughput*1.03 {
+		t.Errorf("C(16,64) throughput %.3f not >=3%% above bitonic %.3f at n=%d",
+			rc64.Throughput, rb.Throughput, n)
+	}
+	if rc64.MeanLat > rb.MeanLat*0.92 {
+		t.Errorf("C(16,64) latency %.2f not >=8%% below bitonic %.2f at n=%d",
+			rc64.MeanLat, rb.MeanLat, n)
+	}
+	t.Logf("n=%d: bitonic thr=%.3f lat=%.1f p95=%.1f | C(16,64) thr=%.3f lat=%.1f p95=%.1f",
+		n, rb.Throughput, rb.MeanLat, rb.P95Lat, rc64.Throughput, rc64.MeanLat, rc64.P95Lat)
+}
+
+// With memory-contention-dependent service times the central counter
+// collapses under load while the counting networks keep flowing — the
+// headline crossover of the experimental companion.
+func TestCentralCollapsesUnderContention(t *testing.T) {
+	central := single(t)
+	bit, err := bitonic.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 256
+	cfg := Config{Processes: n, Ops: n * 60, ServiceTime: 1.0,
+		Exponential: true, ContentionFactor: 0.5, Seed: 9}
+	rc := Run(central, cfg)
+	rb := Run(bit, cfg)
+	if rb.Throughput < rc.Throughput*10 {
+		t.Errorf("bitonic %.4f not >=10x central %.4f under contention at n=%d",
+			rb.Throughput, rc.Throughput, n)
+	}
+	t.Logf("n=%d contention regime: central thr=%.4f, bitonic thr=%.3f", n, rc.Throughput, rb.Throughput)
+}
+
+// Under pure deterministic queueing (no contention factor) the two
+// equal-bottleneck networks tie — documenting that the advantage comes
+// from the contention mechanism, not from queueing alone.
+func TestDeterministicQueueingTies(t *testing.T) {
+	bit, err := bitonic.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwt, err := core.New(16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Processes: 128, Ops: 128 * 100, ServiceTime: 1.0}
+	rb := Run(bit, cfg)
+	rc := Run(cwt, cfg)
+	if math.Abs(rb.Throughput-rc.Throughput)/rb.Throughput > 0.02 {
+		t.Fatalf("deterministic throughputs diverged: %.3f vs %.3f", rb.Throughput, rc.Throughput)
+	}
+}
+
+// At n=1 the central counter wins (depth 1 vs depth 10) — the classic
+// low-load regime.
+func TestCentralWinsAtLowLoad(t *testing.T) {
+	central := single(t)
+	bit, err := bitonic.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Processes: 1, Ops: 300, ServiceTime: 1.0}
+	rc := Run(central, cfg)
+	rb := Run(bit, cfg)
+	if rc.Throughput <= rb.Throughput {
+		t.Fatalf("central %.3f did not beat bitonic %.3f at n=1", rc.Throughput, rb.Throughput)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	net, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Processes: 8, Ops: 500, ServiceTime: 1.0, ThinkTime: 2.0, Exponential: true, Seed: 42}
+	a := Run(net, cfg)
+	b := Run(net, cfg)
+	if a.Throughput != b.Throughput || a.MeanLat != b.MeanLat {
+		t.Fatal("same seed, different results")
+	}
+}
+
+func TestExponentialVsDeterministic(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := Run(net, Config{Processes: 8, Ops: 2000, ServiceTime: 1.0, Seed: 1})
+	exp := Run(net, Config{Processes: 8, Ops: 2000, ServiceTime: 1.0, Exponential: true, Seed: 1})
+	// Randomness adds queueing variance: latency under exponential service
+	// must be at least the deterministic latency.
+	if exp.MeanLat < det.MeanLat*0.9 {
+		t.Fatalf("exponential latency %.2f below deterministic %.2f", exp.MeanLat, det.MeanLat)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Sweep(net, []int{1, 2, 4}, 200, Config{ServiceTime: 1.0})
+	if len(rs) != 3 {
+		t.Fatalf("sweep returned %d results", len(rs))
+	}
+	for i, r := range rs {
+		if r.Ops == 0 || r.Throughput <= 0 {
+			t.Fatalf("result %d degenerate: %+v", i, r)
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	net := single(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	Run(net, Config{Processes: 0, Ops: 1, ServiceTime: 1})
+}
+
+// Think time reduces effective load: with huge think time, utilization is
+// low and latency approaches the uncontended depth.
+func TestThinkTimeReducesLoad(t *testing.T) {
+	net, err := core.New(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := Run(net, Config{Processes: 32, Ops: 3200, ServiceTime: 1.0})
+	idle := Run(net, Config{Processes: 32, Ops: 3200, ServiceTime: 1.0, ThinkTime: 500})
+	if idle.MeanLat >= busy.MeanLat {
+		t.Fatalf("think time did not reduce latency: %.2f vs %.2f", idle.MeanLat, busy.MeanLat)
+	}
+	if idle.BusiestUse >= busy.BusiestUse {
+		t.Fatalf("think time did not reduce utilization")
+	}
+}

@@ -1,0 +1,198 @@
+// Package trace records concurrent executions of balancing networks,
+// reconstructs a legal sequential schedule from the per-balancer sequence
+// indices (§2.2: an execution is a sequence of transitions whose order is
+// constrained by causality), and replays the schedule against the network
+// semantics. The pipeline gives machine-checked certificates that a live
+// lock-free run was equivalent to some legal serial execution:
+//
+//	rec := trace.NewRecorder()
+//	... goroutines call rec.Traverse(net, wire, token) ...
+//	tr, err := rec.Linearize()     // topological certificate
+//	err = tr.Replay(net)           // re-validate against semantics
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/network"
+)
+
+// Event is one balancer transition: token Token crossed balancer Node as
+// its K-th customer and left on Port.
+type Event struct {
+	Token int
+	Node  int
+	K     int64
+	Port  int
+}
+
+// Trace is a linearized execution: Events in a legal sequential order.
+type Trace struct {
+	Net    string
+	Events []Event
+	// Exits maps token -> network output wire.
+	Exits map[int]int
+}
+
+// Recorder collects events from concurrent traversals.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	exits  map[int]int
+	name   string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{exits: make(map[int]int)}
+}
+
+// Traverse shepherds one token through the network, recording every
+// balancer crossing. Token ids must be unique per recorder. Returns the
+// exit wire.
+func (r *Recorder) Traverse(net *network.Network, wire, token int) int {
+	// Collect into a local buffer first: the per-token order is the path
+	// order, and appending under one lock at the end keeps the hot loop
+	// contention low.
+	local := make([]Event, 0, net.Depth())
+	out := net.TraverseObserve(wire, func(node int, k int64, port int) {
+		local = append(local, Event{Token: token, Node: node, K: k, Port: port})
+	})
+	r.mu.Lock()
+	r.name = net.Name()
+	r.events = append(r.events, local...)
+	r.exits[token] = out
+	r.mu.Unlock()
+	return out
+}
+
+// Linearize reconstructs a legal total order of the recorded transitions:
+// it must respect (a) each balancer's sequence indices in increasing order
+// and (b) each token's path order. A cycle would certify an impossible
+// execution (an implementation bug); the recorded orders of a correct
+// lock-free network always linearize.
+func (r *Recorder) Linearize() (*Trace, error) {
+	r.mu.Lock()
+	events := append([]Event(nil), r.events...)
+	exits := make(map[int]int, len(r.exits))
+	for k, v := range r.exits {
+		exits[k] = v
+	}
+	name := r.name
+	r.mu.Unlock()
+
+	n := len(events)
+	// Edges: successor lists by event index.
+	succ := make([][]int32, n)
+	indeg := make([]int32, n)
+	addEdge := func(a, b int) {
+		succ[a] = append(succ[a], int32(b))
+		indeg[b]++
+	}
+	// (a) Per-node K order.
+	byNode := map[int][]int{}
+	for i, e := range events {
+		byNode[e.Node] = append(byNode[e.Node], i)
+	}
+	for node, idxs := range byNode {
+		sort.Slice(idxs, func(a, b int) bool { return events[idxs[a]].K < events[idxs[b]].K })
+		for j := 1; j < len(idxs); j++ {
+			if events[idxs[j]].K == events[idxs[j-1]].K {
+				return nil, fmt.Errorf("trace: balancer %d served two tokens with the same index %d", node, events[idxs[j]].K)
+			}
+			addEdge(idxs[j-1], idxs[j])
+		}
+	}
+	// (b) Per-token path order (recorded order is path order because the
+	// events were appended by the traversing goroutine itself).
+	byToken := map[int][]int{}
+	for i, e := range events {
+		byToken[e.Token] = append(byToken[e.Token], i)
+	}
+	for _, idxs := range byToken {
+		for j := 1; j < len(idxs); j++ {
+			addEdge(idxs[j-1], idxs[j])
+		}
+	}
+	// Kahn topological sort.
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]Event, 0, n)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, events[i])
+		for _, j := range succ[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, int(j))
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("trace: recorded orders are cyclic (%d of %d events linearized) — impossible execution", len(order), n)
+	}
+	return &Trace{Net: name, Events: order, Exits: exits}, nil
+}
+
+// Replay validates the trace against the network's semantics: executing
+// the events in order, every event's K must equal the balancer's running
+// count, its Port must equal the balancer function (init+K) mod q, each
+// token's hops must follow the wiring, and each token's final hop must
+// land on its recorded exit wire. The network is only read (topology).
+func (tr *Trace) Replay(net *network.Network) error {
+	count := make([]int64, net.Size())
+	// Expected location per token: start unset; first event must be at the
+	// entry node of some input wire (we don't know the wire, so we only
+	// check continuity after the first hop).
+	where := map[int]int{} // token -> expected next node (-1 none yet)
+	for i, e := range tr.Events {
+		if e.Node < 0 || e.Node >= net.Size() {
+			return fmt.Errorf("trace: event %d names unknown balancer %d", i, e.Node)
+		}
+		if count[e.Node] != e.K {
+			return fmt.Errorf("trace: event %d: balancer %d expected customer %d, trace says %d",
+				i, e.Node, count[e.Node], e.K)
+		}
+		nd := net.Node(e.Node)
+		q := int64(nd.Out())
+		wantPort := int((nd.Balancer().Init() + e.K) % q)
+		if e.Port != wantPort {
+			return fmt.Errorf("trace: event %d: balancer %d customer %d must exit port %d, trace says %d",
+				i, e.Node, e.K, wantPort, e.Port)
+		}
+		if expect, ok := where[e.Token]; ok && expect != e.Node {
+			return fmt.Errorf("trace: event %d: token %d expected at balancer %d, trace says %d",
+				i, e.Token, expect, e.Node)
+		}
+		count[e.Node]++
+		next, nport := net.Dest(e.Node, e.Port)
+		if next >= 0 {
+			where[e.Token] = next
+		} else {
+			delete(where, e.Token)
+			if exit, ok := tr.Exits[e.Token]; ok && exit != nport {
+				return fmt.Errorf("trace: token %d recorded exit %d but replay exits %d", e.Token, exit, nport)
+			}
+		}
+	}
+	if len(where) != 0 {
+		return fmt.Errorf("trace: %d tokens never exited", len(where))
+	}
+	return nil
+}
+
+// ExitCensus tallies exits per output wire.
+func (tr *Trace) ExitCensus(outWidth int) []int64 {
+	out := make([]int64, outWidth)
+	for _, wire := range tr.Exits {
+		out[wire]++
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bitonic"
+	"repro/internal/core"
+	"repro/internal/seq"
+)
+
+func TestSequentialRecordAndReplay(t *testing.T) {
+	net, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	for tok := 0; tok < 20; tok++ {
+		rec.Traverse(net, tok%4, tok)
+	}
+	tr, err := rec.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 20*net.Depth() {
+		t.Fatalf("events = %d, want %d", len(tr.Events), 20*net.Depth())
+	}
+	fresh, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Replay(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if census := tr.ExitCensus(8); !seq.IsStep(census) {
+		t.Fatalf("census %v not step", census)
+	}
+}
+
+// The certification pipeline on a fully concurrent run: record, linearize,
+// replay — every concurrent execution of the lock-free network must be
+// equivalent to some legal serial schedule.
+func TestConcurrentCertification(t *testing.T) {
+	net, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	const procs, per = 8, 300
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				token := pid*per + i
+				rec.Traverse(net, pid%8, token)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	tr, err := rec.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Replay(fresh); err != nil {
+		t.Fatal(err)
+	}
+	census := tr.ExitCensus(16)
+	if !seq.IsStep(census) {
+		t.Fatalf("census %v not step", census)
+	}
+	if seq.Sum(census) != procs*per {
+		t.Fatalf("token conservation broken: %d", seq.Sum(census))
+	}
+}
+
+func TestConcurrentCertificationBitonic(t *testing.T) {
+	net, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	const procs, per = 6, 200
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec.Traverse(net, pid%8, pid*per+i)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	tr, err := rec.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := bitonic.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Replay(fresh); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corrupted traces must be rejected by Replay.
+func TestReplayRejectsCorruption(t *testing.T) {
+	net, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder()
+	for tok := 0; tok < 10; tok++ {
+		rec.Traverse(net, tok%4, tok)
+	}
+	tr, err := rec.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a port.
+	bad := *tr
+	bad.Events = append([]Event(nil), tr.Events...)
+	bad.Events[3].Port ^= 1
+	if err := bad.Replay(fresh); err == nil {
+		t.Fatal("port corruption accepted")
+	}
+
+	// Corrupt a sequence index.
+	bad2 := *tr
+	bad2.Events = append([]Event(nil), tr.Events...)
+	bad2.Events[0].K += 5
+	if err := bad2.Replay(fresh); err == nil {
+		t.Fatal("sequence corruption accepted")
+	}
+
+	// Swap two same-balancer events (breaks K monotonicity at replay).
+	bad3 := *tr
+	bad3.Events = append([]Event(nil), tr.Events...)
+	found := false
+	for i := 0; i < len(bad3.Events) && !found; i++ {
+		for j := i + 1; j < len(bad3.Events); j++ {
+			if bad3.Events[i].Node == bad3.Events[j].Node {
+				bad3.Events[i], bad3.Events[j] = bad3.Events[j], bad3.Events[i]
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no same-balancer pair to corrupt")
+	}
+	if err := bad3.Replay(fresh); err == nil {
+		t.Fatal("order corruption accepted")
+	}
+}
+
+// Linearize must reject duplicate (node, K) pairs — an impossible record.
+func TestLinearizeRejectsDuplicates(t *testing.T) {
+	rec := NewRecorder()
+	rec.events = []Event{
+		{Token: 0, Node: 0, K: 0, Port: 0},
+		{Token: 1, Node: 0, K: 0, Port: 0},
+	}
+	if _, err := rec.Linearize(); err == nil {
+		t.Fatal("duplicate sequence index accepted")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	rec := NewRecorder()
+	tr, err := rec.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := core.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Replay(net); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package workload generates token-arrival workloads for the contention
+// simulator and throughput benchmarks: which process issues tokens, on
+// which wires, and in what proportions. The experimental comparisons of
+// refs [19,20] of the paper sweep concurrency under a uniform workload;
+// hotspot and bursty variants exercise the networks off the uniform path.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Assignment maps processes to network input wires.
+type Assignment interface {
+	// Wire returns the input wire for process pid on a network with w
+	// input wires.
+	Wire(pid, w int) int
+	// Name identifies the assignment in reports.
+	Name() string
+}
+
+// Uniform is the paper's §1.2 assignment: process l enters on wire
+// l mod w.
+type Uniform struct{}
+
+// Name implements Assignment.
+func (Uniform) Name() string { return "uniform" }
+
+// Wire implements Assignment.
+func (Uniform) Wire(pid, w int) int { return pid % w }
+
+// Hotspot sends a fraction of processes to wire 0 and spreads the rest,
+// modeling skewed arrival (e.g. a popular producer).
+type Hotspot struct {
+	// Percent of processes (0..100) pinned to wire 0.
+	Percent int
+}
+
+// Name implements Assignment.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot%d", h.Percent) }
+
+// Wire implements Assignment.
+func (h Hotspot) Wire(pid, w int) int {
+	if pid%100 < h.Percent {
+		return 0
+	}
+	return pid % w
+}
+
+// Quota decides how many tokens each process shepherds in total.
+type Quota interface {
+	// Tokens returns the number of tokens for process pid.
+	Tokens(pid int) int
+	// Name identifies the quota scheme.
+	Name() string
+}
+
+// EvenQuota gives every process the same number of tokens.
+type EvenQuota struct{ PerProcess int }
+
+// Name implements Quota.
+func (EvenQuota) Name() string { return "even" }
+
+// Tokens implements Quota.
+func (q EvenQuota) Tokens(int) int { return q.PerProcess }
+
+// BurstyQuota gives a random quota in [1, 2*Mean), seeded deterministically
+// per pid so runs are reproducible.
+type BurstyQuota struct {
+	Mean int
+	Seed int64
+}
+
+// Name implements Quota.
+func (BurstyQuota) Name() string { return "bursty" }
+
+// Tokens implements Quota.
+func (q BurstyQuota) Tokens(pid int) int {
+	rng := rand.New(rand.NewSource(q.Seed + int64(pid)))
+	return 1 + rng.Intn(2*q.Mean-1)
+}
+
+// Counts expands an (Assignment, Quota) pair into per-wire token counts
+// for a network of input width w and n processes — the input vector for
+// quiescent evaluation.
+func Counts(a Assignment, q Quota, n, w int) []int64 {
+	x := make([]int64, w)
+	for pid := 0; pid < n; pid++ {
+		x[a.Wire(pid, w)] += int64(q.Tokens(pid))
+	}
+	return x
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestUniform(t *testing.T) {
+	var u Uniform
+	if u.Wire(5, 4) != 1 || u.Wire(3, 4) != 3 {
+		t.Fatal("uniform wiring broken")
+	}
+	if u.Name() != "uniform" {
+		t.Fatal("name")
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	h := Hotspot{Percent: 50}
+	hot := 0
+	for pid := 0; pid < 100; pid++ {
+		if h.Wire(pid, 8) == 0 && pid%100 < 50 {
+			hot++
+		}
+	}
+	if hot != 50 {
+		t.Fatalf("hotspot pinned %d of 50", hot)
+	}
+	if h.Name() != "hotspot50" {
+		t.Fatal("name")
+	}
+}
+
+func TestEvenQuota(t *testing.T) {
+	q := EvenQuota{PerProcess: 7}
+	for pid := 0; pid < 5; pid++ {
+		if q.Tokens(pid) != 7 {
+			t.Fatal("even quota broken")
+		}
+	}
+}
+
+func TestBurstyQuotaDeterministic(t *testing.T) {
+	q := BurstyQuota{Mean: 10, Seed: 3}
+	a, b := q.Tokens(4), q.Tokens(4)
+	if a != b {
+		t.Fatal("bursty quota not reproducible")
+	}
+	if a < 1 || a >= 20 {
+		t.Fatalf("quota %d out of range", a)
+	}
+	// Different pids should (almost surely) differ somewhere.
+	same := true
+	for pid := 0; pid < 20; pid++ {
+		if q.Tokens(pid) != a {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("bursty quota constant across pids")
+	}
+}
+
+func TestCountsUniformEven(t *testing.T) {
+	x := Counts(Uniform{}, EvenQuota{PerProcess: 3}, 8, 4)
+	// 8 processes over 4 wires, 3 tokens each: 6 per wire.
+	if !seq.Equal(x, []int64{6, 6, 6, 6}) {
+		t.Fatalf("Counts = %v", x)
+	}
+}
+
+func TestCountsHotspot(t *testing.T) {
+	x := Counts(Hotspot{Percent: 100}, EvenQuota{PerProcess: 2}, 5, 4)
+	if !seq.Equal(x, []int64{10, 0, 0, 0}) {
+		t.Fatalf("Counts = %v", x)
+	}
+}
