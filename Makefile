@@ -1,0 +1,37 @@
+# Local mirror of .github/workflows/ci.yml — run `make check` before
+# pushing and you have run exactly what CI runs.
+
+GO ?= go
+
+.PHONY: check build vet fmt test race bench-smoke bench fuzz
+
+check: build vet fmt race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short -timeout 10m ./...
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Full benchmark sweep (slow; see EXPERIMENTS.md for recorded tables).
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Explore the batched-traversal fuzz target beyond the checked-in corpus.
+fuzz:
+	$(GO) test -fuzz=FuzzTraverseBatch -fuzztime=60s ./internal/network

@@ -79,9 +79,58 @@ func BenchmarkTraverse(b *testing.B) {
 	}
 }
 
+// E3 fast path: batched traversal vs token-at-a-time. The custom metric
+// ns/token divides the batch cost by k — watch it fall as the batch
+// amortizes one fetch-add per balancer over many tokens.
+func BenchmarkTraverseBatch(b *testing.B) {
+	for _, c := range []struct {
+		name   string
+		family string
+		p      registry.Params
+	}{
+		{"CWT16x64", "cwt", registry.Params{W: 16, T: 64}},
+		{"Bitonic16", "bitonic", registry.Params{W: 16}},
+	} {
+		for _, k := range []int64{1, 8, 64, 512} {
+			b.Run(fmt.Sprintf("%s/k=%d", c.name, k), func(b *testing.B) {
+				n := mustNet(b, c.family, c.p)
+				out := make([]int64, n.OutWidth())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n.TraverseBatchInto(i%n.InWidth(), k, out)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/token")
+			})
+		}
+	}
+}
+
+// E24: elimination layer under a balanced Inc/Dec workload (pairs cancel
+// at the door; the pairs/op metric reports how often).
+func BenchmarkEliminatingCounter(b *testing.B) {
+	net := mustAny("cwt", registry.Params{W: 16})
+	e, err := NewEliminatingCounter(net, EliminationOptions{Slots: 2, Spin: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pids atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		pid := int(pids.Add(1))
+		for pb.Next() {
+			if pid%2 == 0 {
+				e.Inc(pid)
+			} else {
+				e.Dec(pid)
+			}
+		}
+	})
+	b.ReportMetric(float64(2*e.Pairs())/float64(b.N), "eliminated/op")
+}
+
 // E13: wall-clock counter throughput under goroutine parallelism
 // (RunParallel scales with GOMAXPROCS). This is the refs [19,20]
-// simulation-side sweep.
+// simulation-side sweep, now including the E23 fast-path counters
+// (sharded and batched).
 func BenchmarkCounterThroughput(b *testing.B) {
 	impls := []struct {
 		name string
@@ -93,6 +142,16 @@ func BenchmarkCounterThroughput(b *testing.B) {
 		{"Periodic16", func() counter.Counter { return counter.NewNetwork(mustAny("periodic", registry.Params{W: 16})) }},
 		{"CWT16x16", func() counter.Counter { return counter.NewNetwork(mustAny("cwt", registry.Params{W: 16})) }},
 		{"CWT16x64", func() counter.Counter { return counter.NewNetwork(mustAny("cwt", registry.Params{W: 16, T: 64})) }},
+		{"Sharded4xCWT16x16", func() counter.Counter {
+			c, err := NewShardedCounter(4, func() (*Network, error) { return NewCWT(16, 16) })
+			if err != nil {
+				panic(err)
+			}
+			return c
+		}},
+		{"Batched16xCWT16x64", func() counter.Counter {
+			return NewBatchedCounter(mustAny("cwt", registry.Params{W: 16, T: 64}), 16)
+		}},
 	}
 	for _, impl := range impls {
 		b.Run(impl.name, func(b *testing.B) {

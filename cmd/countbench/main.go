@@ -8,6 +8,8 @@
 //	countbench -exp blocks       # E10: per-block stall attribution vs t
 //	countbench -exp slope        # E10: contention-vs-n slopes vs theory
 //	countbench -exp throughput   # E13: wall-clock counter throughput
+//	countbench -exp fastpath     # E23: batched/sharded fast-path throughput
+//	countbench -exp elim         # E24: Inc/Dec elimination rate and speedup
 //	countbench -exp dist         # E13: distributed emulation throughput
 //	countbench -exp timesim      # E13: queueing simulation (host-independent)
 //	countbench -exp linearize    # E18: linearizability observation
@@ -35,13 +37,14 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/network"
 	"repro/internal/periodic"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/timesim"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | dist | timesim | linearize | ablation | all")
+		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | timesim | linearize | ablation | all")
 		rounds = flag.Int("rounds", 60, "tokens per process in simulations")
 		opsK   = flag.Int("ops", 50, "thousands of operations per throughput cell")
 	)
@@ -54,13 +57,15 @@ func main() {
 		"blocks":     func() { expBlocks(*rounds) },
 		"slope":      func() { expSlope(*rounds) },
 		"throughput": func() { expThroughput(*opsK * 1000) },
+		"fastpath":   func() { expFastpath(*opsK * 1000) },
+		"elim":       func() { expElim(*opsK * 1000) },
 		"dist":       func() { expDist(*opsK * 200) },
 		"timesim":    expTimesim,
 		"linearize":  expLinearize,
 		"ablation":   expAblation,
 	}
 	order := []string{"depth", "contention", "compare", "blocks", "slope",
-		"throughput", "dist", "timesim", "linearize", "ablation"}
+		"throughput", "fastpath", "elim", "dist", "timesim", "linearize", "ablation"}
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
@@ -173,6 +178,89 @@ func expThroughput(ops int) {
 	fmt.Print(tb.String())
 }
 
+// E23: the fast path — batched and sharded counters against the E13
+// baselines. The batched counter amortizes a traversal over k values
+// (one fetch-add per balancer touched, Network.TraverseBatch); the
+// sharded counter stripes pids over independent networks.
+func expFastpath(ops int) {
+	const w = 16
+	t := w * log2(w)
+	fmt.Printf("fast-path counter throughput, ops/ms (GOMAXPROCS=%d, %d ops per cell)\n\n",
+		runtime.GOMAXPROCS(0), ops)
+	counters := []func() counter.Counter{
+		func() counter.Counter { return counter.NewCentral() },
+		func() counter.Counter { return counter.NewNetwork(must(core.New(w, t))) },
+		func() counter.Counter { return mustSharded(4, w, w) },
+		func() counter.Counter { return mustSharded(8, w, t) },
+		func() counter.Counter { return counter.NewBatched(counter.NewNetwork(must(core.New(w, t))), 16) },
+		func() counter.Counter { return counter.NewBatched(counter.NewNetwork(must(core.New(w, t))), 64) },
+	}
+	header := []string{"goroutines"}
+	for _, mk := range counters {
+		header = append(header, mk().Name())
+	}
+	tb := stats.NewTable(header...)
+	for _, g := range []int{1, 2, 4, 8, 16, 32, 64} {
+		row := []any{g}
+		for _, mk := range counters {
+			row = append(row, fmt.Sprintf("%.0f", throughput(mk(), g, ops)))
+		}
+		tb.AddRowf(row...)
+	}
+	fmt.Print(tb.String())
+}
+
+func mustSharded(shards, w, t int) counter.Counter {
+	c, err := counter.NewSharded(shards, func() (*network.Network, error) { return core.New(w, t) })
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// E24: elimination under a balanced Inc/Dec workload — pairs cancel at
+// the door instead of traversing the network twice.
+func expElim(ops int) {
+	const w = 16
+	fmt.Printf("balanced Inc/Dec workload, ops/ms (%d ops per cell)\n\n", ops)
+	tb := stats.NewTable("goroutines", "C(16,16) raw", "C(16,16)+elim", "eliminated %")
+	for _, g := range []int{2, 4, 8, 16, 32} {
+		raw := counter.NewNetwork(must(core.New(w, w)))
+		rawRate := incDecThroughput(raw.Inc, raw.Dec, g, ops)
+		// A spin budget of a few thousand keeps pairing effective even when
+		// goroutines far outnumber processors (the eliminator yields while
+		// parked); the default is tuned for spare-core spinning.
+		elim, err := shard.NewEliminator(counter.NewNetwork(must(core.New(w, w))),
+			shard.EliminatorOptions{Slots: 2, Spin: 2048})
+		if err != nil {
+			panic(err)
+		}
+		elimRate := incDecThroughput(elim.Inc, elim.Dec, g, ops)
+		pct := 0.0
+		if total := float64(2*elim.Pairs() + elim.Misses()); total > 0 {
+			pct = 100 * float64(2*elim.Pairs()) / total
+		}
+		tb.AddRowf(g, fmt.Sprintf("%.0f", rawRate), fmt.Sprintf("%.0f", elimRate),
+			fmt.Sprintf("%.1f", pct))
+	}
+	fmt.Print(tb.String())
+}
+
+// incDecThroughput drives g goroutines, half incrementing and half
+// decrementing, and returns ops/ms.
+func incDecThroughput(inc, dec func(pid int) int64, g, ops int) float64 {
+	if g < 2 {
+		g = 2
+	}
+	return drive(g, ops, func(pid int) {
+		if pid%2 == 1 {
+			dec(pid)
+		} else {
+			inc(pid)
+		}
+	})
+}
+
 type dtreeAdapter struct{ c *dtree.Counter }
 
 func (d dtreeAdapter) Inc(int) int64 { return d.c.Inc() }
@@ -188,6 +276,12 @@ func dtreeCounter(w int) counter.Counter {
 
 // throughput returns ops/ms for `g` goroutines sharing `ops` operations.
 func throughput(c counter.Counter, g, ops int) float64 {
+	return drive(g, ops, func(pid int) { c.Inc(pid) })
+}
+
+// drive is the shared measurement harness: g goroutines race through ops
+// calls of op and the wall-clock rate comes back in ops/ms.
+func drive(g, ops int, op func(pid int)) float64 {
 	var remaining atomic.Int64
 	remaining.Store(int64(ops))
 	var wg sync.WaitGroup
@@ -197,7 +291,7 @@ func throughput(c counter.Counter, g, ops int) float64 {
 		go func(pid int) {
 			defer wg.Done()
 			for remaining.Add(-1) >= 0 {
-				c.Inc(pid)
+				op(pid)
 			}
 		}(pid)
 	}

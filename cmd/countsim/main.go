@@ -19,13 +19,13 @@ import (
 
 func main() {
 	var (
-		family = flag.String("net", "cwt", fmt.Sprintf("network family %v", registry.Families()))
-		w      = flag.Int("w", 8, "input width")
-		t      = flag.Int("t", 0, "output width (cwt; 0 = w)")
-		n      = flag.Int("n", 64, "concurrency (number of processes)")
-		rounds = flag.Int("rounds", 50, "tokens per process")
+		family  = flag.String("net", "cwt", fmt.Sprintf("network family %v", registry.Families()))
+		w       = flag.Int("w", 8, "input width")
+		t       = flag.Int("t", 0, "output width (cwt; 0 = w)")
+		n       = flag.Int("n", 64, "concurrency (number of processes)")
+		rounds  = flag.Int("rounds", 50, "tokens per process")
 		advName = flag.String("adversary", "greedy", "greedy | random | roundrobin")
-		seed   = flag.Int64("seed", 1, "simulation seed")
+		seed    = flag.Int64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 

@@ -26,6 +26,9 @@
 //     the diffracting tree.
 //   - Lock-free concurrent traversal (one atomic add per balancer) and
 //     shared Fetch&Increment / Fetch&Decrement counters.
+//   - A high-throughput fast path: batched traversal (Network.TraverseBatch,
+//     one atomic add per balancer *touched* rather than per token), plus
+//     batched, sharded and Inc/Dec-eliminating counters built on it.
 //   - The Dwork–Herlihy–Waarts adversarial contention simulator.
 //   - Quiescent-state verification (counting / k-smoothing / difference
 //     merging properties).
@@ -51,6 +54,7 @@ import (
 	"repro/internal/merge"
 	"repro/internal/network"
 	"repro/internal/periodic"
+	"repro/internal/shard"
 	"repro/internal/sorting"
 	"repro/internal/tcpnet"
 	"repro/internal/timesim"
@@ -168,6 +172,62 @@ func NewAdaptiveCounter(cfg AdaptiveCounterConfig) *AdaptiveCounter {
 
 // NewLockedCounter returns the mutex-based baseline counter.
 func NewLockedCounter() Counter { return counter.NewLocked() }
+
+// High-throughput fast path -------------------------------------------------
+//
+// Three layers turn a counting network into a counter fit for very high
+// concurrency. Network.TraverseBatch pushes k tokens through with one
+// atomic fetch-add per balancer touched (a (p,q)-balancer hands
+// consecutive tokens to consecutive wires, so a group splits
+// arithmetically); the counters below build on it and on internal/shard.
+
+// BatchedCounter amortizes network traversals by prefetching values k at
+// a time through Network.TraverseBatch into per-stripe buffers. Claimed
+// values are dense in quiescent states; buffered-but-unreturned ones are
+// reported by Buffered.
+type BatchedCounter = counter.Batched
+
+// NewBatchedCounter wraps a counting network in a batched counter with
+// the given batch size (<= 0 selects the default).
+func NewBatchedCounter(n *Network, batch int) *BatchedCounter {
+	return counter.NewBatched(counter.NewNetwork(n), batch)
+}
+
+// ShardedCounter stripes Fetch&Increment traffic over several independent
+// counting networks selected by pid hash; shard s of S hands out the
+// residue class v·S + s, so values stay globally unique while hot words
+// multiply by S.
+type ShardedCounter = counter.Sharded
+
+// NewShardedCounter builds a sharded counter over `shards` fresh networks
+// produced by build (called once per shard).
+func NewShardedCounter(shards int, build func() (*Network, error)) (*ShardedCounter, error) {
+	return counter.NewSharded(shards, build)
+}
+
+// EliminatingCounter is an elimination front-end in the spirit of the
+// diffracting tree's prism (§1.4.1): concurrent Inc/Dec pairs meet in an
+// exchange slot, linearize as an adjacent Inc;Dec returning the same
+// value to both callers, and never enter the network.
+//
+// Caveat: an eliminated pair's value is drawn from a slot-private
+// sequence, not from the network, so it may coincide with a value a
+// concurrent non-eliminated Inc is holding. The pair issues and revokes
+// its value in one linearization step, so quiescent-state guarantees are
+// unaffected — but Inc results from this counter are NOT unique live
+// tickets. Use BatchedCounter or ShardedCounter where every Inc must
+// hold a distinct value; use this counter where Inc/Dec traffic is
+// balanced and only the net count matters (semaphores, load gauges).
+type EliminatingCounter = shard.Eliminator
+
+// EliminationOptions tunes the eliminator's slot count and spin budget.
+type EliminationOptions = shard.EliminatorOptions
+
+// NewEliminatingCounter wraps a counting-network counter with an
+// elimination layer handling both Inc (tokens) and Dec (antitokens).
+func NewEliminatingCounter(n *Network, opts EliminationOptions) (*EliminatingCounter, error) {
+	return shard.NewEliminator(counter.NewNetwork(n), opts)
+}
 
 // Contention simulation ---------------------------------------------------
 

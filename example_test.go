@@ -128,3 +128,27 @@ func ExampleSimulateTiming() {
 	fmt.Printf("latency %.0f = depth %d\n", res.MeanLat, net.Depth())
 	// Output: latency 6 = depth 6
 }
+
+// The fast path: a batch of tokens crosses each balancer with a single
+// atomic fetch-add and exits with the same step counts k single
+// traversals would produce.
+func ExampleNetwork_TraverseBatch() {
+	net, _ := countnet.NewCWT(4, 8)
+	fmt.Println(net.TraverseBatch(0, 11))
+	// Output: [2 2 2 1 1 1 1 1]
+}
+
+// Batched counting: values are claimed k at a time through one batched
+// traversal; a quiescent claim range is still dense. A single pid always
+// uses one stripe, so eight Incs consume two exact batches of four
+// regardless of GOMAXPROCS.
+func ExampleNewBatchedCounter() {
+	net, _ := countnet.NewCWT(4, 8)
+	ctr := countnet.NewBatchedCounter(net, 4)
+	seen := make([]bool, 8)
+	for i := 0; i < 8; i++ {
+		seen[ctr.Inc(0)] = true
+	}
+	fmt.Println(seen, "buffered:", ctr.Buffered())
+	// Output: [true true true true true true true true] buffered: 0
+}

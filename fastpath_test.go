@@ -1,0 +1,195 @@
+package countnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// Acceptance gate for the batched fast path: TraverseBatch(wire, k) must
+// produce the same quiescent output-wire token counts as k successive
+// Traverse(wire) calls on every network constructor the package ships.
+func fastpathConstructors(t *testing.T) []struct {
+	name  string
+	build func() (*Network, error)
+} {
+	t.Helper()
+	return []struct {
+		name  string
+		build func() (*Network, error)
+	}{
+		{"CWT(8,8)", func() (*Network, error) { return NewCWT(8, 8) }},
+		{"CWT(8,16)", func() (*Network, error) { return NewCWT(8, 16) }},
+		{"CWT(16,64)", func() (*Network, error) { return NewCWT(16, 64) }},
+		{"bitonic(8)", func() (*Network, error) { return NewBitonic(8) }},
+		{"bitonic(16)", func() (*Network, error) { return NewBitonic(16) }},
+		{"periodic(8)", func() (*Network, error) { return NewPeriodic(8) }},
+		{"periodic(16)", func() (*Network, error) { return NewPeriodic(16) }},
+		{"fwd-butterfly(16)", func() (*Network, error) { return NewForwardButterfly(16) }},
+		{"bwd-butterfly(16)", func() (*Network, error) { return NewBackwardButterfly(16) }},
+		{"merger(16,2)", func() (*Network, error) { return NewMerger(16, 2) }},
+		{"ladder(8)", func() (*Network, error) { return NewLadder(8) }},
+		{"toggle-tree(8)", func() (*Network, error) { return NewToggleTree(8) }},
+	}
+}
+
+func TestTraverseBatchMatchesTraverseEverywhere(t *testing.T) {
+	for _, c := range fastpathConstructors(t) {
+		t.Run(c.name, func(t *testing.T) {
+			batched, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			singles, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]int64, batched.OutWidth())
+			want := make([]int64, singles.OutWidth())
+			// A mixed schedule across all wires and several batch sizes,
+			// including k == width and k >> width.
+			w := batched.InWidth()
+			for round, k := range []int64{1, 2, 3, int64(w), 2*int64(w) + 1, 97} {
+				for wire := 0; wire < w; wire++ {
+					if (wire+round)%3 == 0 {
+						continue // leave gaps so wires see unequal traffic
+					}
+					batched.TraverseBatchInto(wire, k, got)
+					for i := int64(0); i < k; i++ {
+						want[singles.Traverse(wire)]++
+					}
+				}
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("batched exit counts %v\n want (single-token) %v", got, want)
+			}
+			for i := 0; i < batched.Size(); i++ {
+				if batched.Node(i).Balancer().Count() != singles.Node(i).Balancer().Count() {
+					t.Fatalf("balancer %d state diverged after batches", i)
+				}
+			}
+		})
+	}
+}
+
+// The step property must hold in every quiescent state reached purely by
+// batched traversal on the counting networks.
+func TestTraverseBatchPreservesStepProperty(t *testing.T) {
+	for _, c := range fastpathConstructors(t) {
+		switch c.name {
+		case "fwd-butterfly(16)", "bwd-butterfly(16)", "merger(16,2)", "ladder(8)":
+			continue // smoothing/merging families: step not guaranteed
+		}
+		t.Run(c.name, func(t *testing.T) {
+			n, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]int64, n.OutWidth())
+			for b, k := range []int64{5, 1, 16, 42, 3} {
+				n.TraverseBatchInto(b%n.InWidth(), k, out)
+				step := true
+				for i := 1; i < len(out); i++ {
+					if out[i] > out[i-1] || out[0]-out[i] > 1 {
+						step = false
+					}
+				}
+				if !step {
+					t.Fatalf("after batch %d the exit counts %v are not step", b, out)
+				}
+			}
+		})
+	}
+}
+
+// End-to-end: the facade's batched / sharded / eliminating counters
+// behave as documented under concurrent load.
+func TestFastPathCountersEndToEnd(t *testing.T) {
+	t.Run("batched", func(t *testing.T) {
+		net, err := NewCWT(8, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewBatchedCounter(net, 8)
+		const goroutines, per = 6, 300
+		vals := make([][]int64, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					vals[g] = append(vals[g], b.Inc(g))
+				}
+			}(g)
+		}
+		wg.Wait()
+		seen := make(map[int64]bool)
+		for _, vs := range vals {
+			for _, v := range vs {
+				if seen[v] {
+					t.Fatalf("duplicate value %d", v)
+				}
+				seen[v] = true
+			}
+		}
+		if b.Issued() != goroutines*per+b.Buffered() {
+			t.Fatalf("claimed %d != returned %d + buffered %d", b.Issued(), goroutines*per, b.Buffered())
+		}
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		s, err := NewShardedCounter(4, func() (*Network, error) { return NewCWT(8, 8) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []int64
+		for pid := 0; pid < 40; pid++ {
+			for i := 0; i < 5; i++ {
+				all = append(all, s.Inc(pid))
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for i := 1; i < len(all); i++ {
+			if all[i] == all[i-1] {
+				t.Fatalf("duplicate value %d", all[i])
+			}
+		}
+		if s.Issued() != int64(len(all)) {
+			t.Fatalf("Issued() = %d, want %d", s.Issued(), len(all))
+		}
+	})
+
+	t.Run("eliminating", func(t *testing.T) {
+		net, err := NewCWT(8, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEliminatingCounter(net, EliminationOptions{Slots: 4, Spin: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const pairs, per = 3, 200
+		var wg sync.WaitGroup
+		for g := 0; g < pairs; g++ {
+			wg.Add(2)
+			go func(pid int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					e.Inc(pid)
+				}
+			}(g)
+			go func(pid int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					e.Dec(pid)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := 2*e.Pairs() + e.Misses(); got != 2*pairs*per {
+			t.Fatalf("2*pairs + misses = %d, want %d", got, 2*pairs*per)
+		}
+	})
+}

@@ -234,7 +234,7 @@ func TestFig14Butterflies(t *testing.T) {
 	}
 }
 
-// Fig. 16: C'(w,t) has depth lgw with (2,2p) last layer; C''(w) is all
+// Fig. 16: C'(w,t) has depth lgw with (2,2p) last layer; C″(w) is all
 // (2,2) and is a backward butterfly (same census and layer profile as
 // E(w)).
 func TestFig16PrefixNetworks(t *testing.T) {
@@ -251,6 +251,6 @@ func TestFig16PrefixNetworks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// C''(8) mirrors E(8) structurally.
+	// C″(8) mirrors E(8) structurally.
 	requireCensus(t, e, map[string]int{"(2,2)": 12})
 }

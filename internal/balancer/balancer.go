@@ -67,6 +67,21 @@ func (b *PQ) StepK() (k int64, port int) {
 	return k, b.wire(k)
 }
 
+// StepN atomically processes n consecutive tokens with a single atomic
+// fetch-add and returns the sequence index of the first of them: the
+// batch's tokens take output wires (init+k) mod q, (init+k+1) mod q, ...,
+// (init+k+n-1) mod q. Because a balancer hands consecutive tokens to
+// consecutive wires round-robin, one fetch-add of n is indistinguishable
+// (to every other process, and in every quiescent state) from n
+// back-to-back Step calls — this is the batched-traversal primitive.
+// It panics for n < 1.
+func (b *PQ) StepN(n int64) (k int64) {
+	if n < 1 {
+		panic(fmt.Sprintf("balancer: StepN of non-positive count %d", n))
+	}
+	return b.count.Add(n) - n
+}
+
 // StepAnti atomically processes one antitoken: it decrements the balancer
 // state and exits on the wire the most recent token would have used, so a
 // token/antitoken pair cancels out (ref [2]).
@@ -109,10 +124,17 @@ func (b *PQ) OutputCounts() []int64 {
 // token exits on wire s0: wire i receives one token for every j in [0,s)
 // with (s0+j) mod q == i. It panics for negative s.
 func Distribute(s0, s int64, q int) []int64 {
+	return DistributeInto(s0, s, make([]int64, q))
+}
+
+// DistributeInto is Distribute writing into the caller-provided slice
+// (whose length is the output width q), for allocation-free hot paths such
+// as batched traversal. It returns out.
+func DistributeInto(s0, s int64, out []int64) []int64 {
 	if s < 0 {
 		panic(fmt.Sprintf("balancer: Distribute of negative count %d", s))
 	}
-	out := make([]int64, q)
+	q := len(out)
 	for i := range out {
 		// First j >= 0 with (s0+j) mod q == i.
 		d := (int64(i) - s0) % int64(q)
@@ -121,6 +143,8 @@ func Distribute(s0, s int64, q int) []int64 {
 		}
 		if d < s {
 			out[i] = (s - d + int64(q) - 1) / int64(q)
+		} else {
+			out[i] = 0
 		}
 	}
 	return out

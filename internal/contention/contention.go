@@ -33,10 +33,10 @@ type Sim struct {
 	tokens []tokenState
 	rng    *rand.Rand
 
-	stalls     int64
-	perLayer   []int64
-	perLabel   map[string]int64
-	maxOcc     int
+	stalls      int64
+	perLayer    []int64
+	perLabel    map[string]int64
+	maxOcc      int
 	transitions int64
 }
 

@@ -17,7 +17,7 @@
 //
 // The package also exposes the structural objects used in the contention
 // analysis: the prefix network C'(w,t) (the first lgw layers, Fig. 16
-// left), the all-(2,2) variant C''(w) (Fig. 16 right, a backward
+// left), the all-(2,2) variant C″(w) (Fig. 16 right, a backward
 // butterfly), and the block decomposition Na / Nb / Nc of §1.3.2 (Fig. 3).
 package core
 
@@ -212,14 +212,14 @@ func PrefixSmoothness(w, t int) int64 {
 	return int64(w*log2(w)/t) + 2
 }
 
-// NewPrefix22 constructs C''(w) (Fig. 16, right): C'(w,t) with every
+// NewPrefix22 constructs C″(w) (Fig. 16, right): C'(w,t) with every
 // (2,2p)-balancer of the last layer replaced by a (2,2)-balancer. It is a
 // backward butterfly of width w and is lgw-smoothing (proof of Lemma 6.6).
 func NewPrefix22(w int) (*network.Network, error) {
 	if w < 2 || w&(w-1) != 0 {
-		return nil, fmt.Errorf("core: invalid width %d for C''", w)
+		return nil, fmt.Errorf("core: invalid width %d for C″", w)
 	}
-	b, in := network.NewBuilder(fmt.Sprintf("C''(%d)", w), w)
+	b, in := network.NewBuilder(fmt.Sprintf("C″(%d)", w), w)
 	out := buildPrefix(b, in, w)
 	return b.Finalize(out)
 }

@@ -83,8 +83,8 @@ func TestQuickCounting(t *testing.T) {
 	type key struct{ w, t int }
 	cache := map[key]*network.Network{}
 	f := func(wExp, pRaw uint8, counts []uint16) bool {
-		w := 2 << (wExp % 4)     // 2..16
-		p := int(pRaw%3) + 1     // 1..3
+		w := 2 << (wExp % 4) // 2..16
+		p := int(pRaw%3) + 1 // 1..3
 		k := key{w, p * w}
 		n, ok := cache[k]
 		if !ok {
@@ -242,7 +242,7 @@ func TestPrefixSmoothing(t *testing.T) {
 	}
 }
 
-// C''(w) (Fig. 16 right) is lgw-smoothing (used inside Lemma 6.6's proof).
+// C″(w) (Fig. 16 right) is lgw-smoothing (used inside Lemma 6.6's proof).
 func TestPrefix22Smoothing(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	for _, w := range []int{2, 4, 8, 16, 32} {
@@ -251,7 +251,7 @@ func TestPrefix22Smoothing(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := network.CheckSmoothing(n, int64(log2(w)), 3, 400, rng); err != nil {
-			t.Errorf("C''(%d) not lgw-smoothing: %v", w, err)
+			t.Errorf("C″(%d) not lgw-smoothing: %v", w, err)
 		}
 	}
 }

@@ -1,0 +1,164 @@
+package counter
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+func cwt(t *testing.T, w, tw int) *network.Network {
+	t.Helper()
+	n, err := core.New(w, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestIncBatchDense: batched claims in a quiescent period produce exactly
+// the dense value range 0..m-1, matching what m single Incs would hand out.
+func TestIncBatchDense(t *testing.T) {
+	c := NewNetwork(cwt(t, 8, 16))
+	var vals []int64
+	for _, batch := range []struct {
+		pid, k int
+	}{{0, 5}, {3, 1}, {1, 16}, {7, 32}, {2, 3}} {
+		before := len(vals)
+		vals = c.IncBatch(batch.pid, batch.k, vals)
+		if got := len(vals) - before; got != batch.k {
+			t.Fatalf("IncBatch(%d, %d) returned %d values", batch.pid, batch.k, got)
+		}
+	}
+	// A few single Incs interleave legally with batches.
+	vals = append(vals, c.Inc(4), c.Inc(5))
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for i, v := range vals {
+		if v != int64(i) {
+			t.Fatalf("values not dense: position %d holds %d", i, v)
+		}
+	}
+	if c.Issued() != int64(len(vals)) {
+		t.Fatalf("Issued() = %d, want %d", c.Issued(), len(vals))
+	}
+	if got := c.IncBatch(0, 0, nil); len(got) != 0 {
+		t.Fatalf("IncBatch k=0 returned %v", got)
+	}
+}
+
+// TestBatchedCounterAccounting: the Batched wrapper returns unique values
+// and its quiescent books balance: claimed = returned + buffered.
+func TestBatchedCounterAccounting(t *testing.T) {
+	b := NewBatchedStripes(NewNetwork(cwt(t, 8, 16)), 8, 4)
+	if b.Batch() != 8 {
+		t.Fatalf("Batch() = %d", b.Batch())
+	}
+	const m = 100
+	seen := make(map[int64]bool, m)
+	for i := 0; i < m; i++ {
+		v := b.Inc(i)
+		if seen[v] {
+			t.Fatalf("value %d returned twice", v)
+		}
+		seen[v] = true
+	}
+	if got := b.Issued(); got != m+b.Buffered() {
+		t.Fatalf("Issued() = %d, want returned %d + buffered %d", got, m, b.Buffered())
+	}
+	if b.Buffered() < 0 || b.Buffered() >= int64(b.Batch()*4) {
+		t.Fatalf("Buffered() = %d out of range", b.Buffered())
+	}
+}
+
+// TestBatchedConcurrentUnique: parallel batched Incs never duplicate a
+// value (run with -race in CI).
+func TestBatchedConcurrentUnique(t *testing.T) {
+	const (
+		goroutines = 8
+		per        = 400
+	)
+	b := NewBatched(NewNetwork(cwt(t, 8, 16)), 16)
+	vals := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				vals[g] = append(vals[g], b.Inc(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, goroutines*per)
+	for _, vs := range vals {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d returned twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if got := b.Issued(); got != int64(goroutines*per)+b.Buffered() {
+		t.Fatalf("Issued() = %d, want %d + buffered %d", got, goroutines*per, b.Buffered())
+	}
+}
+
+// TestShardedCounter: values are unique, dense per residue class, and the
+// shard bookkeeping holds up under concurrency.
+func TestShardedCounter(t *testing.T) {
+	s, err := NewSharded(4, func() (*network.Network, error) { return core.New(8, 8) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 {
+		t.Fatalf("Shards() = %d", s.Shards())
+	}
+	const (
+		goroutines = 8
+		per        = 250
+	)
+	vals := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				vals[g] = append(vals[g], s.Inc(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, goroutines*per)
+	perClass := make(map[int][]int64)
+	for _, vs := range vals {
+		for _, v := range vs {
+			if seen[v] {
+				t.Fatalf("value %d issued twice", v)
+			}
+			seen[v] = true
+			perClass[int(v%4)] = append(perClass[int(v%4)], v/4)
+		}
+	}
+	// Each residue class is dense: shard s issued locals 0..k-1.
+	for class, locals := range perClass {
+		sort.Slice(locals, func(i, j int) bool { return locals[i] < locals[j] })
+		for i, v := range locals {
+			if v != int64(i) {
+				t.Fatalf("shard %d locals not dense at %d: %d", class, i, v)
+			}
+		}
+		if got := s.ShardCounter(class).Issued(); got != int64(len(locals)) {
+			t.Fatalf("shard %d Issued() = %d, want %d", class, got, len(locals))
+		}
+	}
+	if got := s.Issued(); got != goroutines*per {
+		t.Fatalf("Issued() = %d, want %d", got, goroutines*per)
+	}
+	if _, err := NewSharded(0, nil); err == nil {
+		t.Fatal("expected error for zero shards")
+	}
+}

@@ -44,6 +44,8 @@ type Network struct {
 	w     int
 	t     int64
 	base  int64
+
+	tallyPool sync.Pool // *[]int64 scratch for IncBatch
 }
 
 // NewNetwork wraps a counting network as a shared counter. The network

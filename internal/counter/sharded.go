@@ -1,0 +1,49 @@
+package counter
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/shard"
+)
+
+// Sharded is a Counter that stripes traffic over several independent
+// counting-network counters via internal/shard: shard s of S returns the
+// values v·S + s for v = 0, 1, 2, ..., so values are globally unique and
+// dense within each shard's residue class. With S shards the hot atomic
+// words (balancers and exit cells) multiply by S, cutting contention by
+// another factor on top of what the network itself provides — the
+// "millions of users" configuration.
+type Sharded struct {
+	*shard.Counter
+	nets []*Network
+}
+
+// NewSharded builds a sharded counter over `shards` fresh networks
+// produced by build (called once per shard; each shard owns its network).
+func NewSharded(shards int, build func() (*network.Network, error)) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("counter: NewSharded with %d shards", shards)
+	}
+	nets := make([]*Network, shards)
+	inners := make([]shard.Inner, shards)
+	name := ""
+	for i := range inners {
+		n, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("counter: NewSharded shard %d: %w", i, err)
+		}
+		nets[i] = NewNetwork(n)
+		inners[i] = nets[i]
+		name = n.Name()
+	}
+	sc, err := shard.New(fmt.Sprintf("sharded%d:%s", shards, name), inners)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{Counter: sc, nets: nets}, nil
+}
+
+// ShardCounter returns shard s's underlying network counter (for
+// quiescent inspection in tests).
+func (c *Sharded) ShardCounter(s int) *Network { return c.nets[s] }

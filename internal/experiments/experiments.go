@@ -38,8 +38,8 @@ func log2(x int) int {
 
 // DepthRow is one line of the E1 depth table.
 type DepthRow struct {
-	W, T                     int
-	Depth, Formula           int
+	W, T                        int
+	Depth, Formula              int
 	BitonicDepth, PeriodicDepth int // -1 when t != w
 }
 
@@ -52,8 +52,8 @@ func DepthTable(ws []int, ps []int) []DepthRow {
 			t := p * w
 			r := DepthRow{
 				W: w, T: t,
-				Depth:   must(core.New(w, t)).Depth(),
-				Formula: core.DepthFormula(w),
+				Depth:         must(core.New(w, t)).Depth(),
+				Formula:       core.DepthFormula(w),
 				BitonicDepth:  -1,
 				PeriodicDepth: -1,
 			}
@@ -103,7 +103,7 @@ func Amortized(net *network.Network, n, rounds int, advName string) float64 {
 
 // CompareRow is one line of the E11 family comparison.
 type CompareRow struct {
-	N       int
+	N                                                    int
 	Central, DTree, Periodic, Bitonic, CWTEqual, CWTWide float64
 }
 
@@ -151,8 +151,8 @@ func SingleBalancer() *network.Network {
 
 // BlockShareRow is one line of the E10 block-attribution sweep.
 type BlockShareRow struct {
-	T         int
-	Amortized float64
+	T                         int
+	Amortized                 float64
 	NaShare, NbShare, NcShare float64 // fractions in [0,1]
 }
 
@@ -189,9 +189,9 @@ func FormatBlockShares(w, n int, rows []BlockShareRow) string {
 
 // SlopeReport regenerates the E10 contention-vs-n slope comparison.
 type SlopeReport struct {
-	W                   int
+	W                      int
 	BitonicSlope, CWTSlope float64
-	Ratio               float64
+	Ratio                  float64
 }
 
 // Slopes fits amortized contention against n for bitonic(w) and

@@ -39,15 +39,15 @@ func TestConstructible(t *testing.T) {
 		ok    bool
 		prime int
 	}{
-		{8, []int{2}, true, 0},           // powers of two from (·,2)
-		{6, []int{2}, false, 3},          // 3 | 6 but 3 ∤ 2 — the classic impossibility
-		{6, []int{2, 3}, true, 0},        // a (·,3)-balancer fixes it
-		{12, []int{2, 6}, true, 0},       // 6 covers the 3
-		{30, []int{2, 3}, false, 5},      //
-		{30, []int{10, 3}, true, 0},      //
-		{7, []int{2, 4}, false, 7},       //
-		{16, []int{4, 2}, true, 0},       //
-		{0, []int{2}, false, 0},          // nonsense width
+		{8, []int{2}, true, 0},      // powers of two from (·,2)
+		{6, []int{2}, false, 3},     // 3 | 6 but 3 ∤ 2 — the classic impossibility
+		{6, []int{2, 3}, true, 0},   // a (·,3)-balancer fixes it
+		{12, []int{2, 6}, true, 0},  // 6 covers the 3
+		{30, []int{2, 3}, false, 5}, //
+		{30, []int{10, 3}, true, 0}, //
+		{7, []int{2, 4}, false, 7},  //
+		{16, []int{4, 2}, true, 0},  //
+		{0, []int{2}, false, 0},     // nonsense width
 	}
 	for _, c := range cases {
 		ok, p := Constructible(c.t, c.bals)

@@ -13,21 +13,21 @@ func TestValid(t *testing.T) {
 		t, delta int
 		want     bool
 	}{
-		{4, 2, true},    // t=1*4, δ=2: j=1 < i=2
-		{8, 2, true},    // Fig. 5 top
-		{8, 4, true},    // Fig. 6 left
-		{16, 4, true},   // Fig. 6 right
-		{16, 8, true},   //
-		{12, 2, true},   // t=3*4
-		{12, 4, false},  // δ=4 needs 8 | t
-		{24, 4, true},   // t=3*8
-		{4, 4, false},   // j=2 not < i=2
-		{2, 2, false},   // too narrow
-		{8, 3, false},   // δ not a power of two
-		{8, 1, false},   // δ < 2
-		{6, 2, false},   // t=6 not divisible by 4
-		{10, 2, false},  // not divisible by 4
-		{64, 16, true},  //
+		{4, 2, true},   // t=1*4, δ=2: j=1 < i=2
+		{8, 2, true},   // Fig. 5 top
+		{8, 4, true},   // Fig. 6 left
+		{16, 4, true},  // Fig. 6 right
+		{16, 8, true},  //
+		{12, 2, true},  // t=3*4
+		{12, 4, false}, // δ=4 needs 8 | t
+		{24, 4, true},  // t=3*8
+		{4, 4, false},  // j=2 not < i=2
+		{2, 2, false},  // too narrow
+		{8, 3, false},  // δ not a power of two
+		{8, 1, false},  // δ < 2
+		{6, 2, false},  // t=6 not divisible by 4
+		{10, 2, false}, // not divisible by 4
+		{64, 16, true}, //
 		{64, 32, true}, // 64 = 1*2^6, δ=2^5: j=5 < i=6
 	}
 	for _, c := range cases {
@@ -133,10 +133,10 @@ func TestMergerCases(t *testing.T) {
 		return s
 	}
 	cases := []struct {
-		name         string
-		a, b         int64 // maxima of x and y
-		k, l         int   // step points
-		wantPreOK    bool  // whether 0 <= sum(x)-sum(y) <= 2 holds
+		name      string
+		a, b      int64 // maxima of x and y
+		k, l      int   // step points
+		wantPreOK bool  // whether 0 <= sum(x)-sum(y) <= 2 holds
 	}{
 		{"Fig7a k=l<t/2", 5, 5, 2, 2, true},
 		{"Fig8a k=l=t/2", 5, 5, half, half, true},

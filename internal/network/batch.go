@@ -1,0 +1,110 @@
+package network
+
+import (
+	"repro/internal/balancer"
+)
+
+// Batched traversal: the high-throughput fast path.
+//
+// A (p,q)-balancer hands consecutive tokens to consecutive output wires
+// round-robin, so k tokens that cross a balancer back-to-back can be
+// processed with ONE atomic fetch-add of k (balancer.StepN) instead of k
+// separate fetch-adds: the first token of the group takes wire
+// (init+s) mod q where s is the pre-add count, the next takes
+// (init+s+1) mod q, and so on. The groups exiting each output port are
+// again consecutive at the next balancer, so the whole batch flows through
+// the network with at most one atomic operation per *balancer touched*
+// rather than one per balancer per token. For a batch of k tokens on a
+// network of depth d this replaces k·d atomic operations with at most
+// min(size, k·d) — amortized O(size/k + d) per token, a large win whenever
+// k is at or above the network width.
+//
+// Interleaving with concurrent Traverse / TraverseAnti / TraverseBatch
+// calls is safe: every balancer crossing is still a single atomic RMW, so
+// any concurrent execution is equivalent to one in which the batch's
+// tokens crossed each balancer back-to-back, which is a legal schedule of
+// k individual tokens. In particular every quiescent state reached after
+// a mix of batched and single-token traversals is identical to one
+// reachable by single-token traversals alone, and the step/counting
+// properties are preserved.
+
+// batchScratch holds the per-call working state of TraverseBatch, pooled
+// on the Network so steady-state batched traversal does not allocate.
+type batchScratch struct {
+	pending []int64 // tokens queued at each node's inputs
+	dist    []int64 // per-port split of the node currently processed
+}
+
+// TraverseBatch shepherds k tokens entering on input wire `wire` through
+// the network using one atomic fetch-add per balancer touched, and returns
+// the number of those tokens that exited on each output wire (a slice of
+// length OutWidth whose entries sum to k). Safe for concurrent use with
+// itself and with the single-token traversal methods; see the package
+// notes above for why batching preserves the network's semantics.
+//
+// k = 0 returns all-zero counts; k < 0 panics.
+func (n *Network) TraverseBatch(wire int, k int64) []int64 {
+	return n.TraverseBatchInto(wire, k, make([]int64, n.outWidth))
+}
+
+// TraverseBatchInto is TraverseBatch accumulating into out, which must
+// have length OutWidth (entries are ADDED to, not reset — callers chaining
+// several batches can reuse one tally slice). It returns out.
+func (n *Network) TraverseBatchInto(wire int, k int64, out []int64) []int64 {
+	if len(out) != n.outWidth {
+		panic("network: TraverseBatchInto tally length mismatch")
+	}
+	if k < 0 {
+		panic("network: TraverseBatch of negative batch size")
+	}
+	if k == 0 {
+		return out
+	}
+	if k == 1 { // no splitting possible: take the lean single-token path
+		out[n.Traverse(wire)]++
+		return out
+	}
+	sc, _ := n.batchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{pending: make([]int64, len(n.nodes))}
+	}
+	pending := sc.pending
+	// Nodes were created in topological order by the Builder, and every
+	// edge leads to a strictly later node or to a network output, so one
+	// increasing-id sweep from the entry point drains the whole batch.
+	first := len(n.nodes)
+	ep := n.inputs[wire]
+	if ep.node == External {
+		out[ep.port] += k
+	} else {
+		pending[ep.node] = k
+		first = int(ep.node)
+	}
+	for id := first; id < len(n.nodes); id++ {
+		c := pending[id]
+		if c == 0 {
+			continue
+		}
+		pending[id] = 0
+		nd := &n.nodes[id]
+		q := nd.Out()
+		if cap(sc.dist) < q {
+			sc.dist = make([]int64, q)
+		}
+		start := nd.bal.StepN(c)
+		counts := balancer.DistributeInto(nd.bal.Init()+start, c, sc.dist[:q])
+		for p, cnt := range counts {
+			if cnt == 0 {
+				continue
+			}
+			dst := nd.out[p]
+			if dst.node == External {
+				out[dst.port] += cnt
+			} else {
+				pending[dst.node] += cnt
+			}
+		}
+	}
+	n.batchPool.Put(sc)
+	return out
+}

@@ -1,0 +1,140 @@
+package network
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// drainStates snapshots every balancer's net count (the full live state).
+func drainStates(n *Network) []int64 {
+	out := make([]int64, n.Size())
+	for i := range out {
+		out[i] = n.Node(i).Balancer().Count()
+	}
+	return out
+}
+
+// TestTraverseBatchMatchesSingles: a batch of k tokens leaves the network
+// (exit tallies AND balancer states) exactly as k successive single-token
+// traversals do, for every wire and a spread of batch sizes.
+func TestTraverseBatchMatchesSingles(t *testing.T) {
+	for _, k := range []int64{0, 1, 2, 3, 5, 8, 17, 64, 1000} {
+		for wire := 0; wire < 8; wire++ {
+			batched := fuzzNet(t)
+			singles := fuzzNet(t)
+			got := batched.TraverseBatch(wire, k)
+			want := make([]int64, singles.OutWidth())
+			for i := int64(0); i < k; i++ {
+				want[singles.Traverse(wire)]++
+			}
+			if !seq.Equal(got, want) {
+				t.Fatalf("wire %d k=%d: batch tallies %v, singles %v", wire, k, got, want)
+			}
+			if !seq.Equal(drainStates(batched), drainStates(singles)) {
+				t.Fatalf("wire %d k=%d: balancer states diverge", wire, k)
+			}
+			if seq.Sum(got) != k {
+				t.Fatalf("wire %d k=%d: tallies sum to %d", wire, k, seq.Sum(got))
+			}
+		}
+	}
+}
+
+// TestTraverseBatchInterleaved: batches interleaved with single tokens and
+// antitokens still land on the arithmetic quiescent prediction.
+func TestTraverseBatchInterleaved(t *testing.T) {
+	live := fuzzNet(t)
+	exits := make([]int64, live.OutWidth())
+	x := make([]int64, live.InWidth())
+
+	schedule := []struct {
+		wire int
+		k    int64
+	}{{0, 5}, {3, 1}, {7, 12}, {0, 1}, {2, 9}, {5, 30}, {1, 2}, {7, 7}}
+	for _, s := range schedule {
+		live.TraverseBatchInto(s.wire, s.k, exits)
+		x[s.wire] += s.k
+		exits[live.Traverse(s.wire)]++ // single token chaser on the same wire
+		x[s.wire]++
+	}
+
+	fresh := fuzzNet(t)
+	want, err := fresh.Quiescent(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(exits, want) {
+		t.Fatalf("interleaved run %v != quiescent prediction %v for %v", exits, want, x)
+	}
+}
+
+// TestTraverseBatchConcurrent: concurrent batches from many goroutines
+// preserve the token sum and reach the same quiescent state as the
+// equivalent single-token workload (run under -race in CI).
+func TestTraverseBatchConcurrent(t *testing.T) {
+	const (
+		goroutines = 8
+		batches    = 25
+		k          = 7
+	)
+	live := fuzzNet(t)
+	tallies := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]int64, live.OutWidth())
+			for b := 0; b < batches; b++ {
+				live.TraverseBatchInto((g+b)%live.InWidth(), k, out)
+			}
+			tallies[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	total := make([]int64, live.OutWidth())
+	for _, tl := range tallies {
+		for i, c := range tl {
+			total[i] += c
+		}
+	}
+	if got, want := seq.Sum(total), int64(goroutines*batches*k); got != want {
+		t.Fatalf("token sum %d, want %d", got, want)
+	}
+
+	// The quiescent state depends only on per-wire entry counts.
+	x := make([]int64, live.InWidth())
+	for g := 0; g < goroutines; g++ {
+		for b := 0; b < batches; b++ {
+			x[(g+b)%live.InWidth()] += k
+		}
+	}
+	fresh := fuzzNet(t)
+	want, err := fresh.Quiescent(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(total, want) {
+		t.Fatalf("concurrent batch tallies %v != quiescent prediction %v", total, want)
+	}
+}
+
+func TestTraverseBatchPanics(t *testing.T) {
+	n := fuzzNet(t)
+	for name, f := range map[string]func(){
+		"negative":    func() { n.TraverseBatch(0, -1) },
+		"wrong-tally": func() { n.TraverseBatchInto(0, 2, make([]int64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -57,6 +57,38 @@ func FuzzQuiescentSum(f *testing.F) {
 	})
 }
 
+// FuzzTraverseBatch: for arbitrary batch sizes on arbitrary wires, the
+// batched fast path (one fetch-add per balancer touched) is
+// indistinguishable from single-token traversal — same exit tallies, same
+// balancer states. The seed corpus pins the shapes the batched counter
+// relies on (k == width, k >> width, alternating wires).
+func FuzzTraverseBatch(f *testing.F) {
+	f.Add(uint8(8), uint8(0), uint8(8), uint8(4), uint8(1), uint8(7), uint8(0), uint8(3))
+	f.Add(uint8(200), uint8(1), uint8(16), uint8(1), uint8(16), uint8(1), uint8(16), uint8(1))
+	f.Add(uint8(0), uint8(0), uint8(1), uint8(2), uint8(3), uint8(5), uint8(8), uint8(13))
+	f.Fuzz(func(t *testing.T, k0, w0, k1, w1, k2, w2, k3, w3 uint8) {
+		batched := fuzzNet(t)
+		singles := fuzzNet(t)
+		got := make([]int64, batched.OutWidth())
+		want := make([]int64, singles.OutWidth())
+		for _, op := range [][2]uint8{{k0, w0}, {k1, w1}, {k2, w2}, {k3, w3}} {
+			k, wire := int64(op[0]), int(op[1])%batched.InWidth()
+			batched.TraverseBatchInto(wire, k, got)
+			for i := int64(0); i < k; i++ {
+				want[singles.Traverse(wire)]++
+			}
+		}
+		if !seq.Equal(got, want) {
+			t.Fatalf("batched tallies %v != single-token tallies %v", got, want)
+		}
+		for i := 0; i < batched.Size(); i++ {
+			if batched.Node(i).Balancer().Count() != singles.Node(i).Balancer().Count() {
+				t.Fatalf("balancer %d state diverged", i)
+			}
+		}
+	})
+}
+
 // FuzzSequentialMatchesQuiescent: pushing tokens one by one through the
 // live balancers reaches exactly the arithmetic prediction.
 func FuzzSequentialMatchesQuiescent(f *testing.F) {

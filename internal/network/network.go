@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/balancer"
@@ -71,6 +72,8 @@ type Network struct {
 
 	occ    []atomic.Int64 // per-node occupancy, for instrumented traversal
 	labels []string       // optional per-node block labels
+
+	batchPool sync.Pool // *batchScratch, reused across TraverseBatch calls
 }
 
 // Name returns the network's descriptive name.

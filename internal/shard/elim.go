@@ -1,0 +1,208 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+)
+
+// Elimination front-end: concurrent Inc/Dec pairs cancel at the door.
+//
+// A Fetch&Increment (token) followed immediately by a Fetch&Decrement
+// (antitoken) is the identity on the counter state: per Aiello et al.
+// (ref [2] of the paper) the antitoken retraces the token's path,
+// cancelling it at every balancer, and returns the very value the token
+// was handed. The Eliminator exploits this at the entrance, the way the
+// diffracting tree's prism (§1.4.1) pairs tokens before its toggles: an
+// Inc and a Dec that meet in an exchange slot linearize as that adjacent
+// Inc;Dec pair and return the same value to both callers — and neither
+// operation enters the network, so a balanced Inc/Dec workload generates
+// almost no balancer traffic at all.
+//
+// The pair's common value is drawn from the slot's private sequence. That
+// is sound for this package's counter contract — which constrains
+// *quiescent* states only (counting networks are not linearizable, ref
+// [16]) — because the value is issued by the Inc and revoked by the Dec
+// in one linearization step: no quiescent state ever observes it, exactly
+// as if the pair had traversed the network and cancelled at the exit cell.
+// The flip side, surfaced in the facade docs: a pair's value may coincide
+// with a value some concurrent non-eliminated Inc is holding, so Inc
+// results from an eliminated counter are not unique live tickets.
+
+// IncDec is the contract for counters supporting both operations, e.g.
+// counter.Network (Inc traverses a token, Dec an antitoken).
+type IncDec interface {
+	Inc(pid int) int64
+	Dec(pid int) int64
+}
+
+// EliminatorOptions tunes the exchange-slot array.
+type EliminatorOptions struct {
+	// Slots is the number of exchange slots (0 = DefaultEliminatorSlots).
+	// Each operation parks in a uniformly random slot; more slots cut
+	// same-type collisions under high concurrency at the cost of a lower
+	// chance that two opposite operations pick the same slot.
+	Slots int
+	// Spin is the number of polling iterations a parked operation waits
+	// for an opposite-type partner before giving up and entering the
+	// network (0 = DefaultEliminatorSpin).
+	Spin int
+}
+
+// Default elimination parameters, mirroring dtree.DefaultOptions.
+const (
+	DefaultEliminatorSlots = 8
+	DefaultEliminatorSpin  = 64
+)
+
+// Eliminator wraps an IncDec counter with an elimination slot array.
+type Eliminator struct {
+	inner IncDec
+	slots []elimSlot
+	spin  int
+
+	pairs  atomic.Int64 // successful eliminations (each saves two traversals)
+	misses atomic.Int64 // operations that fell through to the inner counter
+}
+
+// Slot states, packed into the top bits of the slot word; the low 32 bits
+// carry the pair value (the same packing as balancer.Exchanger).
+const (
+	elimEmpty   int64 = 0 << 32
+	elimIncWait int64 = 1 << 32
+	elimDecWait int64 = 2 << 32
+	elimPaired  int64 = 3 << 32
+	elimState   int64 = ^int64(0) << 32
+	elimValue   int64 = (1 << 32) - 1
+)
+
+type elimSlot struct {
+	word atomic.Int64 // state | pair value
+	seq  atomic.Int64 // private value sequence for pairs formed here
+	_    [6]int64
+}
+
+// NewEliminator wraps inner with an elimination layer.
+func NewEliminator(inner IncDec, opts EliminatorOptions) (*Eliminator, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("shard: NewEliminator of nil counter")
+	}
+	if opts.Slots == 0 {
+		opts.Slots = DefaultEliminatorSlots
+	}
+	if opts.Spin == 0 {
+		opts.Spin = DefaultEliminatorSpin
+	}
+	if opts.Slots < 0 || opts.Spin < 0 {
+		return nil, fmt.Errorf("shard: invalid eliminator options %+v", opts)
+	}
+	return &Eliminator{inner: inner, slots: make([]elimSlot, opts.Slots), spin: opts.Spin}, nil
+}
+
+// Pairs returns the number of Inc/Dec pairs eliminated so far.
+func (e *Eliminator) Pairs() int64 { return e.pairs.Load() }
+
+// Misses returns the number of operations that entered the inner counter.
+func (e *Eliminator) Misses() int64 { return e.misses.Load() }
+
+// Inner returns the wrapped counter (for quiescent inspection).
+func (e *Eliminator) Inner() IncDec { return e.inner }
+
+// Name identifies the counter in benchmark tables.
+func (e *Eliminator) Name() string {
+	if n, ok := e.inner.(interface{ Name() string }); ok {
+		return "elim:" + n.Name()
+	}
+	return "elim"
+}
+
+// Inc performs Fetch&Increment, first offering to cancel against a
+// concurrent Dec.
+func (e *Eliminator) Inc(pid int) int64 {
+	if v, ok := e.exchange(elimIncWait, elimDecWait); ok {
+		return v
+	}
+	e.misses.Add(1)
+	return e.inner.Inc(pid)
+}
+
+// Dec performs Fetch&Decrement, first offering to cancel against a
+// concurrent Inc.
+func (e *Eliminator) Dec(pid int) int64 {
+	if v, ok := e.exchange(elimDecWait, elimIncWait); ok {
+		return v
+	}
+	e.misses.Add(1)
+	return e.inner.Dec(pid)
+}
+
+// exchange tries to pair an operation that would park as `mine` with a
+// partner parked as `theirs`. It returns the pair value on success.
+func (e *Eliminator) exchange(mine, theirs int64) (int64, bool) {
+	if len(e.slots) == 0 {
+		return 0, false
+	}
+	// Slot choice must be randomized per attempt (rand/v2's global source
+	// is lock-free per-P): any static pid-to-slot map would segregate the
+	// Inc and Dec populations into disjoint slots, and no pair would ever
+	// meet — the same reason the diffracting tree draws prism slots from
+	// an rng.
+	// An operation that keeps finding slots it cannot pair with (same-type
+	// waiters, pairs awaiting acknowledgement) gives up quickly: progress
+	// is impossible until the scheduler runs someone else, so burning the
+	// full spin budget on loads would only delay the network fallback.
+	busyBudget := 8
+	for i := 0; i < e.spin; i++ {
+		s := &e.slots[rand.IntN(len(e.slots))]
+		cur := s.word.Load()
+		switch cur & elimState {
+		case theirs:
+			// An opposite operation is parked: form the pair. The CAS
+			// winner owns the slot, so the private sequence advances
+			// race-free per pair.
+			v := (s.seq.Add(1) - 1) & elimValue
+			if s.word.CompareAndSwap(cur, elimPaired|v) {
+				e.pairs.Add(1)
+				return v, true
+			}
+		case elimEmpty:
+			// Park and wait for an opposite operation.
+			if !s.word.CompareAndSwap(cur, mine) {
+				continue
+			}
+			for j := i; j < e.spin; j++ {
+				now := s.word.Load()
+				if now&elimState == elimPaired {
+					s.word.Store(elimEmpty)
+					return now & elimValue, true
+				}
+				// When goroutines outnumber processors the partner may not
+				// even be running; yield occasionally so large spin budgets
+				// translate into real wall-clock pairing windows.
+				if j&1023 == 1023 {
+					runtime.Gosched()
+				}
+			}
+			// Withdraw; if the CAS fails a partner just paired with us.
+			if s.word.CompareAndSwap(mine, elimEmpty) {
+				return 0, false
+			}
+			now := s.word.Load()
+			if now&elimState == elimPaired {
+				s.word.Store(elimEmpty)
+				return now & elimValue, true
+			}
+			return 0, false
+		default:
+			// Same-type waiter or a completing pair in this slot: try
+			// another random slot a few times rather than queueing behind
+			// an operation we can never pair with.
+			busyBudget--
+			if busyBudget <= 0 {
+				return 0, false
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stubIncDec is a central Inc/Dec counter that counts how often the
+// eliminator actually reached it.
+type stubIncDec struct {
+	v    atomic.Int64
+	incs atomic.Int64
+	decs atomic.Int64
+}
+
+func (s *stubIncDec) Inc(int) int64 { s.incs.Add(1); return s.v.Add(1) - 1 }
+func (s *stubIncDec) Dec(int) int64 { s.decs.Add(1); return s.v.Add(-1) }
+func (s *stubIncDec) Name() string  { return "stub" }
+
+// TestEliminatorPairs: a parked Dec and an arriving Inc cancel — both get
+// the same value and the inner counter is never touched.
+func TestEliminatorPairs(t *testing.T) {
+	inner := &stubIncDec{}
+	// A spin budget far beyond what the pairing handshake needs, so the
+	// parked Dec cannot time out before the main goroutine pairs with it
+	// (this box may have a single CPU).
+	e, err := NewEliminator(inner, EliminatorOptions{Slots: 1, Spin: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decV := make(chan int64)
+	go func() { decV <- e.Dec(0) }()
+	// Wait until the Dec is parked in the slot, then pair with it.
+	for e.slots[0].word.Load()&elimState != elimDecWait {
+		runtime.Gosched()
+	}
+	incV := e.Inc(0)
+	if got := <-decV; got != incV {
+		t.Fatalf("pair disagreed: Inc got %d, Dec got %d", incV, got)
+	}
+	if e.Pairs() != 1 {
+		t.Fatalf("Pairs() = %d, want 1", e.Pairs())
+	}
+	if inner.incs.Load() != 0 || inner.decs.Load() != 0 {
+		t.Fatalf("eliminated pair reached the inner counter (%d incs, %d decs)",
+			inner.incs.Load(), inner.decs.Load())
+	}
+	// The slot must be reusable afterwards.
+	if e.slots[0].word.Load()&elimState != elimEmpty {
+		t.Fatal("slot not returned to empty")
+	}
+}
+
+// TestEliminatorTimeout: a lone operation falls through to the inner
+// counter once its spin budget expires.
+func TestEliminatorTimeout(t *testing.T) {
+	inner := &stubIncDec{}
+	e, err := NewEliminator(inner, EliminatorOptions{Slots: 2, Spin: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := e.Inc(0); v != 0 {
+		t.Fatalf("Inc = %d, want 0", v)
+	}
+	if v := e.Inc(0); v != 1 {
+		t.Fatalf("Inc = %d, want 1", v)
+	}
+	if e.Pairs() != 0 || e.Misses() != 2 {
+		t.Fatalf("pairs=%d misses=%d, want 0/2", e.Pairs(), e.Misses())
+	}
+	if e.Name() != "elim:stub" {
+		t.Fatalf("Name() = %q", e.Name())
+	}
+}
+
+// TestEliminatorSameTypeNoPair: two Incs must never eliminate each other.
+func TestEliminatorSameTypeNoPair(t *testing.T) {
+	inner := &stubIncDec{}
+	e, err := NewEliminator(inner, EliminatorOptions{Slots: 1, Spin: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				e.Inc(0)
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Pairs() != 0 {
+		t.Fatalf("Inc-only workload eliminated %d pairs", e.Pairs())
+	}
+	if inner.incs.Load() != 4*n {
+		t.Fatalf("inner saw %d incs, want %d", inner.incs.Load(), 4*n)
+	}
+}
+
+// TestEliminatorConcurrent: under a balanced mixed workload the books
+// stay consistent: every operation either paired or reached the inner
+// counter, and the inner counter's net value matches the misses (run
+// with -race in CI).
+func TestEliminatorConcurrent(t *testing.T) {
+	inner := &stubIncDec{}
+	e, err := NewEliminator(inner, EliminatorOptions{Slots: 4, Spin: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		pairsOfGoroutines = 4
+		per               = 300
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < pairsOfGoroutines; g++ {
+		wg.Add(2)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Inc(pid)
+			}
+		}(g)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.Dec(pid)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := int64(2 * pairsOfGoroutines * per)
+	if got := 2*e.Pairs() + e.Misses(); got != total {
+		t.Fatalf("2*pairs + misses = %d, want %d ops", got, total)
+	}
+	if got := inner.incs.Load() + inner.decs.Load(); got != e.Misses() {
+		t.Fatalf("inner saw %d ops, misses = %d", got, e.Misses())
+	}
+	// Balanced workload: the inner counter's net value is incs - decs.
+	if got := inner.v.Load(); got != inner.incs.Load()-inner.decs.Load() {
+		t.Fatalf("inner value %d inconsistent", got)
+	}
+}

@@ -1,0 +1,122 @@
+// Package shard provides the scale-out layers that turn one counting
+// network into a counter fit for very high concurrency:
+//
+//   - Counter stripes Fetch&Increment traffic over several independent
+//     sub-counters ("shards", typically per-shard counting networks with
+//     cache-line-padded exit cells), selecting a shard by hashing the
+//     calling process id. Each shard hands out a disjoint residue class of
+//     values (shard s of S returns v·S + s), so values stay globally
+//     unique while the hot atomic words multiply by S. This trades the
+//     global density of a single counting network (quiescent values are
+//     dense per shard, not across shards) for another factor-of-S drop in
+//     contention — the same trade ref [26]'s diffracting trees make.
+//
+//   - Eliminator (see elim.go) is a combining/elimination front-end in the
+//     spirit of the diffracting tree's prism: concurrent Inc/Dec pairs
+//     meet in an exchange slot and cancel without entering the network at
+//     all.
+//
+// The package deliberately depends on nothing but the standard library:
+// the per-shard sub-counters are injected through the Inner interface, so
+// internal/counter can wire counting networks in without an import cycle.
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Inner is the contract a per-shard sub-counter must satisfy: a shared
+// Fetch&Increment handing out 0, 1, 2, ... (dense in quiescent states).
+type Inner interface {
+	Inc(pid int) int64
+}
+
+// slotPad keeps adjacent shard headers on distinct cache lines so the
+// (read-only) shard table itself never false-shares.
+type innerSlot struct {
+	inner Inner
+	_     [6]uint64
+}
+
+// Counter is a sharded Fetch&Increment counter over S independent inners.
+type Counter struct {
+	shards []innerSlot
+	n      int64
+	name   string
+}
+
+// New builds a sharded counter over the given sub-counters. Shard s maps
+// its inner's value v to the global value v*len(inners) + s.
+func New(name string, inners []Inner) (*Counter, error) {
+	if len(inners) == 0 {
+		return nil, fmt.Errorf("shard: need at least one shard")
+	}
+	c := &Counter{shards: make([]innerSlot, len(inners)), n: int64(len(inners)), name: name}
+	for i, in := range inners {
+		if in == nil {
+			return nil, fmt.Errorf("shard: shard %d is nil", i)
+		}
+		c.shards[i].inner = in
+	}
+	return c, nil
+}
+
+// Shards returns the shard count S.
+func (c *Counter) Shards() int { return int(c.n) }
+
+// ShardOf returns the shard index pid's operations are routed to.
+func (c *Counter) ShardOf(pid int) int {
+	// Fibonacci hashing spreads dense pid ranges (0,1,2,... as issued by
+	// benchmark harnesses) uniformly before reduction, so neighbouring
+	// pids do not pile onto neighbouring shards' networks.
+	h := uint64(pid) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(c.n))
+}
+
+// Inc implements Fetch&Increment: globally unique values, dense within
+// each shard's residue class in quiescent states.
+func (c *Counter) Inc(pid int) int64 {
+	s := c.ShardOf(pid)
+	return c.shards[s].inner.Inc(pid)*c.n + int64(s)
+}
+
+// Name identifies the counter in benchmark tables.
+func (c *Counter) Name() string { return c.name }
+
+// Issued returns the total number of values handed out, if every inner
+// reports its own issued count through the optional Issuer interface;
+// otherwise it returns -1. Only meaningful in a quiescent state.
+func (c *Counter) Issued() int64 {
+	var total int64
+	for i := range c.shards {
+		iss, ok := c.shards[i].inner.(Issuer)
+		if !ok {
+			return -1
+		}
+		total += iss.Issued()
+	}
+	return total
+}
+
+// Issuer is the optional introspection interface inners may implement.
+type Issuer interface {
+	Issued() int64
+}
+
+// Padded is a cache-line-padded central atomic counter, the minimal Inner
+// (and the baseline the paper's networks are measured against). It also
+// serves as the padded cell primitive other packages build on.
+type Padded struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// NewPadded returns a padded central counter starting at 0.
+func NewPadded() *Padded { return &Padded{} }
+
+// Inc implements Inner.
+func (p *Padded) Inc(int) int64 { return p.v.Add(1) - 1 }
+
+// Issued implements Issuer.
+func (p *Padded) Issued() int64 { return p.v.Load() }

@@ -1,0 +1,110 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+func padded(n int) []Inner {
+	inners := make([]Inner, n)
+	for i := range inners {
+		inners[i] = NewPadded()
+	}
+	return inners
+}
+
+func TestShardedResidueClasses(t *testing.T) {
+	const shards = 4
+	c, err := New("test", padded(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != shards {
+		t.Fatalf("Shards() = %d", c.Shards())
+	}
+	// Sequential Incs from one pid stay in one residue class and are dense
+	// within it.
+	s := c.ShardOf(42)
+	for i := 0; i < 10; i++ {
+		v := c.Inc(42)
+		if int(v)%shards != s {
+			t.Fatalf("value %d escaped residue class %d", v, s)
+		}
+		if want := int64(i*shards + s); v != want {
+			t.Fatalf("value %d, want %d", v, want)
+		}
+	}
+	if got := c.Issued(); got != 10 {
+		t.Fatalf("Issued() = %d, want 10", got)
+	}
+}
+
+func TestShardOfSpreads(t *testing.T) {
+	c, err := New("test", padded(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := make(map[int]bool)
+	for pid := 0; pid < 64; pid++ {
+		s := c.ShardOf(pid)
+		if s < 0 || s >= 8 {
+			t.Fatalf("ShardOf(%d) = %d out of range", pid, s)
+		}
+		if s != c.ShardOf(pid) {
+			t.Fatalf("ShardOf(%d) unstable", pid)
+		}
+		hit[s] = true
+	}
+	// Dense pid ranges must not collapse onto a few shards.
+	if len(hit) < 6 {
+		t.Fatalf("64 pids hit only %d of 8 shards", len(hit))
+	}
+}
+
+func TestShardedErrors(t *testing.T) {
+	if _, err := New("x", nil); err == nil {
+		t.Fatal("expected error for zero shards")
+	}
+	if _, err := New("x", []Inner{nil}); err == nil {
+		t.Fatal("expected error for nil shard")
+	}
+}
+
+// TestShardedConcurrentUnique: under concurrent load every value is handed
+// out exactly once (run with -race in CI).
+func TestShardedConcurrentUnique(t *testing.T) {
+	const (
+		goroutines = 8
+		per        = 500
+	)
+	c, err := New("test", padded(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := make([]int64, 0, per)
+			for i := 0; i < per; i++ {
+				vals = append(vals, c.Inc(g))
+			}
+			got[g] = vals
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, goroutines*per)
+	for _, vals := range got {
+		for _, v := range vals {
+			if seen[v] {
+				t.Fatalf("value %d issued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if c.Issued() != goroutines*per {
+		t.Fatalf("Issued() = %d, want %d", c.Issued(), goroutines*per)
+	}
+}
