@@ -25,6 +25,8 @@ test:
 race:
 	$(GO) test -race -short -timeout 10m ./...
 
+# Covers every package, the distributed benchmarks in internal/distnet
+# and internal/tcpnet (batched protocol, E25) included.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
@@ -32,6 +34,7 @@ bench-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Explore the batched-traversal fuzz target beyond the checked-in corpus.
+# Explore the batched-traversal fuzz targets beyond the checked-in corpus.
 fuzz:
 	$(GO) test -fuzz=FuzzTraverseBatch -fuzztime=60s ./internal/network
+	$(GO) test -fuzz=FuzzTraverseAntiBatch -fuzztime=60s ./internal/network

@@ -105,6 +105,22 @@ func BenchmarkTraverseBatch(b *testing.B) {
 	}
 }
 
+// E23 antitoken mirror: batched antitoken traversal (TraverseAntiBatch),
+// one fetch-add per balancer touched on the Fetch&Decrement path.
+func BenchmarkTraverseAntiBatch(b *testing.B) {
+	for _, k := range []int64{1, 64, 512} {
+		b.Run(fmt.Sprintf("CWT16x64/k=%d", k), func(b *testing.B) {
+			n := mustNet(b, "cwt", registry.Params{W: 16, T: 64})
+			out := make([]int64, n.OutWidth())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.TraverseAntiBatchInto(i%n.InWidth(), k, out)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/token")
+		})
+	}
+}
+
 // E24: elimination layer under a balanced Inc/Dec workload (pairs cancel
 // at the door; the pairs/op metric reports how often).
 func BenchmarkEliminatingCounter(b *testing.B) {

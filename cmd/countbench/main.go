@@ -11,6 +11,7 @@
 //	countbench -exp fastpath     # E23: batched/sharded fast-path throughput
 //	countbench -exp elim         # E24: Inc/Dec elimination rate and speedup
 //	countbench -exp dist         # E13: distributed emulation throughput
+//	countbench -exp distbatch    # E25: distributed msgs/token, batched protocol
 //	countbench -exp timesim      # E13: queueing simulation (host-independent)
 //	countbench -exp linearize    # E18: linearizability observation
 //	countbench -exp ablation     # E16/E17: bitonic merger, random init
@@ -39,16 +40,23 @@ import (
 	"repro/internal/periodic"
 	"repro/internal/shard"
 	"repro/internal/stats"
+	"repro/internal/tcpnet"
 	"repro/internal/timesim"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | timesim | linearize | ablation | all")
+		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | timesim | linearize | ablation | all")
 		rounds = flag.Int("rounds", 60, "tokens per process in simulations")
 		opsK   = flag.Int("ops", 50, "thousands of operations per throughput cell")
 	)
 	flag.Parse()
+
+	// Wall-clock numbers are only comparable across runs with the same
+	// processor budget: a 1-CPU container (the E23/E24 tables) cannot show
+	// cache-line contention, which is what sharding and elimination are
+	// for. Stamp every run so recorded tables are attributable.
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
 
 	run := map[string]func(){
 		"depth":      expDepth,
@@ -60,12 +68,13 @@ func main() {
 		"fastpath":   func() { expFastpath(*opsK * 1000) },
 		"elim":       func() { expElim(*opsK * 1000) },
 		"dist":       func() { expDist(*opsK * 200) },
+		"distbatch":  expDistbatch,
 		"timesim":    expTimesim,
 		"linearize":  expLinearize,
 		"ablation":   expAblation,
 	}
 	order := []string{"depth", "contention", "compare", "blocks", "slope",
-		"throughput", "fastpath", "elim", "dist", "timesim", "linearize", "ablation"}
+		"throughput", "fastpath", "elim", "dist", "distbatch", "timesim", "linearize", "ablation"}
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
@@ -329,6 +338,61 @@ type distAdapter struct{ c *distnet.Counter }
 
 func (d distAdapter) Inc(pid int) int64 { return d.c.Inc(pid) }
 func (d distAdapter) Name() string      { return d.c.Name() }
+
+// E25: messages (distnet) and TCP round trips (tcpnet) per token under
+// the batched protocol, as the batch size grows. Counts are exact and
+// host-independent — this is the table the ≥5x acceptance floor at k=64
+// is read off.
+func expDistbatch() {
+	const w, t, shards, batches = 8, 24, 3, 16
+	fmt.Printf("E25: distributed cost per token, batched protocol, C(%d,%d) (depth %d)\n\n",
+		w, t, must(core.New(w, t)).Depth())
+	tb := stats.NewTable("k", "distnet msgs/token", "tcpnet rpcs/token", "single-token floor")
+	for _, k := range []int{1, 8, 64, 512} {
+		// distnet: wavefront messages, counted at the links.
+		net := must(core.New(w, t))
+		sys := distnet.Start(net, distnet.Config{LinkBuffer: 4})
+		for i := 0; i < batches; i++ {
+			sys.InjectBatch(i%w, int64(k))
+		}
+		msgs := float64(sys.Messages()) / float64(batches*k)
+		sys.Stop()
+
+		// tcpnet: STEPN/CELLN round trips, counted at the client.
+		topo := must(core.New(w, t))
+		addrs := make([]string, shards)
+		var servers []*tcpnet.Shard
+		for i := 0; i < shards; i++ {
+			s, err := tcpnet.StartShard("127.0.0.1:0", topo, i, shards)
+			if err != nil {
+				panic(err)
+			}
+			servers = append(servers, s)
+			addrs[i] = s.Addr()
+		}
+		cluster := tcpnet.NewCluster(topo, addrs)
+		sess, err := cluster.NewSession()
+		if err != nil {
+			panic(err)
+		}
+		var vals []int64
+		for i := 0; i < batches; i++ {
+			vals, err = sess.IncBatch(i, k, vals[:0])
+			if err != nil {
+				panic(err)
+			}
+		}
+		rpcs := float64(sess.RPCs()) / float64(batches*k)
+		sess.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+		tb.AddRowf(k, fmt.Sprintf("%.2f", msgs), fmt.Sprintf("%.2f", rpcs),
+			fmt.Sprintf("%d / %d", topo.Depth(), cluster.Hops()))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\n(single-token floor: depth msgs for distnet, depth+1 rpcs for tcpnet)")
+}
 
 // E13: host-independent discrete-event queueing simulation.
 func expTimesim() {

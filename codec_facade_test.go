@@ -125,8 +125,12 @@ func TestTraceFacade(t *testing.T) {
 }
 
 func TestAdaptiveFacade(t *testing.T) {
+	// Batch: -1 serves network epochs token-at-a-time, so sequential
+	// values stay in issue order (the batched default reorders them; see
+	// internal/counter's adaptive tests for that mode).
 	a := NewAdaptiveCounter(AdaptiveCounterConfig{
 		BuildNetwork: func() (*Network, error) { return NewCWT(4, 4) },
+		Batch:        -1,
 	})
 	for i := int64(0); i < 50; i++ {
 		if got := a.Inc(int(i)); got != i {
@@ -138,5 +142,15 @@ func TestAdaptiveFacade(t *testing.T) {
 		if got := a.Inc(int(i)); got != i {
 			t.Fatalf("after migration Inc = %d, want %d", got, i)
 		}
+	}
+}
+
+func TestAdaptiveFacadeLearnsBatch(t *testing.T) {
+	a := NewAdaptiveCounter(AdaptiveCounterConfig{
+		BuildNetwork: func() (*Network, error) { return NewCWT(4, 4) },
+	})
+	a.ForceMode("network")
+	if k := a.Batch(); k < 8 || k > 4096 {
+		t.Fatalf("learned batch %d outside [8, 4096]", k)
 	}
 }

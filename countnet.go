@@ -26,14 +26,18 @@
 //     the diffracting tree.
 //   - Lock-free concurrent traversal (one atomic add per balancer) and
 //     shared Fetch&Increment / Fetch&Decrement counters.
-//   - A high-throughput fast path: batched traversal (Network.TraverseBatch,
-//     one atomic add per balancer *touched* rather than per token), plus
+//   - A high-throughput fast path: batched traversal for tokens AND
+//     antitokens (Network.TraverseBatch / Network.TraverseAntiBatch, one
+//     atomic add per balancer *touched* rather than per token), plus
 //     batched, sharded and Inc/Dec-eliminating counters built on it.
 //   - The Dwork–Herlihy–Waarts adversarial contention simulator.
 //   - Quiescent-state verification (counting / k-smoothing / difference
 //     merging properties).
 //   - The Section 7 byproduct: balancing networks as sorting networks.
-//   - A message-passing emulation of a distributed deployment.
+//   - A message-passing emulation and a TCP-sharded deployment, both
+//     speaking a batched message protocol (one message per balancer
+//     touched per batch) with client-side coalescing of concurrent
+//     callers into shared flights.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.
@@ -159,7 +163,9 @@ func NewCentralCounter() Counter { return counter.NewCentral() }
 
 // AdaptiveCounter migrates between a central word (low load) and a
 // counting network (high load), keeping values dense across migrations —
-// the Section 7 future-work direction (ref [27]).
+// the Section 7 future-work direction (ref [27]). Network epochs serve
+// increments in batches whose size is learned from the network's observed
+// batching crossover (see AdaptiveCounterConfig.Batch).
 type AdaptiveCounter = counter.Adaptive
 
 // AdaptiveCounterConfig tunes the adaptive counter's migration thresholds.
@@ -188,10 +194,17 @@ func NewLockedCounter() Counter { return counter.NewLocked() }
 type BatchedCounter = counter.Batched
 
 // NewBatchedCounter wraps a counting network in a batched counter with
-// the given batch size (<= 0 selects the default).
+// the given batch size (<= 0 learns it from the network's observed
+// batching crossover; see LearnBatchSize).
 func NewBatchedCounter(n *Network, batch int) *BatchedCounter {
 	return counter.NewBatched(counter.NewNetwork(n), batch)
 }
+
+// LearnBatchSize measures the network's batching crossover (per-token
+// cost of TraverseBatch vs single-token traversal, probed on a clone) and
+// returns a batch size at or past it — the structural estimate is the
+// network size ≈ width·depth (EXPERIMENTS.md E23).
+func LearnBatchSize(n *Network) int { return counter.LearnBatch(n) }
 
 // ShardedCounter stripes Fetch&Increment traffic over several independent
 // counting networks selected by pid hash; shard s of S hands out the
@@ -336,6 +349,9 @@ func NewSortingNetwork(n *Network) (*SortingNetwork, error) { return sorting.Fro
 
 // Distributed is a running message-passing deployment of a network: one
 // server goroutine per balancer (the refs [19,20] real-system stand-in).
+// Batches of tokens or antitokens travel as pipeline wavefronts — one
+// message per balancer touched (InjectBatch / InjectAntiBatch) — and
+// Messages reports the deployment's link-level cost.
 type Distributed = distnet.System
 
 // DistributedConfig tunes link buffering and per-hop latency.
@@ -346,9 +362,15 @@ func StartDistributed(n *Network, cfg DistributedConfig) *Distributed {
 	return distnet.Start(n, cfg)
 }
 
+// DistributedCounter is a Fetch&Increment / Fetch&Decrement counter over
+// a distributed deployment: concurrent Inc callers on the same input
+// wire coalesce into one in-flight batched message per single-flight
+// window, and IncBatch/DecBatch expose the batch protocol directly.
+type DistributedCounter = distnet.Counter
+
 // NewDistributedCounter starts a Fetch&Increment counter over a
 // distributed deployment of the network.
-func NewDistributedCounter(n *Network, cfg DistributedConfig) *distnet.Counter {
+func NewDistributedCounter(n *Network, cfg DistributedConfig) *DistributedCounter {
 	return distnet.NewCounter(n, cfg)
 }
 
@@ -392,8 +414,17 @@ type TCPShard = tcpnet.Shard
 // TCPCluster is the client-side view of a sharded deployment.
 type TCPCluster = tcpnet.Cluster
 
-// TCPSession is a single-goroutine client holding one connection per shard.
+// TCPSession is a single-goroutine client holding one connection per
+// shard. Besides per-token Inc (depth+1 round trips), it speaks the
+// batched wire frames: IncBatch/DecBatch shepherd k tokens or antitokens
+// as one pipeline costing one STEPN round trip per balancer touched plus
+// one CELLN per exit wire.
 type TCPSession = tcpnet.Session
+
+// TCPCounter is the cluster-wide coalescing client: concurrent Inc
+// callers entering on the same input wire merge into one in-flight
+// batched pipeline. Create with TCPCluster.NewCounter.
+type TCPCounter = tcpnet.Counter
 
 // StartTCPShard launches shard `index` of `shards` for the topology on
 // addr ("host:0" picks a free port). Shard i owns balancers and exit cells

@@ -1,7 +1,14 @@
 // TCP-sharded deployment of C(4,8) — the refs [19,20] workstation
 // experiment in miniature: three shard servers each own a third of the
-// balancers and exit cells; every balancer crossing is one TCP round trip;
-// concurrent client sessions still receive perfectly dense counter values.
+// balancers and exit cells; a single-token balancer crossing is one TCP
+// round trip; concurrent client sessions still receive perfectly dense
+// counter values.
+//
+// The wire protocol also carries batched frames: a session shepherds k
+// tokens (or antitokens) as ONE pipeline — a STEPN round trip per
+// balancer touched instead of k round trips per layer — and the
+// coalescing Counter client merges concurrent Inc callers into shared
+// pipelines automatically.
 //
 // All servers run in this process on loopback for the demo; pointing the
 // shard addresses at other machines distributes the network for real.
@@ -42,10 +49,15 @@ func main() {
 	fmt.Printf("deployed %s across %d TCP shards: %v\n", topo.Name(), shards, addrs)
 
 	cluster := countnet.NewTCPCluster(topo, addrs)
-	fmt.Printf("each Fetch&Increment costs %d round trips (depth %d + exit cell)\n",
+	fmt.Printf("each single-token Fetch&Increment costs %d round trips (depth %d + exit cell)\n",
 		cluster.Hops(), topo.Depth())
 
-	const clients, per = 8, 250
+	// The coalescing counter client: concurrent callers on the same input
+	// wire share batched pipelines.
+	ctr := cluster.NewCounter()
+	defer ctr.Close()
+
+	const clients, per = 16, 125
 	vals := make([][]int64, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -53,13 +65,8 @@ func main() {
 		wg.Add(1)
 		go func(pid int) {
 			defer wg.Done()
-			sess, err := cluster.NewSession()
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer sess.Close()
 			for i := 0; i < per; i++ {
-				v, err := sess.Inc(pid)
+				v, err := ctr.Inc(pid)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -82,4 +89,24 @@ func main() {
 	}
 	fmt.Printf("%d increments from %d clients in %v — all values dense across the cluster\n",
 		len(all), clients, elapsed.Round(time.Millisecond))
+	uncoalesced := len(all) * cluster.Hops()
+	fmt.Printf("round trips: %d for %d ops (%.2f rpcs/op; uncoalesced cost %d)\n",
+		ctr.RPCs(), len(all), float64(ctr.RPCs())/float64(len(all)), uncoalesced)
+
+	// Explicit batching: one session, one pipeline, k=512 values.
+	sess, err := cluster.NewSession()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	batch, err := sess.IncBatch(0, 512, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IncBatch(k=512): %d values in %d round trips (%.3f rpcs/token)\n",
+		len(batch), sess.RPCs(), float64(sess.RPCs())/float64(len(batch)))
+	if _, err := sess.DecBatch(0, 512, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DecBatch(k=512): the whole batch revoked through the same frames")
 }

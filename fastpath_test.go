@@ -73,6 +73,54 @@ func TestTraverseBatchMatchesTraverseEverywhere(t *testing.T) {
 	}
 }
 
+// The antitoken mirror of the acceptance gate: TraverseAntiBatch(wire, k)
+// must produce the same exit tallies and balancer states as k successive
+// TraverseAnti(wire) calls on every constructor the package ships, both
+// on fresh networks and after a token preload.
+func TestTraverseAntiBatchMatchesTraverseAntiEverywhere(t *testing.T) {
+	for _, c := range fastpathConstructors(t) {
+		t.Run(c.name, func(t *testing.T) {
+			batched, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			singles, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]int64, batched.OutWidth())
+			want := make([]int64, singles.OutWidth())
+			w := batched.InWidth()
+			// Preload tokens so antitokens retract real state, then mix
+			// anti-batch sizes across wires (the negative-count regime is
+			// reached once the preload is exhausted).
+			for wire := 0; wire < w; wire++ {
+				batched.TraverseBatchInto(wire, 11, make([]int64, batched.OutWidth()))
+				singles.TraverseBatchInto(wire, 11, make([]int64, singles.OutWidth()))
+			}
+			for round, k := range []int64{1, 2, 3, int64(w), 2*int64(w) + 1, 97} {
+				for wire := 0; wire < w; wire++ {
+					if (wire+round)%3 == 0 {
+						continue
+					}
+					batched.TraverseAntiBatchInto(wire, k, got)
+					for i := int64(0); i < k; i++ {
+						want[singles.TraverseAnti(wire)]++
+					}
+				}
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("anti-batched exit counts %v\n want (single-antitoken) %v", got, want)
+			}
+			for i := 0; i < batched.Size(); i++ {
+				if batched.Node(i).Balancer().Count() != singles.Node(i).Balancer().Count() {
+					t.Fatalf("balancer %d state diverged after anti batches", i)
+				}
+			}
+		})
+	}
+}
+
 // The step property must hold in every quiescent state reached purely by
 // batched traversal on the counting networks.
 func TestTraverseBatchPreservesStepProperty(t *testing.T) {

@@ -90,6 +90,21 @@ func (b *PQ) StepAnti() int {
 	return b.wire(k)
 }
 
+// StepAntiN atomically processes n consecutive antitokens with a single
+// atomic fetch-add of -n and returns the sequence index of the LAST of
+// them (the post-subtraction count): with a pre-call count of c, the
+// batch's antitokens exit on the wires of indices c-1, c-2, ..., c-n —
+// the same multiset DistributeInto(init+(c-n), n, out) describes. One
+// fetch-add of -n is indistinguishable (to every other process, and in
+// every quiescent state) from n back-to-back StepAnti calls, the
+// antitoken mirror of StepN. It panics for n < 1.
+func (b *PQ) StepAntiN(n int64) (k int64) {
+	if n < 1 {
+		panic(fmt.Sprintf("balancer: StepAntiN of non-positive count %d", n))
+	}
+	return b.count.Add(-n)
+}
+
 // wire maps a (possibly negative) step index to an output wire.
 func (b *PQ) wire(k int64) int {
 	q := int64(b.q)

@@ -45,6 +45,57 @@ func TestAntiFirst(t *testing.T) {
 	}
 }
 
+// StepAntiN(n) must be indistinguishable from n back-to-back StepAnti
+// calls: same final count, and DistributeInto over the returned index
+// yields exactly the exit multiset of the singles.
+func TestStepAntiNMatchesSingles(t *testing.T) {
+	for _, c := range []struct {
+		q       int
+		init    int64
+		preload int64 // tokens processed before the anti batch
+		n       int64 // anti batch size
+	}{
+		{3, 0, 7, 4},
+		{4, 2, 2, 5}, // drives the count negative
+		{5, 1, 0, 3}, // anti-first on a fresh balancer
+		{1, 0, 9, 9},
+	} {
+		batched := NewInit(2, c.q, c.init)
+		singles := NewInit(2, c.q, c.init)
+		for i := int64(0); i < c.preload; i++ {
+			batched.Step()
+			singles.Step()
+		}
+		want := make([]int64, c.q)
+		for i := int64(0); i < c.n; i++ {
+			want[singles.StepAnti()]++
+		}
+		k := batched.StepAntiN(c.n)
+		if k != c.preload-c.n {
+			t.Fatalf("q=%d: StepAntiN returned %d, want %d", c.q, k, c.preload-c.n)
+		}
+		got := DistributeInto(batched.Init()+k, c.n, make([]int64, c.q))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("q=%d init=%d pre=%d n=%d: batch exits %v, singles %v",
+					c.q, c.init, c.preload, c.n, got, want)
+			}
+		}
+		if batched.Count() != singles.Count() {
+			t.Fatalf("counts diverged: %d vs %d", batched.Count(), singles.Count())
+		}
+	}
+}
+
+func TestStepAntiNPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepAntiN(0) did not panic")
+		}
+	}()
+	New(2, 2).StepAntiN(0)
+}
+
 func TestInitialState(t *testing.T) {
 	b := NewInit(2, 4, 6) // 6 mod 4 = 2
 	if b.Init() != 2 {

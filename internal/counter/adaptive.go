@@ -16,14 +16,30 @@ import (
 // migrating back when load subsides. Values stay globally unique and
 // dense across migrations: each epoch's implementation continues the value
 // range where the previous one stopped.
+//
+// Network epochs batch: increments are served through a Batched counter
+// whose batch size is learned from the network's observed batching
+// crossover (LearnBatch, once per Adaptive) rather than a fixed constant.
+// Values a network epoch claimed but had not yet handed out when the
+// counter migrated back are spilled and served first afterwards, so the
+// value range stays dense (though not in issue order) across migrations.
 type Adaptive struct {
 	mu   sync.RWMutex
 	mode int32 // 0 = central, 1 = network (guarded by mu)
 
 	central   atomic.Int64 // next value in central mode
 	netCtr    *Network     // active network counter in network mode
+	netBat    *Batched     // batching front-end over netCtr (nil if disabled)
 	buildNet  func() (*network.Network, error)
+	batchCfg  int // configured batch: 0 learn, <0 off, >0 fixed
+	batch     int // resolved batch size once learned
 	switching atomic.Bool
+
+	// Values claimed by a network epoch but unconsumed at migration time;
+	// served ahead of the active implementation until drained.
+	spillMu   sync.Mutex
+	spill     []int64
+	spillLeft atomic.Int64
 
 	// Latency sampling: every sampleEvery-th operation is timed and folded
 	// into an EWMA (stored as nanoseconds).
@@ -50,6 +66,12 @@ type AdaptiveConfig struct {
 	// MinEpochOps is the minimum number of operations between migrations
 	// (hysteresis). Default 4096.
 	MinEpochOps int64
+	// Batch sets the network-epoch batch size: 0 (the default) learns it
+	// from the network's observed batching crossover at the first network
+	// migration (LearnBatch); > 0 fixes it; < 0 disables batching and
+	// serves network epochs token-at-a-time (values then stay in issue
+	// order across migrations).
+	Batch int
 }
 
 // NewAdaptive creates an adaptive counter starting in central mode.
@@ -59,6 +81,7 @@ func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
 		upNanos:   int64(cfg.UpLatency),
 		downNanos: int64(cfg.DownLatency),
 		minEpoch:  cfg.MinEpochOps,
+		batchCfg:  cfg.Batch,
 	}
 	if a.upNanos <= 0 {
 		a.upNanos = 2000
@@ -109,10 +132,33 @@ func (a *Adaptive) Inc(pid int) int64 {
 func (a *Adaptive) incFast(pid int) int64 {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	// One atomic load when the spill is empty, the common case.
+	if a.spillLeft.Load() > 0 {
+		if v, ok := a.popSpill(); ok {
+			return v
+		}
+	}
 	if a.mode == 0 {
 		return a.central.Add(1) - 1
 	}
+	if a.netBat != nil {
+		return a.netBat.Inc(pid)
+	}
 	return a.netCtr.Inc(pid)
+}
+
+// popSpill hands out one value spilled by a finished network epoch.
+func (a *Adaptive) popSpill() (int64, bool) {
+	a.spillMu.Lock()
+	defer a.spillMu.Unlock()
+	n := len(a.spill)
+	if n == 0 {
+		return 0, false
+	}
+	v := a.spill[n-1]
+	a.spill = a.spill[:n-1]
+	a.spillLeft.Add(-1)
+	return v, true
 }
 
 // maybeMigrate checks thresholds and hysteresis and performs a migration
@@ -145,8 +191,28 @@ func (a *Adaptive) maybeMigrate(opCount uint64) {
 }
 
 // migrate switches modes under the exclusive lock, carrying the value
-// range forward so values remain dense.
+// range forward so values remain dense. The expensive preparation — the
+// epoch's network build and the one-time batching-crossover probe — runs
+// BEFORE the exclusive section, so in-flight Inc callers keep serving in
+// the old mode instead of stalling behind a multi-millisecond probe.
 func (a *Adaptive) migrate(target int32) {
+	var net *network.Network
+	learned := 0
+	if target == 1 {
+		if a.buildNet == nil {
+			return
+		}
+		n, err := a.buildNet()
+		if err != nil {
+			return // stay in the current mode
+		}
+		net = n
+		if a.batchCfg == 0 && a.Batch() == 0 {
+			// Probe the (still untraversed) epoch network's clone now;
+			// published under the lock only if nobody beat us to it.
+			learned = LearnBatch(net)
+		}
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.mode == target {
@@ -156,24 +222,57 @@ func (a *Adaptive) migrate(target int32) {
 	if a.mode == 0 {
 		issued = a.central.Load()
 	} else {
+		// Issued counts every value the epoch claimed from the network,
+		// the buffered-but-unreturned ones included.
 		issued = a.netCtr.base + a.netCtr.Issued()
 	}
+	// A network epoch leaves its buffered values behind; spill them so
+	// they are handed out ahead of the next implementation and the value
+	// range stays dense.
+	if a.mode == 1 && a.netBat != nil {
+		a.spillMu.Lock()
+		a.spill = a.netBat.DrainBuffered(a.spill)
+		a.spillLeft.Store(int64(len(a.spill)))
+		a.spillMu.Unlock()
+	}
 	if target == 1 {
-		if a.buildNet == nil {
-			return
-		}
-		net, err := a.buildNet()
-		if err != nil {
-			return // stay in central mode
-		}
 		a.netCtr = NewNetworkBase(net, issued)
+		a.netBat = nil
+		if a.batchCfg >= 0 {
+			if a.batch == 0 {
+				switch {
+				case a.batchCfg > 0:
+					a.batch = a.batchCfg
+				case learned > 0:
+					a.batch = learned
+				default:
+					// A concurrent migration raced us past the pre-lock
+					// probe check and then rolled back; fall back to the
+					// structural estimate rather than probing under lock.
+					a.batch = HeuristicBatch(net)
+				}
+			}
+			a.netBat = NewBatched(a.netCtr, a.batch)
+		}
 	} else {
 		a.central.Store(issued)
 		a.netCtr = nil
+		a.netBat = nil
 	}
 	a.mode = target
 	a.epochStart.Store(a.ops.Load())
 	a.migrations.Add(1)
+}
+
+// Batch returns the resolved network-epoch batch size (0 until the first
+// network migration when learning is configured; 1 means batching off).
+func (a *Adaptive) Batch() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.batchCfg < 0 {
+		return 1
+	}
+	return a.batch
 }
 
 // ForceMode migrates immediately to "central" or "network" (testing and

@@ -58,7 +58,10 @@ func TestAdaptiveStartsCentral(t *testing.T) {
 }
 
 func TestAdaptiveForcedMigrationKeepsDensity(t *testing.T) {
-	a := NewAdaptive(AdaptiveConfig{BuildNetwork: buildC88})
+	// Batch < 0 serves network epochs token-at-a-time, so sequential values
+	// stay in issue order as well as dense; the batched default is covered
+	// by TestAdaptiveBatchedMigrationKeepsDensity below.
+	a := NewAdaptive(AdaptiveConfig{BuildNetwork: buildC88, Batch: -1})
 	var got []int64
 	for i := 0; i < 100; i++ {
 		got = append(got, a.Inc(i))
@@ -84,6 +87,59 @@ func TestAdaptiveForcedMigrationKeepsDensity(t *testing.T) {
 	}
 	if a.Migrations() != 2 {
 		t.Fatalf("migrations = %d", a.Migrations())
+	}
+}
+
+// Batched network epochs (fixed batch size here, to bound the spill)
+// spill their claimed-but-unconsumed values at migration time and serve
+// them first afterwards, so the value range stays dense as a multiset
+// across migrations once the spill is drained.
+func TestAdaptiveBatchedMigrationKeepsDensity(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{BuildNetwork: buildC88, Batch: 8})
+	var got []int64
+	for i := 0; i < 50; i++ {
+		got = append(got, a.Inc(i))
+	}
+	a.ForceMode("network")
+	if a.Batch() != 8 {
+		t.Fatalf("Batch() = %d, want the configured 8", a.Batch())
+	}
+	for i := 0; i < 50; i++ {
+		got = append(got, a.Inc(i))
+	}
+	a.ForceMode("central")
+	for i := 0; i < 50; i++ {
+		got = append(got, a.Inc(i))
+	}
+	// Drain whatever the network epoch spilled so every claimed value has
+	// been handed out, then the multiset must be exactly {0..m-1}.
+	for a.spillLeft.Load() > 0 {
+		got = append(got, a.Inc(0))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("values not dense across batched migrations: position %d holds %d", i, v)
+		}
+	}
+}
+
+// The default configuration learns the batch size from the observed
+// crossover at the first network migration and caches it across epochs.
+func TestAdaptiveLearnsBatch(t *testing.T) {
+	a := NewAdaptive(AdaptiveConfig{BuildNetwork: buildC88})
+	if a.Batch() != 0 {
+		t.Fatalf("batch resolved to %d before any network epoch", a.Batch())
+	}
+	a.ForceMode("network")
+	k := a.Batch()
+	if k < 8 || k > 4096 { // ladder floor 8, heuristic ceiling 4096
+		t.Fatalf("learned batch %d outside [8, 4096]", k)
+	}
+	a.ForceMode("central")
+	a.ForceMode("network")
+	if a.Batch() != k {
+		t.Fatalf("batch re-learned across epochs: %d then %d", k, a.Batch())
 	}
 }
 

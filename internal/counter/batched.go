@@ -6,10 +6,12 @@ import (
 	"sync"
 )
 
-// DefaultBatch is the batch size NewBatched uses when given batch <= 0.
-// At or above the network width a whole batch usually touches every
-// balancer at most once, so the amortized cost per value approaches
-// size/k + depth atomic operations instead of depth.
+// DefaultBatch is the floor of the learned batch size (see LearnBatch);
+// it is no longer the default itself — NewBatched with batch <= 0 learns
+// the size from the observed crossover instead of this constant. At or
+// above the network width a whole batch usually touches every balancer at
+// most once, so the amortized cost per value approaches size/k + depth
+// atomic operations instead of depth.
 const DefaultBatch = 16
 
 // IncBatch performs k Fetch&Increment operations as a single batched
@@ -37,6 +39,41 @@ func (c *Network) IncBatch(pid int, k int, dst []int64) []int64 {
 		}
 		end := c.cells[i].v.Add(c.t * cnt)
 		for v := end - c.t*cnt; v < end; v += c.t {
+			dst = append(dst, v)
+		}
+	}
+	c.tallyPool.Put(p)
+	return dst
+}
+
+// DecBatch performs k Fetch&Decrement operations as a single batched
+// antitoken traversal (network.TraverseAntiBatch), appends the k revoked
+// values to dst and returns it — the symmetric counterpart of IncBatch.
+// The values are exactly those k successive Dec calls entering on the
+// same wire could have returned: each exit cell yields the most recently
+// issued values of its residue class, newest first. In quiescent
+// alternation IncBatch(k);DecBatch(k) is the identity on the counter
+// state and revokes exactly the values the IncBatch claimed.
+func (c *Network) DecBatch(pid int, k int, dst []int64) []int64 {
+	if k <= 0 {
+		return dst
+	}
+	p, _ := c.tallyPool.Get().(*[]int64)
+	if p == nil {
+		s := make([]int64, c.t)
+		p = &s
+	} else {
+		clear(*p)
+	}
+	tally := c.net.TraverseAntiBatchInto(pid%c.w, int64(k), *p)
+	for i, cnt := range tally {
+		if cnt == 0 {
+			continue
+		}
+		end := c.cells[i].v.Add(-c.t * cnt)
+		// cnt antitokens on cell i revoke the values end+ (cnt-1)·t down
+		// to end, in revocation order newest-issued first.
+		for v := end + c.t*(cnt-1); v >= end; v -= c.t {
 			dst = append(dst, v)
 		}
 	}
@@ -73,8 +110,9 @@ type valStripe struct {
 }
 
 // NewBatched wraps a counting network in a batched counter with the given
-// batch size (<= 0 means DefaultBatch) and 2×GOMAXPROCS value stripes,
-// so in a quiescent state Buffered is below 2×GOMAXPROCS×batch.
+// batch size (<= 0 learns it from the observed crossover, LearnBatch) and
+// 2×GOMAXPROCS value stripes, so in a quiescent state Buffered is below
+// 2×GOMAXPROCS×batch.
 func NewBatched(net *Network, batch int) *Batched {
 	return NewBatchedStripes(net, batch, 2*runtime.GOMAXPROCS(0))
 }
@@ -82,7 +120,7 @@ func NewBatched(net *Network, batch int) *Batched {
 // NewBatchedStripes is NewBatched with an explicit stripe count.
 func NewBatchedStripes(net *Network, batch, stripes int) *Batched {
 	if batch <= 0 {
-		batch = DefaultBatch
+		batch = LearnBatch(net.net)
 	}
 	if stripes < 1 {
 		stripes = 1
@@ -110,6 +148,20 @@ func (b *Batched) Inc(pid int) int64 {
 	s.vals = s.vals[:len(s.vals)-1]
 	s.mu.Unlock()
 	return v
+}
+
+// DrainBuffered pops every claimed-but-unreturned value from the stripe
+// buffers, appending them to dst, and returns it. Callers must exclude
+// concurrent Inc (the adaptive counter drains under its migration lock).
+func (b *Batched) DrainBuffered(dst []int64) []int64 {
+	for i := range b.stripes {
+		s := &b.stripes[i]
+		s.mu.Lock()
+		dst = append(dst, s.vals...)
+		s.vals = s.vals[:0]
+		s.mu.Unlock()
+	}
+	return dst
 }
 
 // Buffered returns the number of claimed-but-unreturned values across all

@@ -48,6 +48,68 @@ func TestIncBatchDense(t *testing.T) {
 	}
 }
 
+// TestDecBatch: batched decrements revoke exactly the values batched
+// increments claimed, leave the counter quiescently empty, and match the
+// per-call order of single Decs on the same wire.
+func TestDecBatch(t *testing.T) {
+	c := NewNetwork(cwt(t, 8, 16))
+	singles := NewNetwork(cwt(t, 8, 16))
+
+	claimed := c.IncBatch(2, 37, nil)
+	singles.IncBatch(2, 37, nil)
+	revoked := c.DecBatch(2, 37, nil)
+	var want []int64
+	for i := 0; i < 37; i++ {
+		want = append(want, singles.Dec(2))
+	}
+	sortInts := func(s []int64) { sort.Slice(s, func(i, j int) bool { return s[i] < s[j] }) }
+	sortInts(claimed)
+	sortInts(revoked)
+	cmp := append([]int64(nil), want...)
+	sortInts(cmp)
+	for i := range claimed {
+		if claimed[i] != revoked[i] {
+			t.Fatalf("revoked %v != claimed %v", revoked, claimed)
+		}
+		if cmp[i] != revoked[i] {
+			t.Fatalf("batched revocations %v != single Decs %v (sorted)", revoked, cmp)
+		}
+	}
+	if c.Issued() != 0 {
+		t.Fatalf("Issued() = %d after full revocation", c.Issued())
+	}
+	// The counter is back at its initial state: the next claim is value 0.
+	if v := c.Inc(0); v != 0 {
+		t.Fatalf("Inc after IncBatch;DecBatch = %d, want 0", v)
+	}
+	if got := c.DecBatch(0, 0, nil); len(got) != 0 {
+		t.Fatalf("DecBatch k=0 returned %v", got)
+	}
+}
+
+// TestIncDecBatchResidueStep: after batched increments partially undone by
+// batched decrements, the per-cell residue (values claimed minus revoked
+// per exit wire) still satisfies the step property — the quiescent
+// guarantee of ref [2] carried through both batched paths.
+func TestIncDecBatchResidueStep(t *testing.T) {
+	c := NewNetwork(cwt(t, 8, 16))
+	c.IncBatch(0, 50, nil)
+	c.IncBatch(5, 21, nil)
+	c.DecBatch(3, 30, nil)
+	residue := make([]int64, 16)
+	for i := range c.cells {
+		residue[i] = (c.cells[i].v.Load() - int64(i)) / c.t
+	}
+	for i := 1; i < len(residue); i++ {
+		if residue[i] > residue[i-1] || residue[0]-residue[i] > 1 {
+			t.Fatalf("residue %v not step", residue)
+		}
+	}
+	if c.Issued() != 50+21-30 {
+		t.Fatalf("Issued() = %d, want 41", c.Issued())
+	}
+}
+
 // TestBatchedCounterAccounting: the Batched wrapper returns unique values
 // and its quiescent books balance: claimed = returned + buffered.
 func TestBatchedCounterAccounting(t *testing.T) {

@@ -1,0 +1,63 @@
+package counter
+
+import (
+	"time"
+
+	"repro/internal/network"
+)
+
+// batchLadder is the candidate batch sizes LearnBatch probes, a geometric
+// sweep spanning the crossover region of every network this package
+// constructs (E23: the crossover sits near the network size).
+var batchLadder = []int64{8, 16, 32, 64, 128, 256, 512, 1024}
+
+// LearnBatch measures the observed crossover of batched traversal for the
+// given network and returns a batch size at or past it: the smallest
+// candidate whose measured per-token cost is at most half the
+// single-token cost. The probe runs on a Clone, so the live network's
+// balancer states are untouched. When no candidate wins (timer noise,
+// tiny networks) it falls back to the structural estimate HeuristicBatch.
+// The whole probe costs a few milliseconds; callers cache the result.
+func LearnBatch(n *network.Network) int {
+	probe := n.Clone()
+	w := probe.InWidth()
+	out := make([]int64, probe.OutWidth())
+	const tokensPer = 4096 // tokens pushed per candidate measurement
+	cost := func(k int64) float64 {
+		iters := tokensPer / int(k)
+		if iters < 2 {
+			iters = 2
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			probe.TraverseBatchInto(i%w, k, out)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(int64(iters)*k)
+	}
+	cost(1) // warm the scratch pool and caches before timing
+	base := cost(1)
+	for _, k := range batchLadder {
+		if cost(k) <= base/2 {
+			return int(k)
+		}
+	}
+	return HeuristicBatch(n)
+}
+
+// HeuristicBatch is the structural estimate of the batching crossover:
+// per-token cost is ≈ size/k + depth atomic operations, so batching pays
+// off once k reaches the network size (≈ width·depth, E23). Returns the
+// next power of two at or above Size, clamped to [DefaultBatch, 4096].
+func HeuristicBatch(n *network.Network) int {
+	k := 1
+	for k < n.Size() {
+		k <<= 1
+	}
+	if k < DefaultBatch {
+		k = DefaultBatch
+	}
+	if k > 4096 {
+		k = 4096
+	}
+	return k
+}

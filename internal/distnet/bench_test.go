@@ -1,0 +1,53 @@
+package distnet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// E25: messages and wall-clock per token of the batched message protocol
+// as the batch size grows. msgs/token is the deployment's cost metric —
+// watch it collapse from ~depth towards size/k as k rises.
+func BenchmarkInjectBatch(b *testing.B) {
+	for _, k := range []int64{1, 8, 64, 512} {
+		b.Run(fmt.Sprintf("CWT8x24/k=%d", k), func(b *testing.B) {
+			net, err := core.New(8, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys := Start(net, Config{LinkBuffer: 4})
+			defer sys.Stop()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.InjectBatch(i%8, k)
+			}
+			b.StopTimer()
+			tokens := float64(b.N) * float64(k)
+			b.ReportMetric(float64(sys.Messages())/tokens, "msgs/token")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tokens, "ns/token")
+		})
+	}
+}
+
+// E25: the coalescing counter under parallel load — concurrent Inc
+// callers on the same input wire share flights, so msgs/op falls below
+// the per-token hop count whenever the workload is wide.
+func BenchmarkCounterCoalesced(b *testing.B) {
+	net, err := core.New(8, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCounter(net, Config{LinkBuffer: 4})
+	defer c.Stop()
+	var pids atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		pid := int(pids.Add(1))
+		for pb.Next() {
+			c.Inc(pid)
+		}
+	})
+	b.ReportMetric(float64(c.Messages())/float64(b.N), "msgs/op")
+}

@@ -8,13 +8,35 @@
 // throughput results in [19,20] — a balancer is a remote shared object
 // serializing one token at a time, a wire is a link with bounded capacity,
 // and per-hop latency can be injected — while running on one machine.
+//
+// # Batched message protocol
+//
+// A message may carry a COUNT of k tokens (or antitokens) instead of a
+// single token: a batch travels as a pipeline wavefront holding the
+// per-balancer pending counts of the whole group. Each balancer server
+// it visits applies its pending sub-group to its state with ONE
+// transition (the StepN/StepAntiN split arithmetic: consecutive tokens
+// take consecutive output wires round-robin), folds the split into the
+// wavefront — so sub-groups that diverge re-merge at shared successors —
+// and forwards the message to the next balancer with pending tokens in
+// topological order. A batch of k tokens therefore crosses the network
+// in exactly (balancers touched) ≤ min(size, k·depth) messages instead
+// of k·depth, the distributed counterpart of network.TraverseBatch; the
+// injector wakes when the wavefront has drained.
+//
+// On top of the protocol, Counter coalesces concurrent Inc callers that
+// enter on the same input wire into one in-flight batch (a single-flight
+// window per wire), so wide workloads pay one network round trip per
+// window rather than per token.
 package distnet
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/balancer"
 	"repro/internal/network"
 )
 
@@ -24,7 +46,8 @@ type Config struct {
 	// (default 1: a balancer accepts the next token while processing one).
 	LinkBuffer int
 	// HopLatency is an optional processing delay per balancer crossing,
-	// emulating network round trips (0 for none).
+	// emulating network round trips (0 for none). A batched message pays
+	// it once for its whole group — that is the point of batching.
 	HopLatency time.Duration
 }
 
@@ -32,15 +55,29 @@ type Config struct {
 // Create with Start; Stop it when done (all tokens must have exited).
 type System struct {
 	net     *network.Network
-	inboxes []chan token
+	inboxes []chan msg
 	wg      sync.WaitGroup
 	cfg     Config
-	pool    sync.Pool // of chan int
+	pool    sync.Pool    // of chan int, for single-token replies
+	msgs    atomic.Int64 // messages sent (injections + forwards)
 	stopped bool
 }
 
-type token struct {
-	done chan int // receives the network output wire on exit
+// msg is one link-level message: either a single token/antitoken with a
+// direct reply channel (the latency path), or a batch wavefront.
+type msg struct {
+	anti bool     // antitoken traffic (Fetch&Decrement, ref [2])
+	done chan int // single-token reply: receives the exit wire
+	bat  *batch   // batch wavefront, nil on the single path
+}
+
+// batch is the state of one in-flight wavefront. It is owned exclusively
+// by whichever server currently holds the message (channel handoff), so
+// no field needs atomics.
+type batch struct {
+	pending []int64 // per balancer: tokens queued to cross it
+	tally   []int64 // per network output wire: exits so far
+	done    chan struct{}
 }
 
 // Start builds the server goroutines for the network. The network's
@@ -52,12 +89,12 @@ func Start(net *network.Network, cfg Config) *System {
 	}
 	s := &System{
 		net:     net,
-		inboxes: make([]chan token, net.Size()),
+		inboxes: make([]chan msg, net.Size()),
 		cfg:     cfg,
 	}
 	s.pool.New = func() any { return make(chan int, 1) }
 	for i := range s.inboxes {
-		s.inboxes[i] = make(chan token, cfg.LinkBuffer)
+		s.inboxes[i] = make(chan msg, cfg.LinkBuffer)
 	}
 	for i := 0; i < net.Size(); i++ {
 		nd := net.Node(i)
@@ -67,40 +104,166 @@ func Start(net *network.Network, cfg Config) *System {
 	return s
 }
 
+// send delivers a message to a balancer inbox, counting it.
+func (s *System) send(node int, m msg) {
+	s.msgs.Add(1)
+	s.inboxes[node] <- m
+}
+
+// wireOf maps a (possibly negative) step index to an output wire.
+func wireOf(idx int64, q int) int {
+	w := idx % int64(q)
+	if w < 0 {
+		w += int64(q)
+	}
+	return int(w)
+}
+
 // serve is the balancer server loop: single-threaded ownership of the
-// balancer state, exactly one token processed at a time (§1.2's atomic
-// memory location, as a process instead).
+// balancer state (state = init + net tokens processed), one message at a
+// time. A single-token message costs one transition; a batched message
+// applies its whole group with one transition and the StepN/StepAntiN
+// split arithmetic, forwarding at most one message per output port
+// (§1.2's atomic memory location, as a process instead).
 func (s *System) serve(id, q int, init int64) {
 	defer s.wg.Done()
 	state := init
-	for tok := range s.inboxes[id] {
+	var dist []int64
+	for m := range s.inboxes[id] {
 		if s.cfg.HopLatency > 0 {
 			time.Sleep(s.cfg.HopLatency)
 		}
-		port := int(state % int64(q))
-		state++
-		next, nport := s.net.Dest(id, port)
-		if next < 0 {
-			tok.done <- nport
+		if m.bat == nil {
+			// Single token/antitoken: the latency path.
+			var idx int64
+			if m.anti {
+				state--
+				idx = state
+			} else {
+				idx = state
+				state++
+			}
+			next, nport := s.net.Dest(id, wireOf(idx, q))
+			if next < 0 {
+				m.done <- nport
+				continue
+			}
+			s.send(next, m)
 			continue
 		}
-		s.inboxes[next] <- tok
+		// Batch wavefront: one state transition for this server's whole
+		// pending sub-group, split folded back into the front.
+		b := m.bat
+		c := b.pending[id]
+		b.pending[id] = 0
+		var start int64
+		if m.anti {
+			state -= c
+			start = state
+		} else {
+			start = state
+			state += c
+		}
+		if cap(dist) < q {
+			dist = make([]int64, q)
+		}
+		counts := balancer.DistributeInto(start, c, dist[:q])
+		for p, cnt := range counts {
+			if cnt == 0 {
+				continue
+			}
+			next, nport := s.net.Dest(id, p)
+			if next < 0 {
+				b.tally[nport] += cnt
+			} else {
+				b.pending[next] += cnt
+			}
+		}
+		// Hand the wavefront to the next balancer with pending tokens
+		// (node ids are topological, so one forward pass drains it).
+		forwarded := false
+		for j := id + 1; j < len(b.pending); j++ {
+			if b.pending[j] > 0 {
+				s.send(j, m)
+				forwarded = true
+				break
+			}
+		}
+		if !forwarded {
+			close(b.done)
+		}
 	}
 }
 
 // Inject shepherds one token in on the given input wire and blocks until
 // it exits, returning the output wire. Safe for concurrent use.
-func (s *System) Inject(wire int) int {
+func (s *System) Inject(wire int) int { return s.inject(wire, false) }
+
+// InjectAnti is Inject for one antitoken (Fetch&Decrement traffic).
+func (s *System) InjectAnti(wire int) int { return s.inject(wire, true) }
+
+func (s *System) inject(wire int, anti bool) int {
 	nd, port := s.net.InputDest(wire)
 	if nd < 0 {
 		return port
 	}
 	done := s.pool.Get().(chan int)
-	s.inboxes[nd] <- token{done: done}
+	s.send(nd, msg{anti: anti, done: done})
 	out := <-done
 	s.pool.Put(done)
 	return out
 }
+
+// InjectBatch shepherds k tokens entering on input wire `wire` through
+// the deployment as batched messages — at most one message per balancer
+// touched instead of one per token per hop — blocking until every
+// token has exited. It returns the number of tokens that exited on each
+// output wire (entries sum to k). Safe for concurrent use with itself and
+// with Inject; the quiescent guarantees are those of k single tokens.
+//
+// k = 0 returns all-zero counts; k < 0 panics.
+func (s *System) InjectBatch(wire int, k int64) []int64 {
+	out := make([]int64, s.net.OutWidth())
+	s.injectBatch(wire, k, false, out)
+	return out
+}
+
+// InjectAntiBatch is InjectBatch for k antitokens.
+func (s *System) InjectAntiBatch(wire int, k int64) []int64 {
+	out := make([]int64, s.net.OutWidth())
+	s.injectBatch(wire, k, true, out)
+	return out
+}
+
+func (s *System) injectBatch(wire int, k int64, anti bool, out []int64) {
+	if k < 0 {
+		panic("distnet: InjectBatch of negative batch size")
+	}
+	if k == 0 {
+		return
+	}
+	nd, port := s.net.InputDest(wire)
+	if nd < 0 {
+		out[port] += k
+		return
+	}
+	b := &batch{
+		pending: make([]int64, len(s.inboxes)),
+		tally:   make([]int64, len(out)),
+		done:    make(chan struct{}),
+	}
+	b.pending[nd] = k
+	s.send(nd, msg{anti: anti, bat: b})
+	<-b.done
+	for i, v := range b.tally {
+		out[i] += v
+	}
+}
+
+// Messages returns the number of link-level messages sent so far
+// (injections included) — the cost metric of the refs [19,20] deployments
+// and the numerator of the E25 msgs-per-token tables.
+func (s *System) Messages() int64 { return s.msgs.Load() }
 
 // Stop shuts down all servers. All injected tokens must have exited.
 func (s *System) Stop() {
@@ -114,14 +277,16 @@ func (s *System) Stop() {
 	s.wg.Wait()
 }
 
-// Counter layers Fetch&Increment cells over a distributed network, the
-// full counter deployment of [19,20].
+// Counter layers Fetch&Increment / Fetch&Decrement cells over a
+// distributed network, the full counter deployment of [19,20]. Concurrent
+// Inc callers entering on the same input wire coalesce into one in-flight
+// batched message per single-flight window.
 type Counter struct {
 	sys   *System
 	cells []cell
+	combs []wireComb
 	w     int
 	t     int64
-	mu    sync.Mutex
 }
 
 type cell struct {
@@ -130,11 +295,29 @@ type cell struct {
 	_  [6]int64
 }
 
+// wireComb is the per-input-wire coalescing state: while one flight is in
+// the network, later arrivals on the same wire pool into a window that
+// the flight's owner executes as one batch when it lands.
+type wireComb struct {
+	mu     sync.Mutex
+	flying bool
+	next   *window
+	_      [4]int64
+}
+
+// window is one pooled group of coalesced Inc calls.
+type window struct {
+	k    int64
+	vals []int64
+	done chan struct{}
+}
+
 // NewCounter starts a distributed counter over the network.
 func NewCounter(net *network.Network, cfg Config) *Counter {
 	c := &Counter{
 		sys:   Start(net, cfg),
 		cells: make([]cell, net.OutWidth()),
+		combs: make([]wireComb, net.InWidth()),
 		w:     net.InWidth(),
 		t:     int64(net.OutWidth()),
 	}
@@ -144,9 +327,34 @@ func NewCounter(net *network.Network, cfg Config) *Counter {
 	return c
 }
 
-// Inc implements Fetch&Increment through the distributed network.
+// Inc implements Fetch&Increment through the distributed network. A lone
+// caller pays the single-token latency path; concurrent callers on the
+// same input wire coalesce into batched flights.
 func (c *Counter) Inc(pid int) int64 {
 	wire := pid % c.w
+	cb := &c.combs[wire]
+	cb.mu.Lock()
+	if cb.flying {
+		w := cb.next
+		if w == nil {
+			w = &window{done: make(chan struct{})}
+			cb.next = w
+		}
+		idx := w.k
+		w.k++
+		cb.mu.Unlock()
+		<-w.done
+		return w.vals[idx]
+	}
+	cb.flying = true
+	cb.mu.Unlock()
+	v := c.incOne(wire)
+	c.land(cb, wire)
+	return v
+}
+
+// incOne performs one uncoalesced Fetch&Increment on the given wire.
+func (c *Counter) incOne(wire int) int64 {
 	i := c.sys.Inject(wire)
 	cl := &c.cells[i]
 	cl.mu.Lock()
@@ -155,6 +363,91 @@ func (c *Counter) Inc(pid int) int64 {
 	cl.mu.Unlock()
 	return v
 }
+
+// land drains the windows that pooled up behind the owner's flight, one
+// batched round trip per window, then releases the wire.
+func (c *Counter) land(cb *wireComb, wire int) {
+	for {
+		cb.mu.Lock()
+		w := cb.next
+		cb.next = nil
+		if w == nil {
+			cb.flying = false
+			cb.mu.Unlock()
+			return
+		}
+		cb.mu.Unlock()
+		w.vals = c.incBatchWire(wire, w.k, w.vals[:0])
+		close(w.done)
+	}
+}
+
+// IncBatch performs k Fetch&Increment operations as one batched flight
+// entering on wire pid mod w, appending the k claimed values to dst.
+func (c *Counter) IncBatch(pid, k int, dst []int64) []int64 {
+	if k <= 0 {
+		return dst
+	}
+	return c.incBatchWire(pid%c.w, int64(k), dst)
+}
+
+func (c *Counter) incBatchWire(wire int, k int64, dst []int64) []int64 {
+	tally := c.sys.InjectBatch(wire, k)
+	for i, cnt := range tally {
+		if cnt == 0 {
+			continue
+		}
+		cl := &c.cells[i]
+		cl.mu.Lock()
+		v := cl.v
+		cl.v += c.t * cnt
+		cl.mu.Unlock()
+		for j := int64(0); j < cnt; j++ {
+			dst = append(dst, v+j*c.t)
+		}
+	}
+	return dst
+}
+
+// Dec performs Fetch&Decrement via an antitoken (ref [2]): it undoes the
+// most recent increment on its exit wire and returns the value that
+// increment had handed out.
+func (c *Counter) Dec(pid int) int64 {
+	i := c.sys.InjectAnti(pid % c.w)
+	cl := &c.cells[i]
+	cl.mu.Lock()
+	cl.v -= c.t
+	v := cl.v
+	cl.mu.Unlock()
+	return v
+}
+
+// DecBatch performs k Fetch&Decrement operations as one batched antitoken
+// flight, appending the k revoked values to dst — the distributed
+// counterpart of counter.Network.DecBatch.
+func (c *Counter) DecBatch(pid, k int, dst []int64) []int64 {
+	if k <= 0 {
+		return dst
+	}
+	tally := c.sys.InjectAntiBatch(pid%c.w, int64(k))
+	for i, cnt := range tally {
+		if cnt == 0 {
+			continue
+		}
+		cl := &c.cells[i]
+		cl.mu.Lock()
+		cl.v -= c.t * cnt
+		end := cl.v
+		cl.mu.Unlock()
+		for v := end + c.t*(cnt-1); v >= end; v -= c.t {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// Messages reports the deployment's link-level message count.
+func (c *Counter) Messages() int64 { return c.sys.Messages() }
 
 // Name identifies the counter in benchmark tables.
 func (c *Counter) Name() string { return "dist:" + c.sys.net.Name() }

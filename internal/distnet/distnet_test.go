@@ -7,9 +7,40 @@ import (
 	"time"
 
 	"repro/internal/bitonic"
+	"repro/internal/butterfly"
 	"repro/internal/core"
+	"repro/internal/network"
 	"repro/internal/seq"
 )
+
+// distFamilies is the constructor matrix the batched protocol is gated
+// on: the paper's C(w,t), the regular bitonic baseline, a smoothing
+// butterfly, and a composed cascade.
+func distFamilies(t *testing.T) []struct {
+	name  string
+	build func() (*network.Network, error)
+} {
+	t.Helper()
+	return []struct {
+		name  string
+		build func() (*network.Network, error)
+	}{
+		{"C(8,16)", func() (*network.Network, error) { return core.New(8, 16) }},
+		{"bitonic(8)", func() (*network.Network, error) { return bitonic.New(8) }},
+		{"butterfly(8)", func() (*network.Network, error) { return butterfly.NewForward(8) }},
+		{"composed", func() (*network.Network, error) {
+			d, err := butterfly.NewForward(8)
+			if err != nil {
+				return nil, err
+			}
+			b, err := bitonic.New(8)
+			if err != nil {
+				return nil, err
+			}
+			return network.Cascade("composed", d, b)
+		}},
+	}
+}
 
 // Distributed execution must reach the same quiescent output counts as the
 // arithmetic evaluation (§2.2 determinism, across process boundaries).
@@ -91,6 +122,265 @@ func TestCounterUnique(t *testing.T) {
 			t.Fatalf("values not {0..m-1} at %d: %d", i, v)
 		}
 	}
+}
+
+// The tentpole gate: a batched distributed run must reach exactly the
+// quiescent output counts of k sequential tokens, for every constructor
+// family, under concurrent batch injection on every wire.
+func TestBatchMatchesQuiescentEveryFamily(t *testing.T) {
+	for _, fam := range distFamilies(t) {
+		t.Run(fam.name, func(t *testing.T) {
+			net, err := fam.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys := Start(net, Config{LinkBuffer: 2})
+			defer sys.Stop()
+
+			const per = 33 // tokens per (goroutine, wire) batch
+			w := net.InWidth()
+			tallies := make([][]int64, 2*w)
+			var wg sync.WaitGroup
+			for g := 0; g < 2*w; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					tallies[g] = sys.InjectBatch(g%w, per)
+				}(g)
+			}
+			wg.Wait()
+			got := make([]int64, net.OutWidth())
+			for _, tl := range tallies {
+				for i, v := range tl {
+					got[i] += v
+				}
+			}
+			x := make([]int64, w)
+			for i := range x {
+				x[i] = 2 * per
+			}
+			fresh, err := fam.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Quiescent(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !seq.Equal(got, want) {
+				t.Fatalf("batched distributed exits %v != quiescent %v", got, want)
+			}
+		})
+	}
+}
+
+// Antitoken batches cancel token batches: same exit multiset, and the
+// deployment is back in its initial state afterwards (the next single
+// token behaves as on a fresh system).
+func TestAntiBatchCancels(t *testing.T) {
+	for _, fam := range distFamilies(t) {
+		t.Run(fam.name, func(t *testing.T) {
+			net, err := fam.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys := Start(net, Config{})
+			defer sys.Stop()
+			for _, k := range []int64{1, 7, 64} {
+				tok := sys.InjectBatch(2, k)
+				anti := sys.InjectAntiBatch(2, k)
+				if !seq.Equal(tok, anti) {
+					t.Fatalf("k=%d: token exits %v, antitoken exits %v", k, tok, anti)
+				}
+			}
+			// All state cancelled: the next token exits where a fresh
+			// network would send it.
+			fresh, err := fam.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := sys.Inject(0), fresh.Traverse(0); got != want {
+				t.Fatalf("after cancellation token exits %d, fresh network %d", got, want)
+			}
+		})
+	}
+}
+
+// Batched flights interleaved with single tokens still land on the
+// arithmetic prediction (mixed protocol traffic on the same deployment).
+func TestBatchInterleavedWithSingles(t *testing.T) {
+	net, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Start(net, Config{})
+	defer sys.Stop()
+	got := make([]int64, net.OutWidth())
+	x := make([]int64, 8)
+	for round := 0; round < 5; round++ {
+		for wire := 0; wire < 8; wire++ {
+			for i, v := range sys.InjectBatch(wire, int64(3+round)) {
+				got[i] += v
+			}
+			x[wire] += int64(3 + round)
+			got[sys.Inject(wire)]++
+			x[wire]++
+		}
+	}
+	fresh, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Quiescent(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(got, want) {
+		t.Fatalf("mixed run %v != quiescent %v", got, want)
+	}
+}
+
+// The headline economics: at k = 64 a batch crosses the deployment in at
+// least 5x fewer messages per token than 64 single tokens (acceptance
+// floor; the measured ratio is far higher). Message counts are exact and
+// deterministic, not timing-dependent.
+func TestBatchMessagesPerToken(t *testing.T) {
+	build := func() (*System, *network.Network) {
+		net, err := core.New(8, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Start(net, Config{}), net
+	}
+	const k = 64
+	singles, _ := build()
+	defer singles.Stop()
+	for i := int64(0); i < k; i++ {
+		singles.Inject(0)
+	}
+	single := singles.Messages()
+
+	batched, _ := build()
+	defer batched.Stop()
+	batched.InjectBatch(0, k)
+	batch := batched.Messages()
+
+	if batch*5 > single {
+		t.Fatalf("msgs per token: batched %d/%d, singles %d/%d — less than the 5x floor",
+			batch, k, single, k)
+	}
+	t.Logf("k=%d: %d msgs batched vs %d singles (%.1fx)", k, batch, single,
+		float64(single)/float64(batch))
+}
+
+// Counter-level batching: IncBatch and DecBatch keep the deployment's
+// value range dense, and DecBatch revokes exactly what IncBatch claimed.
+func TestCounterBatchDense(t *testing.T) {
+	net, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(net, Config{LinkBuffer: 2})
+	defer c.Stop()
+
+	var vals []int64
+	for pid := 0; pid < 6; pid++ {
+		vals = c.IncBatch(pid, 20, vals)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for i, v := range vals {
+		if v != int64(i) {
+			t.Fatalf("IncBatch values not dense at %d: %d", i, v)
+		}
+	}
+	revoked := c.DecBatch(3, 120, nil)
+	sort.Slice(revoked, func(i, j int) bool { return revoked[i] < revoked[j] })
+	if !seq.Equal(revoked, vals) {
+		t.Fatalf("DecBatch revoked %v, IncBatch claimed %v", revoked, vals)
+	}
+	if v := c.Inc(0); v != 0 {
+		t.Fatalf("counter not back at origin after full revocation: Inc = %d", v)
+	}
+	if got := c.IncBatch(0, 0, nil); len(got) != 0 {
+		t.Fatalf("IncBatch k=0 returned %v", got)
+	}
+	if got := c.DecBatch(0, -3, nil); len(got) != 0 {
+		t.Fatalf("DecBatch k<0 returned %v", got)
+	}
+}
+
+// Coalescing: concurrent Inc callers sharing input wires merge into
+// batched flights; the values must remain exactly {0..m-1}, and the
+// deployment must spend fewer messages than the uncoalesced protocol
+// does on the identical workload, proving windows actually formed. The
+// concurrent system gets a hop latency so flights are genuinely in the
+// network long enough for a backlog to pool (on one CPU a latency-free
+// flight completes before the scheduler runs a second caller); the
+// baseline runs latency-free since message counts don't depend on time.
+func TestCounterCoalescedDense(t *testing.T) {
+	net, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter(net, Config{LinkBuffer: 4, HopLatency: 50 * time.Microsecond})
+	defer c.Stop()
+	const procs, per = 48, 10
+	vals := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				vals[pid] = append(vals[pid], c.Inc(pid))
+			}
+		}(pid)
+	}
+	wg.Wait()
+	var all []int64
+	for _, v := range vals {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			t.Fatalf("coalesced values not {0..m-1} at %d: %d", i, v)
+		}
+	}
+	// Baseline: the identical workload run sequentially, where no window
+	// can form and every token pays its full per-hop message cost.
+	net2, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCounter(net2, Config{LinkBuffer: 4})
+	defer c2.Stop()
+	for i := 0; i < per; i++ {
+		for pid := 0; pid < procs; pid++ {
+			c2.Inc(pid)
+		}
+	}
+	if got, base := c.Messages(), c2.Messages(); got >= base {
+		t.Fatalf("coalescing saved nothing: %d messages concurrent vs %d sequential", got, base)
+	} else {
+		t.Logf("messages: %d coalesced vs %d sequential (%.1fx fewer)", got, base,
+			float64(base)/float64(got))
+	}
+}
+
+func TestInjectBatchPanicsOnNegative(t *testing.T) {
+	net, err := core.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Start(net, Config{})
+	defer sys.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InjectBatch(-1) did not panic")
+		}
+	}()
+	sys.InjectBatch(0, -1)
 }
 
 func TestHopLatency(t *testing.T) {

@@ -64,6 +64,51 @@ func (n *Network) TraverseBatchInto(wire int, k int64, out []int64) []int64 {
 		out[n.Traverse(wire)]++
 		return out
 	}
+	return n.batchSweep(wire, k, out, false)
+}
+
+// TraverseAntiBatch shepherds k antitokens entering on input wire `wire`
+// through the network using one atomic fetch-add per balancer touched —
+// the Fetch&Decrement mirror of TraverseBatch — and returns the number of
+// those antitokens that exited on each output wire. A balancer processing
+// n consecutive antitokens retracts its n most recent token slots
+// (balancer.StepAntiN), so the group again splits arithmetically into
+// consecutive sub-groups per output port and the whole batch drains in
+// one topological sweep. Every quiescent state reached after any mix of
+// batched and single token/antitoken traversals is identical to one
+// reachable by single traversals alone.
+//
+// k = 0 returns all-zero counts; k < 0 panics.
+func (n *Network) TraverseAntiBatch(wire int, k int64) []int64 {
+	return n.TraverseAntiBatchInto(wire, k, make([]int64, n.outWidth))
+}
+
+// TraverseAntiBatchInto is TraverseAntiBatch accumulating into out, which
+// must have length OutWidth (entries are ADDED to, not reset). It returns
+// out.
+func (n *Network) TraverseAntiBatchInto(wire int, k int64, out []int64) []int64 {
+	if len(out) != n.outWidth {
+		panic("network: TraverseAntiBatchInto tally length mismatch")
+	}
+	if k < 0 {
+		panic("network: TraverseAntiBatch of negative batch size")
+	}
+	if k == 0 {
+		return out
+	}
+	if k == 1 { // no splitting possible: take the lean single-token path
+		out[n.TraverseAnti(wire)]++
+		return out
+	}
+	return n.batchSweep(wire, k, out, true)
+}
+
+// batchSweep is the shared topological sweep behind TraverseBatchInto and
+// TraverseAntiBatchInto: only the balancer transition differs (StepN
+// claims the group's k next slots, StepAntiN retracts its k most recent —
+// both return the group's first sequence index, so the split arithmetic
+// is identical).
+func (n *Network) batchSweep(wire int, k int64, out []int64, anti bool) []int64 {
 	sc, _ := n.batchPool.Get().(*batchScratch)
 	if sc == nil {
 		sc = &batchScratch{pending: make([]int64, len(n.nodes))}
@@ -91,7 +136,12 @@ func (n *Network) TraverseBatchInto(wire int, k int64, out []int64) []int64 {
 		if cap(sc.dist) < q {
 			sc.dist = make([]int64, q)
 		}
-		start := nd.bal.StepN(c)
+		var start int64
+		if anti {
+			start = nd.bal.StepAntiN(c)
+		} else {
+			start = nd.bal.StepN(c)
+		}
 		counts := balancer.DistributeInto(nd.bal.Init()+start, c, sc.dist[:q])
 		for p, cnt := range counts {
 			if cnt == 0 {

@@ -125,8 +125,10 @@ func TestTraverseBatchConcurrent(t *testing.T) {
 func TestTraverseBatchPanics(t *testing.T) {
 	n := fuzzNet(t)
 	for name, f := range map[string]func(){
-		"negative":    func() { n.TraverseBatch(0, -1) },
-		"wrong-tally": func() { n.TraverseBatchInto(0, 2, make([]int64, 1)) },
+		"negative":         func() { n.TraverseBatch(0, -1) },
+		"wrong-tally":      func() { n.TraverseBatchInto(0, 2, make([]int64, 1)) },
+		"anti-negative":    func() { n.TraverseAntiBatch(0, -1) },
+		"anti-wrong-tally": func() { n.TraverseAntiBatchInto(0, 2, make([]int64, 1)) },
 	} {
 		func() {
 			defer func() {
@@ -136,5 +138,140 @@ func TestTraverseBatchPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// TestTraverseAntiBatchMatchesSingles: a batch of k antitokens leaves the
+// network (exit tallies AND balancer states) exactly as k successive
+// TraverseAnti calls do — with and without a token preload, so both the
+// retraction and the negative-count regimes are covered.
+func TestTraverseAntiBatchMatchesSingles(t *testing.T) {
+	for _, preload := range []int64{0, 40} {
+		for _, k := range []int64{0, 1, 2, 3, 5, 8, 17, 64, 1000} {
+			for wire := 0; wire < 8; wire++ {
+				batched := fuzzNet(t)
+				singles := fuzzNet(t)
+				for i := int64(0); i < preload; i++ {
+					batched.Traverse(int(i) % 8)
+					singles.Traverse(int(i) % 8)
+				}
+				got := batched.TraverseAntiBatch(wire, k)
+				want := make([]int64, singles.OutWidth())
+				for i := int64(0); i < k; i++ {
+					want[singles.TraverseAnti(wire)]++
+				}
+				if !seq.Equal(got, want) {
+					t.Fatalf("pre=%d wire %d k=%d: anti batch tallies %v, singles %v",
+						preload, wire, k, got, want)
+				}
+				if !seq.Equal(drainStates(batched), drainStates(singles)) {
+					t.Fatalf("pre=%d wire %d k=%d: balancer states diverge", preload, wire, k)
+				}
+				if seq.Sum(got) != k {
+					t.Fatalf("pre=%d wire %d k=%d: tallies sum to %d", preload, wire, k, seq.Sum(got))
+				}
+			}
+		}
+	}
+}
+
+// TestTraverseAntiBatchCancelsBatch: k tokens followed by k antitokens on
+// the same wire restore every balancer to its initial state, and the
+// antitokens exit exactly where the tokens did (the ref [2] cancellation,
+// batched on both sides).
+func TestTraverseAntiBatchCancelsBatch(t *testing.T) {
+	for _, k := range []int64{1, 7, 64} {
+		n := fuzzNet(t)
+		tokens := n.TraverseBatch(3, k)
+		antis := n.TraverseAntiBatch(3, k)
+		if !seq.Equal(tokens, antis) {
+			t.Fatalf("k=%d: token exits %v, antitoken exits %v", k, tokens, antis)
+		}
+		for i := 0; i < n.Size(); i++ {
+			if c := n.Node(i).Balancer().Count(); c != 0 {
+				t.Fatalf("k=%d: balancer %d count %d after cancellation", k, i, c)
+			}
+		}
+	}
+}
+
+// TestTraverseAntiBatchConcurrent: concurrent token and antitoken batches
+// from many goroutines reach the same quiescent balancer states as the
+// equivalent sequential workload (run under -race in CI). Exit tallies of
+// tokens and antitokens need not match pairwise mid-flight, but the net
+// per-wire exits must equal the arithmetic prediction for the net counts.
+func TestTraverseAntiBatchConcurrent(t *testing.T) {
+	const (
+		goroutines = 8 // even: half inject tokens, half antitokens
+		batches    = 25
+		kTok       = 9
+		kAnti      = 4
+	)
+	live := fuzzNet(t)
+	tok := make([][]int64, goroutines)
+	anti := make([][]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]int64, live.OutWidth())
+			for b := 0; b < batches; b++ {
+				wire := (g + b) % live.InWidth()
+				if g%2 == 0 {
+					live.TraverseBatchInto(wire, kTok, out)
+				} else {
+					live.TraverseAntiBatchInto(wire, kAnti, out)
+				}
+			}
+			if g%2 == 0 {
+				tok[g] = out
+			} else {
+				anti[g] = out
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	net := make([]int64, live.OutWidth())
+	for g := 0; g < goroutines; g++ {
+		if g%2 == 0 {
+			for i, c := range tok[g] {
+				net[i] += c
+			}
+		} else {
+			for i, c := range anti[g] {
+				net[i] -= c
+			}
+		}
+	}
+	// Replay the same net entry counts sequentially on a fresh network:
+	// quiescent states depend only on those counts (§2.2), for antitokens
+	// included.
+	fresh := fuzzNet(t)
+	want := make([]int64, fresh.OutWidth())
+	scratch := make([]int64, fresh.OutWidth())
+	for g := 0; g < goroutines; g++ {
+		for b := 0; b < batches; b++ {
+			wire := (g + b) % fresh.InWidth()
+			clear(scratch)
+			if g%2 == 0 {
+				fresh.TraverseBatchInto(wire, kTok, scratch)
+				for i, c := range scratch {
+					want[i] += c
+				}
+			} else {
+				fresh.TraverseAntiBatchInto(wire, kAnti, scratch)
+				for i, c := range scratch {
+					want[i] -= c
+				}
+			}
+		}
+	}
+	if !seq.Equal(drainStates(live), drainStates(fresh)) {
+		t.Fatal("concurrent mixed batches reach different balancer states than sequential replay")
+	}
+	if !seq.Equal(net, want) {
+		t.Fatalf("net exits %v != sequential replay %v", net, want)
 	}
 }

@@ -89,6 +89,62 @@ func FuzzTraverseBatch(f *testing.F) {
 	})
 }
 
+// FuzzTraverseAntiBatch: arbitrary interleavings of token and antitoken
+// batches (the anti bit of each op selects the direction) stay quiescently
+// consistent: the batched fast paths leave exactly the exit tallies and
+// balancer states of the equivalent single-token/-antitoken schedule, and
+// the residue (token exits minus antitoken exits) preserves the net token
+// sum — on a counting network the residue of such a quiescent state is
+// step, which TestDecBatch pins at counter level.
+func FuzzTraverseAntiBatch(f *testing.F) {
+	f.Add(uint8(8), uint8(0), uint8(8), uint8(4|128), uint8(1), uint8(7|128), uint8(0), uint8(3))
+	f.Add(uint8(200), uint8(1), uint8(16), uint8(1|128), uint8(16), uint8(1), uint8(16), uint8(1|128))
+	f.Add(uint8(0), uint8(128), uint8(1), uint8(2|128), uint8(3), uint8(5), uint8(8), uint8(13|128))
+	f.Fuzz(func(t *testing.T, k0, w0, k1, w1, k2, w2, k3, w3 uint8) {
+		batched := fuzzNet(t)
+		singles := fuzzNet(t)
+		gotTok := make([]int64, batched.OutWidth())
+		gotAnti := make([]int64, batched.OutWidth())
+		wantTok := make([]int64, singles.OutWidth())
+		wantAnti := make([]int64, singles.OutWidth())
+		var netSum int64
+		for _, op := range [][2]uint8{{k0, w0}, {k1, w1}, {k2, w2}, {k3, w3}} {
+			k, wire := int64(op[0]), int(op[1]&127)%batched.InWidth()
+			if op[1]&128 != 0 { // high wire bit selects the antitoken direction
+				batched.TraverseAntiBatchInto(wire, k, gotAnti)
+				for i := int64(0); i < k; i++ {
+					wantAnti[singles.TraverseAnti(wire)]++
+				}
+				netSum -= k
+			} else {
+				batched.TraverseBatchInto(wire, k, gotTok)
+				for i := int64(0); i < k; i++ {
+					wantTok[singles.Traverse(wire)]++
+				}
+				netSum += k
+			}
+		}
+		if !seq.Equal(gotTok, wantTok) {
+			t.Fatalf("batched token tallies %v != single-token tallies %v", gotTok, wantTok)
+		}
+		if !seq.Equal(gotAnti, wantAnti) {
+			t.Fatalf("batched antitoken tallies %v != single-antitoken tallies %v", gotAnti, wantAnti)
+		}
+		var residue int64
+		for i := range gotTok {
+			residue += gotTok[i] - gotAnti[i]
+		}
+		if residue != netSum {
+			t.Fatalf("residue %d != net injected sum %d", residue, netSum)
+		}
+		for i := 0; i < batched.Size(); i++ {
+			if batched.Node(i).Balancer().Count() != singles.Node(i).Balancer().Count() {
+				t.Fatalf("balancer %d state diverged", i)
+			}
+		}
+	})
+}
+
 // FuzzSequentialMatchesQuiescent: pushing tokens one by one through the
 // live balancers reaches exactly the arithmetic prediction.
 func FuzzSequentialMatchesQuiescent(f *testing.F) {

@@ -1,0 +1,86 @@
+package tcpnet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+func benchCluster(b *testing.B, topo *network.Network, shards int) (*Cluster, func()) {
+	b.Helper()
+	var servers []*Shard
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		s, err := StartShard("127.0.0.1:0", topo, i, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers = append(servers, s)
+		addrs[i] = s.Addr()
+	}
+	return NewCluster(topo, addrs), func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+// E25: round trips and wall-clock per token of batched TCP pipelines as
+// the batch size grows — rpcs/token falls from depth+1 towards
+// (size+t)/k.
+func BenchmarkSessionIncBatch(b *testing.B) {
+	for _, k := range []int{1, 8, 64, 512} {
+		b.Run(fmt.Sprintf("CWT8x24/k=%d", k), func(b *testing.B) {
+			topo, err := core.New(8, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster, stop := benchCluster(b, topo, 3)
+			defer stop()
+			sess, err := cluster.NewSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			var vals []int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals, err = sess.IncBatch(i, k, vals[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			tokens := float64(b.N) * float64(k)
+			b.ReportMetric(float64(sess.RPCs())/tokens, "rpcs/token")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tokens, "ns/token")
+		})
+	}
+}
+
+// E25: the coalescing counter client under parallel load.
+func BenchmarkCounterCoalesced(b *testing.B) {
+	topo, err := core.New(8, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster, stop := benchCluster(b, topo, 3)
+	defer stop()
+	ctr := cluster.NewCounter()
+	defer ctr.Close()
+	var pids atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		pid := int(pids.Add(1))
+		for pb.Next() {
+			if _, err := ctr.Inc(pid); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(ctr.RPCs())/float64(b.N), "rpcs/op")
+}

@@ -5,21 +5,42 @@
 // trip to the shard that owns it (the remote analogue of §1.2's shared
 // memory word), and counter cells live on the shard owning the exit wire.
 //
-// A client session shepherds a token by walking the wiring locally and
-// performing one STEP RPC per balancer crossing, then one CELL RPC at the
-// exit — exactly depth(B)+1 round trips per Fetch&Increment.
+// A client session shepherds a single token by walking the wiring locally
+// and performing one STEP RPC per balancer crossing, then one CELL RPC at
+// the exit — exactly depth(B)+1 round trips per Fetch&Increment.
 //
-// The wire protocol is fixed-size binary frames (encoding/binary, big
-// endian):
+// # Batched wire frames
+//
+// A session can also shepherd k tokens (or antitokens) as ONE pipeline:
+// a STEPN frame carries a signed count, the owning shard applies the
+// whole group to the balancer with one StepN/StepAntiN transition and
+// replies with the group's first sequence index, and the client folds the
+// round-robin split arithmetic locally (it knows the topology and the
+// balancer initial states). Groups that diverge re-merge at shared
+// successors, so a batch costs one STEPN per balancer TOUCHED plus one
+// CELLN per exit wire touched — at most size+t round trips for any k,
+// against k·(depth+1) for singles. Negative counts carry antitokens, so
+// the same frames serve Fetch&Decrement traffic (ref [2]).
+//
+// The wire protocol is binary frames (encoding/binary, big endian):
 //
 //	request:  op(1) id(4)            op 1 = STEP node, op 2 = CELL wire
-//	response: val(8)                 STEP: exit port; CELL: counter value
+//	          op(1) id(4) count(8)   op 3 = STEPN node, op 4 = CELLN wire
+//	                                 count int64: > 0 tokens, < 0 antitokens
+//	response: val(8)                 STEP: exit port; CELL: counter value;
+//	                                 STEPN: first sequence index of the
+//	                                 group; CELLN: cell value after the
+//	                                 batched add
+//
+// A zero count, an unowned id, or an unknown op is a protocol violation:
+// the shard drops the connection.
 package tcpnet
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -30,18 +51,23 @@ import (
 
 // Protocol op codes.
 const (
-	opStep byte = 1
-	opCell byte = 2
+	opStep  byte = 1
+	opCell  byte = 2
+	opStepN byte = 3
+	opCellN byte = 4
 )
 
 // Shard is one balancer server: it owns the state of the balancers and
-// counter cells assigned to it and serves STEP/CELL requests over TCP.
+// counter cells assigned to it and serves STEP/CELL/STEPN/CELLN requests
+// over TCP.
 type Shard struct {
 	ln    net.Listener
 	bals  map[int32]*balancer.PQ
 	cells map[int32]*atomic.Int64
 	wg    sync.WaitGroup
 	done  chan struct{}
+	mu    sync.Mutex
+	conns map[net.Conn]struct{} // live client connections, dropped on Close
 }
 
 // StartShard launches a shard on addr (use "127.0.0.1:0" for tests). The
@@ -58,6 +84,7 @@ func StartShard(addr string, topo *network.Network, index, shards int) (*Shard, 
 		bals:  make(map[int32]*balancer.PQ),
 		cells: make(map[int32]*atomic.Int64),
 		done:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
 	}
 	for id := 0; id < topo.Size(); id++ {
 		if id%shards == index {
@@ -80,11 +107,38 @@ func StartShard(addr string, topo *network.Network, index, shards int) (*Shard, 
 // Addr returns the shard's listening address.
 func (s *Shard) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the shard; in-flight connections are dropped.
+// Close stops the shard; in-flight connections are dropped (their serve
+// loops unblock on the connection close).
 func (s *Shard) Close() {
 	close(s.done)
 	s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
+}
+
+// track registers a client connection for Close to drop; it refuses (and
+// closes) connections that race with shutdown.
+func (s *Shard) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		conn.Close()
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Shard) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Shard) accept() {
@@ -99,31 +153,62 @@ func (s *Shard) accept() {
 				continue
 			}
 		}
+		if !s.track(conn) {
+			return
+		}
 		s.wg.Add(1)
 		go s.serve(conn)
 	}
 }
 
-// serve handles one client connection until EOF.
+// serve handles one client connection until EOF or protocol violation.
 func (s *Shard) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
-	var req [5]byte
+	defer s.untrack(conn)
+	var hdr [5]byte
+	var cntBuf [8]byte
 	var resp [8]byte
 	for {
-		if _, err := io.ReadFull(conn, req[:]); err != nil {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return
 		}
-		id := int32(binary.BigEndian.Uint32(req[1:]))
+		id := int32(binary.BigEndian.Uint32(hdr[1:]))
+		var n int64
+		switch hdr[0] {
+		case opStepN, opCellN:
+			if _, err := io.ReadFull(conn, cntBuf[:]); err != nil {
+				return
+			}
+			n = int64(binary.BigEndian.Uint64(cntBuf[:]))
+			// Protocol violations: an empty batch, or math.MinInt64
+			// (whose negation overflows back to itself and would panic
+			// StepAntiN instead of dropping the connection).
+			if n == 0 || n == math.MinInt64 {
+				return
+			}
+		}
 		var val int64
-		switch req[0] {
+		switch hdr[0] {
 		case opStep:
 			b, ok := s.bals[id]
 			if !ok {
 				return // protocol violation: drop the connection
 			}
 			val = int64(b.Step())
-		case opCell:
+		case opStepN:
+			b, ok := s.bals[id]
+			if !ok {
+				return
+			}
+			// One transition for the whole group: its first sequence
+			// index comes back; the client folds the split arithmetic.
+			if n > 0 {
+				val = b.StepN(n)
+			} else {
+				val = b.StepAntiN(-n)
+			}
+		case opCell, opCellN:
 			// The stride (output width t) rides in the upper bits of the
 			// id to keep the protocol stateless: id = wire | stride<<16.
 			// Networks therefore must have t < 65536 — far beyond any
@@ -134,7 +219,14 @@ func (s *Shard) serve(conn net.Conn) {
 			if !ok {
 				return
 			}
-			val = c.Add(stride) - stride
+			if hdr[0] == opCell {
+				val = c.Add(stride) - stride
+			} else {
+				// Batched claim (n > 0) or revocation (n < 0): reply with
+				// the cell value after the add; the client reconstructs
+				// the |n| individual values.
+				val = c.Add(stride * n)
+			}
 		default:
 			return
 		}
@@ -165,6 +257,12 @@ func NewCluster(n *network.Network, addrs []string) *Cluster {
 type Session struct {
 	c     *Cluster
 	conns []net.Conn
+	rpcs  atomic.Int64 // round trips performed (E25's cost metric)
+
+	// Batch walk scratch, reused across calls.
+	pending []int64
+	tally   []int64
+	dist    []int64
 }
 
 // NewSession dials every shard.
@@ -190,6 +288,9 @@ func (s *Session) Close() {
 	}
 }
 
+// RPCs returns the number of round trips this session has performed.
+func (s *Session) RPCs() int64 { return s.rpcs.Load() }
+
 // rpc performs one fixed-frame request/response on the shard owning id.
 func (s *Session) rpc(op byte, shard int, id int32) (int64, error) {
 	var req [5]byte
@@ -199,10 +300,28 @@ func (s *Session) rpc(op byte, shard int, id int32) (int64, error) {
 	if _, err := conn.Write(req[:]); err != nil {
 		return 0, err
 	}
+	return s.readVal(conn)
+}
+
+// rpcN performs one batched-frame request/response (op STEPN or CELLN).
+func (s *Session) rpcN(op byte, shard int, id int32, n int64) (int64, error) {
+	var req [13]byte
+	req[0] = op
+	binary.BigEndian.PutUint32(req[1:5], uint32(id))
+	binary.BigEndian.PutUint64(req[5:], uint64(n))
+	conn := s.conns[shard]
+	if _, err := conn.Write(req[:]); err != nil {
+		return 0, err
+	}
+	return s.readVal(conn)
+}
+
+func (s *Session) readVal(conn net.Conn) (int64, error) {
 	var resp [8]byte
 	if _, err := io.ReadFull(conn, resp[:]); err != nil {
 		return 0, err
 	}
+	s.rpcs.Add(1)
 	return int64(binary.BigEndian.Uint64(resp[:])), nil
 }
 
@@ -226,5 +345,276 @@ func (s *Session) Inc(pid int) (int64, error) {
 	return s.rpc(opCell, port%shards, id)
 }
 
-// Hops returns the number of round trips one Inc costs.
+// Dec shepherds one antitoken through the network (one-element DecBatch).
+func (s *Session) Dec(pid int) (int64, error) {
+	vals, err := s.DecBatch(pid, 1, nil)
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// IncBatch performs k Fetch&Increment operations as one batched pipeline
+// entering on wire pid mod w, appending the k claimed values to dst: one
+// STEPN round trip per balancer touched, one CELLN per exit wire touched.
+// k <= 0 performs no round trips.
+func (s *Session) IncBatch(pid, k int, dst []int64) ([]int64, error) {
+	if k <= 0 {
+		return dst, nil
+	}
+	return s.batch(pid%s.c.net.InWidth(), int64(k), false, dst)
+}
+
+// DecBatch is IncBatch for Fetch&Decrement: the batched frames carry a
+// negative count and the k revoked values come back, newest-issued first
+// per exit cell.
+func (s *Session) DecBatch(pid, k int, dst []int64) ([]int64, error) {
+	if k <= 0 {
+		return dst, nil
+	}
+	return s.batch(pid%s.c.net.InWidth(), int64(k), true, dst)
+}
+
+// batch walks the topology in topological order exactly like
+// network.TraverseBatch, but every balancer transition is one STEPN round
+// trip to the owning shard; the split arithmetic runs client-side from
+// the replied first index and the known initial states.
+func (s *Session) batch(wire int, k int64, anti bool, dst []int64) ([]int64, error) {
+	n := s.c.net
+	shards := len(s.c.addrs)
+	if s.pending == nil {
+		s.pending = make([]int64, n.Size())
+		s.tally = make([]int64, n.OutWidth())
+	}
+	pending, tally := s.pending, s.tally
+	clear(tally)
+	first := n.Size()
+	nd, port := n.InputDest(wire)
+	if nd < 0 {
+		tally[port] += k
+	} else {
+		pending[nd] = k
+		first = nd
+	}
+	for id := first; id < n.Size(); id++ {
+		c := pending[id]
+		if c == 0 {
+			continue
+		}
+		pending[id] = 0
+		node := n.Node(id)
+		q := node.Out()
+		sendN := c
+		if anti {
+			sendN = -c
+		}
+		start, err := s.rpcN(opStepN, id%shards, int32(id), sendN)
+		if err != nil {
+			clear(pending) // leave the scratch reusable
+			return dst, err
+		}
+		if cap(s.dist) < q {
+			s.dist = make([]int64, q)
+		}
+		counts := balancer.DistributeInto(node.Balancer().Init()+start, c, s.dist[:q])
+		for p, cnt := range counts {
+			if cnt == 0 {
+				continue
+			}
+			dnd, dport := n.Dest(id, p)
+			if dnd < 0 {
+				tally[dport] += cnt
+			} else {
+				pending[dnd] += cnt
+			}
+		}
+	}
+	stride := s.c.stride
+	for wireOut, cnt := range tally {
+		if cnt == 0 {
+			continue
+		}
+		id := int32(wireOut) | int32(stride)<<16
+		sendN := cnt
+		if anti {
+			sendN = -cnt
+		}
+		end, err := s.rpcN(opCellN, wireOut%shards, id, sendN)
+		if err != nil {
+			return dst, err
+		}
+		if anti {
+			for v := end + stride*(cnt-1); v >= end; v -= stride {
+				dst = append(dst, v)
+			}
+		} else {
+			for v := end - stride*cnt; v < end; v += stride {
+				dst = append(dst, v)
+			}
+		}
+	}
+	return dst, nil
+}
+
+// Hops returns the number of round trips one single-token Inc costs.
 func (c *Cluster) Hops() int { return c.net.Depth() + 1 }
+
+// Counter is a cluster-wide coalescing Fetch&Increment client: concurrent
+// Inc callers entering on the same input wire merge into one in-flight
+// batched pipeline (a single-flight window per wire, the same trick as
+// distnet.Counter), so wide workloads pay one pipeline per window rather
+// than depth+1 round trips per token. Each wire owns one lazily-dialed
+// session; Close releases them.
+type Counter struct {
+	c     *Cluster
+	combs []tcpComb
+	lost  atomic.Int64 // RPCs of evicted/closed sessions, so RPCs() stays monotone
+}
+
+// tcpComb is the per-input-wire coalescing state.
+type tcpComb struct {
+	mu     sync.Mutex
+	flying bool
+	next   *cwindow
+	sess   *Session // owned by the current flight holder
+}
+
+// cwindow is one pooled group of coalesced Inc calls.
+type cwindow struct {
+	k    int64
+	vals []int64
+	err  error
+	done chan struct{}
+}
+
+// NewCounter builds the coalescing counter client for the cluster.
+func (c *Cluster) NewCounter() *Counter {
+	return &Counter{c: c, combs: make([]tcpComb, c.net.InWidth())}
+}
+
+// Inc returns the next counter value. A lone caller pays the single-token
+// round trips; concurrent callers on the same wire coalesce.
+func (t *Counter) Inc(pid int) (int64, error) {
+	wire := pid % t.c.net.InWidth()
+	cb := &t.combs[wire]
+	cb.mu.Lock()
+	if cb.flying {
+		w := cb.next
+		if w == nil {
+			w = &cwindow{done: make(chan struct{})}
+			cb.next = w
+		}
+		idx := w.k
+		w.k++
+		cb.mu.Unlock()
+		<-w.done
+		if w.err != nil {
+			return 0, w.err
+		}
+		return w.vals[idx], nil
+	}
+	cb.flying = true
+	cb.mu.Unlock()
+	var v int64
+	sess, err := t.session(cb)
+	if err == nil {
+		v, err = sess.Inc(pid)
+		if err != nil {
+			t.evict(cb, sess)
+		}
+	}
+	t.land(cb, wire)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// session returns the comb's session, dialing it on first use. Only the
+// flight holder calls it; the pointer is still published under the lock
+// so RPCs/Close can read it concurrently.
+func (t *Counter) session(cb *tcpComb) (*Session, error) {
+	cb.mu.Lock()
+	sess := cb.sess
+	cb.mu.Unlock()
+	if sess != nil {
+		return sess, nil
+	}
+	sess, err := t.c.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	cb.mu.Lock()
+	cb.sess = sess
+	cb.mu.Unlock()
+	return sess, nil
+}
+
+// evict closes and forgets a session whose connection failed mid-RPC (a
+// partial frame may have desynced the stream), so the wire's next flight
+// redials instead of failing forever. Its round-trip count is folded
+// into the counter's total first.
+func (t *Counter) evict(cb *tcpComb, sess *Session) {
+	sess.Close()
+	cb.mu.Lock()
+	if cb.sess == sess {
+		cb.sess = nil
+		t.lost.Add(sess.RPCs())
+	}
+	cb.mu.Unlock()
+}
+
+// land drains the windows that pooled up behind the owner's flight, one
+// batched pipeline per window, then releases the wire.
+func (t *Counter) land(cb *tcpComb, wire int) {
+	for {
+		cb.mu.Lock()
+		w := cb.next
+		cb.next = nil
+		if w == nil {
+			cb.flying = false
+			cb.mu.Unlock()
+			return
+		}
+		cb.mu.Unlock()
+		sess, err := t.session(cb)
+		if err == nil {
+			w.vals, err = sess.batch(wire, w.k, false, w.vals[:0])
+			if err != nil {
+				t.evict(cb, sess)
+			}
+		}
+		w.err = err
+		close(w.done)
+	}
+}
+
+// RPCs returns the total round trips performed across the counter's
+// sessions, evicted and closed ones included — divide by operations for
+// the E25 msgs/op metric.
+func (t *Counter) RPCs() int64 {
+	total := t.lost.Load()
+	for i := range t.combs {
+		cb := &t.combs[i]
+		cb.mu.Lock()
+		if cb.sess != nil {
+			total += cb.sess.RPCs()
+		}
+		cb.mu.Unlock()
+	}
+	return total
+}
+
+// Close drops every per-wire session (their round trips stay counted).
+func (t *Counter) Close() {
+	for i := range t.combs {
+		cb := &t.combs[i]
+		cb.mu.Lock()
+		if cb.sess != nil {
+			cb.sess.Close()
+			t.lost.Add(cb.sess.RPCs())
+			cb.sess = nil
+		}
+		cb.mu.Unlock()
+	}
+}

@@ -1,9 +1,13 @@
 package tcpnet
 
 import (
+	"encoding/binary"
+	"math"
+	"net"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/network"
@@ -158,6 +162,401 @@ func TestDistributedStepProperty(t *testing.T) {
 	// values 0..799 mean exactly 50 per residue class.
 	if !seq.IsStep(counts) {
 		t.Fatalf("exit counts %v not step", counts)
+	}
+}
+
+// Batched pipelines on a live cluster claim exactly the same dense value
+// ranges as the in-memory batched counter: sequential equivalence against
+// counter-free local replay, per constructor family.
+func TestBatchMatchesLocal(t *testing.T) {
+	for _, fam := range []struct {
+		name  string
+		build func() (*network.Network, error)
+	}{
+		{"C(4,8)", func() (*network.Network, error) { return core.New(4, 8) }},
+		{"C(8,16)", func() (*network.Network, error) { return core.New(8, 16) }},
+	} {
+		t.Run(fam.name, func(t *testing.T) {
+			topo, err := fam.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster, stop := startCluster(t, topo, 3)
+			defer stop()
+			sess, err := cluster.NewSession()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+
+			local, err := fam.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := topo.InWidth()
+			tally := make([]int64, topo.OutWidth())
+			cells := make([]int64, topo.OutWidth())
+			for i := range cells {
+				cells[i] = int64(i)
+			}
+			stride := int64(topo.OutWidth())
+			for round, k := range []int{5, 1, 17, 64, 3} {
+				wire := round % w
+				got, err := sess.IncBatch(wire, k, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Local replay: batched traversal plus cell arithmetic.
+				clear(tally)
+				local.TraverseBatchInto(wire, int64(k), tally)
+				var want []int64
+				for i, cnt := range tally {
+					for j := int64(0); j < cnt; j++ {
+						want = append(want, cells[i]+j*stride)
+					}
+					cells[i] += cnt * stride
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if !seq.Equal(got, want) {
+					t.Fatalf("round %d: cluster batch %v, local replay %v", round, got, want)
+				}
+			}
+		})
+	}
+}
+
+// Concurrent batched sessions still hand out exactly {0..m-1}.
+func TestBatchedSessionsDense(t *testing.T) {
+	topo, err := core.New(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 3)
+	defer stop()
+
+	const procs, batches, k = 6, 10, 16
+	vals := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			sess, err := cluster.NewSession()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Close()
+			for i := 0; i < batches; i++ {
+				var err error
+				vals[pid], err = sess.IncBatch(pid+i, k, vals[pid])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var all []int64
+	for _, v := range vals {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			t.Fatalf("batched values not dense at %d: %d", i, v)
+		}
+	}
+}
+
+// DecBatch revokes exactly what IncBatch claimed and rewinds the cluster
+// to its origin; antitoken frames share the batched protocol.
+func TestDecBatchRevokes(t *testing.T) {
+	topo, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 2)
+	defer stop()
+	sess, err := cluster.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	claimed, err := sess.IncBatch(1, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revoked, err := sess.DecBatch(2, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(claimed, func(i, j int) bool { return claimed[i] < claimed[j] })
+	sort.Slice(revoked, func(i, j int) bool { return revoked[i] < revoked[j] })
+	if !seq.Equal(claimed, revoked) {
+		t.Fatalf("revoked %v != claimed %v", revoked, claimed)
+	}
+	// Cluster back at the origin: the next single Inc must return 0, and
+	// single Dec must revoke it again.
+	v, err := sess.Inc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("Inc after full revocation = %d, want 0", v)
+	}
+	d, err := sess.Dec(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("Dec after Inc = %d, want 0", d)
+	}
+}
+
+// The headline economics: k tokens as one pipeline cost at least 5x fewer
+// round trips than k singles (exact RPC counts, not timing).
+func TestBatchRPCsPerToken(t *testing.T) {
+	topo, err := core.New(8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 3)
+	defer stop()
+	sess, err := cluster.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const k = 64
+	for i := 0; i < k; i++ {
+		if _, err := sess.Inc(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	single := sess.RPCs()
+	if want := int64(k * cluster.Hops()); single != want {
+		t.Fatalf("single-token RPCs = %d, want %d", single, want)
+	}
+	if _, err := sess.IncBatch(0, k, nil); err != nil {
+		t.Fatal(err)
+	}
+	batch := sess.RPCs() - single
+	if batch*5 > single {
+		t.Fatalf("RPCs per token: batched %d/%d vs single %d/%d — below the 5x floor",
+			batch, k, single, k)
+	}
+	t.Logf("k=%d: %d RPCs batched vs %d singles (%.1fx)", k, batch, single,
+		float64(single)/float64(batch))
+}
+
+// Batched frame edge cases: k=0 and k<0 are no-ops without round trips;
+// k=1 behaves exactly like a single-token Inc.
+func TestBatchEdgeSizes(t *testing.T) {
+	topo, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 2)
+	defer stop()
+	sess, err := cluster.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	if got, err := sess.IncBatch(0, 0, nil); err != nil || len(got) != 0 {
+		t.Fatalf("IncBatch k=0 = (%v, %v)", got, err)
+	}
+	if got, err := sess.DecBatch(0, -5, nil); err != nil || len(got) != 0 {
+		t.Fatalf("DecBatch k<0 = (%v, %v)", got, err)
+	}
+	if got := sess.RPCs(); got != 0 {
+		t.Fatalf("empty batches performed %d RPCs", got)
+	}
+	one, err := sess.IncBatch(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0] != 0 {
+		t.Fatalf("IncBatch k=1 = %v, want [0]", one)
+	}
+	v, err := sess.Inc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Fatalf("Inc after IncBatch(1) = %d, want 1", v)
+	}
+}
+
+// Protocol violations drop the connection rather than corrupting state:
+// unknown op, zero batch count, unowned balancer id, and a partial frame
+// (client dies mid-request). The shard must survive all of them and keep
+// serving well-formed sessions.
+func TestMalformedFrames(t *testing.T) {
+	topo, err := core.New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 1)
+	defer stop()
+	addr := cluster.addrs[0]
+
+	send := func(t *testing.T, frame []byte) {
+		t.Helper()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		// The shard must close the connection without replying.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		var buf [8]byte
+		if n, err := conn.Read(buf[:]); err == nil {
+			t.Fatalf("shard replied %d bytes to a malformed frame", n)
+		}
+	}
+	frame := func(op byte, id int32, n int64) []byte {
+		b := make([]byte, 13)
+		b[0] = op
+		binary.BigEndian.PutUint32(b[1:5], uint32(id))
+		binary.BigEndian.PutUint64(b[5:], uint64(n))
+		return b
+	}
+	t.Run("unknown-op", func(t *testing.T) { send(t, frame(99, 0, 1)[:5]) })
+	t.Run("zero-count", func(t *testing.T) { send(t, frame(opStepN, 0, 0)) })
+	t.Run("minint-count", func(t *testing.T) { send(t, frame(opStepN, 0, math.MinInt64)) })
+	t.Run("minint-cell", func(t *testing.T) { send(t, frame(opCellN, 0, math.MinInt64)) })
+	t.Run("unowned-id", func(t *testing.T) { send(t, frame(opStepN, 9999, 4)) })
+	t.Run("unowned-cell", func(t *testing.T) { send(t, frame(opCellN, 0x7fff, 4)) })
+	t.Run("partial-frame", func(t *testing.T) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte{opStepN, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close() // die mid-request
+	})
+
+	// The shard is still healthy: a well-formed session works.
+	sess, err := cluster.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if v, err := sess.Inc(0); err != nil || v != 0 {
+		t.Fatalf("Inc after malformed traffic = (%d, %v), want (0, nil)", v, err)
+	}
+}
+
+// The coalescing counter client: concurrent Inc callers merge into
+// batched pipelines, values stay {0..m-1}, and the cluster-wide RPC count
+// lands below the uncoalesced cost of the same workload.
+func TestCounterCoalesced(t *testing.T) {
+	topo, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 2)
+	defer stop()
+	ctr := cluster.NewCounter()
+	defer ctr.Close()
+
+	const procs, per = 16, 100
+	vals := make([][]int64, procs)
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v, err := ctr.Inc(pid)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				vals[pid] = append(vals[pid], v)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var all []int64
+	for _, v := range vals {
+		all = append(all, v...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i, v := range all {
+		if v != int64(i) {
+			t.Fatalf("coalesced values not dense at %d: %d", i, v)
+		}
+	}
+	uncoalesced := int64(procs * per * cluster.Hops())
+	got := ctr.RPCs()
+	if got >= uncoalesced {
+		t.Fatalf("coalescing saved nothing: %d RPCs for %d ops (uncoalesced %d)",
+			got, procs*per, uncoalesced)
+	}
+	t.Logf("RPCs: %d coalesced vs %d uncoalesced (%.1fx fewer)", got, uncoalesced,
+		float64(uncoalesced)/float64(got))
+	// The RPC bill is monotone: closing the sessions must not erase it.
+	ctr.Close()
+	if after := ctr.RPCs(); after != got {
+		t.Fatalf("RPCs dropped from %d to %d after Close", got, after)
+	}
+}
+
+// A failed flight evicts its session: after the shard comes back on the
+// same address, the next Inc on that wire redials instead of reusing the
+// dead (and possibly desynced) connections forever.
+func TestCounterRedialsAfterShardRestart(t *testing.T) {
+	topo, err := core.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := StartShard("127.0.0.1:0", topo, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	cluster := NewCluster(topo, []string{addr})
+	ctr := cluster.NewCounter()
+	defer ctr.Close()
+	if v, err := ctr.Inc(0); err != nil || v != 0 {
+		t.Fatalf("first Inc = (%d, %v)", v, err)
+	}
+	s.Close()
+	if _, err := ctr.Inc(0); err == nil {
+		t.Fatal("Inc against a dead shard succeeded")
+	}
+	// Restart on the same address; counter state restarts with it (the
+	// shard owns the cells), so values begin at 0 again.
+	s2, err := StartShard(addr, topo, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, err := ctr.Inc(0)
+	if err != nil {
+		t.Fatalf("Inc after shard restart: %v", err)
+	}
+	if v != 0 {
+		t.Fatalf("Inc after restart = %d, want 0", v)
 	}
 }
 
