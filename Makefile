@@ -26,9 +26,12 @@ race:
 	$(GO) test -race -short -timeout 10m ./...
 
 # Covers every package, the distributed benchmarks in internal/distnet
-# and internal/tcpnet (batched protocol, E25) included.
+# and internal/tcpnet (batched protocol, E25) included; the second pass
+# pins the sharded-deployment benchmarks (E26) by name so a rename can't
+# silently drop them.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=Sharded -benchtime=1x -run='^$$' ./internal/distnet ./internal/tcpnet
 
 # Full benchmark sweep (slow; see EXPERIMENTS.md for recorded tables).
 bench:

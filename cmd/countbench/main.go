@@ -12,6 +12,7 @@
 //	countbench -exp elim         # E24: Inc/Dec elimination rate and speedup
 //	countbench -exp dist         # E13: distributed emulation throughput
 //	countbench -exp distbatch    # E25: distributed msgs/token, batched protocol
+//	countbench -exp distshard    # E26: sharded deployments, cost vs stripe count S
 //	countbench -exp timesim      # E13: queueing simulation (host-independent)
 //	countbench -exp linearize    # E18: linearizability observation
 //	countbench -exp ablation     # E16/E17: bitonic merger, random init
@@ -46,17 +47,20 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | timesim | linearize | ablation | all")
+		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | distshard | timesim | linearize | ablation | all")
 		rounds = flag.Int("rounds", 60, "tokens per process in simulations")
 		opsK   = flag.Int("ops", 50, "thousands of operations per throughput cell")
+		shards = flag.Int("shards", 4, "max stripe count S for sharded-deployment experiments")
 	)
 	flag.Parse()
 
 	// Wall-clock numbers are only comparable across runs with the same
 	// processor budget: a 1-CPU container (the E23/E24 tables) cannot show
 	// cache-line contention, which is what sharding and elimination are
-	// for. Stamp every run so recorded tables are attributable.
-	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	// for. Stamp every run so recorded tables are attributable, shard
+	// count included.
+	fmt.Printf("host: GOMAXPROCS=%d NumCPU=%d shards=%d\n\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), *shards)
 
 	run := map[string]func(){
 		"depth":      expDepth,
@@ -69,12 +73,14 @@ func main() {
 		"elim":       func() { expElim(*opsK * 1000) },
 		"dist":       func() { expDist(*opsK * 200) },
 		"distbatch":  expDistbatch,
+		"distshard":  func() { expDistshard(*shards) },
 		"timesim":    expTimesim,
 		"linearize":  expLinearize,
 		"ablation":   expAblation,
 	}
 	order := []string{"depth", "contention", "compare", "blocks", "slope",
-		"throughput", "fastpath", "elim", "dist", "distbatch", "timesim", "linearize", "ablation"}
+		"throughput", "fastpath", "elim", "dist", "distbatch", "distshard",
+		"timesim", "linearize", "ablation"}
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
@@ -392,6 +398,131 @@ func expDistbatch() {
 	}
 	fmt.Print(tb.String())
 	fmt.Println("\n(single-token floor: depth msgs for distnet, depth+1 rpcs for tcpnet)")
+}
+
+// E26: sharded deployments — cost per token/op as the stripe count S
+// grows. Counts are exact and host-independent: each stripe is an
+// independent deployment, so per-shard msgs/token must hold the E25
+// batched floor (0.67 distnet / 1.05 tcpnet at k=64) at every S while
+// the hot links multiply by S.
+func expDistshard(maxS int) {
+	const w, t, batches, k = 8, 24, 16, 64
+	if maxS < 1 {
+		maxS = 1
+	}
+	var Ss []int
+	for s := 1; s <= maxS; s *= 2 {
+		Ss = append(Ss, s)
+	}
+	if last := Ss[len(Ss)-1]; last != maxS {
+		Ss = append(Ss, maxS)
+	}
+	fmt.Printf("E26: sharded deployment cost, C(%d,%d), %d batches of k=%d, pid-striped\n\n",
+		w, t, batches, k)
+	tb := stats.NewTable("S", "distnet msgs/token", "tcpnet rpcs/token",
+		"distnet msgs/op coalesced", "tcpnet rpcs/op coalesced")
+	for _, S := range Ss {
+		// Batched pipelines, striped by pid: exact aggregate message and
+		// round-trip bills per token.
+		dsc, err := distnet.NewSharded(S, func() (*network.Network, error) {
+			return core.New(w, t)
+		}, distnet.Config{LinkBuffer: 4})
+		if err != nil {
+			panic(err)
+		}
+		var vals []int64
+		for i := 0; i < batches; i++ {
+			vals = dsc.IncBatch(i, k, vals[:0])
+		}
+		if got := dsc.Read(); got != int64(batches*k) {
+			panic(fmt.Sprintf("distnet S=%d: Read %d != %d", S, got, batches*k))
+		}
+		dMsgs := float64(dsc.Messages()) / float64(batches*k)
+		dsc.Stop()
+
+		topo := must(core.New(w, t))
+		tsc, stop, err := tcpnet.StartShardedCluster(topo, S, 3)
+		if err != nil {
+			panic(err)
+		}
+		tctr := tsc.NewCounter(1)
+		for i := 0; i < batches; i++ {
+			if vals, err = tctr.IncBatch(i, k, vals[:0]); err != nil {
+				panic(err)
+			}
+		}
+		if got, err := tctr.Read(); err != nil || got != int64(batches*k) {
+			panic(fmt.Sprintf("tcpnet S=%d: Read (%d, %v) != %d", S, got, err, batches*k))
+		}
+		tRPCs := float64(tctr.RPCs()) / float64(batches*k)
+		// The Read side costs OutWidth READ rpcs per stripe; keep the
+		// batched column pure by subtracting it.
+		tRPCs -= float64(S*topo.OutWidth()) / float64(batches*k)
+		tctr.Close()
+		stop()
+
+		// Coalesced single-token workloads (no explicit batching): exact
+		// msgs/op and rpcs/op under a concurrent driver.
+		dMsgsOp := distshardCoalesced(S, w, t)
+		tRPCsOp := tcpshardCoalesced(S, w, t)
+		tb.AddRowf(S, fmt.Sprintf("%.2f", dMsgs), fmt.Sprintf("%.2f", tRPCs),
+			fmt.Sprintf("%.2f", dMsgsOp), fmt.Sprintf("%.2f", tRPCsOp))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\n(E25 single-deployment floors at k=64: 0.67 msgs/token distnet, 1.05 rpcs/token tcpnet)")
+}
+
+// distshardCoalesced drives a concurrent Inc workload against a sharded
+// distnet fleet and returns exact msgs/op (hop latency opens windows).
+func distshardCoalesced(S, w, t int) float64 {
+	sc, err := distnet.NewSharded(S, func() (*network.Network, error) {
+		return core.New(w, t)
+	}, distnet.Config{LinkBuffer: 4, HopLatency: 50 * time.Microsecond})
+	if err != nil {
+		panic(err)
+	}
+	defer sc.Stop()
+	const procs, per = 32, 25
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sc.Inc(pid)
+			}
+		}(pid)
+	}
+	wg.Wait()
+	return float64(sc.Messages()) / float64(procs*per)
+}
+
+// tcpshardCoalesced drives a concurrent Inc workload against a sharded
+// TCP fleet and returns exact rpcs/op.
+func tcpshardCoalesced(S, w, t int) float64 {
+	topo := must(core.New(w, t))
+	sc, stop, err := tcpnet.StartShardedCluster(topo, S, 3)
+	if err != nil {
+		panic(err)
+	}
+	defer stop()
+	ctr := sc.NewCounter(0)
+	defer ctr.Close()
+	const procs, per = 32, 25
+	var wg sync.WaitGroup
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := ctr.Inc(pid); err != nil {
+					panic(err)
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	return float64(ctr.RPCs()) / float64(procs*per)
 }
 
 // E13: host-independent discrete-event queueing simulation.

@@ -37,7 +37,11 @@
 //   - A message-passing emulation and a TCP-sharded deployment, both
 //     speaking a batched message protocol (one message per balancer
 //     touched per batch) with client-side coalescing of concurrent
-//     callers into shared flights.
+//     callers into shared flights, composable into pid-striped fleets of
+//     S independent deployments (ShardedDistributedCounter,
+//     TCPShardedCluster) whose TCP wires run from pooled, self-healing
+//     sessions (failed connections are evicted and the flight retried
+//     transparently).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.
@@ -374,6 +378,21 @@ func NewDistributedCounter(n *Network, cfg DistributedConfig) *DistributedCounte
 	return distnet.NewCounter(n, cfg)
 }
 
+// ShardedDistributedCounter stripes Fetch&Increment traffic over S
+// independent distributed deployments by pid hash (the same striping
+// discipline as ShardedCounter): stripe s hands out the residue class
+// v·S + s, so values stay globally unique while the hot links, inboxes
+// and exit cells multiply by S — sharding composed with the batched
+// protocol and per-wire coalescing each stripe already runs. Messages
+// and Read aggregate across stripes.
+type ShardedDistributedCounter = distnet.Sharded
+
+// NewShardedDistributedCounter starts S independent deployments over
+// fresh networks produced by build (called once per stripe).
+func NewShardedDistributedCounter(shards int, build func() (*Network, error), cfg DistributedConfig) (*ShardedDistributedCounter, error) {
+	return distnet.NewSharded(shards, build, cfg)
+}
+
 // Execution tracing (§2.2 executions as transition sequences) ----------------
 
 // TraceRecorder captures concurrent traversals for certification.
@@ -423,8 +442,48 @@ type TCPSession = tcpnet.Session
 
 // TCPCounter is the cluster-wide coalescing client: concurrent Inc
 // callers entering on the same input wire merge into one in-flight
-// batched pipeline. Create with TCPCluster.NewCounter.
+// batched pipeline running on a session checked out of a shared
+// connection pool (TCPCluster.NewCounterPool configures the width). The
+// pool self-heals: a session that fails mid-flight is evicted pool-wide
+// and the flight retries once on a fresh session, so a single connection
+// loss never surfaces to callers; Close returns ErrTCPCounterClosed to
+// stranded callers instead of a raw connection error. Create with
+// TCPCluster.NewCounter or NewCounterPool.
 type TCPCounter = tcpnet.Counter
+
+// ErrTCPCounterClosed is the sentinel a TCPCounter returns once Close has
+// been called, including to callers pooled in a coalescing window.
+var ErrTCPCounterClosed = tcpnet.ErrClosed
+
+// TCPShardedCluster composes S independent TCP deployments into one
+// pid-striped fleet: stripe s maps its values into the residue class
+// v·S + s, and the read side (RPCs, Read) aggregates across stripes.
+type TCPShardedCluster = tcpnet.ShardedCluster
+
+// TCPShardedCounter is the fleet-wide client over a TCPShardedCluster:
+// pid-striped routing to per-stripe pooled coalescing counters. Create
+// with NewShardedClusterCounter.
+type TCPShardedCounter = tcpnet.ShardedCounter
+
+// NewTCPShardedCluster wires S independent deployments (each its own
+// servers for the same topology shape) into one sharded fleet.
+func NewTCPShardedCluster(clusters []*TCPCluster) (*TCPShardedCluster, error) {
+	return tcpnet.NewShardedCluster(clusters)
+}
+
+// StartTCPShardedCluster launches S independent loopback deployments of
+// topo, each across `shards` servers — the test/benchmark harness;
+// production fleets dial real addresses via NewTCPShardedCluster.
+func StartTCPShardedCluster(topo *Network, deployments, shards int) (*TCPShardedCluster, func(), error) {
+	return tcpnet.StartShardedCluster(topo, deployments, shards)
+}
+
+// NewShardedClusterCounter builds the fleet-wide counter: one pooled,
+// self-healing coalescing counter per stripe (poolWidth <= 0 defaults to
+// each stripe's input width).
+func NewShardedClusterCounter(sc *TCPShardedCluster, poolWidth int) *TCPShardedCounter {
+	return sc.NewCounter(poolWidth)
+}
 
 // StartTCPShard launches shard `index` of `shards` for the topology on
 // addr ("host:0" picks a free port). Shard i owns balancers and exit cells

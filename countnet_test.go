@@ -134,6 +134,68 @@ func TestDistributedFacade(t *testing.T) {
 	}
 }
 
+func TestShardedDistributedFacade(t *testing.T) {
+	sc, err := NewShardedDistributedCounter(3, func() (*Network, error) {
+		return NewCWT(4, 8)
+	}, DistributedConfig{LinkBuffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Stop()
+	seen := map[int64]bool{}
+	for i := 0; i < 60; i++ {
+		v := sc.Inc(i)
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	vals := sc.IncBatch(7, 40, nil)
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("batched duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	if got := sc.Read(); got != 100 {
+		t.Fatalf("aggregate Read() = %d, want 100", got)
+	}
+	if sc.Messages() <= 0 {
+		t.Fatal("no messages billed")
+	}
+}
+
+func TestTCPShardedClusterFacade(t *testing.T) {
+	topo, err := NewCWT(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, stop, err := StartTCPShardedCluster(topo, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	ctr := NewShardedClusterCounter(sc, 2)
+	seen := map[int64]bool{}
+	for i := 0; i < 50; i++ {
+		v, err := ctr.Inc(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	if got, err := ctr.Read(); err != nil || got != 50 {
+		t.Fatalf("aggregate Read() = (%d, %v), want (50, nil)", got, err)
+	}
+	ctr.Close()
+	if _, err := ctr.Inc(0); err != ErrTCPCounterClosed {
+		t.Fatalf("Inc after Close = %v, want ErrTCPCounterClosed", err)
+	}
+}
+
 func TestDiffractingTreeFacade(t *testing.T) {
 	dt, err := NewDiffractingTree(8, DiffractingTreeOptions{PrismWidth: 4, SpinBudget: 32})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/network"
 )
 
 // E25: messages and wall-clock per token of the batched message protocol
@@ -28,6 +29,31 @@ func BenchmarkInjectBatch(b *testing.B) {
 			tokens := float64(b.N) * float64(k)
 			b.ReportMetric(float64(sys.Messages())/tokens, "msgs/token")
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tokens, "ns/token")
+		})
+	}
+}
+
+// E26: sharded deployments — S independent systems with pid striping;
+// per-shard msgs/token must hold the E25 batched floor while the hot
+// links multiply by S.
+func BenchmarkShardedIncBatch(b *testing.B) {
+	for _, S := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("CWT8x24/S=%d/k=64", S), func(b *testing.B) {
+			sc, err := NewSharded(S, func() (*network.Network, error) {
+				return core.New(8, 24)
+			}, Config{LinkBuffer: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sc.Stop()
+			var vals []int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals = sc.IncBatch(i, 64, vals[:0])
+			}
+			b.StopTimer()
+			tokens := float64(b.N) * 64
+			b.ReportMetric(float64(sc.Messages())/tokens, "msgs/token")
 		})
 	}
 }

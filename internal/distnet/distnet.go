@@ -449,6 +449,20 @@ func (c *Counter) DecBatch(pid, k int, dst []int64) []int64 {
 // Messages reports the deployment's link-level message count.
 func (c *Counter) Messages() int64 { return c.sys.Messages() }
 
+// Read returns the counter's net value (increments minus decrements) by
+// summing the exit cells — the deployment-wide exact-count read. Only
+// meaningful in a quiescent state, like counter.Network.Issued.
+func (c *Counter) Read() int64 {
+	var total int64
+	for i := range c.cells {
+		cl := &c.cells[i]
+		cl.mu.Lock()
+		total += (cl.v - int64(i)) / c.t
+		cl.mu.Unlock()
+	}
+	return total
+}
+
 // Name identifies the counter in benchmark tables.
 func (c *Counter) Name() string { return "dist:" + c.sys.net.Name() }
 

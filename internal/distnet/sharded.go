@@ -1,0 +1,130 @@
+package distnet
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/shard"
+)
+
+// Sharded composes S independent distributed deployments the way
+// counter.Sharded composes S in-process networks: each stripe owns its own
+// Counter (servers, wires, coalescing windows and exit cells), a caller is
+// routed by the shared shard.StripeOf pid hash, and stripe s maps its
+// local values v to the global residue class v·S + s. Values stay globally
+// unique while the hot links, balancer inboxes and exit cells all multiply
+// by S — sharding composes with the batched message protocol and per-wire
+// coalescing each stripe already runs, for ×S on top of the E25 win.
+//
+// The read side aggregates: Messages sums the link-level bill of every
+// stripe and Read sums the stripes' quiescent net counts, so exact-count
+// accounting stays monotone across the whole fleet.
+type Sharded struct {
+	ctrs []*Counter
+	n    int64
+	name string
+}
+
+// NewSharded starts S independent deployments over fresh networks produced
+// by build (called once per stripe; each stripe owns its network), all
+// running the same emulation Config.
+func NewSharded(shards int, build func() (*network.Network, error), cfg Config) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("distnet: NewSharded with %d shards", shards)
+	}
+	s := &Sharded{ctrs: make([]*Counter, shards), n: int64(shards)}
+	for i := range s.ctrs {
+		net, err := build()
+		if err != nil {
+			for _, c := range s.ctrs[:i] {
+				c.Stop()
+			}
+			return nil, fmt.Errorf("distnet: NewSharded shard %d: %w", i, err)
+		}
+		s.ctrs[i] = NewCounter(net, cfg)
+		s.name = fmt.Sprintf("distshard%d:%s", shards, net.Name())
+	}
+	return s, nil
+}
+
+// Shards returns the stripe count S.
+func (s *Sharded) Shards() int { return int(s.n) }
+
+// Counter returns stripe i's deployment (for quiescent inspection).
+func (s *Sharded) Counter(i int) *Counter { return s.ctrs[i] }
+
+// stripe routes a pid to its deployment.
+func (s *Sharded) stripe(pid int) (int, *Counter) {
+	i := shard.StripeOf(pid, int(s.n))
+	return i, s.ctrs[i]
+}
+
+// Inc performs Fetch&Increment on pid's stripe; the stripe's coalescing
+// window and batched flights apply as usual, and the local value lands in
+// the stripe's residue class.
+func (s *Sharded) Inc(pid int) int64 {
+	i, c := s.stripe(pid)
+	return c.Inc(pid)*s.n + int64(i)
+}
+
+// Dec performs Fetch&Decrement on pid's stripe, revoking the stripe's most
+// recent increment on the exit wire the antitoken lands on.
+func (s *Sharded) Dec(pid int) int64 {
+	i, c := s.stripe(pid)
+	return c.Dec(pid)*s.n + int64(i)
+}
+
+// IncBatch claims k values as one batched flight on pid's stripe,
+// appending the k globally-mapped values to dst.
+func (s *Sharded) IncBatch(pid, k int, dst []int64) []int64 {
+	i, c := s.stripe(pid)
+	return s.remap(c.IncBatch(pid, k, dst), len(dst), int64(i))
+}
+
+// DecBatch revokes k values as one batched antitoken flight on pid's
+// stripe, appending the k globally-mapped revoked values to dst.
+func (s *Sharded) DecBatch(pid, k int, dst []int64) []int64 {
+	i, c := s.stripe(pid)
+	return s.remap(c.DecBatch(pid, k, dst), len(dst), int64(i))
+}
+
+// remap rewrites the values a stripe appended past `from` into its global
+// residue class.
+func (s *Sharded) remap(vals []int64, from int, stripe int64) []int64 {
+	for j := from; j < len(vals); j++ {
+		vals[j] = vals[j]*s.n + stripe
+	}
+	return vals
+}
+
+// Messages sums the link-level message bill across all stripes — the
+// aggregate E26 cost numerator. Monotone: stripes only ever add.
+func (s *Sharded) Messages() int64 {
+	var total int64
+	for _, c := range s.ctrs {
+		total += c.Messages()
+	}
+	return total
+}
+
+// Read sums the stripes' quiescent net counts (increments minus
+// decrements) — which is how the exact-count equivalence tests reconcile
+// sharded runs against sequential totals.
+func (s *Sharded) Read() int64 {
+	var total int64
+	for _, c := range s.ctrs {
+		total += c.Read()
+	}
+	return total
+}
+
+// Name identifies the deployment in benchmark tables.
+func (s *Sharded) Name() string { return s.name }
+
+// Stop shuts every stripe down. All in-flight operations must have
+// returned.
+func (s *Sharded) Stop() {
+	for _, c := range s.ctrs {
+		c.Stop()
+	}
+}

@@ -1,0 +1,183 @@
+package distnet
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/shard"
+)
+
+// The tentpole gate: for a grid of (stripes S, network width w, batch k),
+// a concurrent sharded run hands out globally unique values in the right
+// residue classes, and the sum of per-stripe reads equals the sequential
+// total — exact-count equivalence across the whole fleet.
+func TestShardedExactCount(t *testing.T) {
+	for _, cse := range []struct{ S, w, t, k int }{
+		{1, 4, 8, 1},
+		{2, 4, 8, 4},
+		{3, 8, 16, 8},
+		{4, 8, 24, 64},
+	} {
+		sc, err := NewSharded(cse.S, func() (*network.Network, error) {
+			return core.New(cse.w, cse.t)
+		}, Config{LinkBuffer: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const procs = 8
+		batches := 6
+		vals := make([][]int64, procs)
+		var wg sync.WaitGroup
+		for pid := 0; pid < procs; pid++ {
+			wg.Add(1)
+			go func(pid int) {
+				defer wg.Done()
+				for b := 0; b < batches; b++ {
+					vals[pid] = sc.IncBatch(pid+b*procs, cse.k, vals[pid])
+					vals[pid] = append(vals[pid], sc.Inc(pid))
+				}
+			}(pid)
+		}
+		wg.Wait()
+
+		var all []int64
+		for _, v := range vals {
+			all = append(all, v...)
+		}
+		total := int64(procs * batches * (cse.k + 1))
+		if got := int64(len(all)); got != total {
+			t.Fatalf("S=%d: %d values for %d ops", cse.S, got, total)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for i := 1; i < len(all); i++ {
+			if all[i] == all[i-1] {
+				t.Fatalf("S=%d: duplicate value %d", cse.S, all[i])
+			}
+		}
+		// Residue discipline: the lone Inc of pid's last round lives in
+		// stripe StripeOf(pid)'s residue class (batched rounds route by a
+		// rotating pid, so only this value is pinned to pid's stripe).
+		for pid := 0; pid < procs; pid++ {
+			want := int64(shard.StripeOf(pid, cse.S))
+			v := vals[pid][len(vals[pid])-1]
+			if v%int64(cse.S) != want {
+				t.Fatalf("S=%d: pid %d got value %d outside residue class %d",
+					cse.S, pid, v, want)
+			}
+		}
+		// Exact-count read-side aggregation: quiescent sum of stripe reads
+		// equals the sequential total.
+		if got := sc.Read(); got != total {
+			t.Fatalf("S=%d: Read() = %d, want %d", cse.S, got, total)
+		}
+		var perStripe int64
+		for i := 0; i < sc.Shards(); i++ {
+			perStripe += sc.Counter(i).Read()
+		}
+		if perStripe != total {
+			t.Fatalf("S=%d: per-stripe reads sum to %d, want %d", cse.S, perStripe, total)
+		}
+		if sc.Messages() <= 0 {
+			t.Fatalf("S=%d: no messages billed", cse.S)
+		}
+		sc.Stop()
+	}
+}
+
+// Fuzz-style mixed Inc/Dec run per family: random single and batched
+// operations, tokens and antitokens, on random pids; the quiescent
+// aggregate read must equal increments minus decrements exactly.
+func TestShardedMixedIncDec(t *testing.T) {
+	for _, fam := range []struct {
+		name  string
+		build func() (*network.Network, error)
+	}{
+		{"C(4,8)", func() (*network.Network, error) { return core.New(4, 8) }},
+		{"C(8,16)", func() (*network.Network, error) { return core.New(8, 16) }},
+	} {
+		t.Run(fam.name, func(t *testing.T) {
+			const S = 3
+			sc, err := NewSharded(S, fam.build, Config{LinkBuffer: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sc.Stop()
+			rng := rand.New(rand.NewSource(7))
+			var incs, decs int64
+			for op := 0; op < 400; op++ {
+				pid := rng.Intn(64)
+				switch rng.Intn(4) {
+				case 0:
+					sc.Inc(pid)
+					incs++
+				case 1:
+					sc.Dec(pid)
+					decs++
+				case 2:
+					k := 1 + rng.Intn(9)
+					sc.IncBatch(pid, k, nil)
+					incs += int64(k)
+				default:
+					k := 1 + rng.Intn(9)
+					sc.DecBatch(pid, k, nil)
+					decs += int64(k)
+				}
+			}
+			if got, want := sc.Read(), incs-decs; got != want {
+				t.Fatalf("Read() = %d after %d incs / %d decs, want %d",
+					got, incs, decs, want)
+			}
+		})
+	}
+}
+
+// A stripe's batched values re-map into its residue class: IncBatch then
+// DecBatch on one pid revoke exactly the claimed multiset.
+func TestShardedBatchRevokes(t *testing.T) {
+	sc, err := NewSharded(4, func() (*network.Network, error) {
+		return core.New(4, 8)
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Stop()
+	claimed := sc.IncBatch(11, 40, nil)
+	revoked := sc.DecBatch(11, 40, nil)
+	sort.Slice(claimed, func(i, j int) bool { return claimed[i] < claimed[j] })
+	sort.Slice(revoked, func(i, j int) bool { return revoked[i] < revoked[j] })
+	for i := range claimed {
+		if claimed[i] != revoked[i] {
+			t.Fatalf("revoked %v != claimed %v", revoked, claimed)
+		}
+	}
+	if got := sc.Read(); got != 0 {
+		t.Fatalf("Read() = %d after full revocation, want 0", got)
+	}
+}
+
+func TestNewShardedRejectsBadArgs(t *testing.T) {
+	if _, err := NewSharded(0, nil, Config{}); err == nil {
+		t.Fatal("NewSharded(0) succeeded")
+	}
+	calls := 0
+	_, err := NewSharded(2, func() (*network.Network, error) {
+		calls++
+		if calls > 1 {
+			return nil, errBuild
+		}
+		return core.New(2, 2)
+	}, Config{})
+	if err == nil {
+		t.Fatal("NewSharded with failing build succeeded")
+	}
+}
+
+var errBuild = &buildErr{}
+
+type buildErr struct{}
+
+func (*buildErr) Error() string { return "build failed" }

@@ -65,14 +65,10 @@ func New(name string, inners []Inner) (*Counter, error) {
 // Shards returns the shard count S.
 func (c *Counter) Shards() int { return int(c.n) }
 
-// ShardOf returns the shard index pid's operations are routed to.
-func (c *Counter) ShardOf(pid int) int {
-	// Fibonacci hashing spreads dense pid ranges (0,1,2,... as issued by
-	// benchmark harnesses) uniformly before reduction, so neighbouring
-	// pids do not pile onto neighbouring shards' networks.
-	h := uint64(pid) * 0x9E3779B97F4A7C15
-	return int((h >> 32) % uint64(c.n))
-}
+// ShardOf returns the shard index pid's operations are routed to: the
+// shared StripeOf discipline, so in-process and distributed sharding route
+// a pid identically.
+func (c *Counter) ShardOf(pid int) int { return StripeOf(pid, int(c.n)) }
 
 // Inc implements Fetch&Increment: globally unique values, dense within
 // each shard's residue class in quiescent states.

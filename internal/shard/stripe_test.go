@@ -1,0 +1,36 @@
+package shard
+
+import "testing"
+
+// StripeOf is the routing discipline shared across every sharded layer:
+// it must agree with Counter.ShardOf, stay in range, be deterministic,
+// and spread dense pid ranges across all stripes.
+func TestStripeOf(t *testing.T) {
+	inners := make([]Inner, 5)
+	for i := range inners {
+		inners[i] = NewPadded()
+	}
+	c, err := New("stripes", inners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := make([]int, 5)
+	for pid := 0; pid < 1000; pid++ {
+		s := StripeOf(pid, 5)
+		if s < 0 || s >= 5 {
+			t.Fatalf("StripeOf(%d, 5) = %d out of range", pid, s)
+		}
+		if s != StripeOf(pid, 5) {
+			t.Fatalf("StripeOf(%d, 5) not deterministic", pid)
+		}
+		if got := c.ShardOf(pid); got != s {
+			t.Fatalf("ShardOf(%d) = %d, StripeOf = %d", pid, got, s)
+		}
+		hits[s]++
+	}
+	for s, n := range hits {
+		if n == 0 {
+			t.Fatalf("stripe %d never hit over 1000 dense pids: %v", s, hits)
+		}
+	}
+}

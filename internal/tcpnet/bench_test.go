@@ -61,6 +61,38 @@ func BenchmarkSessionIncBatch(b *testing.B) {
 	}
 }
 
+// E26: sharded fleets — S independent deployments with pid striping;
+// per-shard rpcs/token must hold the E25 batched floor while the hot
+// links multiply by S.
+func BenchmarkShardedClusterIncBatch(b *testing.B) {
+	for _, S := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("CWT8x24/S=%d/k=64", S), func(b *testing.B) {
+			topo, err := core.New(8, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc, stop, err := StartShardedCluster(topo, S, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer stop()
+			ctr := sc.NewCounter(1)
+			defer ctr.Close()
+			var vals []int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals, err = ctr.IncBatch(i, 64, vals[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			tokens := float64(b.N) * 64
+			b.ReportMetric(float64(ctr.RPCs())/tokens, "rpcs/token")
+		})
+	}
+}
+
 // E25: the coalescing counter client under parallel load.
 func BenchmarkCounterCoalesced(b *testing.B) {
 	topo, err := core.New(8, 24)

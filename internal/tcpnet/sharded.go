@@ -1,0 +1,209 @@
+package tcpnet
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/shard"
+)
+
+// ShardedCluster composes S independent TCP deployments the way
+// counter.Sharded composes S in-process networks: each stripe is a full
+// Cluster (its own shard servers, balancer states and exit cells), a
+// caller is routed by the shared shard.StripeOf pid hash, and stripe s
+// maps its local values v to the global residue class v·S + s. The hot
+// links and server-side atomic words multiply by S on top of the batching
+// and coalescing each stripe already runs — striping ∘ coalescing ∘
+// batching.
+//
+// The sub-deployments may share one topology object: a Cluster only reads
+// it (wiring and initial states); the mutable balancer state lives on the
+// stripe's own servers.
+type ShardedCluster struct {
+	clusters []*Cluster
+	n        int64
+	name     string
+}
+
+// NewShardedCluster wires S independent deployments into one sharded
+// fleet; clusters[i] serves stripe i.
+func NewShardedCluster(clusters []*Cluster) (*ShardedCluster, error) {
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("tcpnet: NewShardedCluster with no clusters")
+	}
+	name := clusters[0].net.Name()
+	for i, c := range clusters {
+		if c == nil {
+			return nil, fmt.Errorf("tcpnet: NewShardedCluster cluster %d is nil", i)
+		}
+		if c.net.InWidth() != clusters[0].net.InWidth() ||
+			c.net.OutWidth() != clusters[0].net.OutWidth() {
+			return nil, fmt.Errorf("tcpnet: NewShardedCluster cluster %d shape differs", i)
+		}
+	}
+	return &ShardedCluster{
+		clusters: clusters,
+		n:        int64(len(clusters)),
+		name:     fmt.Sprintf("tcpshard%d:%s", len(clusters), name),
+	}, nil
+}
+
+// StartShardedCluster launches S independent loopback deployments of
+// topo, each partitioned across `shards` servers, and returns the fleet
+// plus a stop function closing every server — the test/benchmark
+// harness; production deployments build Clusters over real addresses and
+// use NewShardedCluster.
+func StartShardedCluster(topo *network.Network, deployments, shards int) (*ShardedCluster, func(), error) {
+	var servers []*Shard
+	stop := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	clusters := make([]*Cluster, deployments)
+	for d := 0; d < deployments; d++ {
+		addrs := make([]string, shards)
+		for i := 0; i < shards; i++ {
+			s, err := StartShard("127.0.0.1:0", topo, i, shards)
+			if err != nil {
+				stop()
+				return nil, nil, err
+			}
+			servers = append(servers, s)
+			addrs[i] = s.Addr()
+		}
+		clusters[d] = NewCluster(topo, addrs)
+	}
+	sc, err := NewShardedCluster(clusters)
+	if err != nil {
+		stop()
+		return nil, nil, err
+	}
+	return sc, stop, nil
+}
+
+// Shards returns the stripe count S.
+func (sc *ShardedCluster) Shards() int { return int(sc.n) }
+
+// Cluster returns stripe i's deployment.
+func (sc *ShardedCluster) Cluster(i int) *Cluster { return sc.clusters[i] }
+
+// Name identifies the fleet in benchmark tables.
+func (sc *ShardedCluster) Name() string { return sc.name }
+
+// NewCounter builds the fleet-wide counter: one pooled, self-healing
+// coalescing Counter per stripe (see Cluster.NewCounterPool; width <= 0
+// defaults per stripe to its input width).
+func (sc *ShardedCluster) NewCounter(poolWidth int) *ShardedCounter {
+	t := &ShardedCounter{sc: sc, ctrs: make([]*Counter, len(sc.clusters))}
+	for i, c := range sc.clusters {
+		t.ctrs[i] = c.NewCounterPool(poolWidth)
+	}
+	return t
+}
+
+// ShardedCounter is the fleet-wide client: pid-striped routing over S
+// per-stripe pooled coalescing Counters, values mapped into per-stripe
+// residue classes, and the read side (RPCs, Read) aggregated across
+// stripes so exact-count accounting stays monotone.
+type ShardedCounter struct {
+	sc   *ShardedCluster
+	ctrs []*Counter
+}
+
+// Counter returns stripe i's underlying pooled Counter (for inspection).
+func (t *ShardedCounter) Counter(i int) *Counter { return t.ctrs[i] }
+
+// stripe routes a pid to its per-stripe counter.
+func (t *ShardedCounter) stripe(pid int) (int64, *Counter) {
+	i := shard.StripeOf(pid, int(t.sc.n))
+	return int64(i), t.ctrs[i]
+}
+
+// Inc returns the next value in pid's stripe residue class; coalescing,
+// pooling and retry-once resilience apply within the stripe.
+func (t *ShardedCounter) Inc(pid int) (int64, error) {
+	i, c := t.stripe(pid)
+	v, err := c.Inc(pid)
+	if err != nil {
+		return 0, err
+	}
+	return v*t.sc.n + i, nil
+}
+
+// Dec revokes pid's stripe's most recent increment on the antitoken's
+// exit wire.
+func (t *ShardedCounter) Dec(pid int) (int64, error) {
+	i, c := t.stripe(pid)
+	v, err := c.Dec(pid)
+	if err != nil {
+		return 0, err
+	}
+	return v*t.sc.n + i, nil
+}
+
+// IncBatch claims k values as one batched pipeline on pid's stripe,
+// appending the k globally-mapped values to dst.
+func (t *ShardedCounter) IncBatch(pid, k int, dst []int64) ([]int64, error) {
+	i, c := t.stripe(pid)
+	base := len(dst)
+	dst, err := c.IncBatch(pid, k, dst)
+	if err != nil {
+		return dst, err
+	}
+	return t.remap(dst, base, i), nil
+}
+
+// DecBatch revokes k values as one batched antitoken pipeline on pid's
+// stripe, appending the k globally-mapped revoked values to dst.
+func (t *ShardedCounter) DecBatch(pid, k int, dst []int64) ([]int64, error) {
+	i, c := t.stripe(pid)
+	base := len(dst)
+	dst, err := c.DecBatch(pid, k, dst)
+	if err != nil {
+		return dst, err
+	}
+	return t.remap(dst, base, i), nil
+}
+
+// remap rewrites the values a stripe appended past `from` into its global
+// residue class.
+func (t *ShardedCounter) remap(vals []int64, from int, stripe int64) []int64 {
+	for j := from; j < len(vals); j++ {
+		vals[j] = vals[j]*t.sc.n + stripe
+	}
+	return vals
+}
+
+// RPCs sums the monotone round-trip totals of every stripe — the
+// aggregate E26 cost numerator.
+func (t *ShardedCounter) RPCs() int64 {
+	var total int64
+	for _, c := range t.ctrs {
+		total += c.RPCs()
+	}
+	return total
+}
+
+// Read sums the stripes' quiescent net counts (increments minus
+// decrements) — which is how the exact-count equivalence tests reconcile
+// sharded runs against sequential totals.
+func (t *ShardedCounter) Read() (int64, error) {
+	var total int64
+	for _, c := range t.ctrs {
+		v, err := c.Read()
+		if err != nil {
+			return 0, err
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// Close shuts every stripe's counter down (ErrClosed to stranded
+// callers; RPC totals stay counted).
+func (t *ShardedCounter) Close() {
+	for _, c := range t.ctrs {
+		c.Close()
+	}
+}

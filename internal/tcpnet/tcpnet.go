@@ -24,13 +24,15 @@
 //
 // The wire protocol is binary frames (encoding/binary, big endian):
 //
-//	request:  op(1) id(4)            op 1 = STEP node, op 2 = CELL wire
+//	request:  op(1) id(4)            op 1 = STEP node, op 2 = CELL wire,
+//	                                 op 5 = READ wire
 //	          op(1) id(4) count(8)   op 3 = STEPN node, op 4 = CELLN wire
 //	                                 count int64: > 0 tokens, < 0 antitokens
 //	response: val(8)                 STEP: exit port; CELL: counter value;
 //	                                 STEPN: first sequence index of the
 //	                                 group; CELLN: cell value after the
-//	                                 batched add
+//	                                 batched add; READ: cell value,
+//	                                 unmodified (exact-count read side)
 //
 // A zero count, an unowned id, or an unknown op is a protocol violation:
 // the shard drops the connection.
@@ -38,6 +40,7 @@ package tcpnet
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -55,6 +58,7 @@ const (
 	opCell  byte = 2
 	opStepN byte = 3
 	opCellN byte = 4
+	opRead  byte = 5
 )
 
 // Shard is one balancer server: it owns the state of the balancers and
@@ -208,6 +212,13 @@ func (s *Shard) serve(conn net.Conn) {
 			} else {
 				val = b.StepAntiN(-n)
 			}
+		case opRead:
+			// Non-mutating cell read: id is the bare wire index.
+			c, ok := s.cells[id]
+			if !ok {
+				return
+			}
+			val = c.Load()
 		case opCell, opCellN:
 			// The stride (output width t) rides in the upper bits of the
 			// id to keep the protocol stateless: id = wire | stride<<16.
@@ -345,6 +356,27 @@ func (s *Session) Inc(pid int) (int64, error) {
 	return s.rpc(opCell, port%shards, id)
 }
 
+// ReadCell returns exit cell `wire`'s current value without modifying it
+// (op READ) — the building block of cluster-wide exact-count reads.
+func (s *Session) ReadCell(wire int) (int64, error) {
+	return s.rpc(opRead, wire%len(s.c.addrs), int32(wire))
+}
+
+// Read sums the exit cells into the cluster's net count (increments minus
+// decrements), one READ round trip per wire. Only meaningful while the
+// cluster is quiescent, like counter.Network.Issued.
+func (s *Session) Read() (int64, error) {
+	var total int64
+	for wire := 0; wire < s.c.net.OutWidth(); wire++ {
+		v, err := s.ReadCell(wire)
+		if err != nil {
+			return 0, err
+		}
+		total += (v - int64(wire)) / s.c.stride
+	}
+	return total, nil
+}
+
 // Dec shepherds one antitoken through the network (one-element DecBatch).
 func (s *Session) Dec(pid int) (int64, error) {
 	vals, err := s.DecBatch(pid, 1, nil)
@@ -459,16 +491,36 @@ func (s *Session) batch(wire int, k int64, anti bool, dst []int64) ([]int64, err
 // Hops returns the number of round trips one single-token Inc costs.
 func (c *Cluster) Hops() int { return c.net.Depth() + 1 }
 
+// ErrClosed is returned by Counter operations — including callers pooled
+// in a coalescing window — once Close has been called. Callers never see
+// a raw connection error caused by their own Counter shutting down.
+var ErrClosed = errors.New("tcpnet: counter closed")
+
 // Counter is a cluster-wide coalescing Fetch&Increment client: concurrent
 // Inc callers entering on the same input wire merge into one in-flight
 // batched pipeline (a single-flight window per wire, the same trick as
 // distnet.Counter), so wide workloads pay one pipeline per window rather
-// than depth+1 round trips per token. Each wire owns one lazily-dialed
-// session; Close releases them.
+// than depth+1 round trips per token.
+//
+// Flights run on sessions checked out of a shared connection pool
+// (round-robin, configurable width — see Cluster.NewCounterPool) instead
+// of one pinned session per wire. The pool self-heals: a session whose
+// connection fails mid-flight is evicted pool-wide (a partial frame may
+// have desynced its streams) and the flight retries ONCE on a fresh
+// session, so a single connection loss is invisible to callers — only a
+// second consecutive failure surfaces. After a mid-window failure the
+// retry re-runs the whole window, so frames the dead session had already
+// applied may leave gaps in the value sequence: values stay globally
+// unique and counts stay monotone, but density is only guaranteed while
+// no connection is lost.
 type Counter struct {
 	c     *Cluster
 	combs []tcpComb
-	lost  atomic.Int64 // RPCs of evicted/closed sessions, so RPCs() stays monotone
+	pool  *pool
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // flights holding pool sessions
 }
 
 // tcpComb is the per-input-wire coalescing state.
@@ -476,7 +528,7 @@ type tcpComb struct {
 	mu     sync.Mutex
 	flying bool
 	next   *cwindow
-	sess   *Session // owned by the current flight holder
+	_      [4]int64
 }
 
 // cwindow is one pooled group of coalesced Inc calls.
@@ -487,9 +539,21 @@ type cwindow struct {
 	done chan struct{}
 }
 
-// NewCounter builds the coalescing counter client for the cluster.
-func (c *Cluster) NewCounter() *Counter {
-	return &Counter{c: c, combs: make([]tcpComb, c.net.InWidth())}
+// NewCounter builds the coalescing counter client for the cluster with
+// the default pool width (one session slot per input wire, the resource
+// envelope of the pre-pool one-session-per-wire client).
+func (c *Cluster) NewCounter() *Counter { return c.NewCounterPool(0) }
+
+// NewCounterPool builds the coalescing counter client over a session pool
+// retaining at most `width` idle sessions (width <= 0 defaults to the
+// input width). Flights check sessions out round-robin; bursts beyond the
+// width dial extra sessions that are retired on return.
+func (c *Cluster) NewCounterPool(width int) *Counter {
+	return &Counter{
+		c:     c,
+		combs: make([]tcpComb, c.net.InWidth()),
+		pool:  newPool(c, width),
+	}
 }
 
 // Inc returns the next counter value. A lone caller pays the single-token
@@ -516,13 +580,11 @@ func (t *Counter) Inc(pid int) (int64, error) {
 	cb.flying = true
 	cb.mu.Unlock()
 	var v int64
-	sess, err := t.session(cb)
-	if err == nil {
-		v, err = sess.Inc(pid)
-		if err != nil {
-			t.evict(cb, sess)
-		}
-	}
+	err := t.flight(func(sess *Session) error {
+		var ferr error
+		v, ferr = sess.Inc(pid)
+		return ferr
+	})
 	t.land(cb, wire)
 	if err != nil {
 		return 0, err
@@ -530,42 +592,95 @@ func (t *Counter) Inc(pid int) (int64, error) {
 	return v, nil
 }
 
-// session returns the comb's session, dialing it on first use. Only the
-// flight holder calls it; the pointer is still published under the lock
-// so RPCs/Close can read it concurrently.
-func (t *Counter) session(cb *tcpComb) (*Session, error) {
-	cb.mu.Lock()
-	sess := cb.sess
-	cb.mu.Unlock()
-	if sess != nil {
-		return sess, nil
-	}
-	sess, err := t.c.NewSession()
+// Dec revokes the counter's most recent increment on the antitoken's exit
+// wire (a one-element batched pipeline on a pooled session).
+func (t *Counter) Dec(pid int) (int64, error) {
+	vals, err := t.DecBatch(pid, 1, nil)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	cb.mu.Lock()
-	cb.sess = sess
-	cb.mu.Unlock()
-	return sess, nil
+	return vals[0], nil
 }
 
-// evict closes and forgets a session whose connection failed mid-RPC (a
-// partial frame may have desynced the stream), so the wire's next flight
-// redials instead of failing forever. Its round-trip count is folded
-// into the counter's total first.
-func (t *Counter) evict(cb *tcpComb, sess *Session) {
-	sess.Close()
-	cb.mu.Lock()
-	if cb.sess == sess {
-		cb.sess = nil
-		t.lost.Add(sess.RPCs())
+// IncBatch claims k values as one batched pipeline on a pooled session,
+// with the same retry-once resilience as Inc.
+func (t *Counter) IncBatch(pid, k int, dst []int64) ([]int64, error) {
+	return t.batch(pid, k, false, dst)
+}
+
+// DecBatch revokes k values as one batched antitoken pipeline on a pooled
+// session.
+func (t *Counter) DecBatch(pid, k int, dst []int64) ([]int64, error) {
+	return t.batch(pid, k, true, dst)
+}
+
+func (t *Counter) batch(pid, k int, anti bool, dst []int64) ([]int64, error) {
+	if k <= 0 {
+		return dst, nil
 	}
-	cb.mu.Unlock()
+	wire := pid % t.c.net.InWidth()
+	base := len(dst)
+	err := t.flight(func(sess *Session) error {
+		var ferr error
+		dst, ferr = sess.batch(wire, int64(k), anti, dst[:base])
+		return ferr
+	})
+	if err != nil {
+		return dst[:base], err
+	}
+	return dst, nil
+}
+
+// Read returns the cluster's quiescent net count by summing the exit
+// cells over a pooled session — the exact-count read side.
+func (t *Counter) Read() (int64, error) {
+	var total int64
+	err := t.flight(func(sess *Session) error {
+		var ferr error
+		total, ferr = sess.Read()
+		return ferr
+	})
+	return total, err
+}
+
+// flight runs one pooled operation: check a session out, run op, and on a
+// connection failure evict the session pool-wide and retry ONCE on a
+// fresh session — the transparent self-healing path. Close fails new
+// flights with ErrClosed and waits for running ones.
+func (t *Counter) flight(op func(*Session) error) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	t.inflight.Add(1)
+	t.mu.Unlock()
+	defer t.inflight.Done()
+
+	if err := t.attempt(op); err == nil || errors.Is(err, ErrClosed) {
+		return err
+	}
+	// The first session died (possibly mid-window); it has been evicted
+	// and a fresh checkout redials. Only this second failure surfaces.
+	return t.attempt(op)
+}
+
+func (t *Counter) attempt(op func(*Session) error) error {
+	sess, err := t.pool.checkout()
+	if err != nil {
+		return err
+	}
+	if err := op(sess); err != nil {
+		t.pool.evict(sess)
+		return err
+	}
+	t.pool.checkin(sess)
+	return nil
 }
 
 // land drains the windows that pooled up behind the owner's flight, one
-// batched pipeline per window, then releases the wire.
+// batched pipeline per window, then releases the wire. Windows stranded
+// by Close fail with ErrClosed rather than a raw connection error.
 func (t *Counter) land(cb *tcpComb, wire int) {
 	for {
 		cb.mu.Lock()
@@ -577,44 +692,141 @@ func (t *Counter) land(cb *tcpComb, wire int) {
 			return
 		}
 		cb.mu.Unlock()
-		sess, err := t.session(cb)
-		if err == nil {
-			w.vals, err = sess.batch(wire, w.k, false, w.vals[:0])
-			if err != nil {
-				t.evict(cb, sess)
-			}
-		}
-		w.err = err
+		w.err = t.flight(func(sess *Session) error {
+			var ferr error
+			w.vals, ferr = sess.batch(wire, w.k, false, w.vals[:0])
+			return ferr
+		})
 		close(w.done)
 	}
 }
 
 // RPCs returns the total round trips performed across the counter's
-// sessions, evicted and closed ones included — divide by operations for
-// the E25 msgs/op metric.
-func (t *Counter) RPCs() int64 {
-	total := t.lost.Load()
-	for i := range t.combs {
-		cb := &t.combs[i]
-		cb.mu.Lock()
-		if cb.sess != nil {
-			total += cb.sess.RPCs()
-		}
-		cb.mu.Unlock()
+// sessions, evicted and retired ones included — the count is monotone;
+// divide by operations for the E25 msgs/op metric.
+func (t *Counter) RPCs() int64 { return t.pool.rpcs() }
+
+// Close shuts the counter down: new flights (and windows stranded behind
+// a closing flight) fail with ErrClosed, running flights are waited for,
+// and every pooled session is then retired with its round trips folded
+// into the monotone RPC total. Idempotent.
+func (t *Counter) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.inflight.Wait()
+	t.pool.close()
+}
+
+// pool is the Counter's session pool: up to `width` idle sessions reused
+// round-robin across flights, every dialed session tracked in `live` so
+// the RPC bill stays monotone through eviction and retirement.
+type pool struct {
+	c      *Cluster
+	width  int
+	mu     sync.Mutex
+	idle   []*Session
+	live   map[*Session]struct{}
+	lost   int64 // RPCs of retired sessions
+	closed bool
+}
+
+func newPool(c *Cluster, width int) *pool {
+	if width < 1 {
+		width = c.net.InWidth()
+	}
+	return &pool{c: c, width: width, live: make(map[*Session]struct{})}
+}
+
+// checkout hands the caller exclusive use of a session: the least
+// recently returned idle one (round-robin across the pool), or a fresh
+// dial when none is idle.
+func (p *pool) checkout() (*Session, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(p.idle); n > 0 {
+		sess := p.idle[0]
+		copy(p.idle, p.idle[1:])
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return sess, nil
+	}
+	p.mu.Unlock()
+	sess, err := p.c.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		sess.Close()
+		return nil, ErrClosed
+	}
+	p.live[sess] = struct{}{}
+	p.mu.Unlock()
+	return sess, nil
+}
+
+// checkin returns a healthy session to the idle list; beyond the pool
+// width (or after close) it is retired instead.
+func (p *pool) checkin(sess *Session) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.width {
+		p.idle = append(p.idle, sess)
+		p.mu.Unlock()
+		return
+	}
+	p.retireLocked(sess)
+	p.mu.Unlock()
+}
+
+// evict retires a session whose connection failed pool-wide: it leaves
+// the live set, its round trips fold into the monotone total, and every
+// future checkout gets a different (or freshly dialed) session.
+func (p *pool) evict(sess *Session) {
+	p.mu.Lock()
+	p.retireLocked(sess)
+	p.mu.Unlock()
+}
+
+func (p *pool) retireLocked(sess *Session) {
+	if _, ok := p.live[sess]; !ok {
+		return
+	}
+	delete(p.live, sess)
+	p.lost += sess.RPCs()
+	sess.Close()
+}
+
+// rpcs returns the monotone round-trip total across live and retired
+// sessions.
+func (p *pool) rpcs() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.lost
+	for sess := range p.live {
+		total += sess.RPCs()
 	}
 	return total
 }
 
-// Close drops every per-wire session (their round trips stay counted).
-func (t *Counter) Close() {
-	for i := range t.combs {
-		cb := &t.combs[i]
-		cb.mu.Lock()
-		if cb.sess != nil {
-			cb.sess.Close()
-			t.lost.Add(cb.sess.RPCs())
-			cb.sess = nil
-		}
-		cb.mu.Unlock()
+// close retires every idle session and marks the pool closed; sessions
+// still checked out are retired by their flight's checkin. (Counter.Close
+// waits for flights first, so by the time it closes the pool every
+// session is idle.)
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	for _, sess := range p.idle {
+		p.retireLocked(sess)
 	}
+	p.idle = nil
+	p.mu.Unlock()
 }

@@ -440,6 +440,7 @@ func TestMalformedFrames(t *testing.T) {
 	t.Run("minint-cell", func(t *testing.T) { send(t, frame(opCellN, 0, math.MinInt64)) })
 	t.Run("unowned-id", func(t *testing.T) { send(t, frame(opStepN, 9999, 4)) })
 	t.Run("unowned-cell", func(t *testing.T) { send(t, frame(opCellN, 0x7fff, 4)) })
+	t.Run("unowned-read", func(t *testing.T) { send(t, frame(opRead, 9999, 0)[:5]) })
 	t.Run("partial-frame", func(t *testing.T) {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
