@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race bench-smoke bench fuzz
+.PHONY: check build vet fmt test race resilience bench-smoke bench fuzz
 
-check: build vet fmt race bench-smoke
+check: build vet fmt race resilience bench-smoke
 
 build:
 	$(GO) build ./...
@@ -25,19 +25,29 @@ test:
 race:
 	$(GO) test -race -short -timeout 10m ./...
 
+# The tcpnet exactly-once gates pinned BY NAME (a rename can't silently
+# drop them): the retry/dedup regressions, the session-kill chaos grid,
+# the checkout health probe, Close racing a retry, the v1/v2 codec
+# distinction, and the frame-codec fuzz seeds. Keep this regex in
+# lockstep with .github/workflows/ci.yml.
+resilience:
+	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|FuzzFrameCodec' ./internal/tcpnet
+
 # Covers every package, the distributed benchmarks in internal/distnet
 # and internal/tcpnet (batched protocol, E25) included; the second pass
-# pins the sharded-deployment benchmarks (E26) by name so a rename can't
-# silently drop them.
+# pins the sharded-deployment (E26) and dedup-enabled (E27) benchmarks
+# by name so a rename can't silently drop them.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
-	$(GO) test -bench=Sharded -benchtime=1x -run='^$$' ./internal/distnet ./internal/tcpnet
+	$(GO) test -bench='Sharded|Dedup' -benchtime=1x -run='^$$' ./internal/distnet ./internal/tcpnet
 
 # Full benchmark sweep (slow; see EXPERIMENTS.md for recorded tables).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Explore the batched-traversal fuzz targets beyond the checked-in corpus.
+# Explore the batched-traversal and frame-codec fuzz targets beyond the
+# checked-in corpus.
 fuzz:
 	$(GO) test -fuzz=FuzzTraverseBatch -fuzztime=60s ./internal/network
 	$(GO) test -fuzz=FuzzTraverseAntiBatch -fuzztime=60s ./internal/network
+	$(GO) test -fuzz=FuzzFrameCodec -fuzztime=60s ./internal/tcpnet

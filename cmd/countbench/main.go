@@ -13,6 +13,7 @@
 //	countbench -exp dist         # E13: distributed emulation throughput
 //	countbench -exp distbatch    # E25: distributed msgs/token, batched protocol
 //	countbench -exp distshard    # E26: sharded deployments, cost vs stripe count S
+//	countbench -exp dedup        # E27: exactly-once dedup overhead + kill/retry
 //	countbench -exp timesim      # E13: queueing simulation (host-independent)
 //	countbench -exp linearize    # E18: linearizability observation
 //	countbench -exp ablation     # E16/E17: bitonic merger, random init
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"sync"
@@ -47,7 +49,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | distshard | timesim | linearize | ablation | all")
+		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | distshard | dedup | timesim | linearize | ablation | all")
 		rounds = flag.Int("rounds", 60, "tokens per process in simulations")
 		opsK   = flag.Int("ops", 50, "thousands of operations per throughput cell")
 		shards = flag.Int("shards", 4, "max stripe count S for sharded-deployment experiments")
@@ -74,13 +76,14 @@ func main() {
 		"dist":       func() { expDist(*opsK * 200) },
 		"distbatch":  expDistbatch,
 		"distshard":  func() { expDistshard(*shards) },
+		"dedup":      expDedup,
 		"timesim":    expTimesim,
 		"linearize":  expLinearize,
 		"ablation":   expAblation,
 	}
 	order := []string{"depth", "contention", "compare", "blocks", "slope",
 		"throughput", "fastpath", "elim", "dist", "distbatch", "distshard",
-		"timesim", "linearize", "ablation"}
+		"dedup", "timesim", "linearize", "ablation"}
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
@@ -523,6 +526,100 @@ func tcpshardCoalesced(S, w, t int) float64 {
 	}
 	wg.Wait()
 	return float64(ctr.RPCs()) / float64(procs*per)
+}
+
+// killNthWrite is a net.Conn that drops the connection at one exact
+// frame boundary — the E27 kill column's fault injection.
+type killNthWrite struct {
+	net.Conn
+	allow int32
+}
+
+func (f *killNthWrite) Write(b []byte) (int, error) {
+	if atomic.AddInt32(&f.allow, -1) < 0 {
+		f.Conn.Close()
+		return 0, fmt.Errorf("injected connection kill")
+	}
+	return f.Conn.Write(b)
+}
+
+// E27: exactly-once dedup overhead. The v2 protocol seq-numbers every
+// mutating frame and the shards keep bounded per-client dedup windows;
+// that must cost bytes and bookkeeping, never round trips — rpcs/token
+// of the batched pipeline must hold the E25/E26 k=64 floor (1.05). The
+// kill column injects one connection death at a frame boundary
+// mid-workload: the bounded retry budget absorbs it, the replayed
+// frames are answered from the dedup window (each counted as an rpc by
+// the client), and the count stays EXACT — no gapped or duplicated
+// values, the invariant E27 exists to demonstrate.
+func expDedup() {
+	const w, t, shards, batches = 8, 24, 3, 16
+	fmt.Printf("E27: exactly-once dedup overhead, C(%d,%d), %d batches per row\n\n",
+		w, t, batches)
+	tb := stats.NewTable("k", "rpcs/token", "rpcs/token, kill+retry", "exact count (both)")
+	for _, k := range []int{1, 8, 64, 512} {
+		clean := dedupRun(w, t, shards, batches, k, false)
+		killed := dedupRun(w, t, shards, batches, k, true)
+		tb.AddRowf(k, fmt.Sprintf("%.2f", clean), fmt.Sprintf("%.2f", killed),
+			fmt.Sprintf("%d", batches*k))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\n(floor: E25/E26 record 1.05 rpcs/token at k=64; the kill column re-sends" +
+		"\n a window whose replayed frames are deduped server-side, not re-executed)")
+}
+
+// dedupRun drives `batches` batched pipelines of k tokens through a
+// pooled Counter, optionally killing the first session's first
+// connection at a frame boundary mid-workload, verifies the exact
+// count, and returns rpcs/token (read-side RPCs excluded).
+func dedupRun(w, t, shards, batches, k int, kill bool) float64 {
+	topo := must(core.New(w, t))
+	addrs := make([]string, shards)
+	var servers []*tcpnet.Shard
+	for i := 0; i < shards; i++ {
+		s, err := tcpnet.StartShard("127.0.0.1:0", topo, i, shards)
+		if err != nil {
+			panic(err)
+		}
+		servers = append(servers, s)
+		addrs[i] = s.Addr()
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	cluster := tcpnet.NewCluster(topo, addrs)
+	if kill {
+		var conns int32
+		cluster.SetDialWrapper(func(conn net.Conn) net.Conn {
+			if atomic.AddInt32(&conns, 1) == 1 {
+				// The first dialed connection dies after 12 more frames —
+				// mid-window for every k in the sweep.
+				return &killNthWrite{Conn: conn, allow: 12}
+			}
+			return conn
+		})
+	}
+	ctr := cluster.NewCounterPool(1)
+	defer ctr.Close()
+	var vals []int64
+	var err error
+	for i := 0; i < batches; i++ {
+		if vals, err = ctr.IncBatch(i, k, vals[:0]); err != nil {
+			panic(fmt.Sprintf("E27 k=%d kill=%v: %v", k, kill, err))
+		}
+	}
+	rpcs := ctr.RPCs() // mutating-frame round trips only, so far
+	got, err := ctr.Read()
+	if err != nil {
+		panic(err)
+	}
+	if got != int64(batches*k) {
+		panic(fmt.Sprintf("E27 k=%d kill=%v: Read %d != %d — values leaked",
+			k, kill, got, batches*k))
+	}
+	return float64(rpcs) / float64(batches*k)
 }
 
 // E13: host-independent discrete-event queueing simulation.

@@ -40,8 +40,9 @@
 //     callers into shared flights, composable into pid-striped fleets of
 //     S independent deployments (ShardedDistributedCounter,
 //     TCPShardedCluster) whose TCP wires run from pooled, self-healing
-//     sessions (failed connections are evicted and the flight retried
-//     transparently).
+//     sessions: health-probed at checkout, failed connections evicted
+//     pool-wide, and flights retried EXACTLY-ONCE under a bounded
+//     budget via seq-numbered idempotent frames (protocol v2).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.
@@ -437,17 +438,25 @@ type TCPCluster = tcpnet.Cluster
 // shard. Besides per-token Inc (depth+1 round trips), it speaks the
 // batched wire frames: IncBatch/DecBatch shepherd k tokens or antitokens
 // as one pipeline costing one STEPN round trip per balancer touched plus
-// one CELLN per exit wire.
+// one CELLN per exit wire. Standalone sessions perform no retries and
+// speak the stateless v1 frames; sessions pooled under a TCPCounter
+// speak protocol v2 (client id + seq-numbered frames, deduped by the
+// shards) so the counter's retries are exactly-once.
 type TCPSession = tcpnet.Session
 
 // TCPCounter is the cluster-wide coalescing client: concurrent Inc
 // callers entering on the same input wire merge into one in-flight
 // batched pipeline running on a session checked out of a shared
 // connection pool (TCPCluster.NewCounterPool configures the width). The
-// pool self-heals: a session that fails mid-flight is evicted pool-wide
-// and the flight retries once on a fresh session, so a single connection
-// loss never surfaces to callers; Close returns ErrTCPCounterClosed to
-// stranded callers instead of a raw connection error. Create with
+// pool self-heals: idle sessions are health-probed at checkout (no
+// round trip), a session that fails mid-flight is evicted pool-wide,
+// and the flight retries on fresh sessions under a bounded
+// attempt/deadline budget (SetRetryPolicy). Retries are exactly-once —
+// they re-send the same sequence numbers and the shards' dedup windows
+// replay already-applied frames — so absorbed connection losses leave
+// no gaps and no duplicates in the value sequence. Close returns
+// ErrTCPCounterClosed to stranded callers (including a window racing a
+// retry) instead of a raw connection error. Create with
 // TCPCluster.NewCounter or NewCounterPool.
 type TCPCounter = tcpnet.Counter
 

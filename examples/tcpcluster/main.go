@@ -112,9 +112,11 @@ func main() {
 
 	// Scaling out: a fleet of S independent deployments with pid
 	// striping, each stripe's wires served from a pooled, self-healing
-	// session pool (a connection that dies mid-flight is evicted and the
-	// flight retried transparently). Values land in disjoint residue
-	// classes and the read side aggregates across stripes.
+	// session pool (idle sessions health-probed at checkout; a
+	// connection that dies mid-flight is evicted and the flight retried
+	// exactly-once — seq-numbered frames are deduped server-side, so no
+	// value is ever gapped or duplicated). Values land in disjoint
+	// residue classes and the read side aggregates across stripes.
 	const stripes = 2
 	fleet, stopFleet, err := countnet.StartTCPShardedCluster(topo, stripes, shards)
 	if err != nil {

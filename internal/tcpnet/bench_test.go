@@ -93,6 +93,38 @@ func BenchmarkShardedClusterIncBatch(b *testing.B) {
 	}
 }
 
+// E27: dedup-window overhead — batched pipelines through the pooled
+// Counter, every mutating frame seq-numbered and dedup-tracked
+// server-side. rpcs/token must hold the E26 k=64 floor (1.05): the
+// exactly-once machinery costs bytes per frame and bookkeeping per
+// shard, never round trips.
+func BenchmarkCounterDedupBatch(b *testing.B) {
+	for _, k := range []int{64, 512} {
+		b.Run(fmt.Sprintf("CWT8x24/k=%d", k), func(b *testing.B) {
+			topo, err := core.New(8, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster, stop := benchCluster(b, topo, 3)
+			defer stop()
+			ctr := cluster.NewCounterPool(1)
+			defer ctr.Close()
+			var vals []int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals, err = ctr.IncBatch(i, k, vals[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			tokens := float64(b.N) * float64(k)
+			b.ReportMetric(float64(ctr.RPCs())/tokens, "rpcs/token")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tokens, "ns/token")
+		})
+	}
+}
+
 // E25: the coalescing counter client under parallel load.
 func BenchmarkCounterCoalesced(b *testing.B) {
 	topo, err := core.New(8, 24)

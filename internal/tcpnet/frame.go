@@ -1,0 +1,165 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Protocol op codes. Ops 1–5 are the v1 stateless frames kept decodable
+// for old clients; ops 6–10 are the v2 exactly-once frames: HELLO binds a
+// connection to a client id, and every v2 mutating frame carries a
+// monotone per-client sequence number the shard dedups on (see the
+// package comment). The op byte IS the version marker — the codec
+// distinguishes v1 from v2 frames without connection state.
+const (
+	opStep  byte = 1
+	opCell  byte = 2
+	opStepN byte = 3
+	opCellN byte = 4
+	opRead  byte = 5
+
+	opHello  byte = 6
+	opStep2  byte = 7
+	opCell2  byte = 8
+	opStepN2 byte = 9
+	opCellN2 byte = 10
+)
+
+// maxFrameLen is the longest request frame: op(1) id(4) seq(8) count(8).
+const maxFrameLen = 21
+
+// frame is one decoded request frame. Fields beyond op and id are
+// populated per op: client for HELLO, seq for the v2 mutating ops, n for
+// the batched ops of either version.
+type frame struct {
+	op     byte
+	id     int32
+	client uint64
+	seq    uint64
+	n      int64
+}
+
+var errUnknownOp = errors.New("tcpnet: unknown op")
+
+// frameExtra returns the payload length following the 5-byte op+id
+// header, or -1 for an unknown op.
+func frameExtra(op byte) int {
+	switch op {
+	case opStep, opCell, opRead:
+		return 0
+	case opHello, opStep2, opCell2, opStepN, opCellN:
+		return 8
+	case opStepN2, opCellN2:
+		return 16
+	}
+	return -1
+}
+
+// appendFrame encodes f onto dst. The encoding is canonical: decoding
+// and re-encoding any well-formed byte stream reproduces it exactly
+// (FuzzFrameCodec holds the codec to this).
+func appendFrame(dst []byte, f *frame) []byte {
+	var b [maxFrameLen]byte
+	b[0] = f.op
+	binary.BigEndian.PutUint32(b[1:5], uint32(f.id))
+	switch f.op {
+	case opHello:
+		binary.BigEndian.PutUint64(b[5:13], f.client)
+	case opStep2, opCell2:
+		binary.BigEndian.PutUint64(b[5:13], f.seq)
+	case opStepN, opCellN:
+		binary.BigEndian.PutUint64(b[5:13], uint64(f.n))
+	case opStepN2, opCellN2:
+		binary.BigEndian.PutUint64(b[5:13], f.seq)
+		binary.BigEndian.PutUint64(b[13:21], uint64(f.n))
+	}
+	return append(dst, b[:5+frameExtra(f.op)]...)
+}
+
+// readFrame decodes one request frame from r into f, using buf as the
+// read scratch. An unknown op is reported before any payload byte is
+// consumed.
+func readFrame(r io.Reader, buf *[maxFrameLen]byte, f *frame) error {
+	if _, err := io.ReadFull(r, buf[:5]); err != nil {
+		return err
+	}
+	f.op = buf[0]
+	f.id = int32(binary.BigEndian.Uint32(buf[1:5]))
+	f.client, f.seq, f.n = 0, 0, 0
+	extra := frameExtra(f.op)
+	if extra < 0 {
+		return errUnknownOp
+	}
+	if extra > 0 {
+		if _, err := io.ReadFull(r, buf[5:5+extra]); err != nil {
+			return err
+		}
+	}
+	switch f.op {
+	case opHello:
+		f.client = binary.BigEndian.Uint64(buf[5:13])
+	case opStep2, opCell2:
+		f.seq = binary.BigEndian.Uint64(buf[5:13])
+	case opStepN, opCellN:
+		f.n = int64(binary.BigEndian.Uint64(buf[5:13]))
+	case opStepN2, opCellN2:
+		f.seq = binary.BigEndian.Uint64(buf[5:13])
+		f.n = int64(binary.BigEndian.Uint64(buf[13:21]))
+	}
+	return nil
+}
+
+// v2op maps a v1 mutating op to its seq-numbered v2 form.
+func v2op(op byte) byte {
+	switch op {
+	case opStep:
+		return opStep2
+	case opCell:
+		return opCell2
+	case opStepN:
+		return opStepN2
+	case opCellN:
+		return opCellN2
+	}
+	return op
+}
+
+// clientIDs hands out process-unique client ids from a random base, so
+// clients from different processes sharing one shard fleet are unlikely
+// to collide on a dedup window.
+var clientIDs atomic.Uint64
+
+func init() { clientIDs.Store(rand.Uint64()) }
+
+func nextClientID() uint64 { return clientIDs.Add(1) }
+
+// seqTape draws monotone sequence numbers from a counter shared across a
+// Counter's flights and records them in issue order, so a rewound retry
+// re-sends the IDENTICAL sequence number on the identical frame. Frame i
+// of attempt 2 is frame i of attempt 1 because the walk is deterministic:
+// batches replay the topology, and single-token walks are steered by
+// replies that the shards' dedup windows replay verbatim for
+// already-applied sequences.
+type seqTape struct {
+	src  *atomic.Uint64
+	used []uint64
+	next int
+}
+
+func (tp *seqTape) take() uint64 {
+	if tp.next < len(tp.used) {
+		v := tp.used[tp.next]
+		tp.next++
+		return v
+	}
+	v := tp.src.Add(1)
+	tp.used = append(tp.used, v)
+	tp.next = len(tp.used)
+	return v
+}
+
+// rewind restarts the tape for a retry attempt.
+func (tp *seqTape) rewind() { tp.next = 0 }

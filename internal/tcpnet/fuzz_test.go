@@ -1,0 +1,98 @@
+package tcpnet
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzFrameCodec holds the wire codec to its canonical-encoding
+// contract across both protocol versions: any byte stream decodes into
+// a (possibly empty) sequence of frames such that re-encoding each
+// frame reproduces exactly the bytes it was decoded from, and decoding
+// never consumes payload bytes for an unknown op. This is the property
+// that lets the server tell v1 frames from seq-numbered v2 frames by op
+// byte alone.
+func FuzzFrameCodec(f *testing.F) {
+	seed := func(fr *frame) {
+		f.Add(appendFrame(nil, fr))
+	}
+	seed(&frame{op: opStep, id: 7})
+	seed(&frame{op: opCell, id: 3 | 8<<16})
+	seed(&frame{op: opStepN, id: 7, n: -64})
+	seed(&frame{op: opCellN, id: 3 | 8<<16, n: 512})
+	seed(&frame{op: opRead, id: 5})
+	seed(&frame{op: opHello, client: 0xdeadbeef})
+	seed(&frame{op: opStep2, id: 7, seq: 1})
+	seed(&frame{op: opCell2, id: 3 | 8<<16, seq: 2})
+	seed(&frame{op: opStepN2, id: 7, seq: 3, n: -64})
+	seed(&frame{op: opCellN2, id: 3 | 8<<16, seq: 4, n: 512})
+	// Two frames back to back, and a truncated tail.
+	f.Add(append(appendFrame(nil, &frame{op: opHello, client: 9}),
+		appendFrame(nil, &frame{op: opStepN2, id: 1, seq: 1, n: 2})...))
+	f.Add(appendFrame(nil, &frame{op: opCellN2, id: 1, seq: 1, n: 2})[:9])
+	f.Add([]byte{99, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf [maxFrameLen]byte
+		var fr frame
+		consumed := 0
+		for {
+			before := r.Len()
+			err := readFrame(r, &buf, &fr)
+			if err == errUnknownOp {
+				// Unknown ops must be rejected after exactly the 5-byte
+				// header, before any payload is consumed.
+				if got := before - r.Len(); got != 5 {
+					t.Fatalf("unknown op consumed %d bytes, want 5", got)
+				}
+				return
+			}
+			if err != nil {
+				return // EOF or truncation mid-frame ends the stream
+			}
+			enc := appendFrame(nil, &fr)
+			if want := data[consumed : consumed+len(enc)]; !bytes.Equal(enc, want) {
+				t.Fatalf("re-encode mismatch at offset %d: frame %+v encodes to %x, stream had %x",
+					consumed, fr, enc, want)
+			}
+			consumed += len(enc)
+		}
+	})
+}
+
+// The codec length table and io plumbing agree: every op's encoded
+// frame decodes back to an identical struct.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []frame{
+		{op: opStep, id: 12},
+		{op: opCell, id: 2 | 24<<16},
+		{op: opStepN, id: 12, n: 7},
+		{op: opCellN, id: 2 | 24<<16, n: -7},
+		{op: opRead, id: 9},
+		{op: opHello, client: 42},
+		{op: opStep2, id: 12, seq: 900},
+		{op: opCell2, id: 2 | 24<<16, seq: 901},
+		{op: opStepN2, id: 12, seq: 902, n: 7},
+		{op: opCellN2, id: 2 | 24<<16, seq: 903, n: -7},
+	}
+	var stream []byte
+	for i := range frames {
+		stream = appendFrame(stream, &frames[i])
+	}
+	r := bytes.NewReader(stream)
+	var buf [maxFrameLen]byte
+	for i := range frames {
+		var got frame
+		if err := readFrame(r, &buf, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != frames[i] {
+			t.Fatalf("frame %d: decoded %+v, want %+v", i, got, frames[i])
+		}
+	}
+	if err := readFrame(r, &buf, &frame{}); err != io.EOF {
+		t.Fatalf("trailing read = %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package tcpnet
+
+import "net"
+
+// connDead is the no-probe fallback for platforms without nonblocking
+// socket peeks: sessions are assumed alive at checkout, and dead
+// connections are discovered (and retried exactly-once) by the flight.
+func connDead(net.Conn) bool { return false }

@@ -1,0 +1,45 @@
+//go:build unix
+
+package tcpnet
+
+import (
+	"net"
+	"syscall"
+)
+
+// connDead reports whether an idle connection is no longer usable for a
+// flight, via a nonblocking MSG_PEEK — no byte leaves the machine, so
+// the checkout health probe costs no round trip and no RPCs. On an
+// idle, in-sync session the socket has nothing to read (EAGAIN →
+// alive); a peer that closed or reset the connection shows EOF or an
+// error, and stray readable bytes mean a desynced request/response
+// stream — both dead. Wrapped connections that hide the raw socket
+// (fault-injection test wrappers) are assumed alive; mid-flight
+// failures still catch those.
+func connDead(conn net.Conn) bool {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return true
+	}
+	dead := false
+	rerr := rc.Read(func(fd uintptr) bool {
+		var b [1]byte
+		n, _, err := syscall.Recvfrom(int(fd), b[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.EINTR:
+			// Nothing pending: alive and in sync.
+		case err != nil:
+			dead = true // reset or other hard error
+		case n == 0:
+			dead = true // orderly FIN
+		default:
+			dead = true // stray reply bytes: desynced stream
+		}
+		return true // never wait for readiness
+	})
+	return dead || rerr != nil
+}

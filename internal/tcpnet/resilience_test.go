@@ -158,6 +158,126 @@ func TestCounterSessionKillMidWindow(t *testing.T) {
 	}
 }
 
+// A long-dead pooled connection is evicted by the checkout health probe
+// BEFORE a flight discovers it: with retries disabled (attempts=1) an
+// Inc after the whole fleet restarted still succeeds, because the
+// flight never runs on the dead session.
+func TestPoolHealthCheckEvictsDeadSession(t *testing.T) {
+	topo, err := core.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := StartShard("127.0.0.1:0", topo, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	cluster := NewCluster(topo, []string{addr})
+	ctr := cluster.NewCounterPool(1)
+	defer ctr.Close()
+	ctr.SetRetryPolicy(1, 0) // any mid-flight failure would surface
+	if _, err := ctr.Inc(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill and restart the shard on the same address: the pooled idle
+	// session's connection is now long-dead (FIN'd), and only the
+	// checkout probe stands between it and the next flight.
+	s.Close()
+	s2, err := StartShard(addr, topo, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// Wait for the FIN to reach the idle session's socket so the probe
+	// deterministically sees EOF rather than an empty, live buffer.
+	victim := idleSession(t, ctr)
+	deadline := time.Now().Add(5 * time.Second)
+	for victim.healthy() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if victim.healthy() {
+		t.Fatal("idle session still probes healthy after shard restart")
+	}
+
+	if _, err := ctr.Inc(0); err != nil {
+		t.Fatalf("Inc after restart surfaced a dead-session error despite the health check: %v", err)
+	}
+	ctr.pool.mu.Lock()
+	alive := len(ctr.pool.live)
+	ctr.pool.mu.Unlock()
+	if alive != 1 {
+		t.Fatalf("pool holds %d live sessions, want 1 (dead one retired at checkout)", alive)
+	}
+}
+
+// gateConn fails its connection's first write only after the release
+// channel closes, signalling on failing first — it lets the test order
+// "flight is mid-failure" before "Close is called" deterministically.
+type gateConn struct {
+	net.Conn
+	failing chan struct{}
+	release chan struct{}
+	tripped atomic.Bool
+}
+
+func (g *gateConn) Write(b []byte) (int, error) {
+	if g.tripped.CompareAndSwap(false, true) {
+		close(g.failing)
+		<-g.release
+	}
+	if g.tripped.Load() {
+		g.Conn.Close()
+		return 0, errInjected
+	}
+	return g.Conn.Write(b)
+}
+
+// The Close-racing-a-retry regression: a window whose first attempt
+// fails while Close is running must hand its callers ErrClosed — never
+// a raw dial or connection error from the replacement session (here the
+// whole fleet is gone, so a retry that ignored Close would surface a
+// dial failure).
+func TestCounterCloseDuringRetry(t *testing.T) {
+	topo, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 1)
+	ctr := cluster.NewCounterPool(1)
+	if _, err := ctr.Inc(0); err != nil {
+		t.Fatal(err)
+	}
+	gate := &gateConn{failing: make(chan struct{}), release: make(chan struct{})}
+	sess := idleSession(t, ctr)
+	gate.Conn = sess.conns[0]
+	sess.conns[0] = gate
+
+	res := make(chan error, 1)
+	go func() {
+		_, err := ctr.IncBatch(0, 5, nil)
+		res <- err
+	}()
+	<-gate.failing
+	// The flight is wedged mid-write. Tear the world down: kill the
+	// shards (a retry would get a dial error) and start Close, which
+	// marks the counter closed and then waits for the flight.
+	stop()
+	closed := make(chan struct{})
+	go func() {
+		ctr.Close()
+		close(closed)
+	}()
+	// Give Close time to set the flag, then let the write fail.
+	time.Sleep(50 * time.Millisecond)
+	close(gate.release)
+	err = <-res
+	<-closed
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("window racing Close returned %v, want ErrClosed", err)
+	}
+}
+
 // Close during concurrent flights: pooled callers may observe ErrClosed
 // (the sentinel) but never a raw connection error from their own
 // counter's teardown; Close waits for in-flight windows, and later calls

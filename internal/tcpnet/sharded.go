@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/network"
 	"repro/internal/shard"
@@ -93,7 +94,9 @@ func (sc *ShardedCluster) Name() string { return sc.name }
 
 // NewCounter builds the fleet-wide counter: one pooled, self-healing
 // coalescing Counter per stripe (see Cluster.NewCounterPool; width <= 0
-// defaults per stripe to its input width).
+// defaults per stripe to its input width). Each stripe's Counter owns
+// its own client id, so the stripes' exactly-once dedup windows — and
+// their retry budgets — are fully independent.
 func (sc *ShardedCluster) NewCounter(poolWidth int) *ShardedCounter {
 	t := &ShardedCounter{sc: sc, ctrs: make([]*Counter, len(sc.clusters))}
 	for i, c := range sc.clusters {
@@ -173,6 +176,14 @@ func (t *ShardedCounter) remap(vals []int64, from int, stripe int64) []int64 {
 		vals[j] = vals[j]*t.sc.n + stripe
 	}
 	return vals
+}
+
+// SetRetryPolicy bounds every stripe's self-healing retry path (see
+// Counter.SetRetryPolicy).
+func (t *ShardedCounter) SetRetryPolicy(attempts int, budget time.Duration) {
+	for _, c := range t.ctrs {
+		c.SetRetryPolicy(attempts, budget)
+	}
 }
 
 // RPCs sums the monotone round-trip totals of every stripe — the

@@ -22,23 +22,49 @@
 // against k·(depth+1) for singles. Negative counts carry antitokens, so
 // the same frames serve Fetch&Decrement traffic (ref [2]).
 //
+// # Exactly-once frames (protocol v2)
+//
+// The retry path of the pooled Counter re-sends a whole window on a
+// fresh session after a connection death, and an at-least-once re-send
+// must not re-execute frames the dead session had already applied (that
+// would leak counter values). Protocol v2 makes every mutating frame
+// idempotent: a Counter-owned session announces the Counter's client id
+// with a fire-and-forget HELLO frame (no reply, so it costs no round
+// trip), every mutating frame carries a monotone per-client sequence
+// number, and each shard keeps a bounded per-client dedup window
+// mapping applied sequences to their recorded replies, pinned against
+// eviction while any bound connection lives. An already-applied
+// sequence is answered from the record instead of being re-executed, so
+// a retried window lands exactly once no matter where the previous
+// attempt died. Standalone sessions perform no retries and speak the
+// stateless v1 ops, which also remain decodable for old clients — the
+// op byte distinguishes the versions.
+//
 // The wire protocol is binary frames (encoding/binary, big endian):
 //
 //	request:  op(1) id(4)            op 1 = STEP node, op 2 = CELL wire,
 //	                                 op 5 = READ wire
 //	          op(1) id(4) count(8)   op 3 = STEPN node, op 4 = CELLN wire
 //	                                 count int64: > 0 tokens, < 0 antitokens
+//	          op(1) id(4) client(8)  op 6 = HELLO: bind the connection to
+//	                                 a client id (no response)
+//	          op(1) id(4) seq(8)     op 7 = STEP, op 8 = CELL, dedup'd
+//	          op(1) id(4) seq(8) count(8)
+//	                                 op 9 = STEPN, op 10 = CELLN, dedup'd
 //	response: val(8)                 STEP: exit port; CELL: counter value;
 //	                                 STEPN: first sequence index of the
 //	                                 group; CELLN: cell value after the
 //	                                 batched add; READ: cell value,
 //	                                 unmodified (exact-count read side)
 //
-// A zero count, an unowned id, or an unknown op is a protocol violation:
-// the shard drops the connection.
+// A zero count, an unowned id, an unknown op, or a v2 mutating frame on
+// a connection that has not sent HELLO is a protocol violation: the
+// shard drops the connection. READ is non-mutating and needs no
+// sequence number.
 package tcpnet
 
 import (
+	"container/list"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -47,23 +73,27 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/balancer"
 	"repro/internal/network"
 )
 
-// Protocol op codes.
+// Dedup bounds: a shard remembers the (seq, reply) pairs of at most
+// DedupWindow applied mutating frames per client, and tracks at most
+// DedupClients clients (least-recently-registered evicted first). The
+// window is the exactly-once horizon — a retry is deduplicated as long
+// as fewer than DedupWindow newer frames from the same client reached
+// the shard in between, which a prompt bounded-budget retry stays far
+// inside of.
 const (
-	opStep  byte = 1
-	opCell  byte = 2
-	opStepN byte = 3
-	opCellN byte = 4
-	opRead  byte = 5
+	DedupWindow  = 4096
+	DedupClients = 1024
 )
 
 // Shard is one balancer server: it owns the state of the balancers and
 // counter cells assigned to it and serves STEP/CELL/STEPN/CELLN requests
-// over TCP.
+// over TCP, deduplicating v2 frames per client.
 type Shard struct {
 	ln    net.Listener
 	bals  map[int32]*balancer.PQ
@@ -72,6 +102,99 @@ type Shard struct {
 	done  chan struct{}
 	mu    sync.Mutex
 	conns map[net.Conn]struct{} // live client connections, dropped on Close
+
+	clmu    sync.Mutex
+	clients map[uint64]*list.Element // client id → LRU element (*dedupEntry)
+	lru     list.List                // most recently registered first
+}
+
+// dedupEntry pairs a registered client id with its dedup window. refs
+// counts the connections currently bound to the id (guarded by the
+// shard's clmu): while any is live the entry is pinned against LRU
+// eviction, so registration churn from other clients can never push out
+// the window a live Counter's retry depends on.
+type dedupEntry struct {
+	id   uint64
+	refs int
+	st   *dedupState
+}
+
+// dedupState is one client's bounded exactly-once window on one shard:
+// the replies of its last DedupWindow applied mutating frames, keyed by
+// sequence number, with FIFO eviction.
+type dedupState struct {
+	mu      sync.Mutex
+	replies map[uint64]int64
+	order   []uint64 // insertion-order ring over recorded seqs
+	head    int
+}
+
+// do replays the recorded reply for an already-applied sequence, or runs
+// exec exactly once and records its reply. The lock spans lookup and
+// execution so a retry racing the original frame (same client, two
+// connections) cannot double-apply; exec is a single atomic word
+// operation, so serializing a client's frames per shard here costs
+// lock-handoff nanoseconds against microsecond round trips.
+func (d *dedupState) do(seq uint64, exec func() (int64, bool)) (int64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v, ok := d.replies[seq]; ok {
+		return v, true
+	}
+	v, ok := exec()
+	if !ok {
+		return 0, false
+	}
+	if len(d.order) == DedupWindow {
+		delete(d.replies, d.order[d.head])
+		d.order[d.head] = seq
+		d.head = (d.head + 1) % DedupWindow
+	} else {
+		d.order = append(d.order, seq)
+	}
+	d.replies[seq] = v
+	return v, true
+}
+
+// bindClient returns (registering if needed) the dedup entry for a
+// client id announced by HELLO, pinning it for the lifetime of the
+// binding connection. Connections announcing the same id — a Counter's
+// whole session pool, including the fresh session a retry runs on —
+// share one window per shard, which is what makes the retry
+// exactly-once. Eviction at the DedupClients cap takes the least
+// recently registered UNPINNED client; if every tracked client has a
+// live connection the map grows past the cap until one disconnects.
+func (s *Shard) bindClient(id uint64) *dedupEntry {
+	s.clmu.Lock()
+	defer s.clmu.Unlock()
+	if el, ok := s.clients[id]; ok {
+		e := el.Value.(*dedupEntry)
+		e.refs++
+		s.lru.MoveToFront(el)
+		return e
+	}
+	if len(s.clients) >= DedupClients {
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*dedupEntry); e.refs == 0 {
+				s.lru.Remove(el)
+				delete(s.clients, e.id)
+				break
+			}
+		}
+	}
+	e := &dedupEntry{id: id, refs: 1, st: &dedupState{replies: make(map[uint64]int64)}}
+	s.clients[id] = s.lru.PushFront(e)
+	return e
+}
+
+// releaseClient unpins a dedup entry when its binding connection goes
+// away (or rebinds to another id). The records stay until LRU eviction,
+// so a retry that re-HELLOs moments after its session died still finds
+// them.
+func (s *Shard) releaseClient(e *dedupEntry) {
+	s.clmu.Lock()
+	e.refs--
+	s.clmu.Unlock()
 }
 
 // StartShard launches a shard on addr (use "127.0.0.1:0" for tests). The
@@ -84,11 +207,12 @@ func StartShard(addr string, topo *network.Network, index, shards int) (*Shard, 
 		return nil, err
 	}
 	s := &Shard{
-		ln:    ln,
-		bals:  make(map[int32]*balancer.PQ),
-		cells: make(map[int32]*atomic.Int64),
-		done:  make(chan struct{}),
-		conns: make(map[net.Conn]struct{}),
+		ln:      ln,
+		bals:    make(map[int32]*balancer.PQ),
+		cells:   make(map[int32]*atomic.Int64),
+		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		clients: make(map[uint64]*list.Element),
 	}
 	for id := 0; id < topo.Size(); id++ {
 		if id%shards == index {
@@ -170,76 +294,50 @@ func (s *Shard) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	defer s.untrack(conn)
-	var hdr [5]byte
-	var cntBuf [8]byte
+	var buf [maxFrameLen]byte
 	var resp [8]byte
+	var f frame
+	var cl *dedupEntry // bound by HELLO; required for v2 mutating frames
+	defer func() {
+		if cl != nil {
+			s.releaseClient(cl)
+		}
+	}()
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if err := readFrame(conn, &buf, &f); err != nil {
 			return
 		}
-		id := int32(binary.BigEndian.Uint32(hdr[1:]))
-		var n int64
-		switch hdr[0] {
-		case opStepN, opCellN:
-			if _, err := io.ReadFull(conn, cntBuf[:]); err != nil {
-				return
-			}
-			n = int64(binary.BigEndian.Uint64(cntBuf[:]))
+		switch f.op {
+		case opStepN, opCellN, opStepN2, opCellN2:
 			// Protocol violations: an empty batch, or math.MinInt64
 			// (whose negation overflows back to itself and would panic
 			// StepAntiN instead of dropping the connection).
-			if n == 0 || n == math.MinInt64 {
+			if f.n == 0 || f.n == math.MinInt64 {
 				return
 			}
 		}
 		var val int64
-		switch hdr[0] {
-		case opStep:
-			b, ok := s.bals[id]
-			if !ok {
-				return // protocol violation: drop the connection
+		var ok bool
+		switch f.op {
+		case opHello:
+			// Bind the connection to its client's dedup window;
+			// fire-and-forget (no reply), so registration costs no
+			// round trip.
+			if cl != nil {
+				s.releaseClient(cl)
 			}
-			val = int64(b.Step())
-		case opStepN:
-			b, ok := s.bals[id]
-			if !ok {
-				return
+			cl = s.bindClient(f.client)
+			continue
+		case opStep2, opCell2, opStepN2, opCellN2:
+			if cl == nil {
+				return // v2 mutating frame before HELLO
 			}
-			// One transition for the whole group: its first sequence
-			// index comes back; the client folds the split arithmetic.
-			if n > 0 {
-				val = b.StepN(n)
-			} else {
-				val = b.StepAntiN(-n)
-			}
-		case opRead:
-			// Non-mutating cell read: id is the bare wire index.
-			c, ok := s.cells[id]
-			if !ok {
-				return
-			}
-			val = c.Load()
-		case opCell, opCellN:
-			// The stride (output width t) rides in the upper bits of the
-			// id to keep the protocol stateless: id = wire | stride<<16.
-			// Networks therefore must have t < 65536 — far beyond any
-			// practical configuration.
-			wire := id & 0xffff
-			stride := int64(id >> 16)
-			c, ok := s.cells[wire]
-			if !ok {
-				return
-			}
-			if hdr[0] == opCell {
-				val = c.Add(stride) - stride
-			} else {
-				// Batched claim (n > 0) or revocation (n < 0): reply with
-				// the cell value after the add; the client reconstructs
-				// the |n| individual values.
-				val = c.Add(stride * n)
-			}
+			val, ok = cl.st.do(f.seq, func() (int64, bool) { return s.apply(&f) })
 		default:
-			return
+			val, ok = s.apply(&f)
+		}
+		if !ok {
+			return // protocol violation: drop the connection
 		}
 		binary.BigEndian.PutUint64(resp[:], uint64(val))
 		if _, err := conn.Write(resp[:]); err != nil {
@@ -248,13 +346,66 @@ func (s *Shard) serve(conn net.Conn) {
 	}
 }
 
+// apply executes one decoded mutating-or-read frame against the shard's
+// balancer and cell state; ok=false is a protocol violation (unowned
+// id). v1 and v2 ops share the same semantics — v2 only adds the dedup
+// wrapper in serve.
+func (s *Shard) apply(f *frame) (val int64, ok bool) {
+	switch f.op {
+	case opStep, opStep2:
+		b, ok := s.bals[f.id]
+		if !ok {
+			return 0, false
+		}
+		return int64(b.Step()), true
+	case opStepN, opStepN2:
+		b, ok := s.bals[f.id]
+		if !ok {
+			return 0, false
+		}
+		// One transition for the whole group: its first sequence index
+		// comes back; the client folds the split arithmetic.
+		if f.n > 0 {
+			return b.StepN(f.n), true
+		}
+		return b.StepAntiN(-f.n), true
+	case opRead:
+		// Non-mutating cell read: id is the bare wire index.
+		c, ok := s.cells[f.id]
+		if !ok {
+			return 0, false
+		}
+		return c.Load(), true
+	case opCell, opCell2, opCellN, opCellN2:
+		// The stride (output width t) rides in the upper bits of the
+		// id to keep the protocol stateless: id = wire | stride<<16.
+		// Networks therefore must have t < 65536 — far beyond any
+		// practical configuration.
+		wire := f.id & 0xffff
+		stride := int64(f.id >> 16)
+		c, ok := s.cells[wire]
+		if !ok {
+			return 0, false
+		}
+		if f.op == opCell || f.op == opCell2 {
+			return c.Add(stride) - stride, true
+		}
+		// Batched claim (n > 0) or revocation (n < 0): reply with the
+		// cell value after the add; the client reconstructs the |n|
+		// individual values.
+		return c.Add(stride * f.n), true
+	}
+	return 0, false
+}
+
 // Cluster is a client-side view of a sharded deployment: the topology plus
 // shard addresses. Sessions (one per goroutine) hold a connection to each
 // shard.
 type Cluster struct {
-	net    *network.Network
-	addrs  []string
-	stride int64
+	net      *network.Network
+	addrs    []string
+	stride   int64
+	dialWrap func(net.Conn) net.Conn
 }
 
 // NewCluster wires a topology to its shard addresses (shard i owns nodes
@@ -263,29 +414,69 @@ func NewCluster(n *network.Network, addrs []string) *Cluster {
 	return &Cluster{net: n, addrs: addrs, stride: int64(n.OutWidth())}
 }
 
-// Session is a single-goroutine client: one persistent connection per
-// shard.
-type Session struct {
-	c     *Cluster
-	conns []net.Conn
-	rpcs  atomic.Int64 // round trips performed (E25's cost metric)
+// SetDialWrapper installs a hook wrapping every connection a new session
+// dials — the fault-injection point the session-kill chaos tests and
+// countbench's E27 kill column use to cut connections at exact frame
+// boundaries. Pass nil to clear. Not safe to change while sessions are
+// being created.
+func (c *Cluster) SetDialWrapper(w func(net.Conn) net.Conn) { c.dialWrap = w }
 
-	// Batch walk scratch, reused across calls.
+// Session is a single-goroutine client: one persistent connection per
+// shard. Counter-owned sessions speak protocol v2 — every connection is
+// bound by HELLO to the Counter's client id and every mutating frame is
+// seq-numbered for the shards to dedup. Standalone sessions (see
+// NewSession) have no retry path, so they speak the stateless v1 ops
+// and burn no dedup state server-side.
+type Session struct {
+	c      *Cluster
+	client uint64
+	v2     bool // seq-number mutating frames (Counter-owned sessions)
+	conns  []net.Conn
+	rpcs   atomic.Int64  // round trips performed (E25's cost metric)
+	seqs   atomic.Uint64 // mutating-frame sequences outside a flight
+	tape   *seqTape      // set by a Counter flight for replayable sequences
+
+	// Frame and batch walk scratch, reused across calls.
+	buf     []byte
 	pending []int64
 	tally   []int64
 	dist    []int64
 }
 
-// NewSession dials every shard.
+// NewSession dials every shard. The session speaks the v1 stateless
+// protocol: it performs no retries of its own, so sequence-numbered
+// frames would buy nothing and cost the shards dedup bookkeeping.
 func (c *Cluster) NewSession() (*Session, error) {
-	s := &Session{c: c, conns: make([]net.Conn, len(c.addrs))}
+	return c.newSession(0, false)
+}
+
+// newSession dials every shard; with v2 set it announces the given
+// client id with a HELLO on each connection. Pool sessions of one
+// Counter share the Counter's id, which is what lets a retry on a fresh
+// session hit the original attempt's dedup records.
+func (c *Cluster) newSession(client uint64, v2 bool) (*Session, error) {
+	s := &Session{c: c, client: client, v2: v2, conns: make([]net.Conn, len(c.addrs))}
+	var hello []byte
+	if v2 {
+		hello = appendFrame(nil, &frame{op: opHello, client: client})
+	}
 	for i, addr := range c.addrs {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("tcpnet: dial shard %d: %w", i, err)
 		}
+		if c.dialWrap != nil {
+			conn = c.dialWrap(conn)
+		}
 		s.conns[i] = conn
+		if hello == nil {
+			continue
+		}
+		if _, err := conn.Write(hello); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("tcpnet: hello shard %d: %w", i, err)
+		}
 	}
 	return s, nil
 }
@@ -302,32 +493,32 @@ func (s *Session) Close() {
 // RPCs returns the number of round trips this session has performed.
 func (s *Session) RPCs() int64 { return s.rpcs.Load() }
 
-// rpc performs one fixed-frame request/response on the shard owning id.
-func (s *Session) rpc(op byte, shard int, id int32) (int64, error) {
-	var req [5]byte
-	req[0] = op
-	binary.BigEndian.PutUint32(req[1:], uint32(id))
-	conn := s.conns[shard]
-	if _, err := conn.Write(req[:]); err != nil {
-		return 0, err
+// nextSeq draws the next mutating-frame sequence number: from the
+// owning Counter's tape during a flight (replayable on retry), from the
+// session's own counter otherwise.
+func (s *Session) nextSeq() uint64 {
+	if s.tape != nil {
+		return s.tape.take()
 	}
-	return s.readVal(conn)
+	return s.seqs.Add(1)
 }
 
-// rpcN performs one batched-frame request/response (op STEPN or CELLN).
-func (s *Session) rpcN(op byte, shard int, id int32, n int64) (int64, error) {
-	var req [13]byte
-	req[0] = op
-	binary.BigEndian.PutUint32(req[1:5], uint32(id))
-	binary.BigEndian.PutUint64(req[5:], uint64(n))
-	conn := s.conns[shard]
-	if _, err := conn.Write(req[:]); err != nil {
-		return 0, err
+// mut builds one mutating frame from its v1 op: seq-numbered v2 on
+// Counter-owned sessions, plain v1 on standalone ones.
+func (s *Session) mut(op byte, id int32, n int64) frame {
+	if !s.v2 {
+		return frame{op: op, id: id, n: n}
 	}
-	return s.readVal(conn)
+	return frame{op: v2op(op), id: id, seq: s.nextSeq(), n: n}
 }
 
-func (s *Session) readVal(conn net.Conn) (int64, error) {
+// send performs one request/response round trip on the given shard.
+func (s *Session) send(shard int, f *frame) (int64, error) {
+	s.buf = appendFrame(s.buf[:0], f)
+	conn := s.conns[shard]
+	if _, err := conn.Write(s.buf); err != nil {
+		return 0, err
+	}
 	var resp [8]byte
 	if _, err := io.ReadFull(conn, resp[:]); err != nil {
 		return 0, err
@@ -336,15 +527,31 @@ func (s *Session) readVal(conn net.Conn) (int64, error) {
 	return int64(binary.BigEndian.Uint64(resp[:])), nil
 }
 
+// healthy probes the session's connections with a nonblocking peek (see
+// connDead): a live, in-sync connection has nothing pending, while a
+// long-dead one shows EOF or a reset and a desynced one has stray reply
+// bytes — all without a round trip, so checkout health checks cost no
+// RPCs.
+func (s *Session) healthy() bool {
+	for _, conn := range s.conns {
+		if connDead(conn) {
+			return false
+		}
+	}
+	return true
+}
+
 // Inc shepherds one token through the distributed network and returns its
 // counter value: depth RPCs for the balancer crossings plus one for the
-// exit cell.
+// exit cell. A retried Inc walks the identical path — the dedup windows
+// replay the original ports for already-applied sequences.
 func (s *Session) Inc(pid int) (int64, error) {
 	shards := len(s.c.addrs)
 	wire := pid % s.c.net.InWidth()
 	node, port := s.c.net.InputDest(wire)
 	for node >= 0 {
-		p, err := s.rpc(opStep, node%shards, int32(node))
+		f := s.mut(opStep, int32(node), 0)
+		p, err := s.send(node%shards, &f)
 		if err != nil {
 			return 0, err
 		}
@@ -352,14 +559,15 @@ func (s *Session) Inc(pid int) (int64, error) {
 	}
 	// port now names the exit wire; fetch the cell value with the stride
 	// packed into the id's upper bits.
-	id := int32(port) | int32(s.c.stride)<<16
-	return s.rpc(opCell, port%shards, id)
+	f := s.mut(opCell, int32(port)|int32(s.c.stride)<<16, 0)
+	return s.send(port%shards, &f)
 }
 
 // ReadCell returns exit cell `wire`'s current value without modifying it
 // (op READ) — the building block of cluster-wide exact-count reads.
+// Non-mutating, so it carries no sequence number.
 func (s *Session) ReadCell(wire int) (int64, error) {
-	return s.rpc(opRead, wire%len(s.c.addrs), int32(wire))
+	return s.send(wire%len(s.c.addrs), &frame{op: opRead, id: int32(wire)})
 }
 
 // Read sums the exit cells into the cluster's net count (increments minus
@@ -410,7 +618,9 @@ func (s *Session) DecBatch(pid, k int, dst []int64) ([]int64, error) {
 // batch walks the topology in topological order exactly like
 // network.TraverseBatch, but every balancer transition is one STEPN round
 // trip to the owning shard; the split arithmetic runs client-side from
-// the replied first index and the known initial states.
+// the replied first index and the known initial states. The walk is
+// deterministic in (wire, k, anti), so a retried window re-sends the
+// identical frame sequence and the dedup windows make it exactly-once.
 func (s *Session) batch(wire int, k int64, anti bool, dst []int64) ([]int64, error) {
 	n := s.c.net
 	shards := len(s.c.addrs)
@@ -440,7 +650,8 @@ func (s *Session) batch(wire int, k int64, anti bool, dst []int64) ([]int64, err
 		if anti {
 			sendN = -c
 		}
-		start, err := s.rpcN(opStepN, id%shards, int32(id), sendN)
+		f := s.mut(opStepN, int32(id), sendN)
+		start, err := s.send(id%shards, &f)
 		if err != nil {
 			clear(pending) // leave the scratch reusable
 			return dst, err
@@ -466,12 +677,12 @@ func (s *Session) batch(wire int, k int64, anti bool, dst []int64) ([]int64, err
 		if cnt == 0 {
 			continue
 		}
-		id := int32(wireOut) | int32(stride)<<16
 		sendN := cnt
 		if anti {
 			sendN = -cnt
 		}
-		end, err := s.rpcN(opCellN, wireOut%shards, id, sendN)
+		f := s.mut(opCellN, int32(wireOut)|int32(stride)<<16, sendN)
+		end, err := s.send(wireOut%shards, &f)
 		if err != nil {
 			return dst, err
 		}
@@ -504,24 +715,40 @@ var ErrClosed = errors.New("tcpnet: counter closed")
 //
 // Flights run on sessions checked out of a shared connection pool
 // (round-robin, configurable width — see Cluster.NewCounterPool) instead
-// of one pinned session per wire. The pool self-heals: a session whose
-// connection fails mid-flight is evicted pool-wide (a partial frame may
-// have desynced its streams) and the flight retries ONCE on a fresh
-// session, so a single connection loss is invisible to callers — only a
-// second consecutive failure surfaces. After a mid-window failure the
-// retry re-runs the whole window, so frames the dead session had already
-// applied may leave gaps in the value sequence: values stay globally
-// unique and counts stay monotone, but density is only guaranteed while
-// no connection is lost.
+// of one pinned session per wire. The pool self-heals twice over: idle
+// sessions are health-probed at checkout (an immediate-deadline read, no
+// round trip), so a long-dead connection is evicted before a flight
+// discovers it; and a session whose connection fails mid-flight is
+// evicted pool-wide (a partial frame may have desynced its streams)
+// while the flight retries on fresh sessions under a bounded
+// attempt/deadline budget (SetRetryPolicy). Retries are EXACTLY-ONCE:
+// every pooled session announces the counter's client id, every
+// mutating frame carries a sequence number recorded on the flight's
+// tape, and a retry re-sends the identical (client, seq) pairs so the
+// shards' dedup windows replay frames the dead session had already
+// applied instead of re-executing them. Values stay dense through any
+// absorbed connection loss — no gaps, no duplicates.
 type Counter struct {
 	c     *Cluster
+	id    uint64        // client id every pooled session announces
+	seqs  atomic.Uint64 // mutating-frame sequence source, shared by flights
 	combs []tcpComb
 	pool  *pool
 
-	mu       sync.Mutex
-	closed   bool
-	inflight sync.WaitGroup // flights holding pool sessions
+	mu          sync.Mutex
+	closed      bool
+	maxAttempts int
+	budget      time.Duration
+	inflight    sync.WaitGroup // flights holding pool sessions
 }
+
+// Default retry budget: a failed flight is retried on fresh sessions up
+// to DefaultRetryAttempts total tries within DefaultRetryBudget of the
+// first failure.
+const (
+	DefaultRetryAttempts = 4
+	DefaultRetryBudget   = 2 * time.Second
+)
 
 // tcpComb is the per-input-wire coalescing state.
 type tcpComb struct {
@@ -547,13 +774,35 @@ func (c *Cluster) NewCounter() *Counter { return c.NewCounterPool(0) }
 // NewCounterPool builds the coalescing counter client over a session pool
 // retaining at most `width` idle sessions (width <= 0 defaults to the
 // input width). Flights check sessions out round-robin; bursts beyond the
-// width dial extra sessions that are retired on return.
+// width dial extra sessions that are retired on return. The counter owns
+// a fresh client id that every pooled session announces, keying its
+// exactly-once dedup windows on the shards.
 func (c *Cluster) NewCounterPool(width int) *Counter {
+	id := nextClientID()
 	return &Counter{
-		c:     c,
-		combs: make([]tcpComb, c.net.InWidth()),
-		pool:  newPool(c, width),
+		c:           c,
+		id:          id,
+		combs:       make([]tcpComb, c.net.InWidth()),
+		pool:        newPool(c, width, id),
+		maxAttempts: DefaultRetryAttempts,
+		budget:      DefaultRetryBudget,
 	}
+}
+
+// SetRetryPolicy bounds the self-healing path: a failed flight is
+// retried on fresh sessions for at most `attempts` total tries
+// (including the first), as long as the time since the first failure
+// stays within `budget` (budget <= 0 removes the time bound; attempts
+// are always enforced). attempts < 1 is clamped to 1, disabling
+// retries. Applies to flights started after the call.
+func (t *Counter) SetRetryPolicy(attempts int, budget time.Duration) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	t.mu.Lock()
+	t.maxAttempts = attempts
+	t.budget = budget
+	t.mu.Unlock()
 }
 
 // Inc returns the next counter value. A lone caller pays the single-token
@@ -643,34 +892,64 @@ func (t *Counter) Read() (int64, error) {
 	return total, err
 }
 
-// flight runs one pooled operation: check a session out, run op, and on a
-// connection failure evict the session pool-wide and retry ONCE on a
-// fresh session — the transparent self-healing path. Close fails new
-// flights with ErrClosed and waits for running ones.
+// flight runs one pooled operation: check a session out, run op, and on
+// a connection failure evict the session pool-wide and retry on fresh
+// sessions under the counter's attempt/deadline budget — the transparent
+// self-healing path. Sequence numbers are drawn through a tape so every
+// retry re-sends the same (client, seq) pairs and the shards' dedup
+// windows make the retry exactly-once. Close fails new flights with
+// ErrClosed, waits for running ones, and a flight mid-retry observes it
+// between attempts.
 func (t *Counter) flight(op func(*Session) error) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
+	attempts, budget := t.maxAttempts, t.budget
 	t.inflight.Add(1)
 	t.mu.Unlock()
 	defer t.inflight.Done()
 
-	if err := t.attempt(op); err == nil || errors.Is(err, ErrClosed) {
-		return err
+	tape := &seqTape{src: &t.seqs}
+	var deadline time.Time
+	for attempt := 1; ; attempt++ {
+		err := t.attempt(op, tape)
+		if err == nil || errors.Is(err, ErrClosed) {
+			return err
+		}
+		// A window racing Close must observe it here and hand its
+		// callers the sentinel, never a raw dial or connection error
+		// from a replacement session it was never going to get.
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if attempt >= attempts {
+			return err
+		}
+		if budget > 0 {
+			if deadline.IsZero() {
+				deadline = time.Now().Add(budget)
+			} else if time.Now().After(deadline) {
+				return err
+			}
+		}
 	}
-	// The first session died (possibly mid-window); it has been evicted
-	// and a fresh checkout redials. Only this second failure surfaces.
-	return t.attempt(op)
 }
 
-func (t *Counter) attempt(op func(*Session) error) error {
+func (t *Counter) attempt(op func(*Session) error, tape *seqTape) error {
 	sess, err := t.pool.checkout()
 	if err != nil {
 		return err
 	}
-	if err := op(sess); err != nil {
+	tape.rewind()
+	sess.tape = tape
+	err = op(sess)
+	sess.tape = nil
+	if err != nil {
 		t.pool.evict(sess)
 		return err
 	}
@@ -723,11 +1002,13 @@ func (t *Counter) Close() {
 }
 
 // pool is the Counter's session pool: up to `width` idle sessions reused
-// round-robin across flights, every dialed session tracked in `live` so
-// the RPC bill stays monotone through eviction and retirement.
+// round-robin across flights, every dialed session announcing the
+// counter's client id, every dialed session tracked in `live` so the
+// RPC bill stays monotone through eviction and retirement.
 type pool struct {
 	c      *Cluster
 	width  int
+	id     uint64 // the owning Counter's client id
 	mu     sync.Mutex
 	idle   []*Session
 	live   map[*Session]struct{}
@@ -735,31 +1016,37 @@ type pool struct {
 	closed bool
 }
 
-func newPool(c *Cluster, width int) *pool {
+func newPool(c *Cluster, width int, id uint64) *pool {
 	if width < 1 {
 		width = c.net.InWidth()
 	}
-	return &pool{c: c, width: width, live: make(map[*Session]struct{})}
+	return &pool{c: c, width: width, id: id, live: make(map[*Session]struct{})}
 }
 
 // checkout hands the caller exclusive use of a session: the least
-// recently returned idle one (round-robin across the pool), or a fresh
-// dial when none is idle.
+// recently returned idle one (round-robin across the pool) that passes
+// the health probe, or a fresh dial when none is idle. A long-dead idle
+// connection is evicted here, at checkout, instead of being discovered
+// by a flight — the probe is a deadline read, not a round trip.
 func (p *pool) checkout() (*Session, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if n := len(p.idle); n > 0 {
+	for len(p.idle) > 0 {
 		sess := p.idle[0]
+		n := len(p.idle)
 		copy(p.idle, p.idle[1:])
 		p.idle = p.idle[:n-1]
-		p.mu.Unlock()
-		return sess, nil
+		if sess.healthy() {
+			p.mu.Unlock()
+			return sess, nil
+		}
+		p.retireLocked(sess)
 	}
 	p.mu.Unlock()
-	sess, err := p.c.NewSession()
+	sess, err := p.c.newSession(p.id, true)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package tcpnet
 
 import (
 	"encoding/binary"
+	"io"
 	"math"
 	"net"
 	"sort"
@@ -427,20 +428,38 @@ func TestMalformedFrames(t *testing.T) {
 			t.Fatalf("shard replied %d bytes to a malformed frame", n)
 		}
 	}
-	frame := func(op byte, id int32, n int64) []byte {
+	rawFrame := func(op byte, id int32, n int64) []byte {
 		b := make([]byte, 13)
 		b[0] = op
 		binary.BigEndian.PutUint32(b[1:5], uint32(id))
 		binary.BigEndian.PutUint64(b[5:], uint64(n))
 		return b
 	}
-	t.Run("unknown-op", func(t *testing.T) { send(t, frame(99, 0, 1)[:5]) })
-	t.Run("zero-count", func(t *testing.T) { send(t, frame(opStepN, 0, 0)) })
-	t.Run("minint-count", func(t *testing.T) { send(t, frame(opStepN, 0, math.MinInt64)) })
-	t.Run("minint-cell", func(t *testing.T) { send(t, frame(opCellN, 0, math.MinInt64)) })
-	t.Run("unowned-id", func(t *testing.T) { send(t, frame(opStepN, 9999, 4)) })
-	t.Run("unowned-cell", func(t *testing.T) { send(t, frame(opCellN, 0x7fff, 4)) })
-	t.Run("unowned-read", func(t *testing.T) { send(t, frame(opRead, 9999, 0)[:5]) })
+	hello := appendFrame(nil, &frame{op: opHello, client: 77})
+	t.Run("unknown-op", func(t *testing.T) { send(t, rawFrame(99, 0, 1)[:5]) })
+	t.Run("zero-count", func(t *testing.T) { send(t, rawFrame(opStepN, 0, 0)) })
+	t.Run("minint-count", func(t *testing.T) { send(t, rawFrame(opStepN, 0, math.MinInt64)) })
+	t.Run("minint-cell", func(t *testing.T) { send(t, rawFrame(opCellN, 0, math.MinInt64)) })
+	t.Run("unowned-id", func(t *testing.T) { send(t, rawFrame(opStepN, 9999, 4)) })
+	t.Run("unowned-cell", func(t *testing.T) { send(t, rawFrame(opCellN, 0x7fff, 4)) })
+	t.Run("unowned-read", func(t *testing.T) { send(t, rawFrame(opRead, 9999, 0)[:5]) })
+	t.Run("v2-before-hello", func(t *testing.T) {
+		// A seq-numbered mutating frame on a connection that never sent
+		// HELLO has no dedup window to land in: dropped.
+		send(t, appendFrame(nil, &frame{op: opStepN2, id: 0, seq: 1, n: 4}))
+	})
+	t.Run("v2-zero-count", func(t *testing.T) {
+		send(t, append(hello[:len(hello):len(hello)],
+			appendFrame(nil, &frame{op: opStepN2, id: 0, seq: 1, n: 0})...))
+	})
+	t.Run("v2-minint-count", func(t *testing.T) {
+		send(t, append(hello[:len(hello):len(hello)],
+			appendFrame(nil, &frame{op: opCellN2, id: 0, seq: 1, n: math.MinInt64})...))
+	})
+	t.Run("v2-unowned-id", func(t *testing.T) {
+		send(t, append(hello[:len(hello):len(hello)],
+			appendFrame(nil, &frame{op: opStep2, id: 9999, seq: 1})...))
+	})
 	t.Run("partial-frame", func(t *testing.T) {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
@@ -569,6 +588,73 @@ func TestSessionDialFailure(t *testing.T) {
 	cluster := NewCluster(topo, []string{"127.0.0.1:1"}) // nothing listens
 	if _, err := cluster.NewSession(); err == nil {
 		t.Fatal("dial to dead shard succeeded")
+	}
+}
+
+// The protocol-version bump keeps v1 frames decodable: a raw client
+// speaking the stateless v1 ops (no HELLO, no sequence numbers) gets
+// correct replies from the same shard that serves v2 sessions, and the
+// two interleave on shared balancer/cell state. The codec distinguishes
+// the versions by op byte alone.
+func TestLegacyFramesStillServed(t *testing.T) {
+	topo, err := core.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, stop := startCluster(t, topo, 1)
+	defer stop()
+
+	conn, err := net.Dial("tcp", cluster.addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rpc := func(f *frame) int64 {
+		t.Helper()
+		if _, err := conn.Write(appendFrame(nil, f)); err != nil {
+			t.Fatal(err)
+		}
+		var resp [8]byte
+		if _, err := io.ReadFull(conn, resp[:]); err != nil {
+			t.Fatal(err)
+		}
+		return int64(binary.BigEndian.Uint64(resp[:]))
+	}
+	stride := int64(topo.OutWidth())
+	legacyInc := func(wire int) int64 {
+		t.Helper()
+		node, port := topo.InputDest(wire)
+		for node >= 0 {
+			p := rpc(&frame{op: opStep, id: int32(node)})
+			node, port = topo.Dest(node, int(p))
+		}
+		return rpc(&frame{op: opCell, id: int32(port) | int32(stride)<<16})
+	}
+
+	// v1 and v2 traffic interleave on the same counter state (the
+	// pooled Counter speaks v2: HELLO plus seq-numbered frames).
+	if v := legacyInc(0); v != 0 {
+		t.Fatalf("legacy Inc #1 = %d, want 0", v)
+	}
+	ctr := cluster.NewCounterPool(1)
+	defer ctr.Close()
+	if v, err := ctr.Inc(0); err != nil || v != 1 {
+		t.Fatalf("v2 Inc between legacy Incs = (%d, %v), want (1, nil)", v, err)
+	}
+	if v := legacyInc(0); v != 2 {
+		t.Fatalf("legacy Inc #2 = %d, want 2", v)
+	}
+
+	// v1 batched and read frames: CELLN's reply is the cell value after
+	// the add, and READ observes exactly that, seq-free on both sides.
+	cellID := int32(0) | int32(stride)<<16
+	before := rpc(&frame{op: opRead, id: 0})
+	after := rpc(&frame{op: opCellN, id: cellID, n: 2})
+	if after != before+2*stride {
+		t.Fatalf("legacy CELLN = %d, want %d", after, before+2*stride)
+	}
+	if got := rpc(&frame{op: opRead, id: 0}); got != after {
+		t.Fatalf("legacy READ after CELLN = %d, want %d", got, after)
 	}
 }
 
