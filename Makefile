@@ -25,29 +25,33 @@ test:
 race:
 	$(GO) test -race -short -timeout 10m ./...
 
-# The tcpnet exactly-once gates pinned BY NAME (a rename can't silently
-# drop them): the retry/dedup regressions, the session-kill chaos grid,
-# the checkout health probe, Close racing a retry, the v1/v2 codec
-# distinction, and the frame-codec fuzz seeds. Keep this regex in
-# lockstep with .github/workflows/ci.yml.
+# The exactly-once gates pinned BY NAME (a rename can't silently drop
+# them): the tcpnet retry/dedup regressions, the session-kill chaos
+# grid, the checkout health probe, Close racing a retry, the v1/v2
+# codec distinction, the shared wire codec/packet fuzz seeds, and the
+# udpnet loss/dup/reorder chaos grid with its retransmit and
+# replay-not-reexecute regressions. Keep this regex in lockstep with
+# .github/workflows/ci.yml.
 resilience:
-	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|FuzzFrameCodec' ./internal/tcpnet
+	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestDedupConfig|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|TestPacketRoundTrip|FuzzFrameCodec|FuzzPacketCodec|TestUDPChaosExactCountGrid|TestUDPRetransmitExactlyOnce|TestUDPResponseLoss|TestUDPMalformedPackets|TestUDPBatchRPCsMatchTCPFloor' ./internal/tcpnet ./internal/udpnet ./internal/wire
 
-# Covers every package, the distributed benchmarks in internal/distnet
-# and internal/tcpnet (batched protocol, E25) included; the second pass
-# pins the sharded-deployment (E26) and dedup-enabled (E27) benchmarks
-# by name so a rename can't silently drop them.
+# Covers every package, the distributed benchmarks in internal/distnet,
+# internal/tcpnet and internal/udpnet (batched protocol, E25) included;
+# the second pass pins the sharded-deployment (E26), dedup-enabled (E27)
+# and UDP-transport (E28) benchmarks by name so a rename can't silently
+# drop them.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
-	$(GO) test -bench='Sharded|Dedup' -benchtime=1x -run='^$$' ./internal/distnet ./internal/tcpnet
+	$(GO) test -bench='Sharded|Dedup|UDP' -benchtime=1x -run='^$$' ./internal/distnet ./internal/tcpnet ./internal/udpnet
 
 # Full benchmark sweep (slow; see EXPERIMENTS.md for recorded tables).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Explore the batched-traversal and frame-codec fuzz targets beyond the
+# Explore the batched-traversal and wire codec fuzz targets beyond the
 # checked-in corpus.
 fuzz:
 	$(GO) test -fuzz=FuzzTraverseBatch -fuzztime=60s ./internal/network
 	$(GO) test -fuzz=FuzzTraverseAntiBatch -fuzztime=60s ./internal/network
-	$(GO) test -fuzz=FuzzFrameCodec -fuzztime=60s ./internal/tcpnet
+	$(GO) test -fuzz=FuzzFrameCodec -fuzztime=60s ./internal/wire
+	$(GO) test -fuzz=FuzzPacketCodec -fuzztime=60s ./internal/wire

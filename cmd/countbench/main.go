@@ -14,6 +14,7 @@
 //	countbench -exp distbatch    # E25: distributed msgs/token, batched protocol
 //	countbench -exp distshard    # E26: sharded deployments, cost vs stripe count S
 //	countbench -exp dedup        # E27: exactly-once dedup overhead + kill/retry
+//	countbench -exp udp          # E28: UDP datagram transport vs injected loss
 //	countbench -exp timesim      # E13: queueing simulation (host-independent)
 //	countbench -exp linearize    # E18: linearizability observation
 //	countbench -exp ablation     # E16/E17: bitonic merger, random init
@@ -45,11 +46,13 @@ import (
 	"repro/internal/stats"
 	"repro/internal/tcpnet"
 	"repro/internal/timesim"
+	"repro/internal/udpnet"
+	"repro/internal/wire"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | distshard | dedup | timesim | linearize | ablation | all")
+		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | distshard | dedup | udp | timesim | linearize | ablation | all")
 		rounds = flag.Int("rounds", 60, "tokens per process in simulations")
 		opsK   = flag.Int("ops", 50, "thousands of operations per throughput cell")
 		shards = flag.Int("shards", 4, "max stripe count S for sharded-deployment experiments")
@@ -77,13 +80,14 @@ func main() {
 		"distbatch":  expDistbatch,
 		"distshard":  func() { expDistshard(*shards) },
 		"dedup":      expDedup,
+		"udp":        expUDP,
 		"timesim":    expTimesim,
 		"linearize":  expLinearize,
 		"ablation":   expAblation,
 	}
 	order := []string{"depth", "contention", "compare", "blocks", "slope",
 		"throughput", "fastpath", "elim", "dist", "distbatch", "distshard",
-		"dedup", "timesim", "linearize", "ablation"}
+		"dedup", "udp", "timesim", "linearize", "ablation"}
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
@@ -620,6 +624,84 @@ func dedupRun(w, t, shards, batches, k int, kill bool) float64 {
 			k, kill, got, batches*k))
 	}
 	return float64(rpcs) / float64(batches*k)
+}
+
+// E28: the UDP datagram transport under injected loss. The frame bill
+// (rpcs/token, the E25-E27 unit) must hold the TCP 1.05 floor at k=64
+// with zero loss — the transports send the same frames — while the
+// datagram bill shows the MTU-packing win and the retransmit rate shows
+// what reliability costs as the injected loss grows. Counts are
+// panic-checked exact in every cell: loss, duplication and reordering
+// never leak a value.
+func expUDP() {
+	const w, t, shards, batches, k = 8, 24, 3, 16, 64
+	fmt.Printf("E28: UDP transport cost vs injected packet loss, C(%d,%d), %d batches of k=%d\n\n",
+		w, t, batches, k)
+	tb := stats.NewTable("loss%", "rpcs/token", "packets/token", "retrans/packet", "exact count")
+	for _, loss := range []float64{0, 0.10, 0.25} {
+		rpcs, pkts, retr := udpRun(w, t, shards, batches, k, loss)
+		tb.AddRowf(fmt.Sprintf("%.0f", loss*100), fmt.Sprintf("%.2f", rpcs),
+			fmt.Sprintf("%.2f", pkts), fmt.Sprintf("%.2f", retr),
+			fmt.Sprintf("%d", batches*k))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\n(floor: E25-E27 record 1.05 rpcs/token at k=64 over TCP; lossy rows inject" +
+		"\n symmetric drop plus 10% duplication and reordering — retransmitted frames" +
+		"\n are replayed from the shards' dedup windows, and the exact-count check" +
+		"\n panics if any value leaks)")
+}
+
+// udpRun drives `batches` batched pipelines of k tokens through a
+// pooled UDP Counter under the given injected loss rate (plus
+// duplication and reordering on lossy runs), verifies the exact count,
+// and returns (rpcs/token, packets/token, retransmits/packet) with
+// read-side costs excluded.
+func udpRun(w, t, shards, batches, k int, loss float64) (rpcs, pkts, retr float64) {
+	topo := must(core.New(w, t))
+	cluster, stop, err := udpnet.StartCluster(topo, shards)
+	if err != nil {
+		panic(err)
+	}
+	defer stop()
+	if loss > 0 {
+		cluster.SetRetransmitPolicy(wireRetry(), wireTimer())
+		cluster.SetDialWrapper(udpnet.Faults{
+			Drop: loss, Dup: 0.10, Reorder: 0.10, Seed: 42,
+		}.Wrapper())
+	}
+	ctr := cluster.NewCounterPool(1)
+	defer ctr.Close()
+	var vals []int64
+	for i := 0; i < batches; i++ {
+		if vals, err = ctr.IncBatch(i, k, vals[:0]); err != nil {
+			panic(fmt.Sprintf("E28 loss=%.2f: %v", loss, err))
+		}
+	}
+	frames, packets, retrans := ctr.RPCs(), ctr.Packets(), ctr.Retransmits()
+	got, err := ctr.Read()
+	if err != nil {
+		panic(err)
+	}
+	if got != int64(batches*k) {
+		panic(fmt.Sprintf("E28 loss=%.2f: Read %d != %d — values leaked",
+			loss, got, batches*k))
+	}
+	tokens := float64(batches * k)
+	if packets == 0 {
+		packets = 1
+	}
+	return float64(frames) / tokens, float64(packets) / tokens,
+		float64(retrans) / float64(packets)
+}
+
+// wireRetry/wireTimer keep the lossy E28 rows quick without weakening
+// the guarantee: more attempts, shorter jittered timers.
+func wireRetry() wire.RetryPolicy {
+	return wire.RetryPolicy{Attempts: 25, Budget: 60 * time.Second}
+}
+
+func wireTimer() wire.Backoff {
+	return wire.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}
 }
 
 // E13: host-independent discrete-event queueing simulation.

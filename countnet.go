@@ -34,7 +34,7 @@
 //   - Quiescent-state verification (counting / k-smoothing / difference
 //     merging properties).
 //   - The Section 7 byproduct: balancing networks as sorting networks.
-//   - A message-passing emulation and a TCP-sharded deployment, both
+//   - A message-passing emulation and TCP- and UDP-sharded deployments, all
 //     speaking a batched message protocol (one message per balancer
 //     touched per batch) with client-side coalescing of concurrent
 //     callers into shared flights, composable into pid-striped fleets of
@@ -42,7 +42,12 @@
 //     TCPShardedCluster) whose TCP wires run from pooled, self-healing
 //     sessions: health-probed at checkout, failed connections evicted
 //     pool-wide, and flights retried EXACTLY-ONCE under a bounded
-//     budget via seq-numbered idempotent frames (protocol v2).
+//     budget via seq-numbered idempotent frames (protocol v2). The UDP
+//     transport (UDPCluster) turns that same machinery into a full
+//     reliability layer: frames packed into MTU-budgeted datagrams,
+//     jittered retransmit timers, and per-client dedup windows making
+//     every mutating op exactly-once under packet loss, duplication
+//     and reordering.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.
@@ -68,6 +73,7 @@ import (
 	"repro/internal/tcpnet"
 	"repro/internal/timesim"
 	"repro/internal/trace"
+	"repro/internal/udpnet"
 )
 
 // Network is a balancing network: an immutable DAG of balancers with
@@ -505,6 +511,92 @@ func StartTCPShard(addr string, topo *Network, index, shards int) (*TCPShard, er
 // NewTCPCluster wires a topology to its shard addresses.
 func NewTCPCluster(topo *Network, addrs []string) *TCPCluster {
 	return tcpnet.NewCluster(topo, addrs)
+}
+
+// UDP deployment (datagram transport over the exactly-once wire layer) -------
+
+// UDPShard is one balancer server in a UDP-sharded deployment: the same
+// balancer/cell partitioning as a TCPShard, served as packed datagrams
+// of seq-numbered v2 frames, every mutating frame deduplicated per
+// client — which is what lets clients retransmit over a transport that
+// drops, duplicates and reorders.
+type UDPShard = udpnet.Shard
+
+// UDPCluster is the client-side view of a UDP-sharded deployment. Its
+// retransmit policy (attempts, budget, jittered exponential timer) is
+// set per cluster with SetRetransmitPolicy; SetDialWrapper installs the
+// packet-path fault-injection hook (see UDPFaults).
+type UDPCluster = udpnet.Cluster
+
+// UDPSession is a single-goroutine client holding one connected socket
+// per shard. Batched pipelines pack each topology layer's STEPN frames
+// (and the whole exit-cell phase) into MTU-budgeted datagrams, so the
+// per-frame bill equals tcpnet's while the packet bill is several times
+// smaller; RPCs/Packets/Retransmits report the three costs.
+type UDPSession = udpnet.Session
+
+// UDPCounter is the cluster-wide coalescing client over UDP: the same
+// single-flight windows, pooled sessions and exactly-once tape-driven
+// retries as TCPCounter, with packet loss inside the retransmit budget
+// absorbed below the flight layer entirely. Create with
+// UDPCluster.NewCounter or NewCounterPool, or NewUDPClusterCounter.
+type UDPCounter = udpnet.Counter
+
+// ErrUDPCounterClosed is the sentinel a UDPCounter returns once Close
+// has been called, including to callers pooled in a coalescing window.
+var ErrUDPCounterClosed = udpnet.ErrClosed
+
+// UDPFaults injects deterministic packet-path faults (drop, duplicate,
+// reorder, delay) into a cluster's sockets via
+// UDPCluster.SetDialWrapper(faults.Wrapper()) — the chaos-testing and
+// E28 loss-sweep harness.
+type UDPFaults = udpnet.Faults
+
+// UDPShardedCluster composes S independent UDP deployments into one
+// pid-striped fleet, exactly like TCPShardedCluster.
+type UDPShardedCluster = udpnet.ShardedCluster
+
+// UDPShardedCounter is the fleet-wide client over a UDPShardedCluster.
+// Create with NewUDPShardedClusterCounter.
+type UDPShardedCounter = udpnet.ShardedCounter
+
+// StartUDPShard launches shard `index` of `shards` for the topology on
+// addr ("host:0" picks a free port), partitioned exactly like
+// StartTCPShard.
+func StartUDPShard(addr string, topo *Network, index, shards int) (*UDPShard, error) {
+	return udpnet.StartShard(addr, topo, index, shards)
+}
+
+// NewUDPCluster wires a topology to its shard addresses.
+func NewUDPCluster(topo *Network, addrs []string) *UDPCluster {
+	return udpnet.NewCluster(topo, addrs)
+}
+
+// StartUDPCluster launches one loopback deployment of topo across
+// `shards` UDP servers and returns the client cluster plus a stop
+// function — the test/benchmark harness; production deployments dial
+// real addresses via NewUDPCluster.
+func StartUDPCluster(topo *Network, shards int) (*UDPCluster, func(), error) {
+	return udpnet.StartCluster(topo, shards)
+}
+
+// NewUDPClusterCounter builds the coalescing counter client over a UDP
+// cluster (poolWidth <= 0 defaults to the input width).
+func NewUDPClusterCounter(c *UDPCluster, poolWidth int) *UDPCounter {
+	return c.NewCounterPool(poolWidth)
+}
+
+// StartUDPShardedCluster launches S independent loopback deployments of
+// topo, each across `shards` UDP servers.
+func StartUDPShardedCluster(topo *Network, deployments, shards int) (*UDPShardedCluster, func(), error) {
+	return udpnet.StartShardedCluster(topo, deployments, shards)
+}
+
+// NewUDPShardedClusterCounter builds the fleet-wide counter: one pooled
+// coalescing counter per stripe (poolWidth <= 0 defaults to each
+// stripe's input width).
+func NewUDPShardedClusterCounter(sc *UDPShardedCluster, poolWidth int) *UDPShardedCounter {
+	return sc.NewCounter(poolWidth)
 }
 
 // Butterflies (§5) ----------------------------------------------------------

@@ -196,6 +196,37 @@ func TestTCPShardedClusterFacade(t *testing.T) {
 	}
 }
 
+func TestUDPShardedClusterFacade(t *testing.T) {
+	topo, err := NewCWT(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, stop, err := StartUDPShardedCluster(topo, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	ctr := NewUDPShardedClusterCounter(sc, 2)
+	seen := map[int64]bool{}
+	for i := 0; i < 50; i++ {
+		v, err := ctr.Inc(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	if got, err := ctr.Read(); err != nil || got != 50 {
+		t.Fatalf("aggregate Read() = (%d, %v), want (50, nil)", got, err)
+	}
+	ctr.Close()
+	if _, err := ctr.Inc(0); err != ErrUDPCounterClosed {
+		t.Fatalf("Inc after Close = %v, want ErrUDPCounterClosed", err)
+	}
+}
+
 func TestDiffractingTreeFacade(t *testing.T) {
 	dt, err := NewDiffractingTree(8, DiffractingTreeOptions{PrismWidth: 4, SpinBudget: 32})
 	if err != nil {

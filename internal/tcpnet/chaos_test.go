@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // killOnOp is a net.Conn that drops the connection when the (skip+1)-th
@@ -77,7 +78,7 @@ func TestRetryExactlyOnce(t *testing.T) {
 	}
 
 	sess := idleSession(t, ctr)
-	sess.conns[0] = &killOnOp{Conn: sess.conns[0], op: opCellN2, skip: 2}
+	sess.conns[0] = &killOnOp{Conn: sess.conns[0], op: wire.OpCellN2, skip: 2}
 
 	vals, err := ctr.IncBatch(0, k, nil)
 	if err != nil {
@@ -119,7 +120,7 @@ func TestRetryExactlyOnceMidSteps(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess := idleSession(t, ctr)
-	sess.conns[0] = &killOnOp{Conn: sess.conns[0], op: opStepN2, skip: 2}
+	sess.conns[0] = &killOnOp{Conn: sess.conns[0], op: wire.OpStepN2, skip: 2}
 
 	vals, err := ctr.IncBatch(0, 10, nil)
 	if err != nil {
@@ -165,9 +166,9 @@ func TestDedupSurvivesClientChurn(t *testing.T) {
 	defer conn.Close()
 	var burst []byte
 	for i := 0; i < DedupClients+64; i++ {
-		burst = appendFrame(burst, &frame{op: opHello, client: nextClientID()})
+		burst = wire.AppendFrame(burst, &wire.Frame{Op: wire.OpHello, Client: wire.NextClientID()})
 	}
-	burst = appendFrame(burst, &frame{op: opRead, id: 0})
+	burst = wire.AppendFrame(burst, &wire.Frame{Op: wire.OpRead, ID: 0})
 	if _, err := conn.Write(burst); err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestDedupSurvivesClientChurn(t *testing.T) {
 	// If the churn had evicted the Counter's window, the replayed
 	// frames would re-execute and the count would overshoot.
 	sess := idleSession(t, ctr)
-	sess.conns[0] = &killOnOp{Conn: sess.conns[0], op: opCellN2, skip: 1}
+	sess.conns[0] = &killOnOp{Conn: sess.conns[0], op: wire.OpCellN2, skip: 1}
 	if _, err := ctr.IncBatch(0, 10, nil); err != nil {
 		t.Fatalf("mid-window connection death surfaced: %v", err)
 	}

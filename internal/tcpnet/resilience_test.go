@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // failAfter is a net.Conn that starts failing writes after `allow`
@@ -419,5 +420,39 @@ func TestSessionRead(t *testing.T) {
 	}
 	if n, err := sess.Read(); err != nil || n != 15 {
 		t.Fatalf("Read after Dec = (%d, %v), want (15, nil)", n, err)
+	}
+}
+
+// DedupConfig threads from StartShardConfig down to the shard's
+// exactly-once table, and even a drastically shrunk window keeps a
+// prompt mid-window retry exact — the bound is the horizon, not the
+// correctness, as long as fewer than Window newer frames intervene.
+func TestDedupConfigThreaded(t *testing.T) {
+	topo, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ShardConfig{Dedup: wire.DedupConfig{Window: 8, Clients: 2}}
+	s, err := StartShardConfig("127.0.0.1:0", topo, 0, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.dedup.Config(); got.Window != cfg.Dedup.Window || got.Clients != cfg.Dedup.Clients {
+		t.Fatalf("shard dedup config = %+v, want %+v", got, cfg.Dedup)
+	}
+	cluster := NewCluster(topo, []string{s.Addr()})
+	ctr := cluster.NewCounterPool(1)
+	defer ctr.Close()
+	if _, err := ctr.Inc(0); err != nil {
+		t.Fatal(err)
+	}
+	sess := idleSession(t, ctr)
+	sess.conns[0] = &failAfter{Conn: sess.conns[0], allow: 2}
+	if _, err := ctr.IncBatch(0, 5, nil); err != nil {
+		t.Fatalf("mid-window death surfaced under a custom dedup config: %v", err)
+	}
+	if got, err := ctr.Read(); err != nil || got != 6 {
+		t.Fatalf("Read() = (%d, %v), want (6, nil)", got, err)
 	}
 }

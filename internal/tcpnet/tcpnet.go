@@ -64,7 +64,6 @@
 package tcpnet
 
 import (
-	"container/list"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -77,19 +76,29 @@ import (
 
 	"repro/internal/balancer"
 	"repro/internal/network"
+	"repro/internal/wire"
 )
 
-// Dedup bounds: a shard remembers the (seq, reply) pairs of at most
-// DedupWindow applied mutating frames per client, and tracks at most
-// DedupClients clients (least-recently-registered evicted first). The
-// window is the exactly-once horizon — a retry is deduplicated as long
-// as fewer than DedupWindow newer frames from the same client reached
-// the shard in between, which a prompt bounded-budget retry stays far
-// inside of.
+// Default dedup bounds (see wire.DedupConfig): a shard remembers the
+// (seq, reply) pairs of at most DedupWindow applied mutating frames per
+// client, and tracks at most DedupClients clients
+// (least-recently-registered unpinned client evicted first). The window
+// is the exactly-once horizon — a retry is deduplicated as long as
+// fewer than DedupWindow newer frames from the same client reached the
+// shard in between, which a prompt bounded-budget retry stays far
+// inside of. StartShardConfig resizes both per deployment.
 const (
-	DedupWindow  = 4096
-	DedupClients = 1024
+	DedupWindow  = wire.DefaultDedupWindow
+	DedupClients = wire.DefaultDedupClients
 )
+
+// ShardConfig tunes a shard server; the zero value is the production
+// default (DedupWindow/DedupClients bounds).
+type ShardConfig struct {
+	// Dedup sizes the per-client exactly-once windows; zero fields take
+	// the package defaults.
+	Dedup wire.DedupConfig
+}
 
 // Shard is one balancer server: it owns the state of the balancers and
 // counter cells assigned to it and serves STEP/CELL/STEPN/CELLN requests
@@ -103,116 +112,40 @@ type Shard struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{} // live client connections, dropped on Close
 
-	clmu    sync.Mutex
-	clients map[uint64]*list.Element // client id → LRU element (*dedupEntry)
-	lru     list.List                // most recently registered first
+	// dedup is the per-client exactly-once state: bounded (seq, reply)
+	// windows shared by every connection that HELLOs the same client id
+	// (see wire.Dedup). Entries are pinned against LRU eviction while
+	// any bound connection lives, so registration churn from other
+	// clients can never push out the window a live Counter's retry
+	// depends on.
+	dedup *wire.Dedup
 }
 
-// dedupEntry pairs a registered client id with its dedup window. refs
-// counts the connections currently bound to the id (guarded by the
-// shard's clmu): while any is live the entry is pinned against LRU
-// eviction, so registration churn from other clients can never push out
-// the window a live Counter's retry depends on.
-type dedupEntry struct {
-	id   uint64
-	refs int
-	st   *dedupState
-}
-
-// dedupState is one client's bounded exactly-once window on one shard:
-// the replies of its last DedupWindow applied mutating frames, keyed by
-// sequence number, with FIFO eviction.
-type dedupState struct {
-	mu      sync.Mutex
-	replies map[uint64]int64
-	order   []uint64 // insertion-order ring over recorded seqs
-	head    int
-}
-
-// do replays the recorded reply for an already-applied sequence, or runs
-// exec exactly once and records its reply. The lock spans lookup and
-// execution so a retry racing the original frame (same client, two
-// connections) cannot double-apply; exec is a single atomic word
-// operation, so serializing a client's frames per shard here costs
-// lock-handoff nanoseconds against microsecond round trips.
-func (d *dedupState) do(seq uint64, exec func() (int64, bool)) (int64, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if v, ok := d.replies[seq]; ok {
-		return v, true
-	}
-	v, ok := exec()
-	if !ok {
-		return 0, false
-	}
-	if len(d.order) == DedupWindow {
-		delete(d.replies, d.order[d.head])
-		d.order[d.head] = seq
-		d.head = (d.head + 1) % DedupWindow
-	} else {
-		d.order = append(d.order, seq)
-	}
-	d.replies[seq] = v
-	return v, true
-}
-
-// bindClient returns (registering if needed) the dedup entry for a
-// client id announced by HELLO, pinning it for the lifetime of the
-// binding connection. Connections announcing the same id — a Counter's
-// whole session pool, including the fresh session a retry runs on —
-// share one window per shard, which is what makes the retry
-// exactly-once. Eviction at the DedupClients cap takes the least
-// recently registered UNPINNED client; if every tracked client has a
-// live connection the map grows past the cap until one disconnects.
-func (s *Shard) bindClient(id uint64) *dedupEntry {
-	s.clmu.Lock()
-	defer s.clmu.Unlock()
-	if el, ok := s.clients[id]; ok {
-		e := el.Value.(*dedupEntry)
-		e.refs++
-		s.lru.MoveToFront(el)
-		return e
-	}
-	if len(s.clients) >= DedupClients {
-		for el := s.lru.Back(); el != nil; el = el.Prev() {
-			if e := el.Value.(*dedupEntry); e.refs == 0 {
-				s.lru.Remove(el)
-				delete(s.clients, e.id)
-				break
-			}
-		}
-	}
-	e := &dedupEntry{id: id, refs: 1, st: &dedupState{replies: make(map[uint64]int64)}}
-	s.clients[id] = s.lru.PushFront(e)
-	return e
-}
-
-// releaseClient unpins a dedup entry when its binding connection goes
-// away (or rebinds to another id). The records stay until LRU eviction,
-// so a retry that re-HELLOs moments after its session died still finds
-// them.
-func (s *Shard) releaseClient(e *dedupEntry) {
-	s.clmu.Lock()
-	e.refs--
-	s.clmu.Unlock()
-}
-
-// StartShard launches a shard on addr (use "127.0.0.1:0" for tests). The
-// shard owns every network node with id ≡ index (mod shards) and every
-// output-wire cell with wire ≡ index (mod shards); cells are initialized
-// to their wire index per §1.1.
+// StartShard launches a shard on addr (use "127.0.0.1:0" for tests) with
+// the default configuration. The shard owns every network node with
+// id ≡ index (mod shards) and every output-wire cell with
+// wire ≡ index (mod shards); cells are initialized to their wire index
+// per §1.1.
 func StartShard(addr string, topo *network.Network, index, shards int) (*Shard, error) {
+	return StartShardConfig(addr, topo, index, shards, ShardConfig{})
+}
+
+// StartShardConfig is StartShard with per-deployment tuning — most
+// importantly the dedup-window sizing, whose defaults suit pooled
+// counters with prompt bounded retries but can be grown for fleets with
+// many distinct long-lived clients.
+func StartShardConfig(addr string, topo *network.Network, index, shards int, cfg ShardConfig) (*Shard, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Shard{
-		ln:      ln,
-		bals:    make(map[int32]*balancer.PQ),
-		cells:   make(map[int32]*atomic.Int64),
-		done:    make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
-		clients: make(map[uint64]*list.Element),
+		ln:    ln,
+		bals:  make(map[int32]*balancer.PQ),
+		cells: make(map[int32]*atomic.Int64),
+		done:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+		dedup: wire.NewDedup(cfg.Dedup),
 	}
 	for id := 0; id < topo.Size(); id++ {
 		if id%shards == index {
@@ -220,11 +153,11 @@ func StartShard(addr string, topo *network.Network, index, shards int) (*Shard, 
 			s.bals[int32(id)] = balancer.NewInit(nd.In(), nd.Out(), nd.Balancer().Init())
 		}
 	}
-	for wire := 0; wire < topo.OutWidth(); wire++ {
-		if wire%shards == index {
+	for w := 0; w < topo.OutWidth(); w++ {
+		if w%shards == index {
 			c := &atomic.Int64{}
-			c.Store(int64(wire))
-			s.cells[int32(wire)] = c
+			c.Store(int64(w))
+			s.cells[int32(w)] = c
 		}
 	}
 	s.wg.Add(1)
@@ -294,45 +227,45 @@ func (s *Shard) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	defer s.untrack(conn)
-	var buf [maxFrameLen]byte
+	var buf [wire.MaxFrameLen]byte
 	var resp [8]byte
-	var f frame
-	var cl *dedupEntry // bound by HELLO; required for v2 mutating frames
+	var f wire.Frame
+	var cl *wire.DedupEntry // bound by HELLO; required for v2 mutating frames
 	defer func() {
 		if cl != nil {
-			s.releaseClient(cl)
+			s.dedup.Release(cl)
 		}
 	}()
 	for {
-		if err := readFrame(conn, &buf, &f); err != nil {
+		if err := wire.ReadFrame(conn, &buf, &f); err != nil {
 			return
 		}
-		switch f.op {
-		case opStepN, opCellN, opStepN2, opCellN2:
+		switch f.Op {
+		case wire.OpStepN, wire.OpCellN, wire.OpStepN2, wire.OpCellN2:
 			// Protocol violations: an empty batch, or math.MinInt64
 			// (whose negation overflows back to itself and would panic
 			// StepAntiN instead of dropping the connection).
-			if f.n == 0 || f.n == math.MinInt64 {
+			if f.N == 0 || f.N == math.MinInt64 {
 				return
 			}
 		}
 		var val int64
 		var ok bool
-		switch f.op {
-		case opHello:
+		switch f.Op {
+		case wire.OpHello:
 			// Bind the connection to its client's dedup window;
 			// fire-and-forget (no reply), so registration costs no
 			// round trip.
 			if cl != nil {
-				s.releaseClient(cl)
+				s.dedup.Release(cl)
 			}
-			cl = s.bindClient(f.client)
+			cl = s.dedup.Bind(f.Client)
 			continue
-		case opStep2, opCell2, opStepN2, opCellN2:
+		case wire.OpStep2, wire.OpCell2, wire.OpStepN2, wire.OpCellN2:
 			if cl == nil {
 				return // v2 mutating frame before HELLO
 			}
-			val, ok = cl.st.do(f.seq, func() (int64, bool) { return s.apply(&f) })
+			val, ok = cl.Do(f.Seq, func() (int64, bool) { return s.apply(&f) })
 		default:
 			val, ok = s.apply(&f)
 		}
@@ -350,50 +283,50 @@ func (s *Shard) serve(conn net.Conn) {
 // balancer and cell state; ok=false is a protocol violation (unowned
 // id). v1 and v2 ops share the same semantics — v2 only adds the dedup
 // wrapper in serve.
-func (s *Shard) apply(f *frame) (val int64, ok bool) {
-	switch f.op {
-	case opStep, opStep2:
-		b, ok := s.bals[f.id]
+func (s *Shard) apply(f *wire.Frame) (val int64, ok bool) {
+	switch f.Op {
+	case wire.OpStep, wire.OpStep2:
+		b, ok := s.bals[f.ID]
 		if !ok {
 			return 0, false
 		}
 		return int64(b.Step()), true
-	case opStepN, opStepN2:
-		b, ok := s.bals[f.id]
+	case wire.OpStepN, wire.OpStepN2:
+		b, ok := s.bals[f.ID]
 		if !ok {
 			return 0, false
 		}
 		// One transition for the whole group: its first sequence index
 		// comes back; the client folds the split arithmetic.
-		if f.n > 0 {
-			return b.StepN(f.n), true
+		if f.N > 0 {
+			return b.StepN(f.N), true
 		}
-		return b.StepAntiN(-f.n), true
-	case opRead:
+		return b.StepAntiN(-f.N), true
+	case wire.OpRead:
 		// Non-mutating cell read: id is the bare wire index.
-		c, ok := s.cells[f.id]
+		c, ok := s.cells[f.ID]
 		if !ok {
 			return 0, false
 		}
 		return c.Load(), true
-	case opCell, opCell2, opCellN, opCellN2:
+	case wire.OpCell, wire.OpCell2, wire.OpCellN, wire.OpCellN2:
 		// The stride (output width t) rides in the upper bits of the
 		// id to keep the protocol stateless: id = wire | stride<<16.
 		// Networks therefore must have t < 65536 — far beyond any
 		// practical configuration.
-		wire := f.id & 0xffff
-		stride := int64(f.id >> 16)
-		c, ok := s.cells[wire]
+		cw := f.ID & 0xffff
+		stride := int64(f.ID >> 16)
+		c, ok := s.cells[cw]
 		if !ok {
 			return 0, false
 		}
-		if f.op == opCell || f.op == opCell2 {
+		if f.Op == wire.OpCell || f.Op == wire.OpCell2 {
 			return c.Add(stride) - stride, true
 		}
 		// Batched claim (n > 0) or revocation (n < 0): reply with the
 		// cell value after the add; the client reconstructs the |n|
 		// individual values.
-		return c.Add(stride * f.n), true
+		return c.Add(stride * f.N), true
 	}
 	return 0, false
 }
@@ -434,7 +367,7 @@ type Session struct {
 	conns  []net.Conn
 	rpcs   atomic.Int64  // round trips performed (E25's cost metric)
 	seqs   atomic.Uint64 // mutating-frame sequences outside a flight
-	tape   *seqTape      // set by a Counter flight for replayable sequences
+	tape   *wire.SeqTape // set by a Counter flight for replayable sequences
 
 	// Frame and batch walk scratch, reused across calls.
 	buf     []byte
@@ -458,7 +391,7 @@ func (c *Cluster) newSession(client uint64, v2 bool) (*Session, error) {
 	s := &Session{c: c, client: client, v2: v2, conns: make([]net.Conn, len(c.addrs))}
 	var hello []byte
 	if v2 {
-		hello = appendFrame(nil, &frame{op: opHello, client: client})
+		hello = wire.AppendFrame(nil, &wire.Frame{Op: wire.OpHello, Client: client})
 	}
 	for i, addr := range c.addrs {
 		conn, err := net.Dial("tcp", addr)
@@ -498,23 +431,23 @@ func (s *Session) RPCs() int64 { return s.rpcs.Load() }
 // session's own counter otherwise.
 func (s *Session) nextSeq() uint64 {
 	if s.tape != nil {
-		return s.tape.take()
+		return s.tape.Take()
 	}
 	return s.seqs.Add(1)
 }
 
 // mut builds one mutating frame from its v1 op: seq-numbered v2 on
 // Counter-owned sessions, plain v1 on standalone ones.
-func (s *Session) mut(op byte, id int32, n int64) frame {
+func (s *Session) mut(op byte, id int32, n int64) wire.Frame {
 	if !s.v2 {
-		return frame{op: op, id: id, n: n}
+		return wire.Frame{Op: op, ID: id, N: n}
 	}
-	return frame{op: v2op(op), id: id, seq: s.nextSeq(), n: n}
+	return wire.Frame{Op: wire.V2Op(op), ID: id, Seq: s.nextSeq(), N: n}
 }
 
 // send performs one request/response round trip on the given shard.
-func (s *Session) send(shard int, f *frame) (int64, error) {
-	s.buf = appendFrame(s.buf[:0], f)
+func (s *Session) send(shard int, f *wire.Frame) (int64, error) {
+	s.buf = wire.AppendFrame(s.buf[:0], f)
 	conn := s.conns[shard]
 	if _, err := conn.Write(s.buf); err != nil {
 		return 0, err
@@ -547,10 +480,10 @@ func (s *Session) healthy() bool {
 // replay the original ports for already-applied sequences.
 func (s *Session) Inc(pid int) (int64, error) {
 	shards := len(s.c.addrs)
-	wire := pid % s.c.net.InWidth()
-	node, port := s.c.net.InputDest(wire)
+	in := pid % s.c.net.InWidth()
+	node, port := s.c.net.InputDest(in)
 	for node >= 0 {
-		f := s.mut(opStep, int32(node), 0)
+		f := s.mut(wire.OpStep, int32(node), 0)
 		p, err := s.send(node%shards, &f)
 		if err != nil {
 			return 0, err
@@ -559,15 +492,15 @@ func (s *Session) Inc(pid int) (int64, error) {
 	}
 	// port now names the exit wire; fetch the cell value with the stride
 	// packed into the id's upper bits.
-	f := s.mut(opCell, int32(port)|int32(s.c.stride)<<16, 0)
+	f := s.mut(wire.OpCell, int32(port)|int32(s.c.stride)<<16, 0)
 	return s.send(port%shards, &f)
 }
 
-// ReadCell returns exit cell `wire`'s current value without modifying it
+// ReadCell returns exit cell w's current value without modifying it
 // (op READ) — the building block of cluster-wide exact-count reads.
 // Non-mutating, so it carries no sequence number.
-func (s *Session) ReadCell(wire int) (int64, error) {
-	return s.send(wire%len(s.c.addrs), &frame{op: opRead, id: int32(wire)})
+func (s *Session) ReadCell(w int) (int64, error) {
+	return s.send(w%len(s.c.addrs), &wire.Frame{Op: wire.OpRead, ID: int32(w)})
 }
 
 // Read sums the exit cells into the cluster's net count (increments minus
@@ -575,12 +508,12 @@ func (s *Session) ReadCell(wire int) (int64, error) {
 // cluster is quiescent, like counter.Network.Issued.
 func (s *Session) Read() (int64, error) {
 	var total int64
-	for wire := 0; wire < s.c.net.OutWidth(); wire++ {
-		v, err := s.ReadCell(wire)
+	for w := 0; w < s.c.net.OutWidth(); w++ {
+		v, err := s.ReadCell(w)
 		if err != nil {
 			return 0, err
 		}
-		total += (v - int64(wire)) / s.c.stride
+		total += (v - int64(w)) / s.c.stride
 	}
 	return total, nil
 }
@@ -621,7 +554,7 @@ func (s *Session) DecBatch(pid, k int, dst []int64) ([]int64, error) {
 // the replied first index and the known initial states. The walk is
 // deterministic in (wire, k, anti), so a retried window re-sends the
 // identical frame sequence and the dedup windows make it exactly-once.
-func (s *Session) batch(wire int, k int64, anti bool, dst []int64) ([]int64, error) {
+func (s *Session) batch(in int, k int64, anti bool, dst []int64) ([]int64, error) {
 	n := s.c.net
 	shards := len(s.c.addrs)
 	if s.pending == nil {
@@ -631,7 +564,7 @@ func (s *Session) batch(wire int, k int64, anti bool, dst []int64) ([]int64, err
 	pending, tally := s.pending, s.tally
 	clear(tally)
 	first := n.Size()
-	nd, port := n.InputDest(wire)
+	nd, port := n.InputDest(in)
 	if nd < 0 {
 		tally[port] += k
 	} else {
@@ -650,7 +583,7 @@ func (s *Session) batch(wire int, k int64, anti bool, dst []int64) ([]int64, err
 		if anti {
 			sendN = -c
 		}
-		f := s.mut(opStepN, int32(id), sendN)
+		f := s.mut(wire.OpStepN, int32(id), sendN)
 		start, err := s.send(id%shards, &f)
 		if err != nil {
 			clear(pending) // leave the scratch reusable
@@ -681,7 +614,7 @@ func (s *Session) batch(wire int, k int64, anti bool, dst []int64) ([]int64, err
 		if anti {
 			sendN = -cnt
 		}
-		f := s.mut(opCellN, int32(wireOut)|int32(stride)<<16, sendN)
+		f := s.mut(wire.OpCellN, int32(wireOut)|int32(stride)<<16, sendN)
 		end, err := s.send(wireOut%shards, &f)
 		if err != nil {
 			return dst, err
@@ -739,16 +672,23 @@ type Counter struct {
 	closed      bool
 	maxAttempts int
 	budget      time.Duration
+	backoff     wire.Backoff   // jittered redial pacing between attempts
 	inflight    sync.WaitGroup // flights holding pool sessions
 }
 
 // Default retry budget: a failed flight is retried on fresh sessions up
 // to DefaultRetryAttempts total tries within DefaultRetryBudget of the
-// first failure.
+// first failure, the redials paced by DefaultRetryBackoff.
 const (
 	DefaultRetryAttempts = 4
 	DefaultRetryBudget   = 2 * time.Second
 )
+
+// DefaultRetryBackoff paces redials between retry attempts: jittered
+// exponential from 2ms, capped at 250ms. Without it every Counter that
+// watched the same shard flap redials in lockstep — the dial storm the
+// ROADMAP called out.
+var DefaultRetryBackoff = wire.Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
 
 // tcpComb is the per-input-wire coalescing state.
 type tcpComb struct {
@@ -778,7 +718,7 @@ func (c *Cluster) NewCounter() *Counter { return c.NewCounterPool(0) }
 // a fresh client id that every pooled session announces, keying its
 // exactly-once dedup windows on the shards.
 func (c *Cluster) NewCounterPool(width int) *Counter {
-	id := nextClientID()
+	id := wire.NextClientID()
 	return &Counter{
 		c:           c,
 		id:          id,
@@ -786,6 +726,7 @@ func (c *Cluster) NewCounterPool(width int) *Counter {
 		pool:        newPool(c, width, id),
 		maxAttempts: DefaultRetryAttempts,
 		budget:      DefaultRetryBudget,
+		backoff:     DefaultRetryBackoff,
 	}
 }
 
@@ -805,11 +746,20 @@ func (t *Counter) SetRetryPolicy(attempts int, budget time.Duration) {
 	t.mu.Unlock()
 }
 
+// SetRetryBackoff replaces the jittered exponential schedule pacing the
+// redials between retry attempts (the zero value restores the wire
+// defaults). Applies to flights started after the call.
+func (t *Counter) SetRetryBackoff(b wire.Backoff) {
+	t.mu.Lock()
+	t.backoff = b
+	t.mu.Unlock()
+}
+
 // Inc returns the next counter value. A lone caller pays the single-token
 // round trips; concurrent callers on the same wire coalesce.
 func (t *Counter) Inc(pid int) (int64, error) {
-	wire := pid % t.c.net.InWidth()
-	cb := &t.combs[wire]
+	in := pid % t.c.net.InWidth()
+	cb := &t.combs[in]
 	cb.mu.Lock()
 	if cb.flying {
 		w := cb.next
@@ -834,7 +784,7 @@ func (t *Counter) Inc(pid int) (int64, error) {
 		v, ferr = sess.Inc(pid)
 		return ferr
 	})
-	t.land(cb, wire)
+	t.land(cb, in)
 	if err != nil {
 		return 0, err
 	}
@@ -867,11 +817,11 @@ func (t *Counter) batch(pid, k int, anti bool, dst []int64) ([]int64, error) {
 	if k <= 0 {
 		return dst, nil
 	}
-	wire := pid % t.c.net.InWidth()
+	in := pid % t.c.net.InWidth()
 	base := len(dst)
 	err := t.flight(func(sess *Session) error {
 		var ferr error
-		dst, ferr = sess.batch(wire, int64(k), anti, dst[:base])
+		dst, ferr = sess.batch(in, int64(k), anti, dst[:base])
 		return ferr
 	})
 	if err != nil {
@@ -906,12 +856,12 @@ func (t *Counter) flight(op func(*Session) error) error {
 		t.mu.Unlock()
 		return ErrClosed
 	}
-	attempts, budget := t.maxAttempts, t.budget
+	attempts, budget, backoff := t.maxAttempts, t.budget, t.backoff
 	t.inflight.Add(1)
 	t.mu.Unlock()
 	defer t.inflight.Done()
 
-	tape := &seqTape{src: &t.seqs}
+	tape := wire.NewSeqTape(&t.seqs)
 	var deadline time.Time
 	for attempt := 1; ; attempt++ {
 		err := t.attempt(op, tape)
@@ -937,15 +887,19 @@ func (t *Counter) flight(op func(*Session) error) error {
 				return err
 			}
 		}
+		// Jittered exponential pause before redialing, so a fleet of
+		// counters that watched the same shard die does not storm it
+		// back down the moment it returns.
+		time.Sleep(backoff.Delay(attempt))
 	}
 }
 
-func (t *Counter) attempt(op func(*Session) error, tape *seqTape) error {
+func (t *Counter) attempt(op func(*Session) error, tape *wire.SeqTape) error {
 	sess, err := t.pool.checkout()
 	if err != nil {
 		return err
 	}
-	tape.rewind()
+	tape.Rewind()
 	sess.tape = tape
 	err = op(sess)
 	sess.tape = nil
@@ -960,7 +914,7 @@ func (t *Counter) attempt(op func(*Session) error, tape *seqTape) error {
 // land drains the windows that pooled up behind the owner's flight, one
 // batched pipeline per window, then releases the wire. Windows stranded
 // by Close fail with ErrClosed rather than a raw connection error.
-func (t *Counter) land(cb *tcpComb, wire int) {
+func (t *Counter) land(cb *tcpComb, in int) {
 	for {
 		cb.mu.Lock()
 		w := cb.next
@@ -973,7 +927,7 @@ func (t *Counter) land(cb *tcpComb, wire int) {
 		cb.mu.Unlock()
 		w.err = t.flight(func(sess *Session) error {
 			var ferr error
-			w.vals, ferr = sess.batch(wire, w.k, false, w.vals[:0])
+			w.vals, ferr = sess.batch(in, w.k, false, w.vals[:0])
 			return ferr
 		})
 		close(w.done)

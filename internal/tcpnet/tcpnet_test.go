@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/seq"
+	"repro/internal/wire"
 )
 
 // startCluster launches `shards` shard servers on loopback for the given
@@ -435,37 +436,37 @@ func TestMalformedFrames(t *testing.T) {
 		binary.BigEndian.PutUint64(b[5:], uint64(n))
 		return b
 	}
-	hello := appendFrame(nil, &frame{op: opHello, client: 77})
+	hello := wire.AppendFrame(nil, &wire.Frame{Op: wire.OpHello, Client: 77})
 	t.Run("unknown-op", func(t *testing.T) { send(t, rawFrame(99, 0, 1)[:5]) })
-	t.Run("zero-count", func(t *testing.T) { send(t, rawFrame(opStepN, 0, 0)) })
-	t.Run("minint-count", func(t *testing.T) { send(t, rawFrame(opStepN, 0, math.MinInt64)) })
-	t.Run("minint-cell", func(t *testing.T) { send(t, rawFrame(opCellN, 0, math.MinInt64)) })
-	t.Run("unowned-id", func(t *testing.T) { send(t, rawFrame(opStepN, 9999, 4)) })
-	t.Run("unowned-cell", func(t *testing.T) { send(t, rawFrame(opCellN, 0x7fff, 4)) })
-	t.Run("unowned-read", func(t *testing.T) { send(t, rawFrame(opRead, 9999, 0)[:5]) })
+	t.Run("zero-count", func(t *testing.T) { send(t, rawFrame(wire.OpStepN, 0, 0)) })
+	t.Run("minint-count", func(t *testing.T) { send(t, rawFrame(wire.OpStepN, 0, math.MinInt64)) })
+	t.Run("minint-cell", func(t *testing.T) { send(t, rawFrame(wire.OpCellN, 0, math.MinInt64)) })
+	t.Run("unowned-id", func(t *testing.T) { send(t, rawFrame(wire.OpStepN, 9999, 4)) })
+	t.Run("unowned-cell", func(t *testing.T) { send(t, rawFrame(wire.OpCellN, 0x7fff, 4)) })
+	t.Run("unowned-read", func(t *testing.T) { send(t, rawFrame(wire.OpRead, 9999, 0)[:5]) })
 	t.Run("v2-before-hello", func(t *testing.T) {
 		// A seq-numbered mutating frame on a connection that never sent
 		// HELLO has no dedup window to land in: dropped.
-		send(t, appendFrame(nil, &frame{op: opStepN2, id: 0, seq: 1, n: 4}))
+		send(t, wire.AppendFrame(nil, &wire.Frame{Op: wire.OpStepN2, ID: 0, Seq: 1, N: 4}))
 	})
 	t.Run("v2-zero-count", func(t *testing.T) {
 		send(t, append(hello[:len(hello):len(hello)],
-			appendFrame(nil, &frame{op: opStepN2, id: 0, seq: 1, n: 0})...))
+			wire.AppendFrame(nil, &wire.Frame{Op: wire.OpStepN2, ID: 0, Seq: 1, N: 0})...))
 	})
 	t.Run("v2-minint-count", func(t *testing.T) {
 		send(t, append(hello[:len(hello):len(hello)],
-			appendFrame(nil, &frame{op: opCellN2, id: 0, seq: 1, n: math.MinInt64})...))
+			wire.AppendFrame(nil, &wire.Frame{Op: wire.OpCellN2, ID: 0, Seq: 1, N: math.MinInt64})...))
 	})
 	t.Run("v2-unowned-id", func(t *testing.T) {
 		send(t, append(hello[:len(hello):len(hello)],
-			appendFrame(nil, &frame{op: opStep2, id: 9999, seq: 1})...))
+			wire.AppendFrame(nil, &wire.Frame{Op: wire.OpStep2, ID: 9999, Seq: 1})...))
 	})
 	t.Run("partial-frame", func(t *testing.T) {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := conn.Write([]byte{opStepN, 0, 0}); err != nil {
+		if _, err := conn.Write([]byte{wire.OpStepN, 0, 0}); err != nil {
 			t.Fatal(err)
 		}
 		conn.Close() // die mid-request
@@ -609,9 +610,9 @@ func TestLegacyFramesStillServed(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	rpc := func(f *frame) int64 {
+	rpc := func(f *wire.Frame) int64 {
 		t.Helper()
-		if _, err := conn.Write(appendFrame(nil, f)); err != nil {
+		if _, err := conn.Write(wire.AppendFrame(nil, f)); err != nil {
 			t.Fatal(err)
 		}
 		var resp [8]byte
@@ -621,14 +622,14 @@ func TestLegacyFramesStillServed(t *testing.T) {
 		return int64(binary.BigEndian.Uint64(resp[:]))
 	}
 	stride := int64(topo.OutWidth())
-	legacyInc := func(wire int) int64 {
+	legacyInc := func(in int) int64 {
 		t.Helper()
-		node, port := topo.InputDest(wire)
+		node, port := topo.InputDest(in)
 		for node >= 0 {
-			p := rpc(&frame{op: opStep, id: int32(node)})
+			p := rpc(&wire.Frame{Op: wire.OpStep, ID: int32(node)})
 			node, port = topo.Dest(node, int(p))
 		}
-		return rpc(&frame{op: opCell, id: int32(port) | int32(stride)<<16})
+		return rpc(&wire.Frame{Op: wire.OpCell, ID: int32(port) | int32(stride)<<16})
 	}
 
 	// v1 and v2 traffic interleave on the same counter state (the
@@ -648,12 +649,12 @@ func TestLegacyFramesStillServed(t *testing.T) {
 	// v1 batched and read frames: CELLN's reply is the cell value after
 	// the add, and READ observes exactly that, seq-free on both sides.
 	cellID := int32(0) | int32(stride)<<16
-	before := rpc(&frame{op: opRead, id: 0})
-	after := rpc(&frame{op: opCellN, id: cellID, n: 2})
+	before := rpc(&wire.Frame{Op: wire.OpRead, ID: 0})
+	after := rpc(&wire.Frame{Op: wire.OpCellN, ID: cellID, N: 2})
 	if after != before+2*stride {
 		t.Fatalf("legacy CELLN = %d, want %d", after, before+2*stride)
 	}
-	if got := rpc(&frame{op: opRead, id: 0}); got != after {
+	if got := rpc(&wire.Frame{Op: wire.OpRead, ID: 0}); got != after {
 		t.Fatalf("legacy READ after CELLN = %d, want %d", got, after)
 	}
 }

@@ -1,0 +1,454 @@
+package udpnet
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by Counter operations — including callers pooled
+// in a coalescing window — once Close has been called. Callers never see
+// a raw socket error caused by their own Counter shutting down.
+var ErrClosed = errors.New("udpnet: counter closed")
+
+// Default flight-retry budget: a flight whose exchanges exhausted their
+// retransmit budget (a shard unreachable for seconds, not a lost
+// packet) is re-run on fresh sessions up to DefaultRetryAttempts total
+// tries within DefaultRetryBudget of the first failure, paced by
+// DefaultRetryBackoff. The retry re-draws the identical sequence
+// numbers from the flight's tape, so whatever the dead attempts already
+// applied is replayed, not re-executed.
+const (
+	DefaultRetryAttempts = 4
+	DefaultRetryBudget   = 8 * time.Second
+)
+
+// DefaultRetryBackoff paces the pause between flight retries (jittered
+// exponential, shared machinery with tcpnet's redial backoff).
+var DefaultRetryBackoff = wire.Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
+
+// Counter is a cluster-wide coalescing Fetch&Increment client with the
+// same shape as tcpnet.Counter: concurrent Inc callers entering on the
+// same input wire merge into one in-flight batched pipeline (a
+// single-flight window per wire), flights run on sessions checked out
+// of a shared socket pool, and a flight that fails outright — its
+// exchanges out of retransmit budget — is retried on a fresh session
+// re-sending identical (client, seq) pairs from its sequence tape.
+// Packet loss inside the retransmit budget never reaches this layer;
+// values stay dense through any absorbed loss, duplication or
+// reordering.
+type Counter struct {
+	c     *Cluster
+	id    uint64        // client id every pooled session announces
+	seqs  atomic.Uint64 // mutating-frame sequence source, shared by flights
+	combs []udpComb
+	pool  *pool
+
+	mu          sync.Mutex
+	closed      bool
+	maxAttempts int
+	budget      time.Duration
+	backoff     wire.Backoff
+	inflight    sync.WaitGroup // flights holding pool sessions
+}
+
+// udpComb is the per-input-wire coalescing state.
+type udpComb struct {
+	mu     sync.Mutex
+	flying bool
+	next   *cwindow
+	_      [4]int64
+}
+
+// cwindow is one pooled group of coalesced Inc calls.
+type cwindow struct {
+	k    int64
+	vals []int64
+	err  error
+	done chan struct{}
+}
+
+// NewCounter builds the coalescing counter client for the cluster with
+// the default pool width (one session slot per input wire).
+func (c *Cluster) NewCounter() *Counter { return c.NewCounterPool(0) }
+
+// NewCounterPool builds the coalescing counter client over a session
+// pool retaining at most width idle sessions (width <= 0 defaults to
+// the input width). Flights check sessions out round-robin; bursts
+// beyond the width open extra sockets that are retired on return. The
+// counter owns a fresh client id that every pooled session announces in
+// every packet, keying its exactly-once dedup windows on the shards.
+func (c *Cluster) NewCounterPool(width int) *Counter {
+	id := wire.NextClientID()
+	return &Counter{
+		c:           c,
+		id:          id,
+		combs:       make([]udpComb, c.net.InWidth()),
+		pool:        newPool(c, width, id),
+		maxAttempts: DefaultRetryAttempts,
+		budget:      DefaultRetryBudget,
+		backoff:     DefaultRetryBackoff,
+	}
+}
+
+// SetRetryPolicy bounds the flight-level self-healing path: a failed
+// flight is re-run on fresh sessions for at most attempts total tries
+// (including the first), within budget of the first failure (budget
+// <= 0 removes the time bound). attempts < 1 is clamped to 1. Applies
+// to flights started after the call. Note the per-exchange retransmit
+// budget is separate — see Cluster.SetRetransmitPolicy.
+func (t *Counter) SetRetryPolicy(attempts int, budget time.Duration) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	t.mu.Lock()
+	t.maxAttempts = attempts
+	t.budget = budget
+	t.mu.Unlock()
+}
+
+// SetRetryBackoff replaces the jittered pacing between flight retries.
+func (t *Counter) SetRetryBackoff(b wire.Backoff) {
+	t.mu.Lock()
+	t.backoff = b
+	t.mu.Unlock()
+}
+
+// Inc returns the next counter value. A lone caller pays the
+// single-token exchanges; concurrent callers on the same wire coalesce.
+func (t *Counter) Inc(pid int) (int64, error) {
+	in := pid % t.c.net.InWidth()
+	cb := &t.combs[in]
+	cb.mu.Lock()
+	if cb.flying {
+		w := cb.next
+		if w == nil {
+			w = &cwindow{done: make(chan struct{})}
+			cb.next = w
+		}
+		idx := w.k
+		w.k++
+		cb.mu.Unlock()
+		<-w.done
+		if w.err != nil {
+			return 0, w.err
+		}
+		return w.vals[idx], nil
+	}
+	cb.flying = true
+	cb.mu.Unlock()
+	var v int64
+	err := t.flight(func(sess *Session) error {
+		var ferr error
+		v, ferr = sess.Inc(pid)
+		return ferr
+	})
+	t.land(cb, in)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// Dec revokes the counter's most recent increment on the antitoken's
+// exit wire (a one-element batched pipeline on a pooled session).
+func (t *Counter) Dec(pid int) (int64, error) {
+	vals, err := t.DecBatch(pid, 1, nil)
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// IncBatch claims k values as one batched pipeline on a pooled session.
+func (t *Counter) IncBatch(pid, k int, dst []int64) ([]int64, error) {
+	return t.batch(pid, k, false, dst)
+}
+
+// DecBatch revokes k values as one batched antitoken pipeline on a
+// pooled session.
+func (t *Counter) DecBatch(pid, k int, dst []int64) ([]int64, error) {
+	return t.batch(pid, k, true, dst)
+}
+
+func (t *Counter) batch(pid, k int, anti bool, dst []int64) ([]int64, error) {
+	if k <= 0 {
+		return dst, nil
+	}
+	in := pid % t.c.net.InWidth()
+	base := len(dst)
+	err := t.flight(func(sess *Session) error {
+		var ferr error
+		dst, ferr = sess.batch(in, int64(k), anti, dst[:base])
+		return ferr
+	})
+	if err != nil {
+		return dst[:base], err
+	}
+	return dst, nil
+}
+
+// Read returns the cluster's quiescent net count by summing the exit
+// cells over a pooled session — the exact-count read side.
+func (t *Counter) Read() (int64, error) {
+	var total int64
+	err := t.flight(func(sess *Session) error {
+		var ferr error
+		total, ferr = sess.Read()
+		return ferr
+	})
+	return total, err
+}
+
+// flight runs one pooled operation: check a session out, run op, and if
+// the whole retransmit budget of some exchange drained (shard gone, not
+// packet lost), retire the session and re-run the flight on a fresh one
+// under the counter's attempt/deadline budget, paced by jittered
+// backoff. Sequence numbers are drawn through a tape so every re-run
+// re-sends the same (client, seq) pairs and the shards' dedup windows
+// keep it exactly-once. Close fails new flights with ErrClosed, waits
+// for running ones, and a flight mid-retry observes it between
+// attempts.
+func (t *Counter) flight(op func(*Session) error) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	attempts, budget, backoff := t.maxAttempts, t.budget, t.backoff
+	t.inflight.Add(1)
+	t.mu.Unlock()
+	defer t.inflight.Done()
+
+	tape := wire.NewSeqTape(&t.seqs)
+	var deadline time.Time
+	for attempt := 1; ; attempt++ {
+		err := t.attempt(op, tape)
+		if err == nil || errors.Is(err, ErrClosed) {
+			return err
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		if attempt >= attempts {
+			return err
+		}
+		if budget > 0 {
+			if deadline.IsZero() {
+				deadline = time.Now().Add(budget)
+			} else if time.Now().After(deadline) {
+				return err
+			}
+		}
+		time.Sleep(backoff.Delay(attempt))
+	}
+}
+
+func (t *Counter) attempt(op func(*Session) error, tape *wire.SeqTape) error {
+	sess, err := t.pool.checkout()
+	if err != nil {
+		return err
+	}
+	tape.Rewind()
+	sess.tape = tape
+	err = op(sess)
+	sess.tape = nil
+	if err != nil {
+		t.pool.evict(sess)
+		return err
+	}
+	t.pool.checkin(sess)
+	return nil
+}
+
+// land drains the windows that pooled up behind the owner's flight, one
+// batched pipeline per window, then releases the wire. Windows stranded
+// by Close fail with ErrClosed rather than a raw socket error.
+func (t *Counter) land(cb *udpComb, in int) {
+	for {
+		cb.mu.Lock()
+		w := cb.next
+		cb.next = nil
+		if w == nil {
+			cb.flying = false
+			cb.mu.Unlock()
+			return
+		}
+		cb.mu.Unlock()
+		w.err = t.flight(func(sess *Session) error {
+			var ferr error
+			w.vals, ferr = sess.batch(in, w.k, false, w.vals[:0])
+			return ferr
+		})
+		close(w.done)
+	}
+}
+
+// RPCs returns the total request frames sent across the counter's
+// sessions (retransmits included), retired sessions folded in — the
+// monotone E28 cost numerator, in the same unit as tcpnet.Counter.RPCs.
+func (t *Counter) RPCs() int64 { return t.pool.rpcs() }
+
+// Packets returns the total request datagrams sent (monotone,
+// eviction-proof); Retransmits how many were retransmissions — the pair
+// behind E28's retransmit-rate column.
+func (t *Counter) Packets() int64 { return t.pool.packetCount() }
+
+// Retransmits returns the monotone retransmitted-datagram total.
+func (t *Counter) Retransmits() int64 { return t.pool.retransCount() }
+
+// Close shuts the counter down: new flights (and windows stranded
+// behind a closing flight) fail with ErrClosed, running flights are
+// waited for, and every pooled session is then retired with its
+// counters folded into the monotone totals. Idempotent.
+func (t *Counter) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.inflight.Wait()
+	t.pool.close()
+}
+
+// pool is the Counter's session pool: up to width idle sessions reused
+// round-robin across flights, every session announcing the counter's
+// client id, every session tracked in live so the cost bills stay
+// monotone through eviction and retirement. Unlike tcpnet's pool there
+// is no checkout health probe: a UDP socket has no peer state to go
+// stale — failure lives entirely in the exchange retransmit path.
+type pool struct {
+	c           *Cluster
+	width       int
+	id          uint64 // the owning Counter's client id
+	mu          sync.Mutex
+	idle        []*Session
+	live        map[*Session]struct{}
+	lostRPCs    int64 // counters of retired sessions
+	lostPackets int64
+	lostRetrans int64
+	closed      bool
+}
+
+func newPool(c *Cluster, width int, id uint64) *pool {
+	if width < 1 {
+		width = c.net.InWidth()
+	}
+	return &pool{c: c, width: width, id: id, live: make(map[*Session]struct{})}
+}
+
+// checkout hands the caller exclusive use of a session: the least
+// recently returned idle one (round-robin), or a fresh one when none is
+// idle.
+func (p *pool) checkout() (*Session, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(p.idle) > 0 {
+		sess := p.idle[0]
+		n := len(p.idle)
+		copy(p.idle, p.idle[1:])
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return sess, nil
+	}
+	p.mu.Unlock()
+	sess, err := p.c.newSession(p.id)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		sess.Close()
+		return nil, ErrClosed
+	}
+	p.live[sess] = struct{}{}
+	p.mu.Unlock()
+	return sess, nil
+}
+
+// checkin returns a session to the idle list; beyond the pool width (or
+// after close) it is retired instead.
+func (p *pool) checkin(sess *Session) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.width {
+		p.idle = append(p.idle, sess)
+		p.mu.Unlock()
+		return
+	}
+	p.retireLocked(sess)
+	p.mu.Unlock()
+}
+
+// evict retires a session whose flight failed outright: its sockets may
+// have surfaced ICMP state worth discarding, and a fresh session is
+// cheap.
+func (p *pool) evict(sess *Session) {
+	p.mu.Lock()
+	p.retireLocked(sess)
+	p.mu.Unlock()
+}
+
+func (p *pool) retireLocked(sess *Session) {
+	if _, ok := p.live[sess]; !ok {
+		return
+	}
+	delete(p.live, sess)
+	p.lostRPCs += sess.RPCs()
+	p.lostPackets += sess.Packets()
+	p.lostRetrans += sess.Retransmits()
+	sess.Close()
+}
+
+func (p *pool) rpcs() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.lostRPCs
+	for sess := range p.live {
+		total += sess.RPCs()
+	}
+	return total
+}
+
+func (p *pool) packetCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.lostPackets
+	for sess := range p.live {
+		total += sess.Packets()
+	}
+	return total
+}
+
+func (p *pool) retransCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.lostRetrans
+	for sess := range p.live {
+		total += sess.Retransmits()
+	}
+	return total
+}
+
+// close retires every idle session and marks the pool closed; sessions
+// still checked out are retired by their flight's checkin.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	for _, sess := range p.idle {
+		p.retireLocked(sess)
+	}
+	p.idle = nil
+	p.mu.Unlock()
+}

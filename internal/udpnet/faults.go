@@ -1,0 +1,114 @@
+package udpnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults is the deterministic packet-path fault injector: probabilities
+// per datagram of being dropped, duplicated, or held back to be
+// reordered behind the next send, plus an optional extra delay. Drop
+// applies to BOTH directions (requests on Write, responses on Read);
+// duplication, reordering and delay act on the request path, where a
+// duplicate arriving late also exercises the response side's stale-
+// reply discard. All randomness flows from Seed through one mutex-
+// guarded source, so a single-session run replays exactly.
+//
+// Install on a cluster before opening sessions:
+//
+//	cluster.SetDialWrapper(udpnet.Faults{Drop: 0.25, Dup: 0.2, Reorder: 0.2, Seed: 1}.Wrapper())
+type Faults struct {
+	Drop      float64       // P(datagram vanishes), each direction
+	Dup       float64       // P(request datagram sent twice)
+	Reorder   float64       // P(request held and sent after the next one)
+	DelayProb float64       // P(request delivered Delay late instead of now)
+	Delay     time.Duration // the late-delivery latency
+	Seed      int64
+}
+
+// Wrapper returns a Cluster.SetDialWrapper hook applying the faults to
+// every socket the cluster's sessions open. All sockets share one
+// seeded source.
+func (f Faults) Wrapper() func(net.Conn) net.Conn {
+	shared := &faultState{f: f, rng: rand.New(rand.NewSource(f.Seed))}
+	return func(conn net.Conn) net.Conn {
+		return &faultConn{Conn: conn, st: shared}
+	}
+}
+
+type faultState struct {
+	f   Faults
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// faultConn applies the shared fault plan to one socket. Held and
+// delayed datagrams are copies — callers reuse their write buffers.
+type faultConn struct {
+	net.Conn
+	st   *faultState
+	held []byte // a request waiting to be reordered behind the next one
+}
+
+func (fc *faultConn) Write(b []byte) (int, error) {
+	st := fc.st
+	st.mu.Lock()
+	drop := st.rng.Float64() < st.f.Drop
+	dup := st.rng.Float64() < st.f.Dup
+	hold := st.rng.Float64() < st.f.Reorder
+	delay := st.f.Delay > 0 && st.rng.Float64() < st.f.DelayProb
+	held := fc.held
+	fc.held = nil
+	if drop {
+		st.mu.Unlock()
+		fc.flush(held)
+		return len(b), nil
+	}
+	if hold && held == nil {
+		fc.held = append([]byte(nil), b...)
+		st.mu.Unlock()
+		return len(b), nil
+	}
+	st.mu.Unlock()
+	if delay {
+		pkt := append([]byte(nil), b...)
+		conn := fc.Conn
+		time.AfterFunc(st.f.Delay, func() { conn.Write(pkt) })
+		fc.flush(held)
+		return len(b), nil
+	}
+	if _, err := fc.Conn.Write(b); err != nil {
+		return 0, err
+	}
+	if dup {
+		fc.Conn.Write(b)
+	}
+	fc.flush(held)
+	return len(b), nil
+}
+
+// flush sends a previously held datagram AFTER its successor went out —
+// the reordering.
+func (fc *faultConn) flush(held []byte) {
+	if held != nil {
+		fc.Conn.Write(held)
+	}
+}
+
+func (fc *faultConn) Read(b []byte) (int, error) {
+	for {
+		n, err := fc.Conn.Read(b)
+		if err != nil {
+			return n, err
+		}
+		st := fc.st
+		st.mu.Lock()
+		drop := st.rng.Float64() < st.f.Drop
+		st.mu.Unlock()
+		if !drop {
+			return n, nil
+		}
+	}
+}

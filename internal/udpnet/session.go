@@ -1,0 +1,502 @@
+package udpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/network"
+	"repro/internal/wire"
+)
+
+// Default retransmit budget: an exchange sends its request packet up to
+// DefaultRetransmitAttempts times within DefaultRetransmitBudget of the
+// first send, the per-attempt listening window growing along
+// DefaultRetransmitTimer. Loss, duplication and reordering inside the
+// budget are absorbed silently; only a shard unreachable for the whole
+// budget surfaces an error.
+const (
+	DefaultRetransmitAttempts = 8
+	DefaultRetransmitBudget   = 2 * time.Second
+)
+
+// DefaultRetransmitTimer is the jittered exponential retransmit
+// schedule: the attempt-n response window is Delay(n) in
+// [7.5ms, 15ms] doubling up to 200ms. Jitter keeps a fleet of clients
+// that lost the same shard from retransmitting in lockstep.
+var DefaultRetransmitTimer = wire.Backoff{Base: 15 * time.Millisecond, Max: 200 * time.Millisecond}
+
+// Cluster is a client-side view of a UDP-sharded deployment: the
+// topology plus shard addresses (shard i owns nodes and cells ≡ i mod
+// len(addrs), as in tcpnet).
+type Cluster struct {
+	net      *network.Network
+	addrs    []string
+	stride   int64
+	dialWrap func(net.Conn) net.Conn
+
+	mu     sync.Mutex // guards policy and timer against racing sessions
+	policy wire.RetryPolicy
+	timer  wire.Backoff
+}
+
+// NewCluster wires a topology to its shard addresses with the default
+// retransmit policy.
+func NewCluster(n *network.Network, addrs []string) *Cluster {
+	return &Cluster{
+		net:    n,
+		addrs:  addrs,
+		stride: int64(n.OutWidth()),
+		policy: wire.RetryPolicy{Attempts: DefaultRetransmitAttempts, Budget: DefaultRetransmitBudget},
+		timer:  DefaultRetransmitTimer,
+	}
+}
+
+// SetDialWrapper installs a hook wrapping every socket a new session
+// opens — the packet-path fault-injection point (see Faults) the chaos
+// tests and countbench's E28 loss sweep use to drop, duplicate, reorder
+// and delay datagrams deterministically. Pass nil to clear. Not safe to
+// change while sessions are being created.
+func (c *Cluster) SetDialWrapper(w func(net.Conn) net.Conn) { c.dialWrap = w }
+
+// SetRetransmitPolicy bounds the per-exchange retransmit path of
+// sessions created after the call: at most policy.Attempts sends of a
+// request packet within policy.Budget of the first (Budget <= 0 removes
+// the time bound), listening timer.Delay(n) after send n. Zero-valued
+// timer fields take the wire defaults.
+func (c *Cluster) SetRetransmitPolicy(policy wire.RetryPolicy, timer wire.Backoff) {
+	if policy.Attempts < 1 {
+		policy.Attempts = 1
+	}
+	c.mu.Lock()
+	c.policy = policy
+	c.timer = timer
+	c.mu.Unlock()
+}
+
+// Hops returns the number of frame round trips one single-token Inc
+// costs — depth + 1, identical to tcpnet (the transports speak the same
+// frames; UDP just packs more of them per datagram on batched paths).
+func (c *Cluster) Hops() int { return c.net.Depth() + 1 }
+
+// Session is a single-goroutine client: one connected UDP socket per
+// shard. Every session speaks protocol v2 — each request packet opens
+// with HELLO binding it to the session owner's client id and every
+// mutating frame is seq-numbered — because over a lossy transport the
+// retransmit path is not optional, and only deduplicated frames can be
+// retransmitted safely.
+type Session struct {
+	c       *Cluster
+	client  uint64
+	conns   []net.Conn
+	policy  wire.RetryPolicy
+	timer   wire.Backoff
+	rpcs    atomic.Int64  // request frames sent (retransmits included)
+	packets atomic.Int64  // request datagrams sent, first sends and retransmits
+	retrans atomic.Int64  // of which retransmits
+	seqs    atomic.Uint64 // mutating-frame sequences outside a flight
+	tape    *wire.SeqTape // set by a Counter flight for replayable sequences
+	reqid   uint64        // request-id source (sessions are single-goroutine)
+
+	// Packet and batch walk scratch, reused across calls.
+	sbuf    []byte
+	rbuf    []byte
+	frames  []wire.Frame
+	fpkt    []wire.Frame
+	ids     []int32
+	vals    []int64
+	pending []int64
+	tally   []int64
+	dist    []int64
+}
+
+// NewSession opens one socket per shard under a fresh client id.
+func (c *Cluster) NewSession() (*Session, error) {
+	return c.newSession(wire.NextClientID())
+}
+
+func (c *Cluster) newSession(client uint64) (*Session, error) {
+	c.mu.Lock()
+	policy, timer := c.policy, c.timer
+	c.mu.Unlock()
+	s := &Session{
+		c:      c,
+		client: client,
+		conns:  make([]net.Conn, len(c.addrs)),
+		policy: policy,
+		timer:  timer,
+		rbuf:   make([]byte, wire.MaxDatagram),
+	}
+	for i, addr := range c.addrs {
+		conn, err := net.Dial("udp", addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("udpnet: dial shard %d: %w", i, err)
+		}
+		if c.dialWrap != nil {
+			conn = c.dialWrap(conn)
+		}
+		s.conns[i] = conn
+	}
+	return s, nil
+}
+
+// Close drops the session's sockets.
+func (s *Session) Close() {
+	for _, conn := range s.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// RPCs returns the number of request frames this session has sent,
+// retransmitted copies included — the same per-frame cost unit as
+// tcpnet.Session.RPCs, so the transports' E25-E28 columns compare
+// directly. At zero loss it equals the tcpnet bill exactly.
+func (s *Session) RPCs() int64 { return s.rpcs.Load() }
+
+// Packets returns the request datagrams sent (first sends plus
+// retransmits) — the link-level cost a datagram transport actually
+// pays; batched walks pack many frames into each.
+func (s *Session) Packets() int64 { return s.packets.Load() }
+
+// Retransmits returns how many of those datagrams were retransmissions.
+func (s *Session) Retransmits() int64 { return s.retrans.Load() }
+
+// nextSeq draws the next mutating-frame sequence number: from the
+// owning Counter's tape during a flight (replayable on retry), from the
+// session's own counter otherwise.
+func (s *Session) nextSeq() uint64 {
+	if s.tape != nil {
+		return s.tape.Take()
+	}
+	return s.seqs.Add(1)
+}
+
+// mut builds one seq-numbered v2 mutating frame from its v1 op.
+func (s *Session) mut(op byte, id int32, n int64) wire.Frame {
+	return wire.Frame{Op: wire.V2Op(op), ID: id, Seq: s.nextSeq(), N: n}
+}
+
+// exchange performs one datagram round trip against a shard: a packet
+// carrying HELLO plus the given frames, retransmitted under the
+// session's policy until the matching response (by request id) arrives,
+// its per-frame values appended to dst. Stale responses — to earlier
+// exchanges, or duplicate replies to retransmitted ones — are discarded
+// by id; the request id makes matching exact however the network
+// reorders.
+func (s *Session) exchange(shard int, frames []wire.Frame, dst []int64) ([]int64, error) {
+	s.reqid++
+	s.fpkt = append(s.fpkt[:0], wire.Frame{Op: wire.OpHello, Client: s.client})
+	s.fpkt = append(s.fpkt, frames...)
+	s.sbuf = wire.AppendPacket(s.sbuf[:0], s.reqid, s.fpkt)
+	want := len(frames)
+	conn := s.conns[shard]
+
+	var deadline time.Time
+	if s.policy.Budget > 0 {
+		deadline = time.Now().Add(s.policy.Budget)
+	}
+	attempts := s.policy.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			s.retrans.Add(1)
+		}
+		s.packets.Add(1)
+		s.rpcs.Add(int64(want))
+		if _, err := conn.Write(s.sbuf); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return dst, err
+			}
+			lastErr = err // transient (e.g. surfaced ICMP): keep trying
+		}
+		wait := time.Now().Add(s.timer.Delay(attempt))
+		if !deadline.IsZero() && wait.After(deadline) {
+			wait = deadline
+		}
+		conn.SetReadDeadline(wait)
+		for {
+			n, err := conn.Read(s.rbuf)
+			if err != nil {
+				if errors.Is(err, net.ErrClosed) {
+					return dst, err
+				}
+				lastErr = err
+				break // timeout or transient: retransmit
+			}
+			if n < wire.PacketOverhead ||
+				binary.BigEndian.Uint64(s.rbuf[:wire.PacketOverhead]) != s.reqid {
+				continue // stale or foreign datagram
+			}
+			if n != wire.PacketOverhead+8*want {
+				continue // corrupt: not a complete reply to this request
+			}
+			for i := 0; i < want; i++ {
+				off := wire.PacketOverhead + 8*i
+				dst = append(dst, int64(binary.BigEndian.Uint64(s.rbuf[off:off+8])))
+			}
+			return dst, nil
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+	}
+	return dst, fmt.Errorf("udpnet: shard %d: no response inside the retransmit budget: %w",
+		shard, lastErr)
+}
+
+// exchangeChunked splits a frame group into datagrams under the
+// wire.MaxDatagram budget — bounding both the request bytes and the
+// 8-bytes-per-frame response — and exchanges each chunk in turn.
+func (s *Session) exchangeChunked(shard int, frames []wire.Frame, dst []int64) ([]int64, error) {
+	helloLen := wire.FrameLen(wire.OpHello)
+	start := 0
+	for start < len(frames) {
+		reqBytes := wire.PacketOverhead + helloLen
+		respBytes := wire.PacketOverhead
+		end := start
+		for end < len(frames) {
+			fl := wire.FrameLen(frames[end].Op)
+			if end > start && (reqBytes+fl > wire.MaxDatagram || respBytes+8 > wire.MaxDatagram) {
+				break
+			}
+			reqBytes += fl
+			respBytes += 8
+			end++
+		}
+		var err error
+		dst, err = s.exchange(shard, frames[start:end], dst)
+		if err != nil {
+			return dst, err
+		}
+		start = end
+	}
+	return dst, nil
+}
+
+// Inc shepherds one token through the distributed network and returns
+// its counter value: depth single-frame exchanges for the balancer
+// crossings plus one for the exit cell, each reply steering the next
+// hop. A retried Inc walks the identical path — the dedup windows
+// replay the original ports for already-applied sequences.
+func (s *Session) Inc(pid int) (int64, error) {
+	shards := len(s.c.addrs)
+	in := pid % s.c.net.InWidth()
+	node, port := s.c.net.InputDest(in)
+	var one [1]wire.Frame
+	for node >= 0 {
+		one[0] = s.mut(wire.OpStep, int32(node), 0)
+		vals, err := s.exchange(node%shards, one[:], s.vals[:0])
+		s.vals = vals[:0]
+		if err != nil {
+			return 0, err
+		}
+		node, port = s.c.net.Dest(node, int(vals[0]))
+	}
+	one[0] = s.mut(wire.OpCell, int32(port)|int32(s.c.stride)<<16, 0)
+	vals, err := s.exchange(port%shards, one[:], s.vals[:0])
+	s.vals = vals[:0]
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// Dec shepherds one antitoken through the network (one-element
+// DecBatch).
+func (s *Session) Dec(pid int) (int64, error) {
+	vals, err := s.DecBatch(pid, 1, nil)
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// IncBatch performs k Fetch&Increment operations as one batched
+// pipeline entering on wire pid mod w, appending the k claimed values
+// to dst: one STEPN frame per balancer touched, one CELLN per exit wire
+// touched, the frames packed into one datagram per (layer, shard) plus
+// one per shard for the cell phase. k <= 0 sends nothing.
+func (s *Session) IncBatch(pid, k int, dst []int64) ([]int64, error) {
+	if k <= 0 {
+		return dst, nil
+	}
+	return s.batch(pid%s.c.net.InWidth(), int64(k), false, dst)
+}
+
+// DecBatch is IncBatch for Fetch&Decrement: the batched frames carry a
+// negative count and the k revoked values come back, newest-issued
+// first per exit cell.
+func (s *Session) DecBatch(pid, k int, dst []int64) ([]int64, error) {
+	if k <= 0 {
+		return dst, nil
+	}
+	return s.batch(pid%s.c.net.InWidth(), int64(k), true, dst)
+}
+
+// batch walks the topology layer by layer. Within a layer no balancer
+// feeds another, so every pending group in it is final the moment the
+// previous layer finished — the session packs the layer's STEPN frames
+// by owning shard into as few datagrams as the MTU budget allows, folds
+// the split arithmetic locally from the replied first indices (it knows
+// the wiring and initial states, exactly like tcpnet), and finishes
+// with the exit-cell CELLN frames packed per shard. The walk is
+// deterministic in (wire, k, anti), so a retried flight re-sends the
+// identical frame sequence and the dedup windows make it exactly-once.
+func (s *Session) batch(in int, k int64, anti bool, dst []int64) ([]int64, error) {
+	n := s.c.net
+	shards := len(s.c.addrs)
+	if s.pending == nil {
+		s.pending = make([]int64, n.Size())
+		s.tally = make([]int64, n.OutWidth())
+	}
+	pending, tally := s.pending, s.tally
+	clear(tally)
+	nd, port := n.InputDest(in)
+	if nd < 0 {
+		tally[port] += k
+	} else {
+		pending[nd] = k
+	}
+	for _, layer := range n.Layers() {
+		for shard := 0; shard < shards; shard++ {
+			s.frames = s.frames[:0]
+			s.ids = s.ids[:0]
+			for _, id := range layer {
+				if int(id)%shards != shard || pending[id] == 0 {
+					continue
+				}
+				sendN := pending[id]
+				if anti {
+					sendN = -sendN
+				}
+				s.frames = append(s.frames, s.mut(wire.OpStepN, id, sendN))
+				s.ids = append(s.ids, id)
+			}
+			if len(s.frames) == 0 {
+				continue
+			}
+			vals, err := s.exchangeChunked(shard, s.frames, s.vals[:0])
+			s.vals = vals
+			if err != nil {
+				clear(pending) // leave the scratch reusable
+				return dst, err
+			}
+			for i, id := range s.ids {
+				c := pending[id]
+				pending[id] = 0
+				node := n.Node(int(id))
+				q := node.Out()
+				if cap(s.dist) < q {
+					s.dist = make([]int64, q)
+				}
+				counts := balancer.DistributeInto(node.Balancer().Init()+vals[i], c, s.dist[:q])
+				for p, cnt := range counts {
+					if cnt == 0 {
+						continue
+					}
+					dnd, dport := n.Dest(int(id), p)
+					if dnd < 0 {
+						tally[dport] += cnt
+					} else {
+						pending[dnd] += cnt
+					}
+				}
+			}
+		}
+	}
+	stride := s.c.stride
+	for shard := 0; shard < shards; shard++ {
+		s.frames = s.frames[:0]
+		s.ids = s.ids[:0]
+		for wireOut, cnt := range tally {
+			if cnt == 0 || wireOut%shards != shard {
+				continue
+			}
+			sendN := cnt
+			if anti {
+				sendN = -cnt
+			}
+			s.frames = append(s.frames, s.mut(wire.OpCellN, int32(wireOut)|int32(stride)<<16, sendN))
+			s.ids = append(s.ids, int32(wireOut))
+		}
+		if len(s.frames) == 0 {
+			continue
+		}
+		vals, err := s.exchangeChunked(shard, s.frames, s.vals[:0])
+		s.vals = vals
+		if err != nil {
+			return dst, err
+		}
+		for i, wireOut := range s.ids {
+			cnt := tally[wireOut]
+			end := vals[i]
+			if anti {
+				for v := end + stride*(cnt-1); v >= end; v -= stride {
+					dst = append(dst, v)
+				}
+			} else {
+				for v := end - stride*cnt; v < end; v += stride {
+					dst = append(dst, v)
+				}
+			}
+		}
+	}
+	return dst, nil
+}
+
+// ReadCell returns exit cell w's current value without modifying it
+// (op READ, idempotent so retransmit-safe without a sequence number).
+func (s *Session) ReadCell(w int) (int64, error) {
+	one := [1]wire.Frame{{Op: wire.OpRead, ID: int32(w)}}
+	vals, err := s.exchange(w%len(s.c.addrs), one[:], s.vals[:0])
+	s.vals = vals[:0]
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// Read sums the exit cells into the cluster's net count (increments
+// minus decrements), the READ frames packed per shard — a whole-cluster
+// exact-count read costs one datagram exchange per shard (per MTU
+// chunk). Only meaningful while the cluster is quiescent, like
+// counter.Network.Issued.
+func (s *Session) Read() (int64, error) {
+	n := s.c.net
+	shards := len(s.c.addrs)
+	var total int64
+	for shard := 0; shard < shards; shard++ {
+		s.frames = s.frames[:0]
+		s.ids = s.ids[:0]
+		for w := 0; w < n.OutWidth(); w++ {
+			if w%shards != shard {
+				continue
+			}
+			s.frames = append(s.frames, wire.Frame{Op: wire.OpRead, ID: int32(w)})
+			s.ids = append(s.ids, int32(w))
+		}
+		if len(s.frames) == 0 {
+			continue
+		}
+		vals, err := s.exchangeChunked(shard, s.frames, s.vals[:0])
+		s.vals = vals
+		if err != nil {
+			return 0, err
+		}
+		for i, w := range s.ids {
+			total += (vals[i] - int64(w)) / s.c.stride
+		}
+	}
+	return total, nil
+}

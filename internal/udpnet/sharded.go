@@ -1,4 +1,4 @@
-package tcpnet
+package udpnet
 
 import (
 	"fmt"
@@ -6,20 +6,18 @@ import (
 
 	"repro/internal/network"
 	"repro/internal/shard"
+	"repro/internal/wire"
 )
 
-// ShardedCluster composes S independent TCP deployments the way
-// counter.Sharded composes S in-process networks: each stripe is a full
+// ShardedCluster composes S independent UDP deployments the way
+// tcpnet.ShardedCluster composes TCP ones: each stripe is a full
 // Cluster (its own shard servers, balancer states and exit cells), a
 // caller is routed by the shared shard.StripeOf pid hash, and stripe s
-// maps its local values v to the global residue class v·S + s. The hot
-// links and server-side atomic words multiply by S on top of the batching
-// and coalescing each stripe already runs — striping ∘ coalescing ∘
-// batching.
+// maps its local values v to the global residue class v·S + s —
+// striping ∘ coalescing ∘ datagram batching.
 //
-// The sub-deployments may share one topology object: a Cluster only reads
-// it (wiring and initial states); the mutable balancer state lives on the
-// stripe's own servers.
+// The sub-deployments may share one topology object: a Cluster only
+// reads it; the mutable balancer state lives on the stripe's servers.
 type ShardedCluster struct {
 	clusters []*Cluster
 	n        int64
@@ -30,57 +28,81 @@ type ShardedCluster struct {
 // fleet; clusters[i] serves stripe i.
 func NewShardedCluster(clusters []*Cluster) (*ShardedCluster, error) {
 	if len(clusters) == 0 {
-		return nil, fmt.Errorf("tcpnet: NewShardedCluster with no clusters")
+		return nil, fmt.Errorf("udpnet: NewShardedCluster with no clusters")
 	}
 	name := clusters[0].net.Name()
 	for i, c := range clusters {
 		if c == nil {
-			return nil, fmt.Errorf("tcpnet: NewShardedCluster cluster %d is nil", i)
+			return nil, fmt.Errorf("udpnet: NewShardedCluster cluster %d is nil", i)
 		}
 		if c.net.InWidth() != clusters[0].net.InWidth() ||
 			c.net.OutWidth() != clusters[0].net.OutWidth() {
-			return nil, fmt.Errorf("tcpnet: NewShardedCluster cluster %d shape differs", i)
+			return nil, fmt.Errorf("udpnet: NewShardedCluster cluster %d shape differs", i)
 		}
 	}
 	return &ShardedCluster{
 		clusters: clusters,
 		n:        int64(len(clusters)),
-		name:     fmt.Sprintf("tcpshard%d:%s", len(clusters), name),
+		name:     fmt.Sprintf("udpshard%d:%s", len(clusters), name),
 	}, nil
 }
 
-// StartShardedCluster launches S independent loopback deployments of
-// topo, each partitioned across `shards` servers, and returns the fleet
-// plus a stop function closing every server — the test/benchmark
-// harness; production deployments build Clusters over real addresses and
-// use NewShardedCluster.
-func StartShardedCluster(topo *network.Network, deployments, shards int) (*ShardedCluster, func(), error) {
-	return StartShardedClusterConfig(topo, deployments, shards, ShardConfig{})
+// StartCluster launches one loopback deployment of topo partitioned
+// across `shards` UDP servers and returns the client cluster plus a
+// stop function closing every server — the test/benchmark harness;
+// production deployments build Clusters over real addresses with
+// NewCluster.
+func StartCluster(topo *network.Network, shards int) (*Cluster, func(), error) {
+	return StartClusterConfig(topo, shards, ShardConfig{})
 }
 
-// StartShardedClusterConfig is StartShardedCluster with per-deployment
-// shard tuning (dedup-window sizing) threaded to every server of every
-// stripe.
-func StartShardedClusterConfig(topo *network.Network, deployments, shards int, cfg ShardConfig) (*ShardedCluster, func(), error) {
+// StartClusterConfig is StartCluster with per-deployment shard tuning
+// (dedup-window sizing).
+func StartClusterConfig(topo *network.Network, shards int, cfg ShardConfig) (*Cluster, func(), error) {
 	var servers []*Shard
 	stop := func() {
 		for _, s := range servers {
 			s.Close()
 		}
 	}
+	addrs := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		s, err := StartShardConfig("127.0.0.1:0", topo, i, shards, cfg)
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		servers = append(servers, s)
+		addrs[i] = s.Addr()
+	}
+	return NewCluster(topo, addrs), stop, nil
+}
+
+// StartShardedCluster launches S independent loopback deployments of
+// topo, each partitioned across `shards` servers, and returns the fleet
+// plus a stop function closing every server.
+func StartShardedCluster(topo *network.Network, deployments, shards int) (*ShardedCluster, func(), error) {
+	return StartShardedClusterConfig(topo, deployments, shards, ShardConfig{})
+}
+
+// StartShardedClusterConfig is StartShardedCluster with per-deployment
+// shard tuning threaded to every server of every stripe.
+func StartShardedClusterConfig(topo *network.Network, deployments, shards int, cfg ShardConfig) (*ShardedCluster, func(), error) {
+	var stops []func()
+	stop := func() {
+		for _, f := range stops {
+			f()
+		}
+	}
 	clusters := make([]*Cluster, deployments)
 	for d := 0; d < deployments; d++ {
-		addrs := make([]string, shards)
-		for i := 0; i < shards; i++ {
-			s, err := StartShardConfig("127.0.0.1:0", topo, i, shards, cfg)
-			if err != nil {
-				stop()
-				return nil, nil, err
-			}
-			servers = append(servers, s)
-			addrs[i] = s.Addr()
+		c, cstop, err := StartClusterConfig(topo, shards, cfg)
+		if err != nil {
+			stop()
+			return nil, nil, err
 		}
-		clusters[d] = NewCluster(topo, addrs)
+		stops = append(stops, cstop)
+		clusters[d] = c
 	}
 	sc, err := NewShardedCluster(clusters)
 	if err != nil {
@@ -99,11 +121,11 @@ func (sc *ShardedCluster) Cluster(i int) *Cluster { return sc.clusters[i] }
 // Name identifies the fleet in benchmark tables.
 func (sc *ShardedCluster) Name() string { return sc.name }
 
-// NewCounter builds the fleet-wide counter: one pooled, self-healing
-// coalescing Counter per stripe (see Cluster.NewCounterPool; width <= 0
-// defaults per stripe to its input width). Each stripe's Counter owns
-// its own client id, so the stripes' exactly-once dedup windows — and
-// their retry budgets — are fully independent.
+// NewCounter builds the fleet-wide counter: one pooled coalescing
+// Counter per stripe (width <= 0 defaults per stripe to its input
+// width). Each stripe's Counter owns its own client id, so the stripes'
+// exactly-once dedup windows — and their retransmit and retry budgets —
+// are fully independent.
 func (sc *ShardedCluster) NewCounter(poolWidth int) *ShardedCounter {
 	t := &ShardedCounter{sc: sc, ctrs: make([]*Counter, len(sc.clusters))}
 	for i, c := range sc.clusters {
@@ -114,14 +136,15 @@ func (sc *ShardedCluster) NewCounter(poolWidth int) *ShardedCounter {
 
 // ShardedCounter is the fleet-wide client: pid-striped routing over S
 // per-stripe pooled coalescing Counters, values mapped into per-stripe
-// residue classes, and the read side (RPCs, Read) aggregated across
-// stripes so exact-count accounting stays monotone.
+// residue classes, and the read side (RPCs, Packets, Retransmits, Read)
+// aggregated across stripes so exact-count accounting stays monotone.
 type ShardedCounter struct {
 	sc   *ShardedCluster
 	ctrs []*Counter
 }
 
-// Counter returns stripe i's underlying pooled Counter (for inspection).
+// Counter returns stripe i's underlying pooled Counter (for
+// inspection).
 func (t *ShardedCounter) Counter(i int) *Counter { return t.ctrs[i] }
 
 // stripe routes a pid to its per-stripe counter.
@@ -130,8 +153,7 @@ func (t *ShardedCounter) stripe(pid int) (int64, *Counter) {
 	return int64(i), t.ctrs[i]
 }
 
-// Inc returns the next value in pid's stripe residue class; coalescing,
-// pooling and retry-once resilience apply within the stripe.
+// Inc returns the next value in pid's stripe residue class.
 func (t *ShardedCounter) Inc(pid int) (int64, error) {
 	i, c := t.stripe(pid)
 	v, err := c.Inc(pid)
@@ -176,8 +198,8 @@ func (t *ShardedCounter) DecBatch(pid, k int, dst []int64) ([]int64, error) {
 	return t.remap(dst, base, i), nil
 }
 
-// remap rewrites the values a stripe appended past `from` into its global
-// residue class.
+// remap rewrites the values a stripe appended past `from` into its
+// global residue class.
 func (t *ShardedCounter) remap(vals []int64, from int, stripe int64) []int64 {
 	for j := from; j < len(vals); j++ {
 		vals[j] = vals[j]*t.sc.n + stripe
@@ -185,7 +207,7 @@ func (t *ShardedCounter) remap(vals []int64, from int, stripe int64) []int64 {
 	return vals
 }
 
-// SetRetryPolicy bounds every stripe's self-healing retry path (see
+// SetRetryPolicy bounds every stripe's flight-retry path (see
 // Counter.SetRetryPolicy).
 func (t *ShardedCounter) SetRetryPolicy(attempts int, budget time.Duration) {
 	for _, c := range t.ctrs {
@@ -193,8 +215,15 @@ func (t *ShardedCounter) SetRetryPolicy(attempts int, budget time.Duration) {
 	}
 }
 
-// RPCs sums the monotone round-trip totals of every stripe — the
-// aggregate E26 cost numerator.
+// SetRetryBackoff replaces every stripe's flight-retry pacing.
+func (t *ShardedCounter) SetRetryBackoff(b wire.Backoff) {
+	for _, c := range t.ctrs {
+		c.SetRetryBackoff(b)
+	}
+}
+
+// RPCs sums the monotone request-frame totals of every stripe — the
+// aggregate E28 cost numerator.
 func (t *ShardedCounter) RPCs() int64 {
 	var total int64
 	for _, c := range t.ctrs {
@@ -203,9 +232,27 @@ func (t *ShardedCounter) RPCs() int64 {
 	return total
 }
 
+// Packets sums the monotone request-datagram totals of every stripe.
+func (t *ShardedCounter) Packets() int64 {
+	var total int64
+	for _, c := range t.ctrs {
+		total += c.Packets()
+	}
+	return total
+}
+
+// Retransmits sums the monotone retransmission totals of every stripe.
+func (t *ShardedCounter) Retransmits() int64 {
+	var total int64
+	for _, c := range t.ctrs {
+		total += c.Retransmits()
+	}
+	return total
+}
+
 // Read sums the stripes' quiescent net counts (increments minus
-// decrements) — which is how the exact-count equivalence tests reconcile
-// sharded runs against sequential totals.
+// decrements) — how the exact-count chaos grid reconciles lossy runs
+// against sequential totals.
 func (t *ShardedCounter) Read() (int64, error) {
 	var total int64
 	for _, c := range t.ctrs {
@@ -219,7 +266,7 @@ func (t *ShardedCounter) Read() (int64, error) {
 }
 
 // Close shuts every stripe's counter down (ErrClosed to stranded
-// callers; RPC totals stay counted).
+// callers; cost totals stay counted).
 func (t *ShardedCounter) Close() {
 	for _, c := range t.ctrs {
 		c.Close()

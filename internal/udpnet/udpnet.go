@@ -1,0 +1,281 @@
+// Package udpnet deploys a counting network across UDP servers — the
+// datagram sibling of internal/tcpnet, for fabrics where a stream
+// transport is too heavy or too slow to set up: balancers are
+// partitioned across shard servers exactly as in tcpnet, but a balancer
+// access is one request/response datagram exchange, and the transport
+// delivers packets late, duplicated, reordered, or not at all.
+//
+// What makes an unreliable transport workable is the exactly-once
+// machinery protocol v2 already built for tcpnet's retry path: every
+// mutating frame carries a client id (HELLO) and a monotone sequence
+// number, and each shard keeps bounded per-client dedup windows
+// (wire.Dedup) replaying recorded replies for already-applied
+// sequences. Over TCP that machinery absorbs a rare connection death;
+// over UDP it IS the reliability layer — the client retransmits an
+// unacknowledged request packet under a jittered exponential timer
+// (wire.Backoff), and however many copies arrive, in whatever order,
+// each frame executes exactly once and every copy of the reply is
+// identical.
+//
+// # Packets
+//
+// A request datagram is an 8-byte request id followed by canonically
+// encoded frames (wire.AppendPacket): a HELLO binding the packet to the
+// client's dedup windows, then seq-numbered v2 mutating frames and/or
+// READ frames, at most wire.MaxDatagram bytes in all. The response
+// echoes the request id followed by one 8-byte value per non-HELLO
+// frame, in request order — the id is how a client matches replies to
+// (possibly retransmitted, possibly reordered) requests, and the dedup
+// replay is why a response regenerated for a duplicate request is
+// bit-identical to the original.
+//
+// Because a datagram carries several frames, a batched pipeline costs
+// fewer PACKETS than tcpnet costs round trips: the session walks the
+// topology layer by layer (balancers within a layer never feed each
+// other), packs each layer's STEPN frames per owning shard into one
+// datagram, and packs the whole exit-cell phase the same way. The
+// per-FRAME bill — rpcs, the unit E25-E27 price tcpnet in — is
+// identical by construction: one STEPN per balancer touched, one CELLN
+// per exit wire touched.
+//
+// Unlike tcpnet there is no v1 session: stateless mutating frames
+// cannot be retransmitted safely, so a shard drops any packet carrying
+// a v1 mutating op (READ, which is idempotent, is the one stateless op
+// served). A malformed or violating packet is dropped whole, without a
+// reply — the datagram analogue of tcpnet dropping the connection.
+package udpnet
+
+import (
+	"encoding/binary"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/balancer"
+	"repro/internal/network"
+	"repro/internal/wire"
+)
+
+// ShardConfig tunes a shard server; the zero value is the production
+// default (wire's DedupWindow/DedupClients bounds).
+type ShardConfig struct {
+	// Dedup sizes the per-client exactly-once windows; zero fields take
+	// the wire defaults. The window is the retransmit horizon: a late
+	// duplicate is answered from the record as long as fewer than
+	// Window newer frames from the same client landed in between.
+	Dedup wire.DedupConfig
+}
+
+// Shard is one balancer server: it owns the state of the balancers and
+// counter cells assigned to it and serves packed v2 frames over UDP,
+// deduplicating every mutating frame per client. Packets are processed
+// serially by one goroutine, so frames within a packet apply in order.
+type Shard struct {
+	conn  *net.UDPConn
+	bals  map[int32]*balancer.PQ
+	cells map[int32]*atomic.Int64
+	dedup *wire.Dedup
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// StartShard launches a shard on addr (use "127.0.0.1:0" for tests)
+// with the default configuration. The shard owns every network node
+// with id ≡ index (mod shards) and every output-wire cell with
+// wire ≡ index (mod shards); cells are initialized to their wire index
+// per §1.1 — the same partitioning as tcpnet.StartShard.
+func StartShard(addr string, topo *network.Network, index, shards int) (*Shard, error) {
+	return StartShardConfig(addr, topo, index, shards, ShardConfig{})
+}
+
+// StartShardConfig is StartShard with per-deployment tuning — most
+// importantly the dedup-window sizing, which bounds how late a
+// retransmitted duplicate can arrive and still be replayed rather than
+// re-executed.
+func StartShardConfig(addr string, topo *network.Network, index, shards int, cfg ShardConfig) (*Shard, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shard{
+		conn:  conn,
+		bals:  make(map[int32]*balancer.PQ),
+		cells: make(map[int32]*atomic.Int64),
+		dedup: wire.NewDedup(cfg.Dedup),
+		done:  make(chan struct{}),
+	}
+	for id := 0; id < topo.Size(); id++ {
+		if id%shards == index {
+			nd := topo.Node(id)
+			s.bals[int32(id)] = balancer.NewInit(nd.In(), nd.Out(), nd.Balancer().Init())
+		}
+	}
+	for w := 0; w < topo.OutWidth(); w++ {
+		if w%shards == index {
+			c := &atomic.Int64{}
+			c.Store(int64(w))
+			s.cells[int32(w)] = c
+		}
+	}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the shard's listening address.
+func (s *Shard) Addr() string { return s.conn.LocalAddr().String() }
+
+// Close stops the shard; a request in flight when the socket closes is
+// simply never answered, which to its client is one more lost packet.
+func (s *Shard) Close() {
+	close(s.done)
+	s.conn.Close()
+	s.wg.Wait()
+}
+
+// serve is the shard's packet loop: read a datagram, decode it whole,
+// validate it whole, execute (deduplicated), reply to the sender.
+// Malformed or violating packets are dropped without a reply.
+func (s *Shard) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	var frames []wire.Frame
+	var resp []byte
+	for {
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue // transient (e.g. a surfaced ICMP error)
+			}
+		}
+		reqid, fs, err := wire.DecodePacket(buf[:n], frames[:0])
+		frames = fs
+		if err != nil {
+			continue
+		}
+		resp = s.process(resp[:0], reqid, fs)
+		if resp == nil {
+			continue
+		}
+		s.conn.WriteToUDP(resp, raddr)
+	}
+}
+
+// process validates and executes one decoded packet, returning the
+// encoded response or nil to drop the packet. Validation runs BEFORE
+// any state changes: on a datagram transport a violation cannot "drop
+// the rest of the stream", so a packet that would fail partway is
+// refused whole instead of half-applying.
+func (s *Shard) process(dst []byte, reqid uint64, frames []wire.Frame) []byte {
+	helloed := false
+	for i := range frames {
+		f := &frames[i]
+		switch f.Op {
+		case wire.OpHello:
+			helloed = true
+		case wire.OpRead:
+			if _, ok := s.cells[f.ID]; !ok {
+				return nil
+			}
+		case wire.OpStep2:
+			if !helloed {
+				return nil
+			}
+			if _, ok := s.bals[f.ID]; !ok {
+				return nil
+			}
+		case wire.OpStepN2:
+			if !helloed || f.N == 0 || f.N == math.MinInt64 {
+				return nil
+			}
+			if _, ok := s.bals[f.ID]; !ok {
+				return nil
+			}
+		case wire.OpCell2:
+			if !helloed {
+				return nil
+			}
+			if _, ok := s.cells[f.ID&0xffff]; !ok {
+				return nil
+			}
+		case wire.OpCellN2:
+			if !helloed || f.N == 0 || f.N == math.MinInt64 {
+				return nil
+			}
+			if _, ok := s.cells[f.ID&0xffff]; !ok {
+				return nil
+			}
+		default:
+			// v1 mutating frames are not retransmit-safe: refused.
+			return nil
+		}
+	}
+	dst = wire.AppendPacket(dst, reqid, nil)
+	var cl *wire.DedupEntry
+	defer func() {
+		if cl != nil {
+			s.dedup.Release(cl)
+		}
+	}()
+	var vb [8]byte
+	for i := range frames {
+		f := &frames[i]
+		var val int64
+		switch f.Op {
+		case wire.OpHello:
+			if cl != nil {
+				s.dedup.Release(cl)
+			}
+			cl = s.dedup.Bind(f.Client)
+			continue
+		case wire.OpRead:
+			val = s.cells[f.ID].Load()
+		default:
+			v, ok := cl.Do(f.Seq, func() (int64, bool) { return s.apply(f) })
+			if !ok {
+				return nil
+			}
+			val = v
+		}
+		binary.BigEndian.PutUint64(vb[:], uint64(val))
+		dst = append(dst, vb[:]...)
+	}
+	return dst
+}
+
+// apply executes one validated v2 mutating frame against the shard's
+// balancer and cell state — the same semantics as the tcpnet shard,
+// behind the same dedup wrapper.
+func (s *Shard) apply(f *wire.Frame) (int64, bool) {
+	switch f.Op {
+	case wire.OpStep2:
+		return int64(s.bals[f.ID].Step()), true
+	case wire.OpStepN2:
+		b := s.bals[f.ID]
+		// One transition for the whole group: its first sequence index
+		// comes back; the client folds the split arithmetic.
+		if f.N > 0 {
+			return b.StepN(f.N), true
+		}
+		return b.StepAntiN(-f.N), true
+	case wire.OpCell2, wire.OpCellN2:
+		// The stride (output width t) rides in the upper bits of the id
+		// to keep the protocol stateless: id = wire | stride<<16, as in
+		// tcpnet.
+		c := s.cells[f.ID&0xffff]
+		stride := int64(f.ID >> 16)
+		if f.Op == wire.OpCell2 {
+			return c.Add(stride) - stride, true
+		}
+		return c.Add(stride * f.N), true
+	}
+	return 0, false
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Default dedup bounds: a shard remembers the (seq, reply) pairs of at
+// most DefaultDedupWindow applied mutating frames per client, and
+// tracks at most DefaultDedupClients clients (least-recently-registered
+// unpinned client evicted first). The window is the exactly-once
+// horizon — a retry is deduplicated as long as fewer than Window newer
+// frames from the same client reached the shard in between, which a
+// prompt bounded-budget retry stays far inside of.
+const (
+	DefaultDedupWindow  = 4096
+	DefaultDedupClients = 1024
+)
+
+// DefaultDedupMinIdle is the default eviction idle guard: an unpinned
+// client entry whose last binding is more recent than this is never
+// evicted at the Clients cap (the table temporarily grows instead).
+// Connectionless transports depend on it — a UDP client pins its entry
+// only for the instant each packet is processed, so without the guard,
+// churn from other clients could evict a live client's window between
+// a lost response and its retransmit and the duplicate would
+// re-execute. Ten seconds covers the default retransmit and retry
+// budgets (2s / 8s) with margin while bounding worst-case growth past
+// the cap to ten seconds' worth of registration churn; deployments
+// that raise those budgets should raise MinIdle with them.
+const DefaultDedupMinIdle = 10 * time.Second
+
+// DedupConfig sizes a shard's exactly-once state: Window is the number
+// of (seq, reply) records kept per client, Clients the number of
+// clients tracked, MinIdle the how-recently-bound guard protecting
+// live-but-unpinned clients from cap eviction (negative disables it).
+// Zero fields take the defaults, so the zero value is the production
+// configuration.
+type DedupConfig struct {
+	Window  int
+	Clients int
+	MinIdle time.Duration
+}
+
+func (c DedupConfig) withDefaults() DedupConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultDedupWindow
+	}
+	if c.Clients <= 0 {
+		c.Clients = DefaultDedupClients
+	}
+	if c.MinIdle == 0 {
+		c.MinIdle = DefaultDedupMinIdle
+	} else if c.MinIdle < 0 {
+		c.MinIdle = 0
+	}
+	return c
+}
+
+// Dedup is one shard's per-client exactly-once table: bounded
+// (seq, reply) windows keyed by client id, with LRU eviction of
+// unpinned clients at the Clients cap.
+type Dedup struct {
+	cfg     DedupConfig
+	mu      sync.Mutex
+	clients map[uint64]*list.Element // client id -> LRU element (*DedupEntry)
+	lru     list.List                // most recently registered first
+}
+
+// NewDedup builds an empty table with cfg's bounds (zero fields take
+// the defaults).
+func NewDedup(cfg DedupConfig) *Dedup {
+	return &Dedup{cfg: cfg.withDefaults(), clients: make(map[uint64]*list.Element)}
+}
+
+// Config reports the table's effective (defaulted) bounds.
+func (d *Dedup) Config() DedupConfig { return d.cfg }
+
+// DedupEntry pairs a registered client id with its dedup window. refs
+// counts the bindings currently holding the id (guarded by the table's
+// mutex): while any is live the entry is pinned against LRU eviction,
+// so registration churn from other clients can never push out the
+// window a live client's retry depends on.
+type DedupEntry struct {
+	id       uint64
+	refs     int
+	lastBind time.Time // guarded by the table's mutex
+
+	// The client's bounded exactly-once window: the replies of its last
+	// Window applied mutating frames, keyed by sequence number, with
+	// FIFO eviction.
+	win     int
+	wmu     sync.Mutex
+	replies map[uint64]int64
+	order   []uint64 // insertion-order ring over recorded seqs
+	head    int
+}
+
+// Do replays the recorded reply for an already-applied sequence, or
+// runs exec exactly once and records its reply. The lock spans lookup
+// and execution so a retry racing the original frame (same client, two
+// connections or two datagrams) cannot double-apply; exec is a single
+// atomic word operation, so serializing a client's frames per shard
+// here costs lock-handoff nanoseconds against microsecond round trips.
+func (e *DedupEntry) Do(seq uint64, exec func() (int64, bool)) (int64, bool) {
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if v, ok := e.replies[seq]; ok {
+		return v, true
+	}
+	v, ok := exec()
+	if !ok {
+		return 0, false
+	}
+	if len(e.order) == e.win {
+		delete(e.replies, e.order[e.head])
+		e.order[e.head] = seq
+		e.head = (e.head + 1) % e.win
+	} else {
+		e.order = append(e.order, seq)
+	}
+	e.replies[seq] = v
+	return v, true
+}
+
+// Bind returns (registering if needed) the dedup entry for a client id,
+// pinning it until the matching Release. Bindings announcing the same
+// id — a pooled counter's whole session fleet, including the fresh
+// session a retry runs on, or every datagram a UDP client sends — share
+// one window per shard, which is what makes retries exactly-once.
+// Eviction at the Clients cap takes the least recently registered
+// client that is both UNPINNED and idle for at least the MinIdle guard
+// (a client that bound recently may be a datagram client mid-exchange
+// whose pin lasted only one packet); if every tracked client is pinned
+// or recently active the map grows past the cap until one goes idle.
+func (d *Dedup) Bind(id uint64) *DedupEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := time.Now()
+	if el, ok := d.clients[id]; ok {
+		e := el.Value.(*DedupEntry)
+		e.refs++
+		e.lastBind = now
+		d.lru.MoveToFront(el)
+		return e
+	}
+	if len(d.clients) >= d.cfg.Clients {
+		// The LRU is ordered by last bind, so the first UNPINNED entry
+		// from the back is also the oldest unpinned one: either it is
+		// past the idle guard and gets evicted, or every unpinned entry
+		// is younger still and the scan can stop — only pinned entries
+		// (rare, bounded by live connections) are ever stepped over.
+		for el := d.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*DedupEntry)
+			if e.refs != 0 {
+				continue
+			}
+			if now.Sub(e.lastBind) >= d.cfg.MinIdle {
+				d.lru.Remove(el)
+				delete(d.clients, e.id)
+			}
+			break
+		}
+	}
+	e := &DedupEntry{id: id, refs: 1, lastBind: now, win: d.cfg.Window, replies: make(map[uint64]int64)}
+	d.clients[id] = d.lru.PushFront(e)
+	return e
+}
+
+// Release unpins a dedup entry when its binding goes away (or rebinds
+// to another id). The records stay until LRU eviction, so a retry that
+// re-binds moments after its session died still finds them.
+func (d *Dedup) Release(e *DedupEntry) {
+	d.mu.Lock()
+	e.refs--
+	d.mu.Unlock()
+}

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzFrameCodec holds the wire codec to its canonical-encoding
+// contract across both protocol versions: any byte stream decodes into
+// a (possibly empty) sequence of frames such that re-encoding each
+// frame reproduces exactly the bytes it was decoded from, and decoding
+// never consumes payload bytes for an unknown op. This is the property
+// that lets a server tell v1 frames from seq-numbered v2 frames by op
+// byte alone.
+func FuzzFrameCodec(f *testing.F) {
+	seed := func(fr *Frame) {
+		f.Add(AppendFrame(nil, fr))
+	}
+	seed(&Frame{Op: OpStep, ID: 7})
+	seed(&Frame{Op: OpCell, ID: 3 | 8<<16})
+	seed(&Frame{Op: OpStepN, ID: 7, N: -64})
+	seed(&Frame{Op: OpCellN, ID: 3 | 8<<16, N: 512})
+	seed(&Frame{Op: OpRead, ID: 5})
+	seed(&Frame{Op: OpHello, Client: 0xdeadbeef})
+	seed(&Frame{Op: OpStep2, ID: 7, Seq: 1})
+	seed(&Frame{Op: OpCell2, ID: 3 | 8<<16, Seq: 2})
+	seed(&Frame{Op: OpStepN2, ID: 7, Seq: 3, N: -64})
+	seed(&Frame{Op: OpCellN2, ID: 3 | 8<<16, Seq: 4, N: 512})
+	// Two frames back to back, and a truncated tail.
+	f.Add(append(AppendFrame(nil, &Frame{Op: OpHello, Client: 9}),
+		AppendFrame(nil, &Frame{Op: OpStepN2, ID: 1, Seq: 1, N: 2})...))
+	f.Add(AppendFrame(nil, &Frame{Op: OpCellN2, ID: 1, Seq: 1, N: 2})[:9])
+	f.Add([]byte{99, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf [MaxFrameLen]byte
+		var fr Frame
+		consumed := 0
+		for {
+			before := r.Len()
+			err := ReadFrame(r, &buf, &fr)
+			if err == ErrUnknownOp {
+				// Unknown ops must be rejected after exactly the 5-byte
+				// header, before any payload is consumed.
+				if got := before - r.Len(); got != 5 {
+					t.Fatalf("unknown op consumed %d bytes, want 5", got)
+				}
+				return
+			}
+			if err != nil {
+				return // EOF or truncation mid-frame ends the stream
+			}
+			enc := AppendFrame(nil, &fr)
+			if want := data[consumed : consumed+len(enc)]; !bytes.Equal(enc, want) {
+				t.Fatalf("re-encode mismatch at offset %d: frame %+v encodes to %x, stream had %x",
+					consumed, fr, enc, want)
+			}
+			consumed += len(enc)
+		}
+	})
+}
+
+// FuzzPacketCodec holds the datagram packing layer to the same
+// canonical contract: a datagram either decodes to a request id plus a
+// whole number of well-formed frames whose re-encoding reproduces the
+// datagram bit for bit, or it is rejected whole (ErrBadPacket) — a
+// truncated frame or trailing garbage anywhere must never yield a
+// partial decode a server could act on.
+func FuzzPacketCodec(f *testing.F) {
+	f.Add(AppendPacket(nil, 7, []Frame{
+		{Op: OpHello, Client: 42},
+		{Op: OpStepN2, ID: 3, Seq: 9, N: 16},
+		{Op: OpCellN2, ID: 1 | 8<<16, Seq: 10, N: -4},
+		{Op: OpRead, ID: 2},
+	}))
+	f.Add(AppendPacket(nil, 0, nil))
+	f.Add(AppendPacket(nil, 1, []Frame{{Op: OpStep2, ID: 1, Seq: 1}})[:11]) // truncated
+	f.Add([]byte{0, 0, 0})                                                  // shorter than the header
+	f.Add(append(AppendPacket(nil, 3, []Frame{{Op: OpRead, ID: 1}}), 99))   // garbage tail
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqid, frames, err := DecodePacket(data, nil)
+		if err != nil {
+			return // rejected whole: nothing to act on
+		}
+		enc := AppendPacket(nil, reqid, frames)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("packet re-encode mismatch: %x decoded to %d frames, re-encodes %x",
+				data, len(frames), enc)
+		}
+	})
+}
+
+// The codec length table and io plumbing agree: every op's encoded
+// frame decodes back to an identical struct.
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Op: OpStep, ID: 12},
+		{Op: OpCell, ID: 2 | 24<<16},
+		{Op: OpStepN, ID: 12, N: 7},
+		{Op: OpCellN, ID: 2 | 24<<16, N: -7},
+		{Op: OpRead, ID: 9},
+		{Op: OpHello, Client: 42},
+		{Op: OpStep2, ID: 12, Seq: 900},
+		{Op: OpCell2, ID: 2 | 24<<16, Seq: 901},
+		{Op: OpStepN2, ID: 12, Seq: 902, N: 7},
+		{Op: OpCellN2, ID: 2 | 24<<16, Seq: 903, N: -7},
+	}
+	var stream []byte
+	for i := range frames {
+		stream = AppendFrame(stream, &frames[i])
+	}
+	r := bytes.NewReader(stream)
+	var buf [MaxFrameLen]byte
+	for i := range frames {
+		var got Frame
+		if err := ReadFrame(r, &buf, &got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != frames[i] {
+			t.Fatalf("frame %d: decoded %+v, want %+v", i, got, frames[i])
+		}
+	}
+	if err := ReadFrame(r, &buf, &Frame{}); err != io.EOF {
+		t.Fatalf("trailing read = %v, want io.EOF", err)
+	}
+}
+
+// Packets round-trip exactly and reject truncation, trailing garbage,
+// and unknown ops whole.
+func TestPacketRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Op: OpHello, Client: 7},
+		{Op: OpStepN2, ID: 4, Seq: 1, N: 64},
+		{Op: OpCell2, ID: 0 | 8<<16, Seq: 2},
+		{Op: OpRead, ID: 3},
+	}
+	pkt := AppendPacket(nil, 0xfeed, frames)
+	reqid, got, err := DecodePacket(pkt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqid != 0xfeed {
+		t.Fatalf("reqid = %#x, want 0xfeed", reqid)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if got[i] != frames[i] {
+			t.Fatalf("frame %d: decoded %+v, want %+v", i, got[i], frames[i])
+		}
+	}
+	for name, bad := range map[string][]byte{
+		"short-header": pkt[:5],
+		"truncated":    pkt[:len(pkt)-3],
+		"garbage-tail": append(append([]byte{}, pkt...), 0xff),
+		"unknown-op":   append(append([]byte{}, pkt[:PacketOverhead]...), 99, 0, 0, 0, 0),
+	} {
+		if _, _, err := DecodePacket(bad, nil); err == nil {
+			t.Fatalf("%s: decoded without error", name)
+		}
+	}
+	// An empty packet (header only) is well-formed: zero frames.
+	if _, fs, err := DecodePacket(pkt[:PacketOverhead], nil); err != nil || len(fs) != 0 {
+		t.Fatalf("header-only packet = (%d frames, %v), want (0, nil)", len(fs), err)
+	}
+}

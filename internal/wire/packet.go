@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+)
+
+// MaxDatagram is the safe datagram budget for packed frames: large
+// enough to carry dozens of frames per packet, small enough to dodge IP
+// fragmentation on any sane path (IPv6 guarantees 1280-byte MTUs;
+// headers eat the rest). Clients split larger frame groups across
+// packets; see the udpnet session.
+const MaxDatagram = 1200
+
+// PacketOverhead is the fixed per-packet header: the 8-byte request id
+// the response echoes so a client can match replies to (possibly
+// retransmitted, possibly reordered) request packets.
+const PacketOverhead = 8
+
+// ErrBadPacket reports a datagram that does not decode to a request id
+// followed by a whole number of well-formed frames — truncation,
+// trailing garbage, or an unknown op anywhere poisons the whole packet,
+// which the server then drops without replying (the datagram analogue
+// of tcpnet dropping a violating connection).
+var ErrBadPacket = errors.New("wire: malformed packet")
+
+// AppendPacket encodes one datagram onto dst: the request id followed
+// by the frames in order, each in the canonical frame encoding. The
+// caller keeps the total within MaxDatagram; the codec itself does not
+// bound it.
+func AppendPacket(dst []byte, reqid uint64, frames []Frame) []byte {
+	var h [PacketOverhead]byte
+	binary.BigEndian.PutUint64(h[:], reqid)
+	dst = append(dst, h[:]...)
+	for i := range frames {
+		dst = AppendFrame(dst, &frames[i])
+	}
+	return dst
+}
+
+// DecodePacket parses a datagram into its request id and frames,
+// appending the frames to dst (pass dst[:0] to reuse scratch). Strict:
+// any malformed tail returns ErrBadPacket and the packet must be
+// dropped whole — over an unreliable transport there is no stream to
+// resynchronize, so a partial decode is never acted on.
+func DecodePacket(data []byte, dst []Frame) (reqid uint64, frames []Frame, err error) {
+	if len(data) < PacketOverhead {
+		return 0, dst, ErrBadPacket
+	}
+	reqid = binary.BigEndian.Uint64(data[:PacketOverhead])
+	r := bytes.NewReader(data[PacketOverhead:])
+	var buf [MaxFrameLen]byte
+	for r.Len() > 0 {
+		var f Frame
+		if err := ReadFrame(r, &buf, &f); err != nil {
+			return 0, dst, ErrBadPacket
+		}
+		dst = append(dst, f)
+	}
+	return reqid, dst, nil
+}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds a self-healing path: at most Attempts total tries
+// (including the first), as long as the time since the first failure
+// stays within Budget (Budget <= 0 removes the time bound; attempts are
+// always enforced). Attempts < 1 behaves as 1, disabling retries.
+type RetryPolicy struct {
+	Attempts int
+	Budget   time.Duration
+}
+
+// Backoff is a jittered exponential schedule: attempt n waits (or, for
+// a datagram retransmit timer, listens) between Delay(n)/2 and Delay(n)
+// where the full delay doubles from Base up to Max. The jitter is the
+// point — without it every client that observed the same shard flap
+// redials in lockstep, turning recovery into a dial storm (the ROADMAP
+// open item this type closes).
+type Backoff struct {
+	Base time.Duration // first-attempt delay; <= 0 takes 2ms
+	Max  time.Duration // delay ceiling; <= 0 takes 250ms
+}
+
+// Delay returns the jittered wait before (or timeout spanning) attempt
+// n, n >= 1: uniform in [d/2, d] with d = min(Base<<(n-1), Max).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 2 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}

@@ -1,0 +1,146 @@
+package wire
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A dedup entry replays recorded replies for already-applied sequences
+// and evicts FIFO past its window.
+func TestDedupWindowReplayAndEviction(t *testing.T) {
+	d := NewDedup(DedupConfig{Window: 4, Clients: 2})
+	e := d.Bind(1)
+	execs := 0
+	exec := func(v int64) func() (int64, bool) {
+		return func() (int64, bool) { execs++; return v, true }
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		if v, ok := e.Do(seq, exec(int64(seq*10))); !ok || v != int64(seq*10) {
+			t.Fatalf("seq %d: (%d, %v)", seq, v, ok)
+		}
+	}
+	// Replay: no extra executions, recorded replies come back.
+	for seq := uint64(1); seq <= 4; seq++ {
+		if v, ok := e.Do(seq, exec(-1)); !ok || v != int64(seq*10) {
+			t.Fatalf("replay seq %d: (%d, %v)", seq, v, ok)
+		}
+	}
+	if execs != 4 {
+		t.Fatalf("execs = %d, want 4", execs)
+	}
+	// Push past the window: seq 1 falls out FIFO and re-executes.
+	if _, ok := e.Do(5, exec(50)); !ok {
+		t.Fatal("seq 5 failed")
+	}
+	if v, _ := e.Do(1, exec(-7)); v != -7 {
+		t.Fatalf("evicted seq re-ran with %d, want -7", v)
+	}
+	if execs != 6 {
+		t.Fatalf("execs = %d, want 6", execs)
+	}
+}
+
+// The client table evicts the least recently registered UNPINNED client
+// at the cap; pinned clients survive arbitrary churn.
+func TestDedupClientPinning(t *testing.T) {
+	d := NewDedup(DedupConfig{Window: 8, Clients: 2, MinIdle: -1})
+	pinned := d.Bind(100)
+	if _, ok := pinned.Do(1, func() (int64, bool) { return 42, true }); !ok {
+		t.Fatal("record failed")
+	}
+	// Churn far past the cap while client 100 stays pinned.
+	for id := uint64(1); id <= 10; id++ {
+		d.Release(d.Bind(id))
+	}
+	replayed := true
+	if v, _ := pinned.Do(1, func() (int64, bool) { replayed = false; return -1, true }); v != 42 || !replayed {
+		t.Fatalf("pinned window lost its record across churn (v=%d, replayed=%v)", v, replayed)
+	}
+	// Unpin and churn again: now the entry is evictable, and a rebind
+	// starts a fresh window.
+	d.Release(pinned)
+	for id := uint64(11); id <= 20; id++ {
+		d.Release(d.Bind(id))
+	}
+	fresh := d.Bind(100)
+	defer d.Release(fresh)
+	ran := false
+	if _, ok := fresh.Do(1, func() (int64, bool) { ran = true; return 0, true }); !ok || !ran {
+		t.Fatal("post-eviction rebind did not re-execute")
+	}
+}
+
+// Zero-valued configs take the production defaults.
+func TestDedupConfigDefaults(t *testing.T) {
+	d := NewDedup(DedupConfig{})
+	cfg := d.Config()
+	if cfg.Window != DefaultDedupWindow || cfg.Clients != DefaultDedupClients ||
+		cfg.MinIdle != DefaultDedupMinIdle {
+		t.Fatalf("defaulted config = %+v", cfg)
+	}
+}
+
+// The MinIdle guard: an UNPINNED entry that was bound recently — a
+// datagram client whose pin lasts only one packet — survives cap churn
+// from other clients, so its window is still there when the lost
+// response's retransmit arrives and the duplicate is replayed, not
+// re-executed.
+func TestDedupMinIdleGuardsRecentClients(t *testing.T) {
+	d := NewDedup(DedupConfig{Window: 8, Clients: 2, MinIdle: time.Hour})
+	e := d.Bind(100)
+	if _, ok := e.Do(1, func() (int64, bool) { return 42, true }); !ok {
+		t.Fatal("record failed")
+	}
+	d.Release(e) // refs back to 0: only the idle guard protects it now
+	for id := uint64(1); id <= 10; id++ {
+		d.Release(d.Bind(id))
+	}
+	again := d.Bind(100)
+	defer d.Release(again)
+	replayed := true
+	if v, _ := again.Do(1, func() (int64, bool) { replayed = false; return -1, true }); v != 42 || !replayed {
+		t.Fatalf("recently-active window evicted by churn (v=%d, replayed=%v)", v, replayed)
+	}
+}
+
+// Backoff delays are jittered exponentials: within [d/2, d] for
+// d = min(Base<<(n-1), Max), never zero, never past Max.
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 8 * time.Millisecond, Max: 50 * time.Millisecond}
+	full := []time.Duration{8, 16, 32, 50, 50, 50}
+	for attempt := 1; attempt <= len(full); attempt++ {
+		want := full[attempt-1] * time.Millisecond
+		for trial := 0; trial < 100; trial++ {
+			d := b.Delay(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	// The zero value is usable: defaults applied, still bounded.
+	var zero Backoff
+	if d := zero.Delay(1); d <= 0 || d > 2*time.Millisecond {
+		t.Fatalf("zero-value first delay %v outside (0, 2ms]", d)
+	}
+	if d := zero.Delay(30); d <= 0 || d > 250*time.Millisecond {
+		t.Fatalf("zero-value capped delay %v outside (0, 250ms]", d)
+	}
+}
+
+// The tape replays identical sequence numbers after a rewind and only
+// draws fresh ones past the recorded end.
+func TestSeqTapeRewind(t *testing.T) {
+	var src atomic.Uint64
+	tp := NewSeqTape(&src)
+	first := []uint64{tp.Take(), tp.Take(), tp.Take()}
+	tp.Rewind()
+	for i, want := range first {
+		if got := tp.Take(); got != want {
+			t.Fatalf("replayed seq %d = %d, want %d", i, got, want)
+		}
+	}
+	if next := tp.Take(); next != first[len(first)-1]+1 {
+		t.Fatalf("post-replay seq = %d, want %d", next, first[len(first)-1]+1)
+	}
+}
