@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race resilience bench-smoke bench fuzz
+.PHONY: check build vet fmt test race resilience bench-smoke bench fuzz docs-check
 
-check: build vet fmt race resilience bench-smoke
+check: build vet fmt race resilience bench-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,13 @@ race:
 # grid, the checkout health probe, Close racing a retry, the v1/v2
 # codec distinction, the shared wire codec/packet fuzz seeds, and the
 # udpnet loss/dup/reorder chaos grid with its retransmit and
-# replay-not-reexecute regressions. Keep this regex in lockstep with
+# replay-not-reexecute regressions, and the control-plane gates (the
+# Prometheus text-format validator, endpoint/health-lifecycle tests,
+# SIGTERM-drain exact-count reconciliation, and the monotone-metrics
+# chaos scrape). Keep this regex in lockstep with
 # .github/workflows/ci.yml.
 resilience:
-	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestDedupConfig|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|TestPacketRoundTrip|FuzzFrameCodec|FuzzPacketCodec|TestUDPChaosExactCountGrid|TestUDPRetransmitExactlyOnce|TestUDPResponseLoss|TestUDPMalformedPackets|TestUDPBatchRPCsMatchTCPFloor' ./internal/tcpnet ./internal/udpnet ./internal/wire
+	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestDedupConfig|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|TestPacketRoundTrip|FuzzFrameCodec|FuzzPacketCodec|TestUDPChaosExactCountGrid|TestUDPRetransmitExactlyOnce|TestUDPResponseLoss|TestUDPMalformedPackets|TestUDPBatchRPCsMatchTCPFloor|TestWritePrometheusFormat|TestServeEndpoints|TestDrainOnSignal|TestFleetAggregation|TestShardControlPlaneEndpoints|TestCounterHealthFlipsAcrossDrain|TestShardedCounterEndpointAggregation|TestSIGTERMDrainExactCount|TestUDPShardControlPlaneEndpoints|TestMetricsMonotoneUnderChaos' ./internal/tcpnet ./internal/udpnet ./internal/wire ./internal/ctlplane
 
 # Covers every package, the distributed benchmarks in internal/distnet,
 # internal/tcpnet and internal/udpnet (batched protocol, E25) included;
@@ -43,6 +46,21 @@ resilience:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) test -bench='Sharded|Dedup|UDP' -benchtime=1x -run='^$$' ./internal/distnet ./internal/tcpnet ./internal/udpnet
+
+# The OPERATIONS.md metric reference is generated from the live
+# registrations: rebuild it with cmd/ctlplanedoc and diff against the
+# committed table, so the manual cannot drift from the code. To update
+# after changing metrics: go run ./cmd/ctlplanedoc and paste between
+# the BEGIN/END markers in OPERATIONS.md.
+docs-check:
+	@gen="$$(mktemp)" want="$$(mktemp)"; \
+	$(GO) run ./cmd/ctlplanedoc > "$$gen" || exit 1; \
+	awk '/<!-- BEGIN GENERATED METRICS TABLE -->/{f=1;next} /<!-- END GENERATED METRICS TABLE -->/{f=0} f' OPERATIONS.md > "$$want"; \
+	if ! diff -u "$$want" "$$gen"; then \
+		echo "OPERATIONS.md metric table drifted from the registered metrics;" >&2; \
+		echo "regenerate with: go run ./cmd/ctlplanedoc" >&2; exit 1; \
+	fi; \
+	rm -f "$$gen" "$$want"
 
 # Full benchmark sweep (slow; see EXPERIMENTS.md for recorded tables).
 bench:

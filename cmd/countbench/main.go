@@ -15,6 +15,7 @@
 //	countbench -exp distshard    # E26: sharded deployments, cost vs stripe count S
 //	countbench -exp dedup        # E27: exactly-once dedup overhead + kill/retry
 //	countbench -exp udp          # E28: UDP datagram transport vs injected loss
+//	countbench -exp ctlplane     # E29: control-plane scrape overhead (HTTP /metrics mid-run)
 //	countbench -exp timesim      # E13: queueing simulation (host-independent)
 //	countbench -exp linearize    # E18: linearizability observation
 //	countbench -exp ablation     # E16/E17: bitonic merger, random init
@@ -24,12 +25,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +43,7 @@ import (
 	"repro/internal/bitonic"
 	"repro/internal/core"
 	"repro/internal/counter"
+	"repro/internal/ctlplane"
 	"repro/internal/distnet"
 	"repro/internal/dtree"
 	"repro/internal/experiments"
@@ -52,10 +59,11 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | distshard | dedup | udp | timesim | linearize | ablation | all")
+		exp    = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | distshard | dedup | udp | ctlplane | timesim | linearize | ablation | all")
 		rounds = flag.Int("rounds", 60, "tokens per process in simulations")
 		opsK   = flag.Int("ops", 50, "thousands of operations per throughput cell")
 		shards = flag.Int("shards", 4, "max stripe count S for sharded-deployment experiments")
+		out    = flag.String("out", "", "JSON output path for -exp ctlplane (E29 modes + scraped series)")
 	)
 	flag.Parse()
 
@@ -81,13 +89,14 @@ func main() {
 		"distshard":  func() { expDistshard(*shards) },
 		"dedup":      expDedup,
 		"udp":        expUDP,
+		"ctlplane":   func() { expCtlplane(*out) },
 		"timesim":    expTimesim,
 		"linearize":  expLinearize,
 		"ablation":   expAblation,
 	}
 	order := []string{"depth", "contention", "compare", "blocks", "slope",
 		"throughput", "fastpath", "elim", "dist", "distbatch", "distshard",
-		"dedup", "udp", "timesim", "linearize", "ablation"}
+		"dedup", "udp", "ctlplane", "timesim", "linearize", "ablation"}
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
@@ -702,6 +711,166 @@ func wireRetry() wire.RetryPolicy {
 
 func wireTimer() wire.Backoff {
 	return wire.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond}
+}
+
+// E29: what observability costs. The same C(8,24) workload the E27/E28
+// tables bill runs twice — control plane detached, then attached with
+// an HTTP scraper hammering /metrics for the whole run — and the frame
+// bill must come out identical: every exported number is a read-side
+// view over atomics the flights maintain anyway, so a scrape adds no
+// RPC and blocks no flight. Wall-clock ns/token is reported for both
+// modes (the attached row carries the scraper's CPU time, which stays
+// within run-to-run noise). With -out, both modes plus the final
+// mid-run scrape's series are written as JSON.
+func expCtlplane(outPath string) {
+	const w, t, shards, batches, k = 8, 24, 3, 16, 64
+	fmt.Printf("E29: control-plane scrape overhead, C(%d,%d), %d batches of k=%d\n\n",
+		w, t, batches, k)
+	detached := ctlplaneRun(w, t, shards, batches, k, false)
+	attached := ctlplaneRun(w, t, shards, batches, k, true)
+	tb := stats.NewTable("mode", "rpcs/token", "ns/token", "mid-run scrapes")
+	for _, r := range []ctlplaneResult{detached, attached} {
+		tb.AddRowf(r.Mode, fmt.Sprintf("%.2f", r.RPCsPerToken),
+			fmt.Sprintf("%.0f", r.NsPerToken), fmt.Sprintf("%d", r.Scrapes))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\n(the rpcs/token column must be identical across modes: scrapes are" +
+		"\n read-side views over the flight path's own atomics and add no frames;" +
+		"\n see OPERATIONS.md for the metric reference)")
+	if outPath != "" {
+		doc := map[string]any{"experiment": "E29", "modes": []ctlplaneResult{detached, attached}}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nwrote %s\n", outPath)
+	}
+}
+
+// ctlplaneResult is one E29 mode's bill; Series is the last mid-run
+// /metrics scrape, stamped into the JSON output so a recorded run
+// carries the fleet's own accounting alongside the bench's.
+type ctlplaneResult struct {
+	Mode         string           `json:"mode"`
+	RPCsPerToken float64          `json:"rpcs_per_token"`
+	NsPerToken   float64          `json:"ns_per_token"`
+	Scrapes      int              `json:"scrapes"`
+	Series       map[string]int64 `json:"series,omitempty"`
+}
+
+// ctlplaneRun drives the E29 workload through a pooled TCP Counter,
+// optionally fronting the whole deployment (client plus every shard)
+// with one admin endpoint and scraping it over HTTP in a tight loop
+// for the duration.
+func ctlplaneRun(w, t, shards, batches, k int, attached bool) ctlplaneResult {
+	topo := must(core.New(w, t))
+	addrs := make([]string, shards)
+	var servers []*tcpnet.Shard
+	for i := 0; i < shards; i++ {
+		s, err := tcpnet.StartShard("127.0.0.1:0", topo, i, shards)
+		if err != nil {
+			panic(err)
+		}
+		servers = append(servers, s)
+		addrs[i] = s.Addr()
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	ctr := tcpnet.NewCluster(topo, addrs).NewCounterPool(1)
+	defer ctr.Close()
+
+	res := ctlplaneResult{Mode: "detached"}
+	stopScrape := func() {}
+	if attached {
+		res.Mode = "attached"
+		fleet := ctlplane.NewFleet("countbench-e29", "node")
+		fleet.Add("client", ctr)
+		for i, s := range servers {
+			fleet.Add(fmt.Sprintf("shard%d", i), s)
+		}
+		srv, err := ctlplane.Serve("127.0.0.1:0", fleet)
+		if err != nil {
+			panic(err)
+		}
+		url := "http://" + srv.Addr() + "/metrics"
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					panic(err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					panic(err)
+				}
+				res.Scrapes++
+				res.Series = parseScrape(string(body))
+				// Prometheus scrapes on an interval, not a hot loop;
+				// 2ms here is already ~7500x its default cadence.
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+		stopScrape = func() { close(stop); <-done; srv.Close() }
+	}
+
+	begin := time.Now()
+	var vals []int64
+	var err error
+	for i := 0; i < batches; i++ {
+		if vals, err = ctr.IncBatch(i, k, vals[:0]); err != nil {
+			panic(fmt.Sprintf("E29 attached=%v: %v", attached, err))
+		}
+	}
+	elapsed := time.Since(begin)
+	stopScrape()
+	rpcs := ctr.RPCs()
+	got, err := ctr.Read()
+	if err != nil {
+		panic(err)
+	}
+	if got != int64(batches*k) {
+		panic(fmt.Sprintf("E29 attached=%v: Read %d != %d — values leaked",
+			attached, got, batches*k))
+	}
+	tokens := float64(batches * k)
+	res.RPCsPerToken = float64(rpcs) / tokens
+	res.NsPerToken = float64(elapsed.Nanoseconds()) / tokens
+	return res
+}
+
+// parseScrape reads a Prometheus text body into series -> value.
+func parseScrape(body string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			continue
+		}
+		v, err := strconv.ParseInt(line[cut+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		out[line[:cut]] = v
+	}
+	return out
 }
 
 // E13: host-independent discrete-event queueing simulation.

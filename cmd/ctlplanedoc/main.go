@@ -1,0 +1,150 @@
+// Command ctlplanedoc generates the control-plane metric reference
+// table embedded in OPERATIONS.md. It boots one loopback deployment of
+// every transport (a TCP shard + counter, a UDP shard + counter, a
+// distributed emulation counter), gathers every registry the control
+// plane would scrape, and emits one markdown row per metric name:
+// name, type, the labels its series carry, the registered help text,
+// and a hand-maintained healthy range.
+//
+// The table is therefore derived from the same registrations /metrics
+// serves — `make docs-check` regenerates it and diffs against
+// OPERATIONS.md, so the manual cannot drift from the code. The command
+// exits nonzero if transports register the same name with a different
+// type or help, or if the healthy-range map here is missing a
+// registered metric (or documents one that no longer exists).
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ctlplane"
+	"repro/internal/distnet"
+	"repro/internal/tcpnet"
+	"repro/internal/udpnet"
+)
+
+// healthy is the operator-facing healthy range per metric name — the
+// one column a registration cannot carry. Every registered name MUST
+// have an entry; every entry MUST match a registered name.
+var healthy = map[string]string{
+	"countnet_shard_frames_total":           "grows with load; fleet rate tracks client rpcs",
+	"countnet_shard_conns_open":             "= bound client sessions; 0 on an idle shard",
+	"countnet_shard_conns_total":            "monotone; fast growth = reconnect churn",
+	"countnet_shard_packets_total":          "grows with load (UDP datagrams in)",
+	"countnet_shard_dropped_packets_total":  "0; any growth = malformed or truncated datagrams",
+	"countnet_dedup_clients":                "= client ids seen; bounded by the dedup client cap",
+	"countnet_dedup_pinned_clients":         "= connected client ids; ≤ clients",
+	"countnet_dedup_records":                "≤ clients × window size",
+	"countnet_dedup_replays_total":          "0 on clean TCP; grows with retransmits/retries",
+	"countnet_dedup_client_evictions_total": "≈0; steady growth = client cap too small for the fleet",
+	"countnet_dedup_min_idle_seconds":       "= configured eviction floor (constant)",
+	"countnet_dedup_oldest_idle_seconds":    "bounded; unbounded growth = departed clients pile up (no age expiry — see ROADMAP)",
+	"countnet_client_rpcs_total":            "≈1.05 per token at k=64 (E25-E28)",
+	"countnet_client_flights_total":         "= operations issued (one per batch/window)",
+	"countnet_client_flight_retries_total":  "0 on a healthy network; growth = sessions dying mid-flight",
+	"countnet_client_inflight":              "≤ concurrent callers; 0 when quiescent",
+	"countnet_client_windows_total":         "grows under concurrency (coalesced groups)",
+	"countnet_client_window_tokens_total":   "tokens/windows = coalescing win; ≈1 means no sharing",
+	"countnet_client_pool_checkouts_total":  "= flights (each checks out one session)",
+	"countnet_client_pool_dials_total":      "≈ pool width; steady growth = session churn",
+	"countnet_client_pool_evictions_total":  "0; growth = probe failures or mid-flight deaths",
+	"countnet_client_pool_idle":             "≤ pool width",
+	"countnet_client_packets_total":         "≤ rpcs (MTU packing amortizes frames per datagram)",
+	"countnet_client_retransmits_total":     "0 on a clean network; rate tracks packet loss",
+	"countnet_client_msgs_total":            "≈4.4 per token batched (E25); 2(d+1) unbatched",
+}
+
+type row struct {
+	typ    ctlplane.Type
+	help   string
+	labels map[string]bool
+}
+
+func main() {
+	rows := make(map[string]*row)
+	merge := func(samples []ctlplane.Sample) {
+		for _, s := range samples {
+			r, ok := rows[s.Name]
+			if !ok {
+				r = &row{typ: s.Type, help: s.Help, labels: make(map[string]bool)}
+				rows[s.Name] = r
+			}
+			if r.typ != s.Type || r.help != s.Help {
+				fatalf("metric %s registered inconsistently across transports:\n  %s / %q\n  %s / %q",
+					s.Name, r.typ, r.help, s.Type, s.Help)
+			}
+			for _, l := range s.Labels {
+				r.labels[l.Key] = true
+			}
+		}
+	}
+
+	topo, err := core.New(4, 8)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ts, err := tcpnet.StartShard("127.0.0.1:0", topo, 0, 1)
+	if err != nil {
+		fatalf("tcp shard: %v", err)
+	}
+	tctr := tcpnet.NewCluster(topo, []string{ts.Addr()}).NewCounter()
+	merge(ts.Gather())
+	merge(tctr.Gather())
+	tctr.Close()
+	ts.Close()
+
+	us, err := udpnet.StartShard("127.0.0.1:0", topo, 0, 1)
+	if err != nil {
+		fatalf("udp shard: %v", err)
+	}
+	uctr := udpnet.NewCluster(topo, []string{us.Addr()}).NewCounter()
+	merge(us.Gather())
+	merge(uctr.Gather())
+	uctr.Close()
+	us.Close()
+
+	dtopo, err := core.New(4, 8)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	dctr := distnet.NewCounter(dtopo, distnet.Config{})
+	merge(dctr.Gather())
+	dctr.Stop()
+
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		if _, ok := healthy[name]; !ok {
+			fatalf("metric %s is registered but has no healthy-range entry in ctlplanedoc", name)
+		}
+		names = append(names, name)
+	}
+	for name := range healthy {
+		if _, ok := rows[name]; !ok {
+			fatalf("ctlplanedoc documents %s but no transport registers it", name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Println("| Metric | Type | Labels | Meaning | Healthy range |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, name := range names {
+		r := rows[name]
+		keys := make([]string, 0, len(r.labels))
+		for k := range r.labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("| `%s` | %s | %s | %s | %s |\n",
+			name, r.typ, strings.Join(keys, ", "), r.help, healthy[name])
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ctlplanedoc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -48,19 +48,31 @@
 //     jittered retransmit timers, and per-client dedup windows making
 //     every mutating op exactly-once under packet loss, duplication
 //     and reordering.
+//   - A production control plane (ServeControlPlane, DrainOnSignal):
+//     every shard server, counter client and sharded fleet serves
+//     /health (liveness + quiescence), /status (topology JSON) and
+//     /metrics (Prometheus text format) from read-side views over the
+//     atomics the data path already maintains, so a scrape never adds
+//     an RPC or blocks a flight.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured record, and OPERATIONS.md for the operator's
+// manual: fleet bring-up, scraping, the full metric reference, and the
+// drain/triage runbooks.
 package countnet
 
 import (
+	"io"
 	"math/rand"
+	"net/http"
+	"os"
 
 	"repro/internal/bitonic"
 	"repro/internal/butterfly"
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/counter"
+	"repro/internal/ctlplane"
 	"repro/internal/distnet"
 	"repro/internal/dtree"
 	"repro/internal/feasibility"
@@ -597,6 +609,59 @@ func StartUDPShardedCluster(topo *Network, deployments, shards int) (*UDPSharded
 // stripe's input width).
 func NewUDPShardedClusterCounter(sc *UDPShardedCluster, poolWidth int) *UDPShardedCounter {
 	return sc.NewCounter(poolWidth)
+}
+
+// Control plane (/health, /status, /metrics; OPERATIONS.md) -----------------
+
+// ControlPlaneSource is anything the admin surface can front: every
+// shard server (TCPShard, UDPShard), pooled counter client (TCPCounter,
+// UDPCounter, DistributedCounter) and sharded fleet implements it.
+type ControlPlaneSource = ctlplane.Source
+
+// ControlPlaneHealth is the /health document: Live (the target accepts
+// new work) and Quiescent (nothing in flight — the exact-count Read
+// precondition).
+type ControlPlaneHealth = ctlplane.Health
+
+// ControlPlaneSample is one evaluated metric reading.
+type ControlPlaneSample = ctlplane.Sample
+
+// ControlPlaneFleet aggregates member sources under a distinguishing
+// label so one endpoint shows per-member load side by side.
+type ControlPlaneFleet = ctlplane.Fleet
+
+// ControlPlaneServer is one listening admin endpoint.
+type ControlPlaneServer = ctlplane.Server
+
+// NewControlPlaneFleet builds an empty aggregate; member samples gain
+// the label labelKey="<member value>".
+func NewControlPlaneFleet(name, labelKey string) *ControlPlaneFleet {
+	return ctlplane.NewFleet(name, labelKey)
+}
+
+// ServeControlPlane starts the admin surface for src on addr: /health
+// (HTTP 503 once draining or closed), /status, /metrics.
+func ServeControlPlane(addr string, src ControlPlaneSource) (*ControlPlaneServer, error) {
+	return ctlplane.Serve(addr, src)
+}
+
+// ControlPlaneHandler returns the admin mux for src, for mounting under
+// an existing HTTP server.
+func ControlPlaneHandler(src ControlPlaneSource) http.Handler {
+	return ctlplane.Handler(src)
+}
+
+// DrainOnSignal runs drain once when one of the given signals arrives
+// (default SIGTERM and SIGINT): close the counters, then the shards,
+// and the fleet lands with exact counts. See the OPERATIONS.md runbook.
+func DrainOnSignal(drain func(), signals ...os.Signal) (done <-chan struct{}, cancel func()) {
+	return ctlplane.DrainOnSignal(drain, signals...)
+}
+
+// WritePrometheusMetrics renders samples in the Prometheus text
+// exposition format (version 0.0.4).
+func WritePrometheusMetrics(w io.Writer, samples []ControlPlaneSample) error {
+	return ctlplane.WritePrometheus(w, samples)
 }
 
 // Butterflies (§5) ----------------------------------------------------------

@@ -16,8 +16,11 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -159,4 +162,39 @@ func main() {
 	}
 	fmt.Printf("sharded x%d fleet: %d increments, all unique, aggregate read matches; %.2f rpcs/op\n",
 		stripes, clients*per, float64(fctr.RPCs())/float64(clients*per))
+
+	// The control plane: one admin endpoint fronts the whole fleet with
+	// /health (liveness + quiescence), /status (topology, residue
+	// classes) and /metrics (Prometheus text format), served from
+	// read-side closures over counters the data path already maintains —
+	// attaching it adds zero frames to any flight. Per-stripe load shows
+	// up under stripe="i" labels. See OPERATIONS.md for the manual.
+	adm, err := countnet.ServeControlPlane("127.0.0.1:0", fctr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer adm.Close()
+	resp, err := http.Get("http://" + adm.Addr() + "/health")
+	if err != nil {
+		log.Fatal(err)
+	}
+	health, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("control plane /health (%d): %s\n", resp.StatusCode, strings.TrimSpace(string(health)))
+	resp, err = http.Get("http://" + adm.Addr() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "countnet_client_rpcs_total{") {
+			fmt.Printf("control plane /metrics: %s\n", line)
+		}
+	}
+	// In a real deployment, wire SIGTERM into the quiescent drain so a
+	// rolling restart never loses or duplicates a value:
+	//
+	//	done, cancel := countnet.DrainOnSignal(fctr.Close, syscall.SIGTERM)
+	//	defer cancel()
 }

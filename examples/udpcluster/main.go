@@ -22,8 +22,11 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -158,4 +161,27 @@ func main() {
 	fmt.Printf("reliability bill: %d/%d datagrams were retransmits (%.1f%%)\n",
 		lctr.Retransmits(), lctr.Packets(),
 		100*float64(lctr.Retransmits())/float64(lctr.Packets()))
+
+	// The same reliability bill, as an operator would see it: attach the
+	// control plane to the lossy counter and scrape /metrics — the
+	// retransmit and packet totals above are Prometheus counters, so a
+	// loss spike shows up as a rate change on a dashboard rather than a
+	// line in a demo. See OPERATIONS.md for the fault-triage recipes.
+	adm, err := countnet.ServeControlPlane("127.0.0.1:0", lctr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer adm.Close()
+	resp, err := http.Get("http://" + adm.Addr() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "countnet_client_retransmits_total{") ||
+			strings.HasPrefix(line, "countnet_client_packets_total{") {
+			fmt.Printf("control plane /metrics: %s\n", line)
+		}
+	}
 }

@@ -1,0 +1,223 @@
+// Package ctlplane is the production control plane for the distributed
+// counting-network deployments: a tiny pull-based metrics registry plus
+// an HTTP admin surface (/health, /status, /metrics) attachable to any
+// shard server, counter client, or sharded fleet.
+//
+// The design center is that the hot path never pays for observability.
+// Every number the plane exposes already exists as a monotone atomic
+// (session RPC bills, retransmit counts, dedup window occupancy, pool
+// eviction totals) maintained for the E25-E28 cost accounting; a Metric
+// is just a named closure reading one of those atomics, evaluated only
+// when a scrape arrives. Shards and counters therefore register
+// read-side views at construction time and never touch the registry
+// again — no channels, no locks shared with the data path, no
+// per-operation branches beyond the atomic adds they were already
+// doing.
+//
+// /metrics serves the Prometheus text exposition format (version
+// 0.0.4), /health reports liveness and quiescence as JSON (HTTP 503
+// once the target is draining or closed, which is what load balancers
+// key on), and /status reports topology: stripe index, residue class,
+// listen addresses, pool width. A Fleet aggregates any number of
+// Sources under distinguishing labels, so a sharded cluster's endpoint
+// shows per-stripe load side by side and skew is visible in one scrape.
+//
+// OPERATIONS.md at the repository root is the operator's manual for
+// this package: endpoint walkthroughs, the full metric reference table
+// (enforced against the registered names by `make docs-check`), and the
+// drain/triage runbooks.
+package ctlplane
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Type distinguishes Prometheus metric kinds: a counter only ever goes
+// up (rates are meaningful), a gauge is a point-in-time level.
+type Type string
+
+const (
+	TypeCounter Type = "counter"
+	TypeGauge   Type = "gauge"
+)
+
+// Label is one name="value" pair attached to a metric's samples.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Sample is one evaluated metric reading, the unit Gather returns and
+// WritePrometheus renders.
+type Sample struct {
+	Name   string
+	Type   Type
+	Help   string
+	Labels []Label
+	Value  int64
+}
+
+// metric is one registered read-side view: a name plus the closure that
+// reads the underlying atomic at scrape time.
+type metric struct {
+	name   string
+	typ    Type
+	help   string
+	labels []Label
+	read   func() int64
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Registry is an append-only set of metrics. Registration happens at
+// construction time (a shard or counter registering its atomics);
+// Gather evaluates every read closure at scrape time. The mutex guards
+// the slice only — the closures read atomics the data path maintains
+// anyway, so a scrape never blocks an operation.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	seen    map[string]struct{} // name + sorted labels, duplicate guard
+	meta    map[string]metric   // name -> first registration, consistency guard
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]struct{}), meta: make(map[string]metric)}
+}
+
+// Counter registers a monotonically increasing metric read from the
+// given closure. Registration errors (malformed name, duplicate
+// series, type/help drift across a shared name) are programmer errors
+// and panic.
+func (r *Registry) Counter(name, help string, read func() int64, labels ...Label) {
+	r.register(name, TypeCounter, help, read, labels)
+}
+
+// Gauge registers a point-in-time level metric.
+func (r *Registry) Gauge(name, help string, read func() int64, labels ...Label) {
+	r.register(name, TypeGauge, help, read, labels)
+}
+
+func (r *Registry) register(name string, typ Type, help string, read func() int64, labels []Label) {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("ctlplane: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l.Key) {
+			panic(fmt.Sprintf("ctlplane: metric %s: invalid label name %q", name, l.Key))
+		}
+	}
+	if read == nil {
+		panic(fmt.Sprintf("ctlplane: metric %s registered without a read func", name))
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.seen[key]; dup {
+		panic(fmt.Sprintf("ctlplane: duplicate series %s", key))
+	}
+	if prev, ok := r.meta[name]; ok {
+		if prev.typ != typ || prev.help != help {
+			panic(fmt.Sprintf("ctlplane: metric %s re-registered with different type or help", name))
+		}
+	} else {
+		r.meta[name] = metric{name: name, typ: typ, help: help}
+	}
+	r.seen[key] = struct{}{}
+	r.metrics = append(r.metrics, metric{name: name, typ: typ, help: help, labels: labels, read: read})
+}
+
+// seriesKey canonicalizes a (name, labels) pair for duplicate detection.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range ls {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Gather evaluates every registered metric and returns the samples in
+// registration order.
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	metrics := r.metrics
+	r.mu.Unlock()
+	out := make([]Sample, 0, len(metrics))
+	for _, m := range metrics {
+		out = append(out, Sample{Name: m.name, Type: m.typ, Help: m.help, Labels: m.labels, Value: m.read()})
+	}
+	return out
+}
+
+// WritePrometheus renders samples in the Prometheus text exposition
+// format (version 0.0.4): samples sharing a name are grouped under one
+// # HELP / # TYPE header pair, names appear in first-seen order, and
+// help text and label values are escaped per the format.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	var order []string
+	byName := make(map[string][]Sample)
+	for _, s := range samples {
+		if _, ok := byName[s.Name]; !ok {
+			order = append(order, s.Name)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	for _, name := range order {
+		group := byName[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			name, escapeHelp(group[0].Help), name, group[0].Type); err != nil {
+			return err
+		}
+		for _, s := range group {
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, formatLabels(s.Labels), s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func escapeHelp(s string) string       { return helpEscaper.Replace(s) }
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }

@@ -37,7 +37,9 @@ import (
 	"time"
 
 	"repro/internal/balancer"
+	"repro/internal/ctlplane"
 	"repro/internal/network"
+	"repro/internal/wire"
 )
 
 // Config tunes the emulation.
@@ -287,6 +289,16 @@ type Counter struct {
 	combs []wireComb
 	w     int
 	t     int64
+
+	// Control-plane state: read-side views over the emulation's message
+	// bill and the coalescing windows, plus liveness for /health. The
+	// two per-operation atomics are noise next to the channel hops each
+	// operation already pays.
+	stopped      atomic.Bool
+	inflightN    atomic.Int64
+	windows      atomic.Int64
+	windowTokens atomic.Int64
+	reg          *ctlplane.Registry
 }
 
 type cell struct {
@@ -324,13 +336,68 @@ func NewCounter(net *network.Network, cfg Config) *Counter {
 	for i := range c.cells {
 		c.cells[i].v = int64(i)
 	}
+	c.reg = ctlplane.NewRegistry()
+	labels := []ctlplane.Label{{Key: "transport", Value: "dist"}}
+	c.reg.Counter(wire.MetricClientMsgs, wire.HelpClientMsgs, c.Messages, labels...)
+	c.reg.Gauge(wire.MetricClientInflight, wire.HelpClientInflight, c.inflightN.Load, labels...)
+	c.reg.Counter(wire.MetricClientWindows, wire.HelpClientWindows, c.windows.Load, labels...)
+	c.reg.Counter(wire.MetricClientWindowTokens, wire.HelpClientWindowTokens, c.windowTokens.Load, labels...)
 	return c
 }
+
+// CounterStatus is a distnet counter's /status document.
+type CounterStatus struct {
+	Transport  string `json:"transport"`
+	State      string `json:"state"` // live or stopped
+	Network    string `json:"network"`
+	Servers    int    `json:"servers"` // balancer server goroutines
+	InWidth    int    `json:"in_width"`
+	OutWidth   int    `json:"out_width"`
+	LinkBuffer int    `json:"link_buffer"`
+	HopLatency string `json:"hop_latency"`
+}
+
+// Health implements ctlplane.Source: live until Stop, quiescent while
+// no Inc/Dec/batch call is inside the network.
+func (c *Counter) Health() ctlplane.Health {
+	if c.stopped.Load() {
+		return ctlplane.Health{Detail: "stopped"}
+	}
+	return ctlplane.Health{
+		Live:      true,
+		Quiescent: c.inflightN.Load() == 0,
+		Detail:    "live",
+	}
+}
+
+// Status implements ctlplane.Source with the emulation's shape.
+func (c *Counter) Status() any {
+	state := "live"
+	if c.stopped.Load() {
+		state = "stopped"
+	}
+	return CounterStatus{
+		Transport:  "dist",
+		State:      state,
+		Network:    c.sys.net.Name(),
+		Servers:    len(c.sys.inboxes),
+		InWidth:    c.w,
+		OutWidth:   int(c.t),
+		LinkBuffer: c.sys.cfg.LinkBuffer,
+		HopLatency: c.sys.cfg.HopLatency.String(),
+	}
+}
+
+// Gather implements ctlplane.Source, evaluating the counter's
+// registered metric views.
+func (c *Counter) Gather() []ctlplane.Sample { return c.reg.Gather() }
 
 // Inc implements Fetch&Increment through the distributed network. A lone
 // caller pays the single-token latency path; concurrent callers on the
 // same input wire coalesce into batched flights.
 func (c *Counter) Inc(pid int) int64 {
+	c.inflightN.Add(1)
+	defer c.inflightN.Add(-1)
 	wire := pid % c.w
 	cb := &c.combs[wire]
 	cb.mu.Lock()
@@ -377,6 +444,8 @@ func (c *Counter) land(cb *wireComb, wire int) {
 			return
 		}
 		cb.mu.Unlock()
+		c.windows.Add(1)
+		c.windowTokens.Add(w.k)
 		w.vals = c.incBatchWire(wire, w.k, w.vals[:0])
 		close(w.done)
 	}
@@ -388,6 +457,8 @@ func (c *Counter) IncBatch(pid, k int, dst []int64) []int64 {
 	if k <= 0 {
 		return dst
 	}
+	c.inflightN.Add(1)
+	defer c.inflightN.Add(-1)
 	return c.incBatchWire(pid%c.w, int64(k), dst)
 }
 
@@ -413,6 +484,8 @@ func (c *Counter) incBatchWire(wire int, k int64, dst []int64) []int64 {
 // most recent increment on its exit wire and returns the value that
 // increment had handed out.
 func (c *Counter) Dec(pid int) int64 {
+	c.inflightN.Add(1)
+	defer c.inflightN.Add(-1)
 	i := c.sys.InjectAnti(pid % c.w)
 	cl := &c.cells[i]
 	cl.mu.Lock()
@@ -429,6 +502,8 @@ func (c *Counter) DecBatch(pid, k int, dst []int64) []int64 {
 	if k <= 0 {
 		return dst
 	}
+	c.inflightN.Add(1)
+	defer c.inflightN.Add(-1)
 	tally := c.sys.InjectAntiBatch(pid%c.w, int64(k))
 	for i, cnt := range tally {
 		if cnt == 0 {
@@ -467,7 +542,10 @@ func (c *Counter) Read() int64 {
 func (c *Counter) Name() string { return "dist:" + c.sys.net.Name() }
 
 // Stop shuts the underlying system down.
-func (c *Counter) Stop() { c.sys.Stop() }
+func (c *Counter) Stop() {
+	c.stopped.Store(true)
+	c.sys.Stop()
+}
 
 // String describes the deployment.
 func (s *System) String() string {

@@ -2,7 +2,9 @@ package distnet
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/ctlplane"
 	"repro/internal/network"
 	"repro/internal/shard"
 )
@@ -20,9 +22,10 @@ import (
 // stripe and Read sums the stripes' quiescent net counts, so exact-count
 // accounting stays monotone across the whole fleet.
 type Sharded struct {
-	ctrs []*Counter
-	n    int64
-	name string
+	ctrs  []*Counter
+	n     int64
+	name  string
+	plane *ctlplane.Fleet // per-stripe aggregation behind one Source
 }
 
 // NewSharded starts S independent deployments over fresh networks produced
@@ -44,8 +47,50 @@ func NewSharded(shards int, build func() (*network.Network, error), cfg Config) 
 		s.ctrs[i] = NewCounter(net, cfg)
 		s.name = fmt.Sprintf("distshard%d:%s", shards, net.Name())
 	}
+	s.plane = ctlplane.NewFleet(s.name, "stripe")
+	for i, c := range s.ctrs {
+		s.plane.Add(strconv.Itoa(i), c)
+	}
 	return s, nil
 }
+
+// Health implements ctlplane.Source: the fleet is live (and quiescent)
+// only when every stripe is.
+func (s *Sharded) Health() ctlplane.Health { return s.plane.Health() }
+
+// StripeStatus is one stripe's slot in a sharded deployment's /status.
+type StripeStatus struct {
+	Stripe       int             `json:"stripe"`
+	ResidueClass string          `json:"residue_class"` // global values this stripe hands out
+	Health       ctlplane.Health `json:"health"`
+	Status       CounterStatus   `json:"status"`
+}
+
+// ShardedStatus is the fleet-wide /status document.
+type ShardedStatus struct {
+	Name    string         `json:"name"`
+	Stripes []StripeStatus `json:"stripes"`
+}
+
+// Status implements ctlplane.Source: every stripe's shape plus the
+// residue class its values land in.
+func (s *Sharded) Status() any {
+	st := ShardedStatus{Name: s.name}
+	for i, c := range s.ctrs {
+		st.Stripes = append(st.Stripes, StripeStatus{
+			Stripe:       i,
+			ResidueClass: fmt.Sprintf("v*%d+%d", s.n, i),
+			Health:       c.Health(),
+			Status:       c.Status().(CounterStatus),
+		})
+	}
+	return st
+}
+
+// Gather implements ctlplane.Source: every stripe's samples under a
+// stripe="i" label, so per-stripe message load sits side by side in
+// one scrape.
+func (s *Sharded) Gather() []ctlplane.Sample { return s.plane.Gather() }
 
 // Shards returns the stripe count S.
 func (s *Sharded) Shards() int { return int(s.n) }

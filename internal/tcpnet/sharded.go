@@ -2,8 +2,10 @@ package tcpnet
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
+	"repro/internal/ctlplane"
 	"repro/internal/network"
 	"repro/internal/shard"
 )
@@ -105,9 +107,14 @@ func (sc *ShardedCluster) Name() string { return sc.name }
 // its own client id, so the stripes' exactly-once dedup windows — and
 // their retry budgets — are fully independent.
 func (sc *ShardedCluster) NewCounter(poolWidth int) *ShardedCounter {
-	t := &ShardedCounter{sc: sc, ctrs: make([]*Counter, len(sc.clusters))}
+	t := &ShardedCounter{
+		sc:    sc,
+		ctrs:  make([]*Counter, len(sc.clusters)),
+		plane: ctlplane.NewFleet(sc.name, "stripe"),
+	}
 	for i, c := range sc.clusters {
 		t.ctrs[i] = c.NewCounterPool(poolWidth)
+		t.plane.Add(strconv.Itoa(i), t.ctrs[i])
 	}
 	return t
 }
@@ -117,9 +124,50 @@ func (sc *ShardedCluster) NewCounter(poolWidth int) *ShardedCounter {
 // residue classes, and the read side (RPCs, Read) aggregated across
 // stripes so exact-count accounting stays monotone.
 type ShardedCounter struct {
-	sc   *ShardedCluster
-	ctrs []*Counter
+	sc    *ShardedCluster
+	ctrs  []*Counter
+	plane *ctlplane.Fleet // per-stripe aggregation behind one Source
 }
+
+// StripeStatus is one stripe's slot in a sharded counter's /status.
+type StripeStatus struct {
+	Stripe       int             `json:"stripe"`
+	ResidueClass string          `json:"residue_class"` // global values this stripe hands out
+	Health       ctlplane.Health `json:"health"`
+	Status       CounterStatus   `json:"status"`
+}
+
+// ShardedStatus is the fleet-wide /status document.
+type ShardedStatus struct {
+	Name    string         `json:"name"`
+	Stripes []StripeStatus `json:"stripes"`
+}
+
+// Health implements ctlplane.Source: the fleet is live (and quiescent)
+// only when every stripe is.
+func (t *ShardedCounter) Health() ctlplane.Health { return t.plane.Health() }
+
+// Status implements ctlplane.Source: every stripe's topology plus the
+// residue class its values land in — the document an operator reads to
+// see which stripe a global value came from.
+func (t *ShardedCounter) Status() any {
+	st := ShardedStatus{Name: t.sc.name}
+	for i, c := range t.ctrs {
+		st.Stripes = append(st.Stripes, StripeStatus{
+			Stripe:       i,
+			ResidueClass: fmt.Sprintf("v*%d+%d", t.sc.n, i),
+			Health:       c.Health(),
+			Status:       c.Status().(CounterStatus),
+		})
+	}
+	return st
+}
+
+// Gather implements ctlplane.Source: every stripe's samples under a
+// stripe="i" label, so per-stripe load (rpcs, retries, windows) sits
+// side by side in one scrape and skew across the StripeOf hash is
+// visible directly.
+func (t *ShardedCounter) Gather() []ctlplane.Sample { return t.plane.Gather() }
 
 // Counter returns stripe i's underlying pooled Counter (for inspection).
 func (t *ShardedCounter) Counter(i int) *Counter { return t.ctrs[i] }

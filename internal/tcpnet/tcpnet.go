@@ -70,11 +70,13 @@ import (
 	"io"
 	"math"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/balancer"
+	"repro/internal/ctlplane"
 	"repro/internal/network"
 	"repro/internal/wire"
 )
@@ -112,6 +114,16 @@ type Shard struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{} // live client connections, dropped on Close
 
+	// Control-plane state: the shard's slot in the partition (for
+	// /status), its registry of read-side metric views (for /metrics),
+	// and two bare atomics the serve loops bump.
+	index      int
+	shards     int
+	netName    string
+	reg        *ctlplane.Registry
+	frames     atomic.Int64
+	connsTotal atomic.Int64
+
 	// dedup is the per-client exactly-once state: bounded (seq, reply)
 	// windows shared by every connection that HELLOs the same client id
 	// (see wire.Dedup). Entries are pinned against LRU eviction while
@@ -140,13 +152,26 @@ func StartShardConfig(addr string, topo *network.Network, index, shards int, cfg
 		return nil, err
 	}
 	s := &Shard{
-		ln:    ln,
-		bals:  make(map[int32]*balancer.PQ),
-		cells: make(map[int32]*atomic.Int64),
-		done:  make(chan struct{}),
-		conns: make(map[net.Conn]struct{}),
-		dedup: wire.NewDedup(cfg.Dedup),
+		ln:      ln,
+		bals:    make(map[int32]*balancer.PQ),
+		cells:   make(map[int32]*atomic.Int64),
+		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		dedup:   wire.NewDedup(cfg.Dedup),
+		index:   index,
+		shards:  shards,
+		netName: topo.Name(),
+		reg:     ctlplane.NewRegistry(),
 	}
+	labels := []ctlplane.Label{{Key: "transport", Value: "tcp"}, {Key: "shard", Value: strconv.Itoa(index)}}
+	s.reg.Counter(wire.MetricShardFrames, wire.HelpShardFrames, s.frames.Load, labels...)
+	s.reg.Gauge(wire.MetricShardConnsOpen, wire.HelpShardConnsOpen, func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return int64(len(s.conns))
+	}, labels...)
+	s.reg.Counter(wire.MetricShardConns, wire.HelpShardConns, s.connsTotal.Load, labels...)
+	s.dedup.RegisterMetrics(s.reg, labels...)
 	for id := 0; id < topo.Size(); id++ {
 		if id%shards == index {
 			nd := topo.Node(id)
@@ -169,9 +194,18 @@ func StartShardConfig(addr string, topo *network.Network, index, shards int, cfg
 func (s *Shard) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the shard; in-flight connections are dropped (their serve
-// loops unblock on the connection close).
+// loops unblock on the connection close). Idempotent, so a signal-driven
+// drain hook can race a manual shutdown safely.
 func (s *Shard) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return
+	default:
+	}
 	close(s.done)
+	s.mu.Unlock()
 	s.ln.Close()
 	s.mu.Lock()
 	for conn := range s.conns {
@@ -180,6 +214,58 @@ func (s *Shard) Close() {
 	s.mu.Unlock()
 	s.wg.Wait()
 }
+
+// ShardStatus is a shard server's /status document.
+type ShardStatus struct {
+	Transport string `json:"transport"`
+	Addr      string `json:"addr"`
+	Shard     int    `json:"shard"`  // this server's index in the partition
+	Shards    int    `json:"shards"` // servers the topology is partitioned across
+	Network   string `json:"network"`
+	Balancers int    `json:"balancers"` // balancer nodes this server owns
+	Cells     int    `json:"cells"`     // exit cells this server owns
+	Conns     int    `json:"conns"`     // client connections currently open
+}
+
+// Health implements ctlplane.Source: the shard is live until Close and
+// quiescent while no client connection is bound (an idle shard's state
+// is safe to snapshot or migrate).
+func (s *Shard) Health() ctlplane.Health {
+	select {
+	case <-s.done:
+		return ctlplane.Health{Detail: "closed"}
+	default:
+	}
+	s.mu.Lock()
+	open := len(s.conns)
+	s.mu.Unlock()
+	return ctlplane.Health{
+		Live:      true,
+		Quiescent: open == 0,
+		Detail:    fmt.Sprintf("%d open connections", open),
+	}
+}
+
+// Status implements ctlplane.Source with the shard's topology slot.
+func (s *Shard) Status() any {
+	s.mu.Lock()
+	open := len(s.conns)
+	s.mu.Unlock()
+	return ShardStatus{
+		Transport: "tcp",
+		Addr:      s.Addr(),
+		Shard:     s.index,
+		Shards:    s.shards,
+		Network:   s.netName,
+		Balancers: len(s.bals),
+		Cells:     len(s.cells),
+		Conns:     open,
+	}
+}
+
+// Gather implements ctlplane.Source, evaluating the shard's registered
+// metric views (frames served, connection counts, dedup table state).
+func (s *Shard) Gather() []ctlplane.Sample { return s.reg.Gather() }
 
 // track registers a client connection for Close to drop; it refuses (and
 // closes) connections that race with shutdown.
@@ -193,6 +279,7 @@ func (s *Shard) track(conn net.Conn) bool {
 	default:
 	}
 	s.conns[conn] = struct{}{}
+	s.connsTotal.Add(1)
 	return true
 }
 
@@ -240,6 +327,7 @@ func (s *Shard) serve(conn net.Conn) {
 		if err := wire.ReadFrame(conn, &buf, &f); err != nil {
 			return
 		}
+		s.frames.Add(1)
 		switch f.Op {
 		case wire.OpStepN, wire.OpCellN, wire.OpStepN2, wire.OpCellN2:
 			// Protocol violations: an empty batch, or math.MinInt64
@@ -674,7 +762,25 @@ type Counter struct {
 	budget      time.Duration
 	backoff     wire.Backoff   // jittered redial pacing between attempts
 	inflight    sync.WaitGroup // flights holding pool sessions
+
+	// Control-plane state: a lifecycle word for /health (0 live,
+	// 1 draining, 2 closed), bare atomics the flight and landing paths
+	// bump, and the registry of read-side views /metrics evaluates.
+	state        atomic.Int32
+	flights      atomic.Int64
+	retries      atomic.Int64
+	inflightN    atomic.Int64
+	windows      atomic.Int64
+	windowTokens atomic.Int64
+	reg          *ctlplane.Registry
 }
+
+// Counter lifecycle states (Counter.state).
+const (
+	stateLive     = 0
+	stateDraining = 1
+	stateClosed   = 2
+)
 
 // Default retry budget: a failed flight is retried on fresh sessions up
 // to DefaultRetryAttempts total tries within DefaultRetryBudget of the
@@ -719,7 +825,7 @@ func (c *Cluster) NewCounter() *Counter { return c.NewCounterPool(0) }
 // exactly-once dedup windows on the shards.
 func (c *Cluster) NewCounterPool(width int) *Counter {
 	id := wire.NextClientID()
-	return &Counter{
+	t := &Counter{
 		c:           c,
 		id:          id,
 		combs:       make([]tcpComb, c.net.InWidth()),
@@ -727,8 +833,85 @@ func (c *Cluster) NewCounterPool(width int) *Counter {
 		maxAttempts: DefaultRetryAttempts,
 		budget:      DefaultRetryBudget,
 		backoff:     DefaultRetryBackoff,
+		reg:         ctlplane.NewRegistry(),
+	}
+	t.registerMetrics("tcp")
+	return t
+}
+
+// registerMetrics wires the counter's read-side views into its
+// registry; every closure reads atomics the operation paths maintain
+// anyway, so a scrape never contends with a flight.
+func (t *Counter) registerMetrics(transport string) {
+	labels := []ctlplane.Label{{Key: "transport", Value: transport}}
+	t.reg.Counter(wire.MetricClientRPCs, wire.HelpClientRPCs, t.RPCs, labels...)
+	t.reg.Counter(wire.MetricClientFlights, wire.HelpClientFlights, t.flights.Load, labels...)
+	t.reg.Counter(wire.MetricClientRetries, wire.HelpClientRetries, t.retries.Load, labels...)
+	t.reg.Gauge(wire.MetricClientInflight, wire.HelpClientInflight, t.inflightN.Load, labels...)
+	t.reg.Counter(wire.MetricClientWindows, wire.HelpClientWindows, t.windows.Load, labels...)
+	t.reg.Counter(wire.MetricClientWindowTokens, wire.HelpClientWindowTokens, t.windowTokens.Load, labels...)
+	t.reg.Counter(wire.MetricClientPoolCheckouts, wire.HelpClientPoolCheckouts, t.pool.checkouts.Load, labels...)
+	t.reg.Counter(wire.MetricClientPoolDials, wire.HelpClientPoolDials, t.pool.dials.Load, labels...)
+	t.reg.Counter(wire.MetricClientPoolEvictions, wire.HelpClientPoolEvictions, t.pool.evictions.Load, labels...)
+	t.reg.Gauge(wire.MetricClientPoolIdle, wire.HelpClientPoolIdle, func() int64 {
+		t.pool.mu.Lock()
+		defer t.pool.mu.Unlock()
+		return int64(len(t.pool.idle))
+	}, labels...)
+}
+
+// CounterStatus is a pooled counter client's /status document.
+type CounterStatus struct {
+	Transport  string   `json:"transport"`
+	State      string   `json:"state"` // live, draining, closed
+	ClientID   uint64   `json:"client_id"`
+	PoolWidth  int      `json:"pool_width"`
+	InWidth    int      `json:"in_width"`
+	OutWidth   int      `json:"out_width"`
+	ShardAddrs []string `json:"shard_addrs"`
+}
+
+func stateName(s int32) string {
+	switch s {
+	case stateDraining:
+		return "draining"
+	case stateClosed:
+		return "closed"
+	}
+	return "live"
+}
+
+// Health implements ctlplane.Source: live until Close starts draining
+// (load balancers stop routing on the 503 this turns into), quiescent
+// when no flight holds a pool session — the precondition for an
+// exact-count Read.
+func (t *Counter) Health() ctlplane.Health {
+	st := t.state.Load()
+	return ctlplane.Health{
+		Live:      st == stateLive,
+		Quiescent: t.inflightN.Load() == 0,
+		Detail:    stateName(st),
 	}
 }
+
+// Status implements ctlplane.Source with the counter's client-side
+// topology: its exactly-once client id, pool width, and the shard
+// addresses it fans out to.
+func (t *Counter) Status() any {
+	return CounterStatus{
+		Transport:  "tcp",
+		State:      stateName(t.state.Load()),
+		ClientID:   t.id,
+		PoolWidth:  t.pool.width,
+		InWidth:    t.c.net.InWidth(),
+		OutWidth:   t.c.net.OutWidth(),
+		ShardAddrs: append([]string(nil), t.c.addrs...),
+	}
+}
+
+// Gather implements ctlplane.Source, evaluating the counter's
+// registered metric views.
+func (t *Counter) Gather() []ctlplane.Sample { return t.reg.Gather() }
 
 // SetRetryPolicy bounds the self-healing path: a failed flight is
 // retried on fresh sessions for at most `attempts` total tries
@@ -859,11 +1042,17 @@ func (t *Counter) flight(op func(*Session) error) error {
 	attempts, budget, backoff := t.maxAttempts, t.budget, t.backoff
 	t.inflight.Add(1)
 	t.mu.Unlock()
+	t.flights.Add(1)
+	t.inflightN.Add(1)
+	defer t.inflightN.Add(-1)
 	defer t.inflight.Done()
 
 	tape := wire.NewSeqTape(&t.seqs)
 	var deadline time.Time
 	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			t.retries.Add(1)
+		}
 		err := t.attempt(op, tape)
 		if err == nil || errors.Is(err, ErrClosed) {
 			return err
@@ -925,6 +1114,8 @@ func (t *Counter) land(cb *tcpComb, in int) {
 			return
 		}
 		cb.mu.Unlock()
+		t.windows.Add(1)
+		t.windowTokens.Add(w.k)
 		w.err = t.flight(func(sess *Session) error {
 			var ferr error
 			w.vals, ferr = sess.batch(in, w.k, false, w.vals[:0])
@@ -950,9 +1141,11 @@ func (t *Counter) Close() {
 		return
 	}
 	t.closed = true
+	t.state.Store(stateDraining)
 	t.mu.Unlock()
 	t.inflight.Wait()
 	t.pool.close()
+	t.state.Store(stateClosed)
 }
 
 // pool is the Counter's session pool: up to `width` idle sessions reused
@@ -968,6 +1161,13 @@ type pool struct {
 	live   map[*Session]struct{}
 	lost   int64 // RPCs of retired sessions
 	closed bool
+
+	// Control-plane counters: checkouts by flights, fresh dials, and
+	// evictions (probe failures at checkout plus mid-flight deaths —
+	// NOT retirements at the width cap or at close).
+	checkouts atomic.Int64
+	dials     atomic.Int64
+	evictions atomic.Int64
 }
 
 func newPool(c *Cluster, width int, id uint64) *pool {
@@ -995,8 +1195,10 @@ func (p *pool) checkout() (*Session, error) {
 		p.idle = p.idle[:n-1]
 		if sess.healthy() {
 			p.mu.Unlock()
+			p.checkouts.Add(1)
 			return sess, nil
 		}
+		p.evictions.Add(1)
 		p.retireLocked(sess)
 	}
 	p.mu.Unlock()
@@ -1004,6 +1206,7 @@ func (p *pool) checkout() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.dials.Add(1)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -1012,6 +1215,7 @@ func (p *pool) checkout() (*Session, error) {
 	}
 	p.live[sess] = struct{}{}
 	p.mu.Unlock()
+	p.checkouts.Add(1)
 	return sess, nil
 }
 
@@ -1032,6 +1236,7 @@ func (p *pool) checkin(sess *Session) {
 // the live set, its round trips fold into the monotone total, and every
 // future checkout gets a different (or freshly dialed) session.
 func (p *pool) evict(sess *Session) {
+	p.evictions.Add(1)
 	p.mu.Lock()
 	p.retireLocked(sess)
 	p.mu.Unlock()

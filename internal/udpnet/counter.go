@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ctlplane"
 	"repro/internal/wire"
 )
 
@@ -53,7 +54,25 @@ type Counter struct {
 	budget      time.Duration
 	backoff     wire.Backoff
 	inflight    sync.WaitGroup // flights holding pool sessions
+
+	// Control-plane state, mirroring tcpnet.Counter: a lifecycle word
+	// for /health (0 live, 1 draining, 2 closed), bare atomics the
+	// flight and landing paths bump, and the registry /metrics reads.
+	state        atomic.Int32
+	flights      atomic.Int64
+	retries      atomic.Int64
+	inflightN    atomic.Int64
+	windows      atomic.Int64
+	windowTokens atomic.Int64
+	reg          *ctlplane.Registry
 }
+
+// Counter lifecycle states (Counter.state).
+const (
+	stateLive     = 0
+	stateDraining = 1
+	stateClosed   = 2
+)
 
 // udpComb is the per-input-wire coalescing state.
 type udpComb struct {
@@ -83,7 +102,7 @@ func (c *Cluster) NewCounter() *Counter { return c.NewCounterPool(0) }
 // every packet, keying its exactly-once dedup windows on the shards.
 func (c *Cluster) NewCounterPool(width int) *Counter {
 	id := wire.NextClientID()
-	return &Counter{
+	t := &Counter{
 		c:           c,
 		id:          id,
 		combs:       make([]udpComb, c.net.InWidth()),
@@ -91,8 +110,85 @@ func (c *Cluster) NewCounterPool(width int) *Counter {
 		maxAttempts: DefaultRetryAttempts,
 		budget:      DefaultRetryBudget,
 		backoff:     DefaultRetryBackoff,
+		reg:         ctlplane.NewRegistry(),
+	}
+	t.registerMetrics()
+	return t
+}
+
+// registerMetrics wires the counter's read-side views into its
+// registry: the shared client metrics every transport serves, plus the
+// datagram pair (packets, retransmits) only UDP pays.
+func (t *Counter) registerMetrics() {
+	labels := []ctlplane.Label{{Key: "transport", Value: "udp"}}
+	t.reg.Counter(wire.MetricClientRPCs, wire.HelpClientRPCs, t.RPCs, labels...)
+	t.reg.Counter(wire.MetricClientPackets, wire.HelpClientPackets, t.Packets, labels...)
+	t.reg.Counter(wire.MetricClientRetransmits, wire.HelpClientRetransmits, t.Retransmits, labels...)
+	t.reg.Counter(wire.MetricClientFlights, wire.HelpClientFlights, t.flights.Load, labels...)
+	t.reg.Counter(wire.MetricClientRetries, wire.HelpClientRetries, t.retries.Load, labels...)
+	t.reg.Gauge(wire.MetricClientInflight, wire.HelpClientInflight, t.inflightN.Load, labels...)
+	t.reg.Counter(wire.MetricClientWindows, wire.HelpClientWindows, t.windows.Load, labels...)
+	t.reg.Counter(wire.MetricClientWindowTokens, wire.HelpClientWindowTokens, t.windowTokens.Load, labels...)
+	t.reg.Counter(wire.MetricClientPoolCheckouts, wire.HelpClientPoolCheckouts, t.pool.checkouts.Load, labels...)
+	t.reg.Counter(wire.MetricClientPoolDials, wire.HelpClientPoolDials, t.pool.dials.Load, labels...)
+	t.reg.Counter(wire.MetricClientPoolEvictions, wire.HelpClientPoolEvictions, t.pool.evictions.Load, labels...)
+	t.reg.Gauge(wire.MetricClientPoolIdle, wire.HelpClientPoolIdle, func() int64 {
+		t.pool.mu.Lock()
+		defer t.pool.mu.Unlock()
+		return int64(len(t.pool.idle))
+	}, labels...)
+}
+
+// CounterStatus is a pooled counter client's /status document.
+type CounterStatus struct {
+	Transport  string   `json:"transport"`
+	State      string   `json:"state"` // live, draining, closed
+	ClientID   uint64   `json:"client_id"`
+	PoolWidth  int      `json:"pool_width"`
+	InWidth    int      `json:"in_width"`
+	OutWidth   int      `json:"out_width"`
+	ShardAddrs []string `json:"shard_addrs"`
+}
+
+func stateName(s int32) string {
+	switch s {
+	case stateDraining:
+		return "draining"
+	case stateClosed:
+		return "closed"
+	}
+	return "live"
+}
+
+// Health implements ctlplane.Source: live until Close starts draining,
+// quiescent when no flight holds a pool session — the precondition for
+// an exact-count Read.
+func (t *Counter) Health() ctlplane.Health {
+	st := t.state.Load()
+	return ctlplane.Health{
+		Live:      st == stateLive,
+		Quiescent: t.inflightN.Load() == 0,
+		Detail:    stateName(st),
 	}
 }
+
+// Status implements ctlplane.Source with the counter's client-side
+// topology.
+func (t *Counter) Status() any {
+	return CounterStatus{
+		Transport:  "udp",
+		State:      stateName(t.state.Load()),
+		ClientID:   t.id,
+		PoolWidth:  t.pool.width,
+		InWidth:    t.c.net.InWidth(),
+		OutWidth:   t.c.net.OutWidth(),
+		ShardAddrs: append([]string(nil), t.c.addrs...),
+	}
+}
+
+// Gather implements ctlplane.Source, evaluating the counter's
+// registered metric views.
+func (t *Counter) Gather() []ctlplane.Sample { return t.reg.Gather() }
 
 // SetRetryPolicy bounds the flight-level self-healing path: a failed
 // flight is re-run on fresh sessions for at most attempts total tries
@@ -221,11 +317,17 @@ func (t *Counter) flight(op func(*Session) error) error {
 	attempts, budget, backoff := t.maxAttempts, t.budget, t.backoff
 	t.inflight.Add(1)
 	t.mu.Unlock()
+	t.flights.Add(1)
+	t.inflightN.Add(1)
+	defer t.inflightN.Add(-1)
 	defer t.inflight.Done()
 
 	tape := wire.NewSeqTape(&t.seqs)
 	var deadline time.Time
 	for attempt := 1; ; attempt++ {
+		if attempt > 1 {
+			t.retries.Add(1)
+		}
 		err := t.attempt(op, tape)
 		if err == nil || errors.Is(err, ErrClosed) {
 			return err
@@ -281,6 +383,8 @@ func (t *Counter) land(cb *udpComb, in int) {
 			return
 		}
 		cb.mu.Unlock()
+		t.windows.Add(1)
+		t.windowTokens.Add(w.k)
 		w.err = t.flight(func(sess *Session) error {
 			var ferr error
 			w.vals, ferr = sess.batch(in, w.k, false, w.vals[:0])
@@ -314,9 +418,11 @@ func (t *Counter) Close() {
 		return
 	}
 	t.closed = true
+	t.state.Store(stateDraining)
 	t.mu.Unlock()
 	t.inflight.Wait()
 	t.pool.close()
+	t.state.Store(stateClosed)
 }
 
 // pool is the Counter's session pool: up to width idle sessions reused
@@ -336,6 +442,14 @@ type pool struct {
 	lostPackets int64
 	lostRetrans int64
 	closed      bool
+
+	// Control-plane counters: checkouts by flights, fresh dials, and
+	// evictions (mid-flight failures only — not width-cap or close
+	// retirements). No probe-failure arm here: UDP checkout has no
+	// health probe.
+	checkouts atomic.Int64
+	dials     atomic.Int64
+	evictions atomic.Int64
 }
 
 func newPool(c *Cluster, width int, id uint64) *pool {
@@ -360,6 +474,7 @@ func (p *pool) checkout() (*Session, error) {
 		copy(p.idle, p.idle[1:])
 		p.idle = p.idle[:n-1]
 		p.mu.Unlock()
+		p.checkouts.Add(1)
 		return sess, nil
 	}
 	p.mu.Unlock()
@@ -367,6 +482,7 @@ func (p *pool) checkout() (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.dials.Add(1)
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -375,6 +491,7 @@ func (p *pool) checkout() (*Session, error) {
 	}
 	p.live[sess] = struct{}{}
 	p.mu.Unlock()
+	p.checkouts.Add(1)
 	return sess, nil
 }
 
@@ -395,6 +512,7 @@ func (p *pool) checkin(sess *Session) {
 // have surfaced ICMP state worth discarding, and a fresh session is
 // cheap.
 func (p *pool) evict(sess *Session) {
+	p.evictions.Add(1)
 	p.mu.Lock()
 	p.retireLocked(sess)
 	p.mu.Unlock()

@@ -49,10 +49,12 @@ import (
 	"encoding/binary"
 	"math"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/balancer"
+	"repro/internal/ctlplane"
 	"repro/internal/network"
 	"repro/internal/wire"
 )
@@ -77,7 +79,22 @@ type Shard struct {
 	cells map[int32]*atomic.Int64
 	dedup *wire.Dedup
 	done  chan struct{}
+	once  sync.Once // Close idempotency
 	wg    sync.WaitGroup
+
+	// Control-plane state: the shard's slot in the partition (for
+	// /status), its registry of read-side metric views (for /metrics),
+	// and bare atomics the packet loop bumps. busy is set for the span
+	// of one packet's processing — the loop is serial, so !busy is the
+	// shard's quiescence signal.
+	index   int
+	shards  int
+	netName string
+	reg     *ctlplane.Registry
+	packets atomic.Int64
+	frames  atomic.Int64
+	drops   atomic.Int64
+	busy    atomic.Bool
 }
 
 // StartShard launches a shard on addr (use "127.0.0.1:0" for tests)
@@ -103,12 +120,21 @@ func StartShardConfig(addr string, topo *network.Network, index, shards int, cfg
 		return nil, err
 	}
 	s := &Shard{
-		conn:  conn,
-		bals:  make(map[int32]*balancer.PQ),
-		cells: make(map[int32]*atomic.Int64),
-		dedup: wire.NewDedup(cfg.Dedup),
-		done:  make(chan struct{}),
+		conn:    conn,
+		bals:    make(map[int32]*balancer.PQ),
+		cells:   make(map[int32]*atomic.Int64),
+		dedup:   wire.NewDedup(cfg.Dedup),
+		done:    make(chan struct{}),
+		index:   index,
+		shards:  shards,
+		netName: topo.Name(),
+		reg:     ctlplane.NewRegistry(),
 	}
+	labels := []ctlplane.Label{{Key: "transport", Value: "udp"}, {Key: "shard", Value: strconv.Itoa(index)}}
+	s.reg.Counter(wire.MetricShardFrames, wire.HelpShardFrames, s.frames.Load, labels...)
+	s.reg.Counter(wire.MetricShardPackets, wire.HelpShardPackets, s.packets.Load, labels...)
+	s.reg.Counter(wire.MetricShardDrops, wire.HelpShardDrops, s.drops.Load, labels...)
+	s.dedup.RegisterMetrics(s.reg, labels...)
 	for id := 0; id < topo.Size(); id++ {
 		if id%shards == index {
 			nd := topo.Node(id)
@@ -132,11 +158,57 @@ func (s *Shard) Addr() string { return s.conn.LocalAddr().String() }
 
 // Close stops the shard; a request in flight when the socket closes is
 // simply never answered, which to its client is one more lost packet.
+// Idempotent, so a signal-driven drain hook can race a manual shutdown.
 func (s *Shard) Close() {
-	close(s.done)
-	s.conn.Close()
+	s.once.Do(func() {
+		close(s.done)
+		s.conn.Close()
+	})
 	s.wg.Wait()
 }
+
+// ShardStatus is a shard server's /status document.
+type ShardStatus struct {
+	Transport string `json:"transport"`
+	Addr      string `json:"addr"`
+	Shard     int    `json:"shard"`  // this server's index in the partition
+	Shards    int    `json:"shards"` // servers the topology is partitioned across
+	Network   string `json:"network"`
+	Balancers int    `json:"balancers"` // balancer nodes this server owns
+	Cells     int    `json:"cells"`     // exit cells this server owns
+}
+
+// Health implements ctlplane.Source: the shard is live until Close.
+// The packet loop is serial, so quiescence is simply "not mid-packet";
+// a UDP shard holds no client connections to wait out.
+func (s *Shard) Health() ctlplane.Health {
+	select {
+	case <-s.done:
+		return ctlplane.Health{Detail: "closed"}
+	default:
+	}
+	if s.busy.Load() {
+		return ctlplane.Health{Live: true, Detail: "processing a packet"}
+	}
+	return ctlplane.Health{Live: true, Quiescent: true, Detail: "idle between packets"}
+}
+
+// Status implements ctlplane.Source with the shard's topology slot.
+func (s *Shard) Status() any {
+	return ShardStatus{
+		Transport: "udp",
+		Addr:      s.Addr(),
+		Shard:     s.index,
+		Shards:    s.shards,
+		Network:   s.netName,
+		Balancers: len(s.bals),
+		Cells:     len(s.cells),
+	}
+}
+
+// Gather implements ctlplane.Source, evaluating the shard's registered
+// metric views (packets, frames, drops, dedup table state).
+func (s *Shard) Gather() []ctlplane.Sample { return s.reg.Gather() }
 
 // serve is the shard's packet loop: read a datagram, decode it whole,
 // validate it whole, execute (deduplicated), reply to the sender.
@@ -156,16 +228,24 @@ func (s *Shard) serve() {
 				continue // transient (e.g. a surfaced ICMP error)
 			}
 		}
+		s.busy.Store(true)
+		s.packets.Add(1)
 		reqid, fs, err := wire.DecodePacket(buf[:n], frames[:0])
 		frames = fs
 		if err != nil {
+			s.drops.Add(1)
+			s.busy.Store(false)
 			continue
 		}
 		resp = s.process(resp[:0], reqid, fs)
 		if resp == nil {
+			s.drops.Add(1)
+			s.busy.Store(false)
 			continue
 		}
+		s.frames.Add(int64(len(fs)))
 		s.conn.WriteToUDP(resp, raddr)
+		s.busy.Store(false)
 	}
 }
 

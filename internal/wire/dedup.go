@@ -3,7 +3,10 @@ package wire
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/ctlplane"
 )
 
 // Default dedup bounds: a shard remembers the (seq, reply) pairs of at
@@ -66,6 +69,14 @@ type Dedup struct {
 	mu      sync.Mutex
 	clients map[uint64]*list.Element // client id -> LRU element (*DedupEntry)
 	lru     list.List                // most recently registered first
+
+	// Control-plane counters (see Stats / RegisterMetrics). records is
+	// the live (seq, reply) occupancy across all windows; replays and
+	// evictions are monotone. They are bare atomic adds on paths already
+	// holding a lock, so the hot path pays nothing measurable.
+	records   atomic.Int64
+	replays   atomic.Int64
+	evictions atomic.Int64
 }
 
 // NewDedup builds an empty table with cfg's bounds (zero fields take
@@ -84,6 +95,7 @@ func (d *Dedup) Config() DedupConfig { return d.cfg }
 // window a live client's retry depends on.
 type DedupEntry struct {
 	id       uint64
+	tab      *Dedup // owning table, for the shared occupancy/replay counters
 	refs     int
 	lastBind time.Time // guarded by the table's mutex
 
@@ -107,6 +119,7 @@ func (e *DedupEntry) Do(seq uint64, exec func() (int64, bool)) (int64, bool) {
 	e.wmu.Lock()
 	defer e.wmu.Unlock()
 	if v, ok := e.replies[seq]; ok {
+		e.tab.replays.Add(1)
 		return v, true
 	}
 	v, ok := exec()
@@ -119,6 +132,7 @@ func (e *DedupEntry) Do(seq uint64, exec func() (int64, bool)) (int64, bool) {
 		e.head = (e.head + 1) % e.win
 	} else {
 		e.order = append(e.order, seq)
+		e.tab.records.Add(1)
 	}
 	e.replies[seq] = v
 	return v, true
@@ -159,11 +173,16 @@ func (d *Dedup) Bind(id uint64) *DedupEntry {
 			if now.Sub(e.lastBind) >= d.cfg.MinIdle {
 				d.lru.Remove(el)
 				delete(d.clients, e.id)
+				// refs == 0 under the table mutex means no Do is running
+				// (Do only happens between Bind and Release), so the
+				// window length is stable here.
+				d.records.Add(-int64(len(e.replies)))
+				d.evictions.Add(1)
 			}
 			break
 		}
 	}
-	e := &DedupEntry{id: id, refs: 1, lastBind: now, win: d.cfg.Window, replies: make(map[uint64]int64)}
+	e := &DedupEntry{id: id, tab: d, refs: 1, lastBind: now, win: d.cfg.Window, replies: make(map[uint64]int64)}
 	d.clients[id] = d.lru.PushFront(e)
 	return e
 }
@@ -175,4 +194,71 @@ func (d *Dedup) Release(e *DedupEntry) {
 	d.mu.Lock()
 	e.refs--
 	d.mu.Unlock()
+}
+
+// DedupStats is a point-in-time view of a table's exactly-once state —
+// what the control plane scrapes. Replays and Evictions are monotone;
+// the rest are levels.
+type DedupStats struct {
+	Clients    int           // client windows currently tracked
+	Pinned     int           // of which pinned by a live binding
+	Records    int64         // (seq, reply) records held across all windows
+	Replays    int64         // frames answered from a record (absorbed duplicates)
+	Evictions  int64         // client windows evicted at the Clients cap
+	MinIdle    time.Duration // configured eviction idle guard
+	OldestIdle time.Duration // age of the least recently bound unpinned client
+}
+
+// Stats snapshots the table. It takes the registration mutex only (a
+// scrape-time cost), never a window mutex, so it cannot delay a frame
+// being deduplicated. OldestIdle is the operator's window-bloat signal:
+// records never expire by AGE — only LRU eviction at the Clients cap
+// reclaims them — so on a shard tracking fewer clients than the cap,
+// an abandoned client's window lives forever and this age grows without
+// bound (the ROADMAP carries time-based expiry as an open item).
+func (d *Dedup) Stats() DedupStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DedupStats{
+		Clients:   len(d.clients),
+		Records:   d.records.Load(),
+		Replays:   d.replays.Load(),
+		Evictions: d.evictions.Load(),
+		MinIdle:   d.cfg.MinIdle,
+	}
+	now := time.Now()
+	for el := d.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*DedupEntry)
+		if e.refs != 0 {
+			st.Pinned++
+			continue
+		}
+		if st.OldestIdle == 0 {
+			if age := now.Sub(e.lastBind); age > 0 {
+				st.OldestIdle = age
+			}
+		}
+	}
+	return st
+}
+
+// RegisterMetrics exposes the table on a control-plane registry under
+// the countnet_dedup_* names (OPERATIONS.md documents each). The
+// closures call Stats at scrape time, so registration itself retains no
+// state and the data path is untouched.
+func (d *Dedup) RegisterMetrics(r *ctlplane.Registry, labels ...ctlplane.Label) {
+	r.Gauge(MetricDedupClients, HelpDedupClients,
+		func() int64 { return int64(d.Stats().Clients) }, labels...)
+	r.Gauge(MetricDedupPinned, HelpDedupPinned,
+		func() int64 { return int64(d.Stats().Pinned) }, labels...)
+	r.Gauge(MetricDedupRecords, HelpDedupRecords,
+		func() int64 { return d.records.Load() }, labels...)
+	r.Counter(MetricDedupReplays, HelpDedupReplays,
+		func() int64 { return d.replays.Load() }, labels...)
+	r.Counter(MetricDedupEvictions, HelpDedupEvictions,
+		func() int64 { return d.evictions.Load() }, labels...)
+	r.Gauge(MetricDedupMinIdle, HelpDedupMinIdle,
+		func() int64 { return int64(d.cfg.MinIdle / time.Second) }, labels...)
+	r.Gauge(MetricDedupOldestIdle, HelpDedupOldestIdle,
+		func() int64 { return int64(d.Stats().OldestIdle / time.Second) }, labels...)
 }

@@ -172,9 +172,10 @@ func NextClientID() uint64 { return clientIDs.Add(1) }
 // steered by replies that the shards' dedup windows replay verbatim for
 // already-applied sequences.
 type SeqTape struct {
-	src  *atomic.Uint64
-	used []uint64
-	next int
+	src     *atomic.Uint64
+	used    []uint64
+	next    int
+	rewinds int64
 }
 
 // NewSeqTape starts an empty tape drawing fresh numbers from src.
@@ -194,5 +195,17 @@ func (tp *SeqTape) Take() uint64 {
 	return v
 }
 
-// Rewind restarts the tape for a retry attempt.
-func (tp *SeqTape) Rewind() { tp.next = 0 }
+// Rewind restarts the tape for a retry attempt. A rewind of a tape
+// that has recorded nothing (the one before the first attempt) is not
+// counted, so Rewinds reports true retries.
+func (tp *SeqTape) Rewind() {
+	if tp.next > 0 || len(tp.used) > 0 {
+		tp.rewinds++
+	}
+	tp.next = 0
+}
+
+// Rewinds returns how many retry attempts replayed this tape — the
+// control plane's flight-retry count. Tapes are single-goroutine, so
+// callers read this after the flight settles.
+func (tp *SeqTape) Rewinds() int64 { return tp.rewinds }

@@ -1,0 +1,94 @@
+package wire
+
+// Canonical control-plane metric names and help strings. They live in
+// wire — the substrate both transports already share — so tcpnet and
+// udpnet register the SAME name with the SAME help text and type, and
+// a fleet scrape aggregating both transports stays format-valid (the
+// ctlplane registry panics on a name re-registered with drifting
+// metadata, and cmd/ctlplanedoc diffs this catalogue against
+// OPERATIONS.md's reference table).
+//
+// Naming: countnet_shard_* is the server side (one registry per shard
+// process), countnet_client_* the counter-client side, countnet_dedup_*
+// the exactly-once table (server side, registered by the shard that
+// owns it). *_total suffixes are Prometheus counters; the rest are
+// gauges.
+const (
+	// Shard (server) side.
+	MetricShardFrames = "countnet_shard_frames_total"
+	HelpShardFrames   = "Request frames decoded and served by the shard, deduplicated replays included."
+
+	MetricShardConnsOpen = "countnet_shard_conns_open"
+	HelpShardConnsOpen   = "Client connections the shard is currently tracking (TCP only)."
+
+	MetricShardConns = "countnet_shard_conns_total"
+	HelpShardConns   = "Client connections the shard has accepted since start (TCP only)."
+
+	MetricShardPackets = "countnet_shard_packets_total"
+	HelpShardPackets   = "Request datagrams received by the shard, duplicates included (UDP only)."
+
+	MetricShardDrops = "countnet_shard_dropped_packets_total"
+	HelpShardDrops   = "Request datagrams dropped whole without a reply: malformed or protocol-violating (UDP only)."
+
+	// Exactly-once dedup table (server side).
+	MetricDedupClients = "countnet_dedup_clients"
+	HelpDedupClients   = "Client windows currently tracked by the shard's exactly-once dedup table."
+
+	MetricDedupPinned = "countnet_dedup_pinned_clients"
+	HelpDedupPinned   = "Tracked client windows pinned against eviction by a live connection or in-flight packet."
+
+	MetricDedupRecords = "countnet_dedup_records"
+	HelpDedupRecords   = "(seq, reply) records held across all client windows — the dedup occupancy."
+
+	MetricDedupReplays = "countnet_dedup_replays_total"
+	HelpDedupReplays   = "Mutating frames answered from a recorded reply instead of re-executed — each one an absorbed duplicate or retry."
+
+	MetricDedupEvictions = "countnet_dedup_client_evictions_total"
+	HelpDedupEvictions   = "Client windows evicted at the Clients cap (least recently bound, unpinned, past the MinIdle guard)."
+
+	MetricDedupMinIdle = "countnet_dedup_min_idle_seconds"
+	HelpDedupMinIdle   = "Configured eviction idle guard: an unpinned client bound more recently than this is never evicted."
+
+	MetricDedupOldestIdle = "countnet_dedup_oldest_idle_seconds"
+	HelpDedupOldestIdle   = "Age of the least recently bound unpinned client window. Records never expire by age, so unbounded growth here is window bloat from abandoned clients."
+
+	// Counter client side.
+	MetricClientRPCs = "countnet_client_rpcs_total"
+	HelpClientRPCs   = "Request frames sent by the counter's sessions, retired sessions folded in (over UDP, retransmitted copies count)."
+
+	MetricClientFlights = "countnet_client_flights_total"
+	HelpClientFlights   = "Pooled flights started: each checks a session out, runs one operation, and checks it back in."
+
+	MetricClientRetries = "countnet_client_flight_retries_total"
+	HelpClientRetries   = "Flight attempts beyond the first — each re-sent its full window from the sequence tape on a fresh session."
+
+	MetricClientInflight = "countnet_client_inflight"
+	HelpClientInflight   = "Flights currently holding pool sessions; zero is the quiescence an exact-count Read requires."
+
+	MetricClientWindows = "countnet_client_windows_total"
+	HelpClientWindows   = "Coalescing windows drained behind flight owners."
+
+	MetricClientWindowTokens = "countnet_client_window_tokens_total"
+	HelpClientWindowTokens   = "Inc callers that pooled into coalescing windows; divide by the windows total for the mean window size."
+
+	MetricClientPoolCheckouts = "countnet_client_pool_checkouts_total"
+	HelpClientPoolCheckouts   = "Sessions checked out of the pool by flights."
+
+	MetricClientPoolDials = "countnet_client_pool_dials_total"
+	HelpClientPoolDials   = "Fresh sessions dialed because no healthy idle session was available."
+
+	MetricClientPoolEvictions = "countnet_client_pool_evictions_total"
+	HelpClientPoolEvictions   = "Sessions evicted from the pool: failed the checkout health probe or died mid-flight."
+
+	MetricClientPoolIdle = "countnet_client_pool_idle"
+	HelpClientPoolIdle   = "Idle sessions currently retained by the pool."
+
+	MetricClientPackets = "countnet_client_packets_total"
+	HelpClientPackets   = "Request datagrams sent by the counter's sessions, first sends plus retransmits (UDP only)."
+
+	MetricClientRetransmits = "countnet_client_retransmits_total"
+	HelpClientRetransmits   = "Request datagrams that were retransmissions; a rising rate means loss or an unresponsive shard (UDP only)."
+
+	MetricClientMsgs = "countnet_client_msgs_total"
+	HelpClientMsgs   = "Link-level messages sent inside the in-process emulation — distnet's wire-cost unit (distnet only)."
+)
