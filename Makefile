@@ -10,8 +10,13 @@ check: build vet fmt race resilience bench-smoke docs-check
 build:
 	$(GO) build ./...
 
+# Both build-tag variants of udpnet's batched-syscall files are vetted:
+# the default build resolves the recvmmsg/sendmmsg fast path, the
+# countnet_nommsg build resolves the portable single-syscall fallback.
+# Keep in lockstep with .github/workflows/ci.yml.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags countnet_nommsg ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -33,19 +38,29 @@ race:
 # replay-not-reexecute regressions, and the control-plane gates (the
 # Prometheus text-format validator, endpoint/health-lifecycle tests,
 # SIGTERM-drain exact-count reconciliation, and the monotone-metrics
-# chaos scrape). Keep this regex in lockstep with
+# chaos scrape), and the raw-speed-path gates (pipelined sessions
+# through reorder-heavy fault grids staying exact, the pipelined frame
+# bill matching stop-and-wait, and worker-pool packet-buffer
+# isolation). Keep this regex in lockstep with
 # .github/workflows/ci.yml.
 resilience:
-	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestDedupConfig|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|TestPacketRoundTrip|FuzzFrameCodec|FuzzPacketCodec|TestUDPChaosExactCountGrid|TestUDPRetransmitExactlyOnce|TestUDPResponseLoss|TestUDPMalformedPackets|TestUDPBatchRPCsMatchTCPFloor|TestWritePrometheusFormat|TestServeEndpoints|TestDrainOnSignal|TestFleetAggregation|TestShardControlPlaneEndpoints|TestCounterHealthFlipsAcrossDrain|TestShardedCounterEndpointAggregation|TestSIGTERMDrainExactCount|TestUDPShardControlPlaneEndpoints|TestMetricsMonotoneUnderChaos' ./internal/tcpnet ./internal/udpnet ./internal/wire ./internal/ctlplane
+	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestDedupConfig|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|TestPacketRoundTrip|FuzzFrameCodec|FuzzPacketCodec|TestUDPChaosExactCountGrid|TestUDPRetransmitExactlyOnce|TestUDPResponseLoss|TestUDPMalformedPackets|TestUDPBatchRPCsMatchTCPFloor|TestUDPPipelineReorderExactCount|TestUDPPipelineRPCFloorMatchesSerial|TestUDPShardWorkersBufferIsolation|TestWritePrometheusFormat|TestServeEndpoints|TestDrainOnSignal|TestFleetAggregation|TestShardControlPlaneEndpoints|TestCounterHealthFlipsAcrossDrain|TestShardedCounterEndpointAggregation|TestSIGTERMDrainExactCount|TestUDPShardControlPlaneEndpoints|TestMetricsMonotoneUnderChaos' ./internal/tcpnet ./internal/udpnet ./internal/wire ./internal/ctlplane
 
 # Covers every package, the distributed benchmarks in internal/distnet,
 # internal/tcpnet and internal/udpnet (batched protocol, E25) included;
 # the second pass pins the sharded-deployment (E26), dedup-enabled (E27)
 # and UDP-transport (E28) benchmarks by name so a rename can't silently
-# drop them.
+# drop them, and the third pins the raw-speed-path allocation gates
+# (E30): BenchmarkUDPShardWorkers and BenchmarkUDPPipelinedBatch carry
+# the ReportAllocs zero-allocation claim. The countbench run re-emits
+# BENCH_udp.json, the committed machine-readable E30 record — commit
+# the refreshed file when the engine changes. Keep in lockstep with
+# .github/workflows/ci.yml.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) test -bench='Sharded|Dedup|UDP' -benchtime=1x -run='^$$' ./internal/distnet ./internal/tcpnet ./internal/udpnet
+	$(GO) test -bench='BenchmarkUDPShardWorkers|BenchmarkUDPPipelinedBatch' -benchtime=1x -run='^$$' ./internal/udpnet
+	$(GO) run ./cmd/countbench -exp udpspeed -out BENCH_udp.json
 
 # The OPERATIONS.md metric reference is generated from the live
 # registrations: rebuild it with cmd/ctlplanedoc and diff against the

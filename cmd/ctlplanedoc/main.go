@@ -31,31 +31,39 @@ import (
 // one column a registration cannot carry. Every registered name MUST
 // have an entry; every entry MUST match a registered name.
 var healthy = map[string]string{
-	"countnet_shard_frames_total":           "grows with load; fleet rate tracks client rpcs",
-	"countnet_shard_conns_open":             "= bound client sessions; 0 on an idle shard",
-	"countnet_shard_conns_total":            "monotone; fast growth = reconnect churn",
-	"countnet_shard_packets_total":          "grows with load (UDP datagrams in)",
-	"countnet_shard_dropped_packets_total":  "0; any growth = malformed or truncated datagrams",
-	"countnet_dedup_clients":                "= client ids seen; bounded by the dedup client cap",
-	"countnet_dedup_pinned_clients":         "= connected client ids; ≤ clients",
-	"countnet_dedup_records":                "≤ clients × window size",
-	"countnet_dedup_replays_total":          "0 on clean TCP; grows with retransmits/retries",
-	"countnet_dedup_client_evictions_total": "≈0; steady growth = client cap too small for the fleet",
-	"countnet_dedup_min_idle_seconds":       "= configured eviction floor (constant)",
-	"countnet_dedup_oldest_idle_seconds":    "bounded; unbounded growth = departed clients pile up (no age expiry — see ROADMAP)",
-	"countnet_client_rpcs_total":            "≈1.05 per token at k=64 (E25-E28)",
-	"countnet_client_flights_total":         "= operations issued (one per batch/window)",
-	"countnet_client_flight_retries_total":  "0 on a healthy network; growth = sessions dying mid-flight",
-	"countnet_client_inflight":              "≤ concurrent callers; 0 when quiescent",
-	"countnet_client_windows_total":         "grows under concurrency (coalesced groups)",
-	"countnet_client_window_tokens_total":   "tokens/windows = coalescing win; ≈1 means no sharing",
-	"countnet_client_pool_checkouts_total":  "= flights (each checks out one session)",
-	"countnet_client_pool_dials_total":      "≈ pool width; steady growth = session churn",
-	"countnet_client_pool_evictions_total":  "0; growth = probe failures or mid-flight deaths",
-	"countnet_client_pool_idle":             "≤ pool width",
-	"countnet_client_packets_total":         "≤ rpcs (MTU packing amortizes frames per datagram)",
-	"countnet_client_retransmits_total":     "0 on a clean network; rate tracks packet loss",
-	"countnet_client_msgs_total":            "≈4.4 per token batched (E25); 2(d+1) unbatched",
+	"countnet_shard_frames_total":             "grows with load; fleet rate tracks client rpcs",
+	"countnet_shard_conns_open":               "= bound client sessions; 0 on an idle shard",
+	"countnet_shard_conns_total":              "monotone; fast growth = reconnect churn",
+	"countnet_shard_packets_total":            "grows with load (UDP datagrams in)",
+	"countnet_shard_dropped_packets_total":    "0; any growth = malformed or truncated datagrams",
+	"countnet_shard_workers":                  "= configured pool size (constant)",
+	"countnet_shard_workers_busy":             "≤ workers; pinned at workers = shard saturated",
+	"countnet_shard_recv_batches_total":       "packets/batches = mean recvmmsg burst; ≈1 under light load",
+	"countnet_shard_recv_batch_packets_total": "= shard packets_total (the same datagrams, syscall view)",
+	"countnet_shard_send_batches_total":       "≤ send packets; packets/batches = mean sendmmsg burst",
+	"countnet_shard_send_batch_packets_total": "= replies written; ≈ packets − drops",
+	"countnet_dedup_clients":                  "= client ids seen; bounded by the dedup client cap",
+	"countnet_dedup_pinned_clients":           "= connected client ids; ≤ clients",
+	"countnet_dedup_records":                  "≤ clients × window size",
+	"countnet_dedup_replays_total":            "0 on clean TCP; grows with retransmits/retries",
+	"countnet_dedup_client_evictions_total":   "≈0; steady growth = client cap too small for the fleet",
+	"countnet_dedup_min_idle_seconds":         "= configured eviction floor (constant)",
+	"countnet_dedup_oldest_idle_seconds":      "bounded; unbounded growth = departed clients pile up (no age expiry — see ROADMAP)",
+	"countnet_client_rpcs_total":              "≈1.05 per token at k=64 (E25-E28)",
+	"countnet_client_flights_total":           "= operations issued (one per batch/window)",
+	"countnet_client_flight_retries_total":    "0 on a healthy network; growth = sessions dying mid-flight",
+	"countnet_client_inflight":                "≤ concurrent callers; 0 when quiescent",
+	"countnet_client_windows_total":           "grows under concurrency (coalesced groups)",
+	"countnet_client_window_tokens_total":     "tokens/windows = coalescing win; ≈1 means no sharing",
+	"countnet_client_pool_checkouts_total":    "= flights (each checks out one session)",
+	"countnet_client_pool_dials_total":        "≈ pool width; steady growth = session churn",
+	"countnet_client_pool_evictions_total":    "0; growth = probe failures or mid-flight deaths",
+	"countnet_client_pool_idle":               "≤ pool width",
+	"countnet_client_packets_total":           "≤ rpcs (MTU packing amortizes frames per datagram)",
+	"countnet_client_retransmits_total":       "0 on a clean network; rate tracks packet loss",
+	"countnet_client_pipeline_depth":          "= configured depth (constant); 1 = stop-and-wait",
+	"countnet_client_outstanding_packets":     "≤ depth × sessions; 0 when quiescent",
+	"countnet_client_msgs_total":              "≈4.4 per token batched (E25); 2(d+1) unbatched",
 }
 
 type row struct {

@@ -76,6 +76,90 @@ func BenchmarkUDPCounterBatchLossy(b *testing.B) {
 	}
 }
 
+// E30 shard-side row: concurrent sessions against worker-pool shards.
+// ReportAllocs pins the zero-allocation claim — after warmup the shard
+// pipeline (pooled buffers, recvmmsg/sendmmsg scratch, per-worker
+// decode state) and the session batch path allocate nothing per op;
+// the allocs/op printed here is the CLIENT side of that claim and the
+// shard side shows up as it staying flat as Workers grows.
+func BenchmarkUDPShardWorkers(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("CWT8x24/W=%d/k=64", workers), func(b *testing.B) {
+			topo, err := core.New(8, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster, stop, err := StartClusterConfig(topo, 3, ShardConfig{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer stop()
+			sess, err := cluster.NewSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			var vals []int64
+			if vals, err = sess.IncBatch(0, 64, vals[:0]); err != nil {
+				b.Fatal(err) // warmup: pools primed, scratch sized
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals, err = sess.IncBatch(i, 64, vals[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			tokens := float64(b.N) * 64
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tokens, "ns/token")
+		})
+	}
+}
+
+// E30 session-side row: the pipelined batch path at depth 1 (the
+// stop-and-wait baseline) against depth 4, same worker-pool shards.
+// ReportAllocs proves the steady-state 0 allocs/op claim on the
+// session batch path — handles, packet buffers and reply scratch are
+// all pooled per pipe.
+func BenchmarkUDPPipelinedBatch(b *testing.B) {
+	for _, depth := range []int{1, 4} {
+		b.Run(fmt.Sprintf("CWT8x24/P=%d/k=64", depth), func(b *testing.B) {
+			topo, err := core.New(8, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster, stop, err := StartClusterConfig(topo, 3, ShardConfig{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer stop()
+			cluster.SetPipeline(depth)
+			sess, err := cluster.NewSession()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			var vals []int64
+			if vals, err = sess.IncBatch(0, 64, vals[:0]); err != nil {
+				b.Fatal(err) // warmup: pipes spun up, handle pools primed
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals, err = sess.IncBatch(i, 64, vals[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			tokens := float64(b.N) * 64
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/tokens, "ns/token")
+		})
+	}
+}
+
 // E28 sharded row: pid-striped UDP fleets hold the per-stripe floor
 // like tcpnet's E26.
 func BenchmarkUDPShardedClusterIncBatch(b *testing.B) {

@@ -124,6 +124,10 @@ func (t *Counter) registerMetrics() {
 	t.reg.Counter(wire.MetricClientRPCs, wire.HelpClientRPCs, t.RPCs, labels...)
 	t.reg.Counter(wire.MetricClientPackets, wire.HelpClientPackets, t.Packets, labels...)
 	t.reg.Counter(wire.MetricClientRetransmits, wire.HelpClientRetransmits, t.Retransmits, labels...)
+	t.reg.Gauge(wire.MetricClientPipelineDepth, wire.HelpClientPipelineDepth, func() int64 {
+		return int64(t.c.Pipeline())
+	}, labels...)
+	t.reg.Gauge(wire.MetricClientOutstanding, wire.HelpClientOutstanding, t.pool.outstandingCount, labels...)
 	t.reg.Counter(wire.MetricClientFlights, wire.HelpClientFlights, t.flights.Load, labels...)
 	t.reg.Counter(wire.MetricClientRetries, wire.HelpClientRetries, t.retries.Load, labels...)
 	t.reg.Gauge(wire.MetricClientInflight, wire.HelpClientInflight, t.inflightN.Load, labels...)
@@ -545,6 +549,20 @@ func (p *pool) packetCount() int64 {
 	total := p.lostPackets
 	for sess := range p.live {
 		total += sess.Packets()
+	}
+	return total
+}
+
+// outstandingCount sums the request datagrams currently in flight
+// across the live sessions — a gauge, so unlike the monotone totals
+// above there is nothing to fold in for retired sessions (a retiring
+// session's pipes complete every outstanding packet on close).
+func (p *pool) outstandingCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for sess := range p.live {
+		total += sess.outstanding.Load()
 	}
 	return total
 }

@@ -1,0 +1,12 @@
+//go:build linux && !countnet_nommsg
+
+package udpnet
+
+// Syscall numbers for the mmsg pair on linux/amd64. recvmmsg (2.6.33)
+// predates the syscall package's API freeze and is exported there;
+// sendmmsg landed in linux 3.0, after the freeze, so its number is
+// pinned here. Both are ABI-stable forever.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

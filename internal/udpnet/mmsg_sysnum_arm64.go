@@ -1,0 +1,11 @@
+//go:build linux && !countnet_nommsg
+
+package udpnet
+
+// Syscall numbers for the mmsg pair on linux/arm64 (the generic
+// asm-generic table). sendmmsg postdates the syscall package's API
+// freeze, so its number is pinned here. Both are ABI-stable forever.
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

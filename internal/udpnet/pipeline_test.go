@@ -1,0 +1,227 @@
+package udpnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+func startClusterCfg(t *testing.T, topo *network.Network, shards int, cfg ShardConfig) *Cluster {
+	t.Helper()
+	c, stop, err := StartClusterConfig(topo, shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(stop)
+	return c
+}
+
+// The pipelining gate: depth>1 sessions — a bounded window of
+// outstanding request datagrams per socket, demuxed by request id —
+// driven through reorder-heavy fault grids against worker-pool shards,
+// and the counts must come out EXACT: Σ shard reads equals the
+// sequential total and the claimed values have zero gaps and zero
+// duplicates within every stripe's residue class. Reordering is the
+// fault pipelining is most exposed to (replies and retransmitted
+// duplicates interleave across the whole window, not one exchange),
+// so this is the adversarial case for the id-demux path.
+func TestUDPPipelineReorderExactCount(t *testing.T) {
+	for _, depth := range []int{2, 4} {
+		for _, S := range []int{1, 2} {
+			t.Run(fmt.Sprintf("depth=%d/S=%d", depth, S), func(t *testing.T) {
+				topo, err := core.New(4, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc, stop, err := StartShardedClusterConfig(topo, S, 2, ShardConfig{Workers: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer stop()
+				faults := Faults{
+					Drop: 0.10, Dup: 0.2, Reorder: 0.35,
+					DelayProb: 0.1, Delay: 2 * time.Millisecond,
+					Seed: int64(depth*100 + S),
+				}
+				for i := 0; i < S; i++ {
+					fastRetransmit(sc.Cluster(i), 25)
+					sc.Cluster(i).SetDialWrapper(faults.Wrapper())
+					sc.Cluster(i).SetPipeline(depth)
+				}
+				ctr := sc.NewCounter(2)
+				defer ctr.Close()
+				ctr.SetRetryPolicy(10, 60*time.Second)
+
+				const procs, per, k = 4, 4, 8
+				vals := make([][]int64, procs)
+				var wg sync.WaitGroup
+				for pid := 0; pid < procs; pid++ {
+					wg.Add(1)
+					go func(pid int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							var err error
+							vals[pid], err = ctr.IncBatch(pid+i, k, vals[pid])
+							if err != nil {
+								t.Errorf("pid %d op %d: %v", pid, i, err)
+								return
+							}
+						}
+					}(pid)
+				}
+				wg.Wait()
+				if t.Failed() {
+					return
+				}
+				// Reconcile on fresh fault-free stop-and-wait sessions:
+				// whatever the pipelined windows retransmitted, duplicated
+				// or reordered, the shards' dedup windows must have
+				// absorbed it all.
+				total := int64(procs * per * k)
+				var got int64
+				for i := 0; i < S; i++ {
+					sc.Cluster(i).SetDialWrapper(nil)
+					sc.Cluster(i).SetPipeline(1)
+					sess, err := sc.Cluster(i).NewSession()
+					if err != nil {
+						t.Fatal(err)
+					}
+					v, err := sess.Read()
+					sess.Close()
+					if err != nil {
+						t.Fatal(err)
+					}
+					got += v
+				}
+				if got != total {
+					t.Fatalf("Σ shard reads = %d, want %d (sequential total)", got, total)
+				}
+				byStripe := make(map[int64][]int64)
+				count := 0
+				for _, vs := range vals {
+					for _, v := range vs {
+						byStripe[v%int64(S)] = append(byStripe[v%int64(S)], v)
+						count++
+					}
+				}
+				if int64(count) != total {
+					t.Fatalf("collected %d values, want %d", count, total)
+				}
+				for s, vs := range byStripe {
+					sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+					for j, v := range vs {
+						if want := int64(j)*int64(S) + s; v != want {
+							t.Fatalf("stripe %d gapped or duplicated at %d: got %d, want %d",
+								s, j, v, want)
+						}
+					}
+				}
+				if ctr.Retransmits() == 0 {
+					t.Fatal("pipelined chaos run recorded zero retransmissions — faults not exercised")
+				}
+			})
+		}
+	}
+}
+
+// Pipelining must not change the per-frame bill: at zero loss a
+// depth-4 session sends exactly the frames a stop-and-wait session
+// sends — same packets, same rpcs — just more of them concurrently.
+// This is what keeps the E25-E28 rpcs/token floors valid at any depth.
+func TestUDPPipelineRPCFloorMatchesSerial(t *testing.T) {
+	topo, err := core.New(8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bill := func(depth int) (rpcs, packets, vals int64) {
+		t.Helper()
+		cluster := startClusterCfg(t, topo, 3, ShardConfig{Workers: 4})
+		cluster.SetPipeline(depth)
+		sess, err := cluster.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		vs, err := sess.IncBatch(0, 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess.RPCs(), sess.Packets(), int64(len(vs))
+	}
+	r1, p1, v1 := bill(1)
+	r4, p4, v4 := bill(4)
+	if v1 != 64 || v4 != 64 {
+		t.Fatalf("IncBatch returned %d and %d values, want 64", v1, v4)
+	}
+	if r1 != r4 {
+		t.Fatalf("rpcs diverged: serial %d, depth-4 %d — pipelining changed the frame bill", r1, r4)
+	}
+	if p1 != p4 {
+		t.Fatalf("packets diverged: serial %d, depth-4 %d — pipelining changed the packing", p1, p4)
+	}
+}
+
+// The shared-buffer regression gate: before the worker pool, serve()
+// reused ONE receive buffer across iterations and handed it to the
+// processing path — with Workers > 1 that is a data race (a worker
+// decoding packet n while the reader overwrites it with packet n+1)
+// and the race detector fails the unpooled design on this exact
+// workload. The pooled pipeline gives every packet its own buffer end
+// to end: concurrent clients against a 4-worker shard must stay exact
+// with -race silent.
+func TestUDPShardWorkersBufferIsolation(t *testing.T) {
+	topo, err := core.New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := startClusterCfg(t, topo, 1, ShardConfig{Workers: 4, Batch: 4})
+
+	const procs, per, k = 8, 4, 8
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for pid := 0; pid < procs; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			sess, err := cluster.NewSession()
+			if err != nil {
+				errs[pid] = err
+				return
+			}
+			defer sess.Close()
+			for i := 0; i < per; i++ {
+				if _, err := sess.IncBatch(pid+i, k, nil); err != nil {
+					errs[pid] = err
+					return
+				}
+				if _, err := sess.Read(); err != nil {
+					errs[pid] = err
+					return
+				}
+			}
+		}(pid)
+	}
+	wg.Wait()
+	for pid, err := range errs {
+		if err != nil {
+			t.Fatalf("pid %d: %v", pid, err)
+		}
+	}
+	sess, err := cluster.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	total, err := sess.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(procs * per * k); total != want {
+		t.Fatalf("Read = %d, want %d — packets corrupted or double-applied under workers", total, want)
+	}
+}

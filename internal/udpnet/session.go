@@ -40,20 +40,22 @@ type Cluster struct {
 	stride   int64
 	dialWrap func(net.Conn) net.Conn
 
-	mu     sync.Mutex // guards policy and timer against racing sessions
-	policy wire.RetryPolicy
-	timer  wire.Backoff
+	mu       sync.Mutex // guards policy, timer and pipeline against racing sessions
+	policy   wire.RetryPolicy
+	timer    wire.Backoff
+	pipeline int
 }
 
 // NewCluster wires a topology to its shard addresses with the default
 // retransmit policy.
 func NewCluster(n *network.Network, addrs []string) *Cluster {
 	return &Cluster{
-		net:    n,
-		addrs:  addrs,
-		stride: int64(n.OutWidth()),
-		policy: wire.RetryPolicy{Attempts: DefaultRetransmitAttempts, Budget: DefaultRetransmitBudget},
-		timer:  DefaultRetransmitTimer,
+		net:      n,
+		addrs:    addrs,
+		stride:   int64(n.OutWidth()),
+		policy:   wire.RetryPolicy{Attempts: DefaultRetransmitAttempts, Budget: DefaultRetransmitBudget},
+		timer:    DefaultRetransmitTimer,
+		pipeline: 1,
 	}
 }
 
@@ -77,6 +79,32 @@ func (c *Cluster) SetRetransmitPolicy(policy wire.RetryPolicy, timer wire.Backof
 	c.policy = policy
 	c.timer = timer
 	c.mu.Unlock()
+}
+
+// SetPipeline bounds how many request datagrams a session socket keeps
+// outstanding at once for sessions created after the call. depth <= 1
+// is stop-and-wait — the exact serial path every earlier E-series
+// number was taken at; depth > 1 turns each socket into a bounded
+// pipeline (see pipeline.go) that sends up to depth packets before the
+// first reply and lets a layer fan out to every shard concurrently.
+// The frames and their (client, seq) pairs are identical either way,
+// so the exactly-once guarantee is untouched — the shard's per-client
+// dedup window is thousands of frames deep against the few hundred a
+// full window can hold.
+func (c *Cluster) SetPipeline(depth int) {
+	if depth < 1 {
+		depth = 1
+	}
+	c.mu.Lock()
+	c.pipeline = depth
+	c.mu.Unlock()
+}
+
+// Pipeline returns the configured per-socket window depth.
+func (c *Cluster) Pipeline() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pipeline
 }
 
 // Hops returns the number of frame round trips one single-token Inc
@@ -103,6 +131,13 @@ type Session struct {
 	tape    *wire.SeqTape // set by a Counter flight for replayable sequences
 	reqid   uint64        // request-id source (sessions are single-goroutine)
 
+	// Pipelining state: the per-socket window depth (1 = stop-and-wait,
+	// the serial path below), the lazily created per-socket pipes, and
+	// the in-flight gauge the control plane reads.
+	depth       int
+	pipes       []*pipe
+	outstanding atomic.Int64
+
 	// Packet and batch walk scratch, reused across calls.
 	sbuf    []byte
 	rbuf    []byte
@@ -113,6 +148,13 @@ type Session struct {
 	pending []int64
 	tally   []int64
 	dist    []int64
+
+	// Pipelined fan-out scratch: handles per layer, the handle-range cut
+	// per shard, and per-shard id lists that must outlive the submit
+	// phase (s.ids is rebuilt per shard, these survive until await).
+	hnds  []*handle
+	shCut []int
+	shIDs [][]int32
 }
 
 // NewSession opens one socket per shard under a fresh client id.
@@ -122,7 +164,7 @@ func (c *Cluster) NewSession() (*Session, error) {
 
 func (c *Cluster) newSession(client uint64) (*Session, error) {
 	c.mu.Lock()
-	policy, timer := c.policy, c.timer
+	policy, timer, depth := c.policy, c.timer, c.pipeline
 	c.mu.Unlock()
 	s := &Session{
 		c:      c,
@@ -130,6 +172,7 @@ func (c *Cluster) newSession(client uint64) (*Session, error) {
 		conns:  make([]net.Conn, len(c.addrs)),
 		policy: policy,
 		timer:  timer,
+		depth:  depth,
 		rbuf:   make([]byte, wire.MaxDatagram),
 	}
 	for i, addr := range c.addrs {
@@ -146,13 +189,49 @@ func (c *Cluster) newSession(client uint64) (*Session, error) {
 	return s, nil
 }
 
-// Close drops the session's sockets.
+// Close drops the session's sockets and reaps the pipe readers a
+// pipelined session started; any packet still outstanding completes
+// with the socket's close error.
 func (s *Session) Close() {
+	for _, p := range s.pipes {
+		if p != nil {
+			p.stop()
+		}
+	}
 	for _, conn := range s.conns {
 		if conn != nil {
 			conn.Close()
 		}
 	}
+	for _, p := range s.pipes {
+		if p != nil {
+			p.wg.Wait()
+		}
+	}
+}
+
+// SetPipeline sets this session's per-socket window depth. Only valid
+// before the session's first exchange (a session is single-goroutine
+// and so is this switch); pooled sessions inherit the cluster's depth
+// at dial instead.
+func (s *Session) SetPipeline(depth int) {
+	if depth < 1 {
+		depth = 1
+	}
+	s.depth = depth
+}
+
+// pipe lazily creates the pipelined state of one socket.
+func (s *Session) pipe(shard int) *pipe {
+	if s.pipes == nil {
+		s.pipes = make([]*pipe, len(s.conns))
+	}
+	p := s.pipes[shard]
+	if p == nil {
+		p = newPipe(s, shard)
+		s.pipes[shard] = p
+	}
+	return p
 }
 
 // RPCs returns the number of request frames this session has sent,
@@ -192,6 +271,12 @@ func (s *Session) mut(op byte, id int32, n int64) wire.Frame {
 // by id; the request id makes matching exact however the network
 // reorders.
 func (s *Session) exchange(shard int, frames []wire.Frame, dst []int64) ([]int64, error) {
+	if s.depth > 1 {
+		p := s.pipe(shard)
+		h := p.submit(frames)
+		p.flush()
+		return p.await(h, dst)
+	}
 	s.reqid++
 	s.fpkt = append(s.fpkt[:0], wire.Frame{Op: wire.OpHello, Client: s.client})
 	s.fpkt = append(s.fpkt, frames...)
@@ -255,25 +340,52 @@ func (s *Session) exchange(shard int, frames []wire.Frame, dst []int64) ([]int64
 		shard, lastErr)
 }
 
+// chunkEnd returns the end of the datagram-sized chunk starting at
+// start: the longest prefix fitting both the wire.MaxDatagram request
+// budget and the 8-bytes-per-frame response budget. Serial and
+// pipelined exchanges share it, so a depth switch never changes how
+// frames pack into packets.
+func chunkEnd(frames []wire.Frame, start int) int {
+	reqBytes := wire.PacketOverhead + wire.FrameLen(wire.OpHello)
+	respBytes := wire.PacketOverhead
+	end := start
+	for end < len(frames) {
+		fl := wire.FrameLen(frames[end].Op)
+		if end > start && (reqBytes+fl > wire.MaxDatagram || respBytes+8 > wire.MaxDatagram) {
+			break
+		}
+		reqBytes += fl
+		respBytes += 8
+		end++
+	}
+	return end
+}
+
 // exchangeChunked splits a frame group into datagrams under the
 // wire.MaxDatagram budget — bounding both the request bytes and the
-// 8-bytes-per-frame response — and exchanges each chunk in turn.
+// 8-bytes-per-frame response — and exchanges each chunk in turn. A
+// pipelined session submits every chunk up front (the window keeps
+// depth of them outstanding) and then collects the replies in order.
 func (s *Session) exchangeChunked(shard int, frames []wire.Frame, dst []int64) ([]int64, error) {
-	helloLen := wire.FrameLen(wire.OpHello)
+	if s.depth > 1 {
+		p := s.pipe(shard)
+		h0 := len(s.hnds)
+		s.hnds = s.submitChunks(p, frames, s.hnds)
+		p.flush()
+		var firstErr error
+		for _, h := range s.hnds[h0:] {
+			var err error
+			dst, err = p.await(h, dst)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		s.hnds = s.hnds[:h0]
+		return dst, firstErr
+	}
 	start := 0
 	for start < len(frames) {
-		reqBytes := wire.PacketOverhead + helloLen
-		respBytes := wire.PacketOverhead
-		end := start
-		for end < len(frames) {
-			fl := wire.FrameLen(frames[end].Op)
-			if end > start && (reqBytes+fl > wire.MaxDatagram || respBytes+8 > wire.MaxDatagram) {
-				break
-			}
-			reqBytes += fl
-			respBytes += 8
-			end++
-		}
+		end := chunkEnd(frames, start)
 		var err error
 		dst, err = s.exchange(shard, frames[start:end], dst)
 		if err != nil {
@@ -282,6 +394,18 @@ func (s *Session) exchangeChunked(shard int, frames []wire.Frame, dst []int64) (
 		start = end
 	}
 	return dst, nil
+}
+
+// submitChunks submits a frame group to a pipe chunk by chunk (same
+// packet boundaries as the serial path) and appends the handles.
+func (s *Session) submitChunks(p *pipe, frames []wire.Frame, hnds []*handle) []*handle {
+	start := 0
+	for start < len(frames) {
+		end := chunkEnd(frames, start)
+		hnds = append(hnds, p.submit(frames[start:end]))
+		start = end
+	}
+	return hnds
 }
 
 // Inc shepherds one token through the distributed network and returns
@@ -369,6 +493,16 @@ func (s *Session) batch(in int, k int64, anti bool, dst []int64) ([]int64, error
 		pending[nd] = k
 	}
 	for _, layer := range n.Layers() {
+		if s.depth > 1 {
+			// Pipelined fan-out: submit every shard's frames for this
+			// layer before awaiting any reply — the layer costs one
+			// round trip across ALL shards instead of one per shard.
+			if err := s.stepLayerPipelined(layer, shards, pending, tally, anti); err != nil {
+				clear(pending) // leave the scratch reusable
+				return dst, err
+			}
+			continue
+		}
 		for shard := 0; shard < shards; shard++ {
 			s.frames = s.frames[:0]
 			s.ids = s.ids[:0]
@@ -392,28 +526,11 @@ func (s *Session) batch(in int, k int64, anti bool, dst []int64) ([]int64, error
 				clear(pending) // leave the scratch reusable
 				return dst, err
 			}
-			for i, id := range s.ids {
-				c := pending[id]
-				pending[id] = 0
-				node := n.Node(int(id))
-				q := node.Out()
-				if cap(s.dist) < q {
-					s.dist = make([]int64, q)
-				}
-				counts := balancer.DistributeInto(node.Balancer().Init()+vals[i], c, s.dist[:q])
-				for p, cnt := range counts {
-					if cnt == 0 {
-						continue
-					}
-					dnd, dport := n.Dest(int(id), p)
-					if dnd < 0 {
-						tally[dport] += cnt
-					} else {
-						pending[dnd] += cnt
-					}
-				}
-			}
+			s.applyStep(s.ids, vals, pending, tally)
 		}
+	}
+	if s.depth > 1 {
+		return s.cellsPipelined(shards, tally, anti, dst)
 	}
 	stride := s.c.stride
 	for shard := 0; shard < shards; shard++ {
@@ -438,21 +555,174 @@ func (s *Session) batch(in int, k int64, anti bool, dst []int64) ([]int64, error
 		if err != nil {
 			return dst, err
 		}
-		for i, wireOut := range s.ids {
-			cnt := tally[wireOut]
-			end := vals[i]
-			if anti {
-				for v := end + stride*(cnt-1); v >= end; v -= stride {
-					dst = append(dst, v)
-				}
+		dst = s.applyCells(s.ids, vals, tally, anti, dst)
+	}
+	return dst, nil
+}
+
+// applyStep folds one shard's STEPN replies back into the walk: each
+// first transition index distributes that balancer's pending group
+// across its output ports, landing on next-layer balancers or the exit
+// tally. Shared by the serial and pipelined paths so a depth switch
+// cannot change the arithmetic.
+func (s *Session) applyStep(ids []int32, vals []int64, pending, tally []int64) {
+	n := s.c.net
+	for i, id := range ids {
+		c := pending[id]
+		pending[id] = 0
+		node := n.Node(int(id))
+		q := node.Out()
+		if cap(s.dist) < q {
+			s.dist = make([]int64, q)
+		}
+		counts := balancer.DistributeInto(node.Balancer().Init()+vals[i], c, s.dist[:q])
+		for p, cnt := range counts {
+			if cnt == 0 {
+				continue
+			}
+			dnd, dport := n.Dest(int(id), p)
+			if dnd < 0 {
+				tally[dport] += cnt
 			} else {
-				for v := end - stride*cnt; v < end; v += stride {
-					dst = append(dst, v)
-				}
+				pending[dnd] += cnt
 			}
 		}
 	}
-	return dst, nil
+}
+
+// applyCells unfolds one shard's CELLN replies into the claimed values,
+// newest-issued first per exit cell for antitokens. Shared by the
+// serial and pipelined cell phases.
+func (s *Session) applyCells(ids []int32, vals []int64, tally []int64, anti bool, dst []int64) []int64 {
+	stride := s.c.stride
+	for i, wireOut := range ids {
+		cnt := tally[wireOut]
+		end := vals[i]
+		if anti {
+			for v := end + stride*(cnt-1); v >= end; v -= stride {
+				dst = append(dst, v)
+			}
+		} else {
+			for v := end - stride*cnt; v < end; v += stride {
+				dst = append(dst, v)
+			}
+		}
+	}
+	return dst
+}
+
+// fanScratch readies the per-shard fan-out scratch.
+func (s *Session) fanScratch(shards int) {
+	if s.shIDs == nil {
+		s.shIDs = make([][]int32, len(s.conns))
+		s.shCut = make([]int, len(s.conns)+1)
+	}
+	s.hnds = s.hnds[:0]
+}
+
+// stepLayerPipelined walks one layer with every shard in flight at
+// once: build and submit each shard's STEPN chunks (drawing sequence
+// numbers in the exact order the serial path would, so a retried
+// flight replays identically), flush all pipes, then await shard by
+// shard and fold the replies. The await order is the submit order, so
+// the values line up with the ids by construction.
+func (s *Session) stepLayerPipelined(layer []int32, shards int, pending, tally []int64, anti bool) error {
+	s.fanScratch(shards)
+	for shard := 0; shard < shards; shard++ {
+		s.shCut[shard] = len(s.hnds)
+		ids := s.shIDs[shard][:0]
+		s.frames = s.frames[:0]
+		for _, id := range layer {
+			if int(id)%shards != shard || pending[id] == 0 {
+				continue
+			}
+			sendN := pending[id]
+			if anti {
+				sendN = -sendN
+			}
+			s.frames = append(s.frames, s.mut(wire.OpStepN, id, sendN))
+			ids = append(ids, id)
+		}
+		s.shIDs[shard] = ids
+		if len(s.frames) != 0 {
+			s.hnds = s.submitChunks(s.pipe(shard), s.frames, s.hnds)
+		}
+	}
+	s.shCut[shards] = len(s.hnds)
+	return s.awaitFan(shards, func(shard int, vals []int64) {
+		s.applyStep(s.shIDs[shard], vals, pending, tally)
+	})
+}
+
+// cellsPipelined is the exit-cell phase with every shard in flight at
+// once, appending the claimed values in the same shard order as the
+// serial path.
+func (s *Session) cellsPipelined(shards int, tally []int64, anti bool, dst []int64) ([]int64, error) {
+	s.fanScratch(shards)
+	stride := s.c.stride
+	for shard := 0; shard < shards; shard++ {
+		s.shCut[shard] = len(s.hnds)
+		ids := s.shIDs[shard][:0]
+		s.frames = s.frames[:0]
+		for wireOut, cnt := range tally {
+			if cnt == 0 || wireOut%shards != shard {
+				continue
+			}
+			sendN := cnt
+			if anti {
+				sendN = -cnt
+			}
+			s.frames = append(s.frames, s.mut(wire.OpCellN, int32(wireOut)|int32(stride)<<16, sendN))
+			ids = append(ids, int32(wireOut))
+		}
+		s.shIDs[shard] = ids
+		if len(s.frames) != 0 {
+			s.hnds = s.submitChunks(s.pipe(shard), s.frames, s.hnds)
+		}
+	}
+	s.shCut[shards] = len(s.hnds)
+	err := s.awaitFan(shards, func(shard int, vals []int64) {
+		dst = s.applyCells(s.shIDs[shard], vals, tally, anti, dst)
+	})
+	return dst, err
+}
+
+// awaitFan flushes every pipe touched by a fan-out, awaits the handles
+// shard by shard in submit order, and applies each shard's reply
+// values. On an error it keeps draining the remaining handles — every
+// submitted handle is awaited exactly once — and reports the first.
+func (s *Session) awaitFan(shards int, apply func(shard int, vals []int64)) error {
+	for shard := 0; shard < shards; shard++ {
+		if s.pipes != nil && s.pipes[shard] != nil {
+			s.pipes[shard].flush()
+		}
+	}
+	var firstErr error
+	for shard := 0; shard < shards; shard++ {
+		hs := s.hnds[s.shCut[shard]:s.shCut[shard+1]]
+		if len(hs) == 0 {
+			continue
+		}
+		vals := s.vals[:0]
+		shardErr := firstErr
+		for _, h := range hs {
+			var err error
+			vals, err = s.pipes[shard].await(h, vals)
+			if err != nil && shardErr == nil {
+				shardErr = err
+			}
+		}
+		s.vals = vals
+		if shardErr != nil {
+			if firstErr == nil {
+				firstErr = shardErr
+			}
+			continue
+		}
+		apply(shard, vals)
+	}
+	s.hnds = s.hnds[:0]
+	return firstErr
 }
 
 // ReadCell returns exit cell w's current value without modifying it
@@ -476,6 +746,37 @@ func (s *Session) Read() (int64, error) {
 	n := s.c.net
 	shards := len(s.c.addrs)
 	var total int64
+	if s.depth > 1 {
+		// Fan the READ frames out to every shard at once: a pipelined
+		// whole-cluster read costs one round trip, not one per shard.
+		s.fanScratch(shards)
+		for shard := 0; shard < shards; shard++ {
+			s.shCut[shard] = len(s.hnds)
+			ids := s.shIDs[shard][:0]
+			s.frames = s.frames[:0]
+			for w := 0; w < n.OutWidth(); w++ {
+				if w%shards != shard {
+					continue
+				}
+				s.frames = append(s.frames, wire.Frame{Op: wire.OpRead, ID: int32(w)})
+				ids = append(ids, int32(w))
+			}
+			s.shIDs[shard] = ids
+			if len(s.frames) != 0 {
+				s.hnds = s.submitChunks(s.pipe(shard), s.frames, s.hnds)
+			}
+		}
+		s.shCut[shards] = len(s.hnds)
+		err := s.awaitFan(shards, func(shard int, vals []int64) {
+			for i, w := range s.shIDs[shard] {
+				total += (vals[i] - int64(w)) / s.c.stride
+			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		return total, nil
+	}
 	for shard := 0; shard < shards; shard++ {
 		s.frames = s.frames[:0]
 		s.ids = s.ids[:0]

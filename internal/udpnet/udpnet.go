@@ -49,6 +49,7 @@ import (
 	"encoding/binary"
 	"math"
 	"net"
+	"net/netip"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -60,41 +61,151 @@ import (
 )
 
 // ShardConfig tunes a shard server; the zero value is the production
-// default (wire's DedupWindow/DedupClients bounds).
+// default (wire's DedupWindow/DedupClients bounds, one worker, bursts
+// of DefaultShardBatch packets per syscall).
 type ShardConfig struct {
 	// Dedup sizes the per-client exactly-once windows; zero fields take
 	// the wire defaults. The window is the retransmit horizon: a late
 	// duplicate is answered from the record as long as fewer than
 	// Window newer frames from the same client landed in between.
 	Dedup wire.DedupConfig
+
+	// Workers is the packet-processing pool width; <= 0 means 1 (the
+	// serial behaviour every earlier E-series number was taken at).
+	// Parallelism is safe because the state a packet touches is either
+	// atomic (balancer words, counter cells) or serialized per client
+	// by the dedup window's own lock — frames from one client never
+	// race each other, and frames from different clients never needed
+	// an order in the first place (that is the paper's whole point).
+	Workers int
+
+	// Batch bounds how many datagrams one receive or send syscall moves
+	// (recvmmsg/sendmmsg on linux; the portable fallback reads one per
+	// call but still coalesces sends per wakeup). <= 0 means
+	// DefaultShardBatch.
+	Batch int
+}
+
+// DefaultShardBatch is the default per-syscall datagram burst bound.
+const DefaultShardBatch = 16
+
+// shardBufSize is the pooled packet-buffer size: a protocol-abiding
+// request is at most wire.MaxDatagram bytes and the widest possible
+// response (a full datagram of READ frames) stays under 2 KiB, so one
+// pool serves both directions. Anything larger is truncated by the
+// receive path and dropped as malformed.
+const shardBufSize = 2048
+
+// bufPool recycles fixed-size packet buffers between the receive,
+// process and send stages, so the steady-state shard hot path allocates
+// nothing per packet.
+type bufPool struct{ p sync.Pool }
+
+func newBufPool() *bufPool {
+	bp := &bufPool{}
+	bp.p.New = func() any { return new([shardBufSize]byte) }
+	return bp
+}
+
+func (bp *bufPool) get() *[shardBufSize]byte  { return bp.p.Get().(*[shardBufSize]byte) }
+func (bp *bufPool) put(b *[shardBufSize]byte) { bp.p.Put(b) }
+
+// pkt is one datagram moving through the shard pipeline: a pooled
+// buffer, the byte count (negative marks a truncated receive, dropped
+// by the dispatcher), and the peer address as an allocation-free
+// netip.AddrPort value.
+type pkt struct {
+	buf *[shardBufSize]byte
+	n   int
+	ap  netip.AddrPort
+}
+
+// shardIO is the syscall boundary the shard reads and writes bursts
+// through. The linux implementation (mmsg_linux.go) moves whole bursts
+// per recvmmsg/sendmmsg call; the portable fallback (mmsg_other.go)
+// reads one datagram per call and writes each send of a burst
+// individually. Both report how many packets each call moved so the
+// batched-syscall metrics stay comparable across builds.
+type shardIO interface {
+	// readBatch fills up to len(dst) packets with pooled buffers and
+	// returns how many arrived; it blocks until at least one does.
+	readBatch(dst []pkt, pool *bufPool) (int, error)
+	// writeBatch sends every packet in the burst; buffer ownership
+	// stays with the caller.
+	writeBatch(ps []pkt) error
+}
+
+// loopIO is the portable shardIO: one datagram per receive call, one
+// send syscall per reply. It is the whole story on non-linux builds
+// (and under -tags countnet_nommsg) and the last-resort fallback on
+// linux when the raw descriptor is unavailable.
+type loopIO struct {
+	conn *net.UDPConn
+}
+
+func (io *loopIO) readBatch(dst []pkt, pool *bufPool) (int, error) {
+	buf := pool.get()
+	n, ap, err := io.conn.ReadFromUDPAddrPort(buf[:])
+	if err != nil {
+		pool.put(buf)
+		return 0, err
+	}
+	dst[0] = pkt{buf: buf, n: n, ap: ap}
+	return 1, nil
+}
+
+func (io *loopIO) writeBatch(ps []pkt) error {
+	var firstErr error
+	for i := range ps {
+		if _, err := io.conn.WriteToUDPAddrPort(ps[i].buf[:ps[i].n], ps[i].ap); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Shard is one balancer server: it owns the state of the balancers and
 // counter cells assigned to it and serves packed v2 frames over UDP,
-// deduplicating every mutating frame per client. Packets are processed
-// serially by one goroutine, so frames within a packet apply in order.
+// deduplicating every mutating frame per client. Packets flow through a
+// three-stage pipeline — a reader draining the socket in bursts into
+// pooled buffers, a worker pool decoding/validating/executing, and a
+// sender writing reply bursts — so cross-client packets process in
+// parallel while frames within one packet still apply in order (one
+// worker owns the whole packet).
 type Shard struct {
-	conn  *net.UDPConn
-	bals  map[int32]*balancer.PQ
-	cells map[int32]*atomic.Int64
-	dedup *wire.Dedup
-	done  chan struct{}
-	once  sync.Once // Close idempotency
-	wg    sync.WaitGroup
+	conn    *net.UDPConn
+	bals    map[int32]*balancer.PQ
+	cells   map[int32]*atomic.Int64
+	dedup   *wire.Dedup
+	done    chan struct{}
+	once    sync.Once // Close idempotency
+	wg      sync.WaitGroup
+	workers int
+	batch   int
+	pool    *bufPool
+	io      shardIO
+	workq   chan pkt
+	sendq   chan pkt
 
 	// Control-plane state: the shard's slot in the partition (for
 	// /status), its registry of read-side metric views (for /metrics),
-	// and bare atomics the packet loop bumps. busy is set for the span
-	// of one packet's processing — the loop is serial, so !busy is the
-	// shard's quiescence signal.
-	index   int
-	shards  int
-	netName string
-	reg     *ctlplane.Registry
-	packets atomic.Int64
-	frames  atomic.Int64
-	drops   atomic.Int64
-	busy    atomic.Bool
+	// and bare atomics the pipeline stages bump. inflight counts
+	// packets accepted by the reader and not yet replied or dropped —
+	// zero is the shard's quiescence signal now that processing is
+	// concurrent; busy is the worker-pool occupancy gauge.
+	index        int
+	shards       int
+	netName      string
+	reg          *ctlplane.Registry
+	packets      atomic.Int64
+	frames       atomic.Int64
+	drops        atomic.Int64
+	inflight     atomic.Int64
+	busy         atomic.Int64
+	recvBatches  atomic.Int64
+	recvBatchPks atomic.Int64
+	sendBatches  atomic.Int64
+	sendBatchPks atomic.Int64
 }
 
 // StartShard launches a shard on addr (use "127.0.0.1:0" for tests)
@@ -119,21 +230,41 @@ func StartShardConfig(addr string, topo *network.Network, index, shards int, cfg
 	if err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	batch := cfg.Batch
+	if batch < 1 {
+		batch = DefaultShardBatch
+	}
 	s := &Shard{
 		conn:    conn,
 		bals:    make(map[int32]*balancer.PQ),
 		cells:   make(map[int32]*atomic.Int64),
 		dedup:   wire.NewDedup(cfg.Dedup),
 		done:    make(chan struct{}),
+		workers: workers,
+		batch:   batch,
+		pool:    newBufPool(),
+		workq:   make(chan pkt, workers*batch),
+		sendq:   make(chan pkt, workers*batch),
 		index:   index,
 		shards:  shards,
 		netName: topo.Name(),
 		reg:     ctlplane.NewRegistry(),
 	}
+	s.io = newShardIO(conn, batch)
 	labels := []ctlplane.Label{{Key: "transport", Value: "udp"}, {Key: "shard", Value: strconv.Itoa(index)}}
 	s.reg.Counter(wire.MetricShardFrames, wire.HelpShardFrames, s.frames.Load, labels...)
 	s.reg.Counter(wire.MetricShardPackets, wire.HelpShardPackets, s.packets.Load, labels...)
 	s.reg.Counter(wire.MetricShardDrops, wire.HelpShardDrops, s.drops.Load, labels...)
+	s.reg.Gauge(wire.MetricShardWorkers, wire.HelpShardWorkers, func() int64 { return int64(s.workers) }, labels...)
+	s.reg.Gauge(wire.MetricShardWorkersBusy, wire.HelpShardWorkersBusy, s.busy.Load, labels...)
+	s.reg.Counter(wire.MetricShardRecvBatches, wire.HelpShardRecvBatches, s.recvBatches.Load, labels...)
+	s.reg.Counter(wire.MetricShardRecvBatchPackets, wire.HelpShardRecvBatchPackets, s.recvBatchPks.Load, labels...)
+	s.reg.Counter(wire.MetricShardSendBatches, wire.HelpShardSendBatches, s.sendBatches.Load, labels...)
+	s.reg.Counter(wire.MetricShardSendBatchPackets, wire.HelpShardSendBatchPackets, s.sendBatchPks.Load, labels...)
 	s.dedup.RegisterMetrics(s.reg, labels...)
 	for id := 0; id < topo.Size(); id++ {
 		if id%shards == index {
@@ -148,6 +279,29 @@ func StartShardConfig(addr string, topo *network.Network, index, shards int, cfg
 			s.cells[int32(w)] = c
 		}
 	}
+	var workerWG sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		workerWG.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer workerWG.Done()
+			s.work()
+		}()
+	}
+	// The sender outlives the workers: sendq closes only after the last
+	// worker exits, so a reply queued during drain is never lost to a
+	// send on a closed channel.
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		workerWG.Wait()
+		close(s.sendq)
+	}()
+	go func() {
+		defer s.wg.Done()
+		s.send()
+	}()
 	s.wg.Add(1)
 	go s.serve()
 	return s, nil
@@ -179,16 +333,17 @@ type ShardStatus struct {
 }
 
 // Health implements ctlplane.Source: the shard is live until Close.
-// The packet loop is serial, so quiescence is simply "not mid-packet";
-// a UDP shard holds no client connections to wait out.
+// Quiescence is "no packet anywhere in the pipeline" — accepted by the
+// reader but not yet replied or dropped; a UDP shard holds no client
+// connections to wait out.
 func (s *Shard) Health() ctlplane.Health {
 	select {
 	case <-s.done:
 		return ctlplane.Health{Detail: "closed"}
 	default:
 	}
-	if s.busy.Load() {
-		return ctlplane.Health{Live: true, Detail: "processing a packet"}
+	if s.inflight.Load() > 0 {
+		return ctlplane.Health{Live: true, Detail: "processing packets"}
 	}
 	return ctlplane.Health{Live: true, Quiescent: true, Detail: "idle between packets"}
 }
@@ -210,16 +365,19 @@ func (s *Shard) Status() any {
 // metric views (packets, frames, drops, dedup table state).
 func (s *Shard) Gather() []ctlplane.Sample { return s.reg.Gather() }
 
-// serve is the shard's packet loop: read a datagram, decode it whole,
-// validate it whole, execute (deduplicated), reply to the sender.
-// Malformed or violating packets are dropped without a reply.
+// serve is the shard's reader: drain the socket in bursts of up to
+// Batch datagrams per syscall into pooled buffers and hand each packet
+// to the worker pool. A full work queue applies backpressure here — the
+// kernel socket buffer absorbs the burst and drops beyond it, which to
+// a client is ordinary datagram loss, absorbed by its retransmit timer.
+// Closing the work queue after the socket dies is what drains the
+// worker pool down.
 func (s *Shard) serve() {
 	defer s.wg.Done()
-	buf := make([]byte, 65536)
-	var frames []wire.Frame
-	var resp []byte
+	defer close(s.workq)
+	batch := make([]pkt, s.batch)
 	for {
-		n, raddr, err := s.conn.ReadFromUDP(buf)
+		n, err := s.io.readBatch(batch, s.pool)
 		if err != nil {
 			select {
 			case <-s.done:
@@ -228,25 +386,114 @@ func (s *Shard) serve() {
 				continue // transient (e.g. a surfaced ICMP error)
 			}
 		}
-		s.busy.Store(true)
+		s.recvBatches.Add(1)
+		s.recvBatchPks.Add(int64(n))
+		for i := 0; i < n; i++ {
+			p := batch[i]
+			batch[i] = pkt{}
+			if p.n < 0 || p.n > wire.MaxDatagram {
+				// Truncated or over the MaxDatagram request budget:
+				// a protocol violation either way, dropped whole like
+				// any other malformed packet. Enforcing the budget
+				// here also caps the widest possible response (a full
+				// datagram of READ frames) under shardBufSize, so a
+				// reply can never outgrow its pooled buffer.
+				s.packets.Add(1)
+				s.drops.Add(1)
+				s.pool.put(p.buf)
+				continue
+			}
+			s.inflight.Add(1)
+			s.workq <- p
+		}
+	}
+}
+
+// work is one pool worker: decode a packet whole, validate it whole,
+// execute it (deduplicated), and queue the encoded response for the
+// batched sender. Each worker owns its decode and encode scratch, and
+// each packet rides its own pooled buffer end to end — nothing a worker
+// touches is shared with another packet in flight, which is what makes
+// Workers > 1 safe (and what TestUDPShardWorkersBufferIsolation pins).
+func (s *Shard) work() {
+	var frames []wire.Frame
+	w := newWorkCtx(s)
+	for p := range s.workq {
+		s.busy.Add(1)
 		s.packets.Add(1)
-		reqid, fs, err := wire.DecodePacket(buf[:n], frames[:0])
+		reqid, fs, err := wire.DecodePacket(p.buf[:p.n], frames[:0])
 		frames = fs
 		if err != nil {
-			s.drops.Add(1)
-			s.busy.Store(false)
+			s.dropPkt(p)
 			continue
 		}
-		resp = s.process(resp[:0], reqid, fs)
+		rbuf := s.pool.get()
+		resp := s.process(rbuf[:0], reqid, fs, w)
 		if resp == nil {
-			s.drops.Add(1)
-			s.busy.Store(false)
+			s.pool.put(rbuf)
+			s.dropPkt(p)
 			continue
 		}
 		s.frames.Add(int64(len(fs)))
-		s.conn.WriteToUDP(resp, raddr)
-		s.busy.Store(false)
+		s.pool.put(p.buf)
+		s.sendq <- pkt{buf: rbuf, n: len(resp), ap: p.ap}
+		s.busy.Add(-1)
 	}
+}
+
+// dropPkt accounts and recycles a packet refused without a reply.
+func (s *Shard) dropPkt(p pkt) {
+	s.drops.Add(1)
+	s.pool.put(p.buf)
+	s.inflight.Add(-1)
+	s.busy.Add(-1)
+}
+
+// send is the reply writer: take one finished response, opportunistically
+// drain whatever else the workers have queued (up to the batch bound),
+// and write the whole burst in one syscall where the platform allows.
+// Latency is never traded away — a lone reply goes out immediately; the
+// burst only forms when the shard is busy enough to have one.
+func (s *Shard) send() {
+	burst := make([]pkt, 0, s.batch)
+	for p := range s.sendq {
+		burst = append(burst[:0], p)
+	drain:
+		for len(burst) < s.batch {
+			select {
+			case q, ok := <-s.sendq:
+				if !ok {
+					break drain
+				}
+				burst = append(burst, q)
+			default:
+				break drain
+			}
+		}
+		s.io.writeBatch(burst)
+		s.sendBatches.Add(1)
+		s.sendBatchPks.Add(int64(len(burst)))
+		for i := range burst {
+			s.pool.put(burst[i].buf)
+			s.inflight.Add(-1)
+			burst[i] = pkt{}
+		}
+	}
+}
+
+// workCtx is one worker's execute thunk for the dedup layer: the
+// closure is bound once per worker and reads the current frame through
+// w.f — a literal at the Do call site would heap-allocate per mutating
+// frame, the single biggest allocation on the old hot path.
+type workCtx struct {
+	f    *wire.Frame
+	exec func() (int64, bool)
+}
+
+func newWorkCtx(s *Shard) *workCtx {
+	w := &workCtx{}
+	w.exec = func() (int64, bool) { return s.apply(w.f) }
+	return w
 }
 
 // process validates and executes one decoded packet, returning the
@@ -254,7 +501,7 @@ func (s *Shard) serve() {
 // any state changes: on a datagram transport a violation cannot "drop
 // the rest of the stream", so a packet that would fail partway is
 // refused whole instead of half-applying.
-func (s *Shard) process(dst []byte, reqid uint64, frames []wire.Frame) []byte {
+func (s *Shard) process(dst []byte, reqid uint64, frames []wire.Frame, w *workCtx) []byte {
 	helloed := false
 	for i := range frames {
 		f := &frames[i]
@@ -319,7 +566,8 @@ func (s *Shard) process(dst []byte, reqid uint64, frames []wire.Frame) []byte {
 		case wire.OpRead:
 			val = s.cells[f.ID].Load()
 		default:
-			v, ok := cl.Do(f.Seq, func() (int64, bool) { return s.apply(f) })
+			w.f = f
+			v, ok := cl.Do(f.Seq, w.exec)
 			if !ok {
 				return nil
 			}

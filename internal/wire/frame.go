@@ -139,6 +139,39 @@ func ReadFrame(r io.Reader, buf *[MaxFrameLen]byte, f *Frame) error {
 	return nil
 }
 
+// DecodeFrame decodes one frame from the front of data into f and
+// returns the encoded length consumed. It is the allocation-free
+// sibling of ReadFrame for callers that already hold the whole
+// encoding in memory (the datagram path): no reader, no escaping
+// scratch — the UDP shard's per-packet decode must not touch the heap.
+func DecodeFrame(data []byte, f *Frame) (int, error) {
+	if len(data) < 5 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	f.Op = data[0]
+	f.ID = int32(binary.BigEndian.Uint32(data[1:5]))
+	f.Client, f.Seq, f.N = 0, 0, 0
+	extra := frameExtra(f.Op)
+	if extra < 0 {
+		return 0, ErrUnknownOp
+	}
+	if len(data) < 5+extra {
+		return 0, io.ErrUnexpectedEOF
+	}
+	switch f.Op {
+	case OpHello:
+		f.Client = binary.BigEndian.Uint64(data[5:13])
+	case OpStep2, OpCell2:
+		f.Seq = binary.BigEndian.Uint64(data[5:13])
+	case OpStepN, OpCellN:
+		f.N = int64(binary.BigEndian.Uint64(data[5:13]))
+	case OpStepN2, OpCellN2:
+		f.Seq = binary.BigEndian.Uint64(data[5:13])
+		f.N = int64(binary.BigEndian.Uint64(data[13:21]))
+	}
+	return 5 + extra, nil
+}
+
 // V2Op maps a v1 mutating op to its seq-numbered v2 form.
 func V2Op(op byte) byte {
 	switch op {

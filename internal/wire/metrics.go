@@ -30,6 +30,24 @@ const (
 	MetricShardDrops = "countnet_shard_dropped_packets_total"
 	HelpShardDrops   = "Request datagrams dropped whole without a reply: malformed or protocol-violating (UDP only)."
 
+	MetricShardWorkers = "countnet_shard_workers"
+	HelpShardWorkers   = "Packet-processing workers the shard was configured with (UDP only)."
+
+	MetricShardWorkersBusy = "countnet_shard_workers_busy"
+	HelpShardWorkersBusy   = "Workers currently executing a packet; the rest are parked on the dispatch queue (UDP only)."
+
+	MetricShardRecvBatches = "countnet_shard_recv_batches_total"
+	HelpShardRecvBatches   = "Receive syscalls issued by the shard; divide packets by this for the mean recvmmsg burst size (UDP only)."
+
+	MetricShardRecvBatchPackets = "countnet_shard_recv_batch_packets_total"
+	HelpShardRecvBatchPackets   = "Request datagrams delivered across all receive syscalls (UDP only)."
+
+	MetricShardSendBatches = "countnet_shard_send_batches_total"
+	HelpShardSendBatches   = "Send syscalls issued by the shard's reply path; divide packets by this for the mean sendmmsg burst size (UDP only)."
+
+	MetricShardSendBatchPackets = "countnet_shard_send_batch_packets_total"
+	HelpShardSendBatchPackets   = "Response datagrams written across all send syscalls (UDP only)."
+
 	// Exactly-once dedup table (server side).
 	MetricDedupClients = "countnet_dedup_clients"
 	HelpDedupClients   = "Client windows currently tracked by the shard's exactly-once dedup table."
@@ -88,6 +106,12 @@ const (
 
 	MetricClientRetransmits = "countnet_client_retransmits_total"
 	HelpClientRetransmits   = "Request datagrams that were retransmissions; a rising rate means loss or an unresponsive shard (UDP only)."
+
+	MetricClientPipelineDepth = "countnet_client_pipeline_depth"
+	HelpClientPipelineDepth   = "Configured per-socket window of outstanding request datagrams; 1 is stop-and-wait (UDP only)."
+
+	MetricClientOutstanding = "countnet_client_outstanding_packets"
+	HelpClientOutstanding   = "Request datagrams currently in flight (sent, not yet matched to a response) across the counter's pooled sessions (UDP only)."
 
 	MetricClientMsgs = "countnet_client_msgs_total"
 	HelpClientMsgs   = "Link-level messages sent inside the in-process emulation — distnet's wire-cost unit (distnet only)."

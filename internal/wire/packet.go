@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 )
@@ -49,13 +48,14 @@ func DecodePacket(data []byte, dst []Frame) (reqid uint64, frames []Frame, err e
 		return 0, dst, ErrBadPacket
 	}
 	reqid = binary.BigEndian.Uint64(data[:PacketOverhead])
-	r := bytes.NewReader(data[PacketOverhead:])
-	var buf [MaxFrameLen]byte
-	for r.Len() > 0 {
+	body := data[PacketOverhead:]
+	for len(body) > 0 {
 		var f Frame
-		if err := ReadFrame(r, &buf, &f); err != nil {
+		n, err := DecodeFrame(body, &f)
+		if err != nil {
 			return 0, dst, ErrBadPacket
 		}
+		body = body[n:]
 		dst = append(dst, f)
 	}
 	return reqid, dst, nil
