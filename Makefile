@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race resilience bench-smoke bench fuzz docs-check
+.PHONY: check build vet fmt test race resilience conformance bench-smoke bench fuzz docs-check
 
-check: build vet fmt race resilience bench-smoke docs-check
+check: build vet fmt race resilience conformance bench-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -46,21 +46,34 @@ race:
 resilience:
 	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestDedupConfig|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|TestPacketRoundTrip|FuzzFrameCodec|FuzzPacketCodec|TestUDPChaosExactCountGrid|TestUDPRetransmitExactlyOnce|TestUDPResponseLoss|TestUDPMalformedPackets|TestUDPBatchRPCsMatchTCPFloor|TestUDPPipelineReorderExactCount|TestUDPPipelineRPCFloorMatchesSerial|TestUDPShardWorkersBufferIsolation|TestWritePrometheusFormat|TestServeEndpoints|TestDrainOnSignal|TestFleetAggregation|TestShardControlPlaneEndpoints|TestCounterHealthFlipsAcrossDrain|TestShardedCounterEndpointAggregation|TestSIGTERMDrainExactCount|TestUDPShardControlPlaneEndpoints|TestMetricsMonotoneUnderChaos' ./internal/tcpnet ./internal/udpnet ./internal/wire ./internal/ctlplane
 
+# The transport conformance suite pinned BY NAME, run under the race
+# detector: one behavioural contract — chaos exact-count grids,
+# deterministic retry/replay, shared Close semantics, drain health
+# flips, integer-identical frame bills, single-source retry defaults —
+# executed against every transport on the xport seam (tcp, udp,
+# inproc). A new transport passes this suite or it does not ship. Keep
+# the regex in lockstep with .github/workflows/ci.yml.
+conformance:
+	$(GO) test -race -count=1 -run 'TestConformance|TestTransportFrameBillEquality|TestRetryDefaultsSingleSource' ./internal/conformance
+
 # Covers every package, the distributed benchmarks in internal/distnet,
 # internal/tcpnet and internal/udpnet (batched protocol, E25) included;
 # the second pass pins the sharded-deployment (E26), dedup-enabled (E27)
 # and UDP-transport (E28) benchmarks by name so a rename can't silently
 # drop them, and the third pins the raw-speed-path allocation gates
 # (E30): BenchmarkUDPShardWorkers and BenchmarkUDPPipelinedBatch carry
-# the ReportAllocs zero-allocation claim. The countbench run re-emits
-# BENCH_udp.json, the committed machine-readable E30 record — commit
-# the refreshed file when the engine changes. Keep in lockstep with
+# the ReportAllocs zero-allocation claim. The countbench runs re-emit
+# BENCH_udp.json (the committed machine-readable E30 record) and
+# BENCH_transports.json (E31: the per-transport frame bill,
+# panic-checked integer-identical across tcp/udp/inproc) — commit the
+# refreshed files when the engine changes. Keep in lockstep with
 # .github/workflows/ci.yml.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) test -bench='Sharded|Dedup|UDP' -benchtime=1x -run='^$$' ./internal/distnet ./internal/tcpnet ./internal/udpnet
 	$(GO) test -bench='BenchmarkUDPShardWorkers|BenchmarkUDPPipelinedBatch' -benchtime=1x -run='^$$' ./internal/udpnet
 	$(GO) run ./cmd/countbench -exp udpspeed -out BENCH_udp.json
+	$(GO) run ./cmd/countbench -exp transports -out BENCH_transports.json
 
 # The OPERATIONS.md metric reference is generated from the live
 # registrations: rebuild it with cmd/ctlplanedoc and diff against the

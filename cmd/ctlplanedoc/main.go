@@ -1,8 +1,9 @@
 // Command ctlplanedoc generates the control-plane metric reference
 // table embedded in OPERATIONS.md. It boots one loopback deployment of
-// every transport (a TCP shard + counter, a UDP shard + counter, a
-// distributed emulation counter), gathers every registry the control
-// plane would scrape, and emits one markdown row per metric name:
+// every transport (a TCP shard + counter, a UDP shard + counter, an
+// in-memory inproc shard + counter, a distributed emulation counter),
+// gathers every registry the control plane would scrape, and emits one
+// markdown row per metric name:
 // name, type, the labels its series carry, the registered help text,
 // and a hand-maintained healthy range.
 //
@@ -23,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctlplane"
 	"repro/internal/distnet"
+	"repro/internal/inproc"
 	"repro/internal/tcpnet"
 	"repro/internal/udpnet"
 )
@@ -48,7 +50,9 @@ var healthy = map[string]string{
 	"countnet_dedup_replays_total":            "0 on clean TCP; grows with retransmits/retries",
 	"countnet_dedup_client_evictions_total":   "≈0; steady growth = client cap too small for the fleet",
 	"countnet_dedup_min_idle_seconds":         "= configured eviction floor (constant)",
-	"countnet_dedup_oldest_idle_seconds":      "bounded; unbounded growth = departed clients pile up (no age expiry — see ROADMAP)",
+	"countnet_dedup_oldest_idle_seconds":      "≤ max_idle with age expiry on; unbounded growth with it off = departed clients pile up",
+	"countnet_dedup_max_idle_seconds":         "= configured age-expiry bound (constant); 0 = age expiry disabled",
+	"countnet_dedup_client_expirations_total": "≈0 with a stable client set; growth = abandoned client ids reclaimed",
 	"countnet_client_rpcs_total":              "≈1.05 per token at k=64 (E25-E28)",
 	"countnet_client_flights_total":           "= operations issued (one per batch/window)",
 	"countnet_client_flight_retries_total":    "0 on a healthy network; growth = sessions dying mid-flight",
@@ -115,6 +119,16 @@ func main() {
 	merge(uctr.Gather())
 	uctr.Close()
 	us.Close()
+
+	ic, istop, err := inproc.StartCluster(topo, 1)
+	if err != nil {
+		fatalf("inproc shard: %v", err)
+	}
+	ictr := ic.NewCounter()
+	merge(ic.Shard(0).Gather())
+	merge(ictr.Gather())
+	ictr.Close()
+	istop()
 
 	dtopo, err := core.New(4, 8)
 	if err != nil {

@@ -47,7 +47,11 @@
 //     reliability layer: frames packed into MTU-budgeted datagrams,
 //     jittered retransmit timers, and per-client dedup windows making
 //     every mutating op exactly-once under packet loss, duplication
-//     and reordering.
+//     and reordering. The whole client stack — coalescing, pooling,
+//     tape-driven retries, striping — is ONE implementation behind a
+//     transport seam; InprocCluster is the dependency-free in-memory
+//     transport on the same seam, with injectable call/reply loss, and
+//     `make conformance` runs the one suite every transport must pass.
 //   - A production control plane (ServeControlPlane, DrainOnSignal):
 //     every shard server, counter client and sharded fleet serves
 //     /health (liveness + quiescence), /status (topology JSON) and
@@ -76,6 +80,7 @@ import (
 	"repro/internal/distnet"
 	"repro/internal/dtree"
 	"repro/internal/feasibility"
+	"repro/internal/inproc"
 	"repro/internal/linearize"
 	"repro/internal/merge"
 	"repro/internal/network"
@@ -608,6 +613,79 @@ func StartUDPShardedCluster(topo *Network, deployments, shards int) (*UDPSharded
 // coalescing counter per stripe (poolWidth <= 0 defaults to each
 // stripe's input width).
 func NewUDPShardedClusterCounter(sc *UDPShardedCluster, poolWidth int) *UDPShardedCounter {
+	return sc.NewCounter(poolWidth)
+}
+
+// In-memory deployment (the transport-seam conformance link) ----------------
+
+// InprocShard is one balancer server of an in-memory deployment: the
+// same balancer/cell partitioning and per-client exactly-once dedup as
+// a TCPShard or UDPShard, served by direct calls — no sockets, no
+// goroutines, no kernel. It exists to prove the transport seam: the
+// full client stack runs over it unchanged, and the conformance suite
+// uses it as the deterministic fault-injection substrate.
+type InprocShard = inproc.Shard
+
+// InprocCluster is the client-side view of an in-memory deployment. It
+// implements the same transport link the socket clusters do, plus two
+// fault arms the conformance tests drive: SetFaults (probabilistic
+// call/reply loss) and LoseReplies (the next n mutating exchanges
+// apply server-side but report failure — the pure replay case).
+type InprocCluster = inproc.Cluster
+
+// InprocSession is a single-goroutine client of an in-memory
+// deployment, every mutating frame seq-numbered and deduplicated.
+type InprocSession = inproc.Session
+
+// InprocCounter is the cluster-wide coalescing client over the
+// in-memory link: the identical pooled/coalescing/retrying counter
+// that serves TCP and UDP, at zero wire cost. Create with
+// InprocCluster.NewCounter or NewCounterPool, or
+// NewInprocClusterCounter.
+type InprocCounter = inproc.Counter
+
+// ErrInprocCounterClosed is the sentinel an InprocCounter returns once
+// Close has been called. It is the SAME sentinel every transport's
+// counter returns — errors.Is against any one of them matches all.
+var ErrInprocCounterClosed = inproc.ErrClosed
+
+// InprocFaults configures probabilistic call/reply loss on an
+// in-memory cluster via InprocCluster.SetFaults: a lost call never
+// reaches the shard, a lost reply is applied server-side and the
+// client must replay through the dedup window.
+type InprocFaults = inproc.Faults
+
+// InprocShardedCluster composes S independent in-memory deployments
+// into one pid-striped fleet, exactly like TCPShardedCluster.
+type InprocShardedCluster = inproc.ShardedCluster
+
+// InprocShardedCounter is the fleet-wide client over an
+// InprocShardedCluster. Create with NewInprocShardedClusterCounter.
+type InprocShardedCounter = inproc.ShardedCounter
+
+// StartInprocCluster builds one in-memory deployment of topo across
+// `shards` shards and returns the client cluster plus a stop function
+// closing every shard.
+func StartInprocCluster(topo *Network, shards int) (*InprocCluster, func(), error) {
+	return inproc.StartCluster(topo, shards)
+}
+
+// NewInprocClusterCounter builds the coalescing counter client over an
+// in-memory cluster (poolWidth <= 0 defaults to the input width).
+func NewInprocClusterCounter(c *InprocCluster, poolWidth int) *InprocCounter {
+	return c.NewCounterPool(poolWidth)
+}
+
+// StartInprocShardedCluster builds S independent in-memory deployments
+// of topo, each across `shards` shards.
+func StartInprocShardedCluster(topo *Network, deployments, shards int) (*InprocShardedCluster, func(), error) {
+	return inproc.StartShardedCluster(topo, deployments, shards)
+}
+
+// NewInprocShardedClusterCounter builds the fleet-wide counter: one
+// pooled coalescing counter per stripe (poolWidth <= 0 defaults to
+// each stripe's input width).
+func NewInprocShardedClusterCounter(sc *InprocShardedCluster, poolWidth int) *InprocShardedCounter {
 	return sc.NewCounter(poolWidth)
 }
 

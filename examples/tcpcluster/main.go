@@ -8,7 +8,11 @@
 // tokens (or antitokens) as ONE pipeline — a STEPN round trip per
 // balancer touched instead of k round trips per layer — and the
 // coalescing Counter client merges concurrent Inc callers into shared
-// pipelines automatically.
+// pipelines automatically. That client (coalescing windows, pooled
+// health-probed sessions, tape-driven exactly-once retries) is not
+// TCP code: it is the shared transport-seam core in internal/xport,
+// and the identical stack serves the UDP and in-memory transports —
+// see DESIGN.md's "The transport seam" and `make conformance`.
 //
 // All servers run in this process on loopback for the demo; pointing the
 // shard addresses at other machines distributes the network for real.

@@ -13,7 +13,11 @@
 // Datagrams also pack several frames (up to a safe MTU budget), so a
 // batched pipeline costs the SAME frame bill as TCP — one STEPN per
 // balancer touched, one CELLN per exit cell — in several times fewer
-// packets.
+// packets. The bill is identical by construction, not coincidence:
+// the counter client driving this demo is the same transport-agnostic
+// core (internal/xport) that drives the TCP and in-memory transports,
+// and the conformance suite asserts the integer equality — see
+// DESIGN.md's "The transport seam" and `make conformance`.
 //
 // All servers run in this process on loopback; the final section turns
 // on a deterministic fault injector (10% loss each way, duplication,

@@ -1,4 +1,4 @@
-package udpnet
+package inproc
 
 import (
 	"fmt"
@@ -7,15 +7,14 @@ import (
 	"repro/internal/xport"
 )
 
-// ShardedCluster composes S independent UDP deployments the way
-// tcpnet.ShardedCluster composes TCP ones: each stripe is a full
-// Cluster (its own shard servers, balancer states and exit cells), a
-// caller is routed by the shared shard.StripeOf pid hash, and stripe s
-// maps its local values v to the global residue class v·S + s —
-// striping ∘ coalescing ∘ datagram batching.
+// ShardedCluster composes S independent in-memory deployments the way
+// the socket transports do: each stripe is a full Cluster (its own
+// shards, balancer states and exit cells), a caller is routed by the
+// shared shard.StripeOf pid hash, and stripe s maps its local values v
+// to the global residue class v·S + s.
 //
 // The sub-deployments may share one topology object: a Cluster only
-// reads it; the mutable balancer state lives on the stripe's servers.
+// reads it; the mutable balancer state lives on the stripe's shards.
 type ShardedCluster struct {
 	clusters []*Cluster
 	n        int64
@@ -26,30 +25,29 @@ type ShardedCluster struct {
 // fleet; clusters[i] serves stripe i.
 func NewShardedCluster(clusters []*Cluster) (*ShardedCluster, error) {
 	if len(clusters) == 0 {
-		return nil, fmt.Errorf("udpnet: NewShardedCluster with no clusters")
+		return nil, fmt.Errorf("inproc: NewShardedCluster with no clusters")
 	}
 	name := clusters[0].net.Name()
 	for i, c := range clusters {
 		if c == nil {
-			return nil, fmt.Errorf("udpnet: NewShardedCluster cluster %d is nil", i)
+			return nil, fmt.Errorf("inproc: NewShardedCluster cluster %d is nil", i)
 		}
 		if c.net.InWidth() != clusters[0].net.InWidth() ||
 			c.net.OutWidth() != clusters[0].net.OutWidth() {
-			return nil, fmt.Errorf("udpnet: NewShardedCluster cluster %d shape differs", i)
+			return nil, fmt.Errorf("inproc: NewShardedCluster cluster %d shape differs", i)
 		}
 	}
 	return &ShardedCluster{
 		clusters: clusters,
 		n:        int64(len(clusters)),
-		name:     fmt.Sprintf("udpshard%d:%s", len(clusters), name),
+		name:     fmt.Sprintf("inprocshard%d:%s", len(clusters), name),
 	}, nil
 }
 
-// StartCluster launches one loopback deployment of topo partitioned
-// across `shards` UDP servers and returns the client cluster plus a
-// stop function closing every server — the test/benchmark harness;
-// production deployments build Clusters over real addresses with
-// NewCluster.
+// StartCluster builds one in-memory deployment of topo partitioned
+// across `shards` shards and returns the client cluster plus a stop
+// function closing every shard — the same harness shape as the socket
+// transports, so conformance fixtures swap transports freely.
 func StartCluster(topo *network.Network, shards int) (*Cluster, func(), error) {
 	return StartClusterConfig(topo, shards, ShardConfig{})
 }
@@ -57,34 +55,27 @@ func StartCluster(topo *network.Network, shards int) (*Cluster, func(), error) {
 // StartClusterConfig is StartCluster with per-deployment shard tuning
 // (dedup-window sizing).
 func StartClusterConfig(topo *network.Network, shards int, cfg ShardConfig) (*Cluster, func(), error) {
-	var servers []*Shard
+	servers := make([]*Shard, shards)
+	for i := 0; i < shards; i++ {
+		servers[i] = newShard(topo, i, shards, cfg)
+	}
 	stop := func() {
 		for _, s := range servers {
 			s.Close()
 		}
 	}
-	addrs := make([]string, shards)
-	for i := 0; i < shards; i++ {
-		s, err := StartShardConfig("127.0.0.1:0", topo, i, shards, cfg)
-		if err != nil {
-			stop()
-			return nil, nil, err
-		}
-		servers = append(servers, s)
-		addrs[i] = s.Addr()
-	}
-	return NewCluster(topo, addrs), stop, nil
+	return NewCluster(topo, servers), stop, nil
 }
 
-// StartShardedCluster launches S independent loopback deployments of
-// topo, each partitioned across `shards` servers, and returns the fleet
-// plus a stop function closing every server.
+// StartShardedCluster builds S independent deployments of topo, each
+// partitioned across `shards` shards, and returns the fleet plus a stop
+// function closing every shard.
 func StartShardedCluster(topo *network.Network, deployments, shards int) (*ShardedCluster, func(), error) {
 	return StartShardedClusterConfig(topo, deployments, shards, ShardConfig{})
 }
 
 // StartShardedClusterConfig is StartShardedCluster with per-deployment
-// shard tuning threaded to every server of every stripe.
+// shard tuning threaded to every shard of every stripe.
 func StartShardedClusterConfig(topo *network.Network, deployments, shards int, cfg ShardConfig) (*ShardedCluster, func(), error) {
 	var stops []func()
 	stop := func() {
@@ -122,9 +113,6 @@ func (sc *ShardedCluster) Name() string { return sc.name }
 // NewCounter builds the fleet-wide counter: one pooled coalescing
 // Counter per stripe (width <= 0 defaults per stripe to its input
 // width), composed by the shared xport.ShardedCounter striping core.
-// Each stripe's Counter owns its own client id, so the stripes'
-// exactly-once dedup windows — and their retransmit and retry budgets —
-// are fully independent.
 func (sc *ShardedCluster) NewCounter(poolWidth int) *ShardedCounter {
 	ctrs := make([]*Counter, len(sc.clusters))
 	for i, c := range sc.clusters {
@@ -134,9 +122,7 @@ func (sc *ShardedCluster) NewCounter(poolWidth int) *ShardedCounter {
 }
 
 // ShardedCounter is the fleet-wide client: pid-striped routing over S
-// per-stripe pooled coalescing Counters — the shared xport core, whose
-// aggregated read side (RPCs, Packets, Retransmits, Read) keeps
-// exact-count accounting monotone across stripes.
+// per-stripe pooled coalescing Counters — the shared xport core.
 type ShardedCounter = xport.ShardedCounter
 
 // StripeStatus is one stripe's slot in a sharded counter's /status.

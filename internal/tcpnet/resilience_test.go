@@ -30,15 +30,15 @@ func (f *failAfter) Write(b []byte) (int, error) {
 	return f.Conn.Write(b)
 }
 
-// idleSession digs the (single) idle session out of the counter's pool.
+// idleSession digs the next-checkout idle session out of the counter's
+// pool (via the xport test hook) as its concrete TCP type.
 func idleSession(t *testing.T, ctr *Counter) *Session {
 	t.Helper()
-	ctr.pool.mu.Lock()
-	defer ctr.pool.mu.Unlock()
-	if len(ctr.pool.idle) == 0 {
+	idle := ctr.PoolIdle()
+	if len(idle) == 0 {
 		t.Fatal("no idle session in the pool")
 	}
-	return ctr.pool.idle[0]
+	return idle[0].(*Session)
 }
 
 // The satellite regression: a session that dies MID-WINDOW (two frames
@@ -194,19 +194,17 @@ func TestPoolHealthCheckEvictsDeadSession(t *testing.T) {
 	// deterministically sees EOF rather than an empty, live buffer.
 	victim := idleSession(t, ctr)
 	deadline := time.Now().Add(5 * time.Second)
-	for victim.healthy() && time.Now().Before(deadline) {
+	for victim.Healthy() && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if victim.healthy() {
+	if victim.Healthy() {
 		t.Fatal("idle session still probes healthy after shard restart")
 	}
 
 	if _, err := ctr.Inc(0); err != nil {
 		t.Fatalf("Inc after restart surfaced a dead-session error despite the health check: %v", err)
 	}
-	ctr.pool.mu.Lock()
-	alive := len(ctr.pool.live)
-	ctr.pool.mu.Unlock()
+	alive := ctr.PoolLive()
 	if alive != 1 {
 		t.Fatalf("pool holds %d live sessions, want 1 (dead one retired at checkout)", alive)
 	}
@@ -374,9 +372,7 @@ func TestCounterPoolWidth(t *testing.T) {
 			t.Fatalf("pooled values not dense at %d: %d", i, v)
 		}
 	}
-	ctr.pool.mu.Lock()
-	idle := len(ctr.pool.idle)
-	ctr.pool.mu.Unlock()
+	idle := len(ctr.PoolIdle())
 	if idle > 2 {
 		t.Fatalf("pool retained %d idle sessions, width is 2", idle)
 	}

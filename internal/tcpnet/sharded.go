@@ -2,12 +2,9 @@ package tcpnet
 
 import (
 	"fmt"
-	"strconv"
-	"time"
 
-	"repro/internal/ctlplane"
 	"repro/internal/network"
-	"repro/internal/shard"
+	"repro/internal/xport"
 )
 
 // ShardedCluster composes S independent TCP deployments the way
@@ -103,173 +100,24 @@ func (sc *ShardedCluster) Name() string { return sc.name }
 
 // NewCounter builds the fleet-wide counter: one pooled, self-healing
 // coalescing Counter per stripe (see Cluster.NewCounterPool; width <= 0
-// defaults per stripe to its input width). Each stripe's Counter owns
-// its own client id, so the stripes' exactly-once dedup windows — and
-// their retry budgets — are fully independent.
+// defaults per stripe to its input width), composed by the shared
+// xport.ShardedCounter striping core. Each stripe's Counter owns its
+// own client id, so the stripes' exactly-once dedup windows — and their
+// retry budgets — are fully independent.
 func (sc *ShardedCluster) NewCounter(poolWidth int) *ShardedCounter {
-	t := &ShardedCounter{
-		sc:    sc,
-		ctrs:  make([]*Counter, len(sc.clusters)),
-		plane: ctlplane.NewFleet(sc.name, "stripe"),
-	}
+	ctrs := make([]*Counter, len(sc.clusters))
 	for i, c := range sc.clusters {
-		t.ctrs[i] = c.NewCounterPool(poolWidth)
-		t.plane.Add(strconv.Itoa(i), t.ctrs[i])
+		ctrs[i] = c.NewCounterPool(poolWidth)
 	}
-	return t
+	return xport.NewShardedCounter(sc.name, ctrs)
 }
 
 // ShardedCounter is the fleet-wide client: pid-striped routing over S
-// per-stripe pooled coalescing Counters, values mapped into per-stripe
-// residue classes, and the read side (RPCs, Read) aggregated across
-// stripes so exact-count accounting stays monotone.
-type ShardedCounter struct {
-	sc    *ShardedCluster
-	ctrs  []*Counter
-	plane *ctlplane.Fleet // per-stripe aggregation behind one Source
-}
+// per-stripe pooled coalescing Counters — the shared xport core.
+type ShardedCounter = xport.ShardedCounter
 
 // StripeStatus is one stripe's slot in a sharded counter's /status.
-type StripeStatus struct {
-	Stripe       int             `json:"stripe"`
-	ResidueClass string          `json:"residue_class"` // global values this stripe hands out
-	Health       ctlplane.Health `json:"health"`
-	Status       CounterStatus   `json:"status"`
-}
+type StripeStatus = xport.StripeStatus
 
 // ShardedStatus is the fleet-wide /status document.
-type ShardedStatus struct {
-	Name    string         `json:"name"`
-	Stripes []StripeStatus `json:"stripes"`
-}
-
-// Health implements ctlplane.Source: the fleet is live (and quiescent)
-// only when every stripe is.
-func (t *ShardedCounter) Health() ctlplane.Health { return t.plane.Health() }
-
-// Status implements ctlplane.Source: every stripe's topology plus the
-// residue class its values land in — the document an operator reads to
-// see which stripe a global value came from.
-func (t *ShardedCounter) Status() any {
-	st := ShardedStatus{Name: t.sc.name}
-	for i, c := range t.ctrs {
-		st.Stripes = append(st.Stripes, StripeStatus{
-			Stripe:       i,
-			ResidueClass: fmt.Sprintf("v*%d+%d", t.sc.n, i),
-			Health:       c.Health(),
-			Status:       c.Status().(CounterStatus),
-		})
-	}
-	return st
-}
-
-// Gather implements ctlplane.Source: every stripe's samples under a
-// stripe="i" label, so per-stripe load (rpcs, retries, windows) sits
-// side by side in one scrape and skew across the StripeOf hash is
-// visible directly.
-func (t *ShardedCounter) Gather() []ctlplane.Sample { return t.plane.Gather() }
-
-// Counter returns stripe i's underlying pooled Counter (for inspection).
-func (t *ShardedCounter) Counter(i int) *Counter { return t.ctrs[i] }
-
-// stripe routes a pid to its per-stripe counter.
-func (t *ShardedCounter) stripe(pid int) (int64, *Counter) {
-	i := shard.StripeOf(pid, int(t.sc.n))
-	return int64(i), t.ctrs[i]
-}
-
-// Inc returns the next value in pid's stripe residue class; coalescing,
-// pooling and retry-once resilience apply within the stripe.
-func (t *ShardedCounter) Inc(pid int) (int64, error) {
-	i, c := t.stripe(pid)
-	v, err := c.Inc(pid)
-	if err != nil {
-		return 0, err
-	}
-	return v*t.sc.n + i, nil
-}
-
-// Dec revokes pid's stripe's most recent increment on the antitoken's
-// exit wire.
-func (t *ShardedCounter) Dec(pid int) (int64, error) {
-	i, c := t.stripe(pid)
-	v, err := c.Dec(pid)
-	if err != nil {
-		return 0, err
-	}
-	return v*t.sc.n + i, nil
-}
-
-// IncBatch claims k values as one batched pipeline on pid's stripe,
-// appending the k globally-mapped values to dst.
-func (t *ShardedCounter) IncBatch(pid, k int, dst []int64) ([]int64, error) {
-	i, c := t.stripe(pid)
-	base := len(dst)
-	dst, err := c.IncBatch(pid, k, dst)
-	if err != nil {
-		return dst, err
-	}
-	return t.remap(dst, base, i), nil
-}
-
-// DecBatch revokes k values as one batched antitoken pipeline on pid's
-// stripe, appending the k globally-mapped revoked values to dst.
-func (t *ShardedCounter) DecBatch(pid, k int, dst []int64) ([]int64, error) {
-	i, c := t.stripe(pid)
-	base := len(dst)
-	dst, err := c.DecBatch(pid, k, dst)
-	if err != nil {
-		return dst, err
-	}
-	return t.remap(dst, base, i), nil
-}
-
-// remap rewrites the values a stripe appended past `from` into its global
-// residue class.
-func (t *ShardedCounter) remap(vals []int64, from int, stripe int64) []int64 {
-	for j := from; j < len(vals); j++ {
-		vals[j] = vals[j]*t.sc.n + stripe
-	}
-	return vals
-}
-
-// SetRetryPolicy bounds every stripe's self-healing retry path (see
-// Counter.SetRetryPolicy).
-func (t *ShardedCounter) SetRetryPolicy(attempts int, budget time.Duration) {
-	for _, c := range t.ctrs {
-		c.SetRetryPolicy(attempts, budget)
-	}
-}
-
-// RPCs sums the monotone round-trip totals of every stripe — the
-// aggregate E26 cost numerator.
-func (t *ShardedCounter) RPCs() int64 {
-	var total int64
-	for _, c := range t.ctrs {
-		total += c.RPCs()
-	}
-	return total
-}
-
-// Read sums the stripes' quiescent net counts (increments minus
-// decrements) — which is how the exact-count equivalence tests reconcile
-// sharded runs against sequential totals.
-func (t *ShardedCounter) Read() (int64, error) {
-	var total int64
-	for _, c := range t.ctrs {
-		v, err := c.Read()
-		if err != nil {
-			return 0, err
-		}
-		total += v
-	}
-	return total, nil
-}
-
-// Close shuts every stripe's counter down (ErrClosed to stranded
-// callers; RPC totals stay counted).
-func (t *ShardedCounter) Close() {
-	for _, c := range t.ctrs {
-		c.Close()
-	}
-}
+type ShardedStatus = xport.ShardedStatus

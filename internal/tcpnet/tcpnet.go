@@ -65,7 +65,6 @@ package tcpnet
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -79,6 +78,7 @@ import (
 	"repro/internal/ctlplane"
 	"repro/internal/network"
 	"repro/internal/wire"
+	"repro/internal/xport"
 )
 
 // Default dedup bounds (see wire.DedupConfig): a shard remembers the
@@ -448,6 +448,11 @@ func (c *Cluster) SetDialWrapper(w func(net.Conn) net.Conn) { c.dialWrap = w }
 // seq-numbered for the shards to dedup. Standalone sessions (see
 // NewSession) have no retry path, so they speak the stateless v1 ops
 // and burn no dedup state server-side.
+//
+// The protocol logic (single-token path, batched topological pipeline,
+// exact-count read) lives in the shared xport.Walk; this type supplies
+// only the TCP link underneath it — framing one request/response round
+// trip per Exchange.
 type Session struct {
 	c      *Cluster
 	client uint64
@@ -456,12 +461,9 @@ type Session struct {
 	rpcs   atomic.Int64  // round trips performed (E25's cost metric)
 	seqs   atomic.Uint64 // mutating-frame sequences outside a flight
 	tape   *wire.SeqTape // set by a Counter flight for replayable sequences
+	walk   *xport.Walk   // shared client-side protocol walker
 
-	// Frame and batch walk scratch, reused across calls.
-	buf     []byte
-	pending []int64
-	tally   []int64
-	dist    []int64
+	buf []byte // frame scratch, reused across calls
 }
 
 // NewSession dials every shard. The session speaks the v1 stateless
@@ -476,7 +478,13 @@ func (c *Cluster) NewSession() (*Session, error) {
 // Counter share the Counter's id, which is what lets a retry on a fresh
 // session hit the original attempt's dedup records.
 func (c *Cluster) newSession(client uint64, v2 bool) (*Session, error) {
-	s := &Session{c: c, client: client, v2: v2, conns: make([]net.Conn, len(c.addrs))}
+	s := &Session{
+		c:      c,
+		client: client,
+		v2:     v2,
+		conns:  make([]net.Conn, len(c.addrs)),
+		walk:   xport.NewWalk(c.net, len(c.addrs)),
+	}
 	var hello []byte
 	if v2 {
 		hello = wire.AppendFrame(nil, &wire.Frame{Op: wire.OpHello, Client: client})
@@ -548,12 +556,12 @@ func (s *Session) send(shard int, f *wire.Frame) (int64, error) {
 	return int64(binary.BigEndian.Uint64(resp[:])), nil
 }
 
-// healthy probes the session's connections with a nonblocking peek (see
+// Healthy probes the session's connections with a nonblocking peek (see
 // connDead): a live, in-sync connection has nothing pending, while a
 // long-dead one shows EOF or a reset and a desynced one has stray reply
 // bytes — all without a round trip, so checkout health checks cost no
-// RPCs.
-func (s *Session) healthy() bool {
+// RPCs. Implements xport.Session for the pool's checkout probe.
+func (s *Session) Healthy() bool {
 	for _, conn := range s.conns {
 		if connDead(conn) {
 			return false
@@ -562,48 +570,44 @@ func (s *Session) healthy() bool {
 	return true
 }
 
+// SetTape points the session's mutating-frame sequence source at a
+// flight's rewindable tape (nil restores the session's own counter) —
+// the xport pool calls it around every flight attempt so retries
+// re-send identical (client, seq) pairs.
+func (s *Session) SetTape(tape *wire.SeqTape) { s.tape = tape }
+
+// Exchange implements xport.Exchanger: one framed request/response
+// round trip to the given shard. Mutating ops are built through mut
+// (seq-numbered v2 on Counter-owned sessions); READ is non-mutating and
+// carries no sequence number.
+func (s *Session) Exchange(shard int, op byte, id int32, n int64) (int64, error) {
+	if op == wire.OpRead {
+		return s.send(shard, &wire.Frame{Op: wire.OpRead, ID: id})
+	}
+	f := s.mut(op, id, n)
+	return s.send(shard, &f)
+}
+
 // Inc shepherds one token through the distributed network and returns its
 // counter value: depth RPCs for the balancer crossings plus one for the
 // exit cell. A retried Inc walks the identical path — the dedup windows
 // replay the original ports for already-applied sequences.
 func (s *Session) Inc(pid int) (int64, error) {
-	shards := len(s.c.addrs)
-	in := pid % s.c.net.InWidth()
-	node, port := s.c.net.InputDest(in)
-	for node >= 0 {
-		f := s.mut(wire.OpStep, int32(node), 0)
-		p, err := s.send(node%shards, &f)
-		if err != nil {
-			return 0, err
-		}
-		node, port = s.c.net.Dest(node, int(p))
-	}
-	// port now names the exit wire; fetch the cell value with the stride
-	// packed into the id's upper bits.
-	f := s.mut(wire.OpCell, int32(port)|int32(s.c.stride)<<16, 0)
-	return s.send(port%shards, &f)
+	return s.walk.Inc(s, pid)
 }
 
 // ReadCell returns exit cell w's current value without modifying it
 // (op READ) — the building block of cluster-wide exact-count reads.
 // Non-mutating, so it carries no sequence number.
 func (s *Session) ReadCell(w int) (int64, error) {
-	return s.send(w%len(s.c.addrs), &wire.Frame{Op: wire.OpRead, ID: int32(w)})
+	return s.walk.ReadCell(s, w)
 }
 
 // Read sums the exit cells into the cluster's net count (increments minus
 // decrements), one READ round trip per wire. Only meaningful while the
 // cluster is quiescent, like counter.Network.Issued.
 func (s *Session) Read() (int64, error) {
-	var total int64
-	for w := 0; w < s.c.net.OutWidth(); w++ {
-		v, err := s.ReadCell(w)
-		if err != nil {
-			return 0, err
-		}
-		total += (v - int64(w)) / s.c.stride
-	}
-	return total, nil
+	return s.walk.Read(s)
 }
 
 // Dec shepherds one antitoken through the network (one-element DecBatch).
@@ -636,181 +640,84 @@ func (s *Session) DecBatch(pid, k int, dst []int64) ([]int64, error) {
 	return s.batch(pid%s.c.net.InWidth(), int64(k), true, dst)
 }
 
-// batch walks the topology in topological order exactly like
-// network.TraverseBatch, but every balancer transition is one STEPN round
-// trip to the owning shard; the split arithmetic runs client-side from
-// the replied first index and the known initial states. The walk is
-// deterministic in (wire, k, anti), so a retried window re-sends the
-// identical frame sequence and the dedup windows make it exactly-once.
+// Batch walks the topology in topological order exactly like
+// network.TraverseBatch (via the shared xport.Walk), but every balancer
+// transition is one STEPN round trip to the owning shard; the split
+// arithmetic runs client-side from the replied first index and the
+// known initial states. The walk is deterministic in (in, k, anti), so
+// a retried window re-sends the identical frame sequence and the dedup
+// windows make it exactly-once. Implements xport.Session; `in` is the
+// input wire (already reduced mod InWidth).
+func (s *Session) Batch(in int, k int64, anti bool, dst []int64) ([]int64, error) {
+	return s.walk.Batch(s, in, k, anti, dst)
+}
+
+// batch keeps the historical in-package spelling of Batch.
 func (s *Session) batch(in int, k int64, anti bool, dst []int64) ([]int64, error) {
-	n := s.c.net
-	shards := len(s.c.addrs)
-	if s.pending == nil {
-		s.pending = make([]int64, n.Size())
-		s.tally = make([]int64, n.OutWidth())
-	}
-	pending, tally := s.pending, s.tally
-	clear(tally)
-	first := n.Size()
-	nd, port := n.InputDest(in)
-	if nd < 0 {
-		tally[port] += k
-	} else {
-		pending[nd] = k
-		first = nd
-	}
-	for id := first; id < n.Size(); id++ {
-		c := pending[id]
-		if c == 0 {
-			continue
-		}
-		pending[id] = 0
-		node := n.Node(id)
-		q := node.Out()
-		sendN := c
-		if anti {
-			sendN = -c
-		}
-		f := s.mut(wire.OpStepN, int32(id), sendN)
-		start, err := s.send(id%shards, &f)
-		if err != nil {
-			clear(pending) // leave the scratch reusable
-			return dst, err
-		}
-		if cap(s.dist) < q {
-			s.dist = make([]int64, q)
-		}
-		counts := balancer.DistributeInto(node.Balancer().Init()+start, c, s.dist[:q])
-		for p, cnt := range counts {
-			if cnt == 0 {
-				continue
-			}
-			dnd, dport := n.Dest(id, p)
-			if dnd < 0 {
-				tally[dport] += cnt
-			} else {
-				pending[dnd] += cnt
-			}
-		}
-	}
-	stride := s.c.stride
-	for wireOut, cnt := range tally {
-		if cnt == 0 {
-			continue
-		}
-		sendN := cnt
-		if anti {
-			sendN = -cnt
-		}
-		f := s.mut(wire.OpCellN, int32(wireOut)|int32(stride)<<16, sendN)
-		end, err := s.send(wireOut%shards, &f)
-		if err != nil {
-			return dst, err
-		}
-		if anti {
-			for v := end + stride*(cnt-1); v >= end; v -= stride {
-				dst = append(dst, v)
-			}
-		} else {
-			for v := end - stride*cnt; v < end; v += stride {
-				dst = append(dst, v)
-			}
-		}
-	}
-	return dst, nil
+	return s.Batch(in, k, anti, dst)
 }
 
 // Hops returns the number of round trips one single-token Inc costs.
 func (c *Cluster) Hops() int { return c.net.Depth() + 1 }
 
-// ErrClosed is returned by Counter operations — including callers pooled
-// in a coalescing window — once Close has been called. Callers never see
-// a raw connection error caused by their own Counter shutting down.
-var ErrClosed = errors.New("tcpnet: counter closed")
-
-// Counter is a cluster-wide coalescing Fetch&Increment client: concurrent
-// Inc callers entering on the same input wire merge into one in-flight
-// batched pipeline (a single-flight window per wire, the same trick as
-// distnet.Counter), so wide workloads pay one pipeline per window rather
-// than depth+1 round trips per token.
+// --- xport.Link adapter -------------------------------------------------
 //
-// Flights run on sessions checked out of a shared connection pool
-// (round-robin, configurable width — see Cluster.NewCounterPool) instead
-// of one pinned session per wire. The pool self-heals twice over: idle
-// sessions are health-probed at checkout (an immediate-deadline read, no
-// round trip), so a long-dead connection is evicted before a flight
-// discovers it; and a session whose connection fails mid-flight is
-// evicted pool-wide (a partial frame may have desynced its streams)
-// while the flight retries on fresh sessions under a bounded
-// attempt/deadline budget (SetRetryPolicy). Retries are EXACTLY-ONCE:
-// every pooled session announces the counter's client id, every
-// mutating frame carries a sequence number recorded on the flight's
-// tape, and a retry re-sends the identical (client, seq) pairs so the
-// shards' dedup windows replay frames the dead session had already
-// applied instead of re-executing them. Values stay dense through any
-// absorbed connection loss — no gaps, no duplicates.
-type Counter struct {
-	c     *Cluster
-	id    uint64        // client id every pooled session announces
-	seqs  atomic.Uint64 // mutating-frame sequence source, shared by flights
-	combs []tcpComb
-	pool  *pool
+// Everything above this line is the TCP link: shard servers, framed
+// connections, and a Session walking the shared protocol over them.
+// Everything a client stacks on top — the coalescing single-flight
+// Counter, the health-probed session pool, the exactly-once seq-tape
+// retry loop, pid striping — lives once in internal/xport; the aliases
+// below keep this package's historical API surface.
 
-	mu          sync.Mutex
-	closed      bool
-	maxAttempts int
-	budget      time.Duration
-	backoff     wire.Backoff   // jittered redial pacing between attempts
-	inflight    sync.WaitGroup // flights holding pool sessions
+// Transport implements xport.Link: the metrics label and /status
+// discriminator.
+func (c *Cluster) Transport() string { return "tcp" }
 
-	// Control-plane state: a lifecycle word for /health (0 live,
-	// 1 draining, 2 closed), bare atomics the flight and landing paths
-	// bump, and the registry of read-side views /metrics evaluates.
-	state        atomic.Int32
-	flights      atomic.Int64
-	retries      atomic.Int64
-	inflightN    atomic.Int64
-	windows      atomic.Int64
-	windowTokens atomic.Int64
-	reg          *ctlplane.Registry
+// Addrs implements xport.Link with a copy of the shard addresses.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// InWidth implements xport.Link with the topology's input width.
+func (c *Cluster) InWidth() int { return c.net.InWidth() }
+
+// OutWidth implements xport.Link with the topology's output width.
+func (c *Cluster) OutWidth() int { return c.net.OutWidth() }
+
+// Dial implements xport.Link: a v2 session announcing the given client
+// id on every shard connection.
+func (c *Cluster) Dial(client uint64) (xport.Session, error) {
+	return c.newSession(client, true)
 }
 
-// Counter lifecycle states (Counter.state).
-const (
-	stateLive     = 0
-	stateDraining = 1
-	stateClosed   = 2
-)
+// RetryBudget implements xport.Link: a TCP redial fails in
+// milliseconds, so a failed flight keeps retrying for a short window.
+func (c *Cluster) RetryBudget() time.Duration { return DefaultRetryBudget }
+
+// ErrClosed is returned by Counter operations — including callers pooled
+// in a coalescing window — once Close has been called. It is the shared
+// xport sentinel, so errors.Is matches across transports.
+var ErrClosed = xport.ErrClosed
 
 // Default retry budget: a failed flight is retried on fresh sessions up
 // to DefaultRetryAttempts total tries within DefaultRetryBudget of the
-// first failure, the redials paced by DefaultRetryBackoff.
+// first failure, the redials paced by DefaultRetryBackoff. Attempts and
+// backoff are the shared xport defaults; the budget is the TCP-specific
+// value the Cluster link advertises.
 const (
-	DefaultRetryAttempts = 4
+	DefaultRetryAttempts = xport.DefaultRetryAttempts
 	DefaultRetryBudget   = 2 * time.Second
 )
 
-// DefaultRetryBackoff paces redials between retry attempts: jittered
-// exponential from 2ms, capped at 250ms. Without it every Counter that
-// watched the same shard flap redials in lockstep — the dial storm the
-// ROADMAP called out.
-var DefaultRetryBackoff = wire.Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
+// DefaultRetryBackoff paces redials between retry attempts — the shared
+// xport schedule.
+var DefaultRetryBackoff = xport.DefaultRetryBackoff
 
-// tcpComb is the per-input-wire coalescing state.
-type tcpComb struct {
-	mu     sync.Mutex
-	flying bool
-	next   *cwindow
-	_      [4]int64
-}
+// Counter is the cluster-wide coalescing Fetch&Increment client: the
+// shared transport-agnostic core (see xport.Counter) running over this
+// package's TCP link.
+type Counter = xport.Counter
 
-// cwindow is one pooled group of coalesced Inc calls.
-type cwindow struct {
-	k    int64
-	vals []int64
-	err  error
-	done chan struct{}
-}
+// CounterStatus is a pooled counter client's /status document.
+type CounterStatus = xport.CounterStatus
 
 // NewCounter builds the coalescing counter client for the cluster with
 // the default pool width (one session slot per input wire, the resource
@@ -824,455 +731,5 @@ func (c *Cluster) NewCounter() *Counter { return c.NewCounterPool(0) }
 // a fresh client id that every pooled session announces, keying its
 // exactly-once dedup windows on the shards.
 func (c *Cluster) NewCounterPool(width int) *Counter {
-	id := wire.NextClientID()
-	t := &Counter{
-		c:           c,
-		id:          id,
-		combs:       make([]tcpComb, c.net.InWidth()),
-		pool:        newPool(c, width, id),
-		maxAttempts: DefaultRetryAttempts,
-		budget:      DefaultRetryBudget,
-		backoff:     DefaultRetryBackoff,
-		reg:         ctlplane.NewRegistry(),
-	}
-	t.registerMetrics("tcp")
-	return t
-}
-
-// registerMetrics wires the counter's read-side views into its
-// registry; every closure reads atomics the operation paths maintain
-// anyway, so a scrape never contends with a flight.
-func (t *Counter) registerMetrics(transport string) {
-	labels := []ctlplane.Label{{Key: "transport", Value: transport}}
-	t.reg.Counter(wire.MetricClientRPCs, wire.HelpClientRPCs, t.RPCs, labels...)
-	t.reg.Counter(wire.MetricClientFlights, wire.HelpClientFlights, t.flights.Load, labels...)
-	t.reg.Counter(wire.MetricClientRetries, wire.HelpClientRetries, t.retries.Load, labels...)
-	t.reg.Gauge(wire.MetricClientInflight, wire.HelpClientInflight, t.inflightN.Load, labels...)
-	t.reg.Counter(wire.MetricClientWindows, wire.HelpClientWindows, t.windows.Load, labels...)
-	t.reg.Counter(wire.MetricClientWindowTokens, wire.HelpClientWindowTokens, t.windowTokens.Load, labels...)
-	t.reg.Counter(wire.MetricClientPoolCheckouts, wire.HelpClientPoolCheckouts, t.pool.checkouts.Load, labels...)
-	t.reg.Counter(wire.MetricClientPoolDials, wire.HelpClientPoolDials, t.pool.dials.Load, labels...)
-	t.reg.Counter(wire.MetricClientPoolEvictions, wire.HelpClientPoolEvictions, t.pool.evictions.Load, labels...)
-	t.reg.Gauge(wire.MetricClientPoolIdle, wire.HelpClientPoolIdle, func() int64 {
-		t.pool.mu.Lock()
-		defer t.pool.mu.Unlock()
-		return int64(len(t.pool.idle))
-	}, labels...)
-}
-
-// CounterStatus is a pooled counter client's /status document.
-type CounterStatus struct {
-	Transport  string   `json:"transport"`
-	State      string   `json:"state"` // live, draining, closed
-	ClientID   uint64   `json:"client_id"`
-	PoolWidth  int      `json:"pool_width"`
-	InWidth    int      `json:"in_width"`
-	OutWidth   int      `json:"out_width"`
-	ShardAddrs []string `json:"shard_addrs"`
-}
-
-func stateName(s int32) string {
-	switch s {
-	case stateDraining:
-		return "draining"
-	case stateClosed:
-		return "closed"
-	}
-	return "live"
-}
-
-// Health implements ctlplane.Source: live until Close starts draining
-// (load balancers stop routing on the 503 this turns into), quiescent
-// when no flight holds a pool session — the precondition for an
-// exact-count Read.
-func (t *Counter) Health() ctlplane.Health {
-	st := t.state.Load()
-	return ctlplane.Health{
-		Live:      st == stateLive,
-		Quiescent: t.inflightN.Load() == 0,
-		Detail:    stateName(st),
-	}
-}
-
-// Status implements ctlplane.Source with the counter's client-side
-// topology: its exactly-once client id, pool width, and the shard
-// addresses it fans out to.
-func (t *Counter) Status() any {
-	return CounterStatus{
-		Transport:  "tcp",
-		State:      stateName(t.state.Load()),
-		ClientID:   t.id,
-		PoolWidth:  t.pool.width,
-		InWidth:    t.c.net.InWidth(),
-		OutWidth:   t.c.net.OutWidth(),
-		ShardAddrs: append([]string(nil), t.c.addrs...),
-	}
-}
-
-// Gather implements ctlplane.Source, evaluating the counter's
-// registered metric views.
-func (t *Counter) Gather() []ctlplane.Sample { return t.reg.Gather() }
-
-// SetRetryPolicy bounds the self-healing path: a failed flight is
-// retried on fresh sessions for at most `attempts` total tries
-// (including the first), as long as the time since the first failure
-// stays within `budget` (budget <= 0 removes the time bound; attempts
-// are always enforced). attempts < 1 is clamped to 1, disabling
-// retries. Applies to flights started after the call.
-func (t *Counter) SetRetryPolicy(attempts int, budget time.Duration) {
-	if attempts < 1 {
-		attempts = 1
-	}
-	t.mu.Lock()
-	t.maxAttempts = attempts
-	t.budget = budget
-	t.mu.Unlock()
-}
-
-// SetRetryBackoff replaces the jittered exponential schedule pacing the
-// redials between retry attempts (the zero value restores the wire
-// defaults). Applies to flights started after the call.
-func (t *Counter) SetRetryBackoff(b wire.Backoff) {
-	t.mu.Lock()
-	t.backoff = b
-	t.mu.Unlock()
-}
-
-// Inc returns the next counter value. A lone caller pays the single-token
-// round trips; concurrent callers on the same wire coalesce.
-func (t *Counter) Inc(pid int) (int64, error) {
-	in := pid % t.c.net.InWidth()
-	cb := &t.combs[in]
-	cb.mu.Lock()
-	if cb.flying {
-		w := cb.next
-		if w == nil {
-			w = &cwindow{done: make(chan struct{})}
-			cb.next = w
-		}
-		idx := w.k
-		w.k++
-		cb.mu.Unlock()
-		<-w.done
-		if w.err != nil {
-			return 0, w.err
-		}
-		return w.vals[idx], nil
-	}
-	cb.flying = true
-	cb.mu.Unlock()
-	var v int64
-	err := t.flight(func(sess *Session) error {
-		var ferr error
-		v, ferr = sess.Inc(pid)
-		return ferr
-	})
-	t.land(cb, in)
-	if err != nil {
-		return 0, err
-	}
-	return v, nil
-}
-
-// Dec revokes the counter's most recent increment on the antitoken's exit
-// wire (a one-element batched pipeline on a pooled session).
-func (t *Counter) Dec(pid int) (int64, error) {
-	vals, err := t.DecBatch(pid, 1, nil)
-	if err != nil {
-		return 0, err
-	}
-	return vals[0], nil
-}
-
-// IncBatch claims k values as one batched pipeline on a pooled session,
-// with the same retry-once resilience as Inc.
-func (t *Counter) IncBatch(pid, k int, dst []int64) ([]int64, error) {
-	return t.batch(pid, k, false, dst)
-}
-
-// DecBatch revokes k values as one batched antitoken pipeline on a pooled
-// session.
-func (t *Counter) DecBatch(pid, k int, dst []int64) ([]int64, error) {
-	return t.batch(pid, k, true, dst)
-}
-
-func (t *Counter) batch(pid, k int, anti bool, dst []int64) ([]int64, error) {
-	if k <= 0 {
-		return dst, nil
-	}
-	in := pid % t.c.net.InWidth()
-	base := len(dst)
-	err := t.flight(func(sess *Session) error {
-		var ferr error
-		dst, ferr = sess.batch(in, int64(k), anti, dst[:base])
-		return ferr
-	})
-	if err != nil {
-		return dst[:base], err
-	}
-	return dst, nil
-}
-
-// Read returns the cluster's quiescent net count by summing the exit
-// cells over a pooled session — the exact-count read side.
-func (t *Counter) Read() (int64, error) {
-	var total int64
-	err := t.flight(func(sess *Session) error {
-		var ferr error
-		total, ferr = sess.Read()
-		return ferr
-	})
-	return total, err
-}
-
-// flight runs one pooled operation: check a session out, run op, and on
-// a connection failure evict the session pool-wide and retry on fresh
-// sessions under the counter's attempt/deadline budget — the transparent
-// self-healing path. Sequence numbers are drawn through a tape so every
-// retry re-sends the same (client, seq) pairs and the shards' dedup
-// windows make the retry exactly-once. Close fails new flights with
-// ErrClosed, waits for running ones, and a flight mid-retry observes it
-// between attempts.
-func (t *Counter) flight(op func(*Session) error) error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return ErrClosed
-	}
-	attempts, budget, backoff := t.maxAttempts, t.budget, t.backoff
-	t.inflight.Add(1)
-	t.mu.Unlock()
-	t.flights.Add(1)
-	t.inflightN.Add(1)
-	defer t.inflightN.Add(-1)
-	defer t.inflight.Done()
-
-	tape := wire.NewSeqTape(&t.seqs)
-	var deadline time.Time
-	for attempt := 1; ; attempt++ {
-		if attempt > 1 {
-			t.retries.Add(1)
-		}
-		err := t.attempt(op, tape)
-		if err == nil || errors.Is(err, ErrClosed) {
-			return err
-		}
-		// A window racing Close must observe it here and hand its
-		// callers the sentinel, never a raw dial or connection error
-		// from a replacement session it was never going to get.
-		t.mu.Lock()
-		closed := t.closed
-		t.mu.Unlock()
-		if closed {
-			return ErrClosed
-		}
-		if attempt >= attempts {
-			return err
-		}
-		if budget > 0 {
-			if deadline.IsZero() {
-				deadline = time.Now().Add(budget)
-			} else if time.Now().After(deadline) {
-				return err
-			}
-		}
-		// Jittered exponential pause before redialing, so a fleet of
-		// counters that watched the same shard die does not storm it
-		// back down the moment it returns.
-		time.Sleep(backoff.Delay(attempt))
-	}
-}
-
-func (t *Counter) attempt(op func(*Session) error, tape *wire.SeqTape) error {
-	sess, err := t.pool.checkout()
-	if err != nil {
-		return err
-	}
-	tape.Rewind()
-	sess.tape = tape
-	err = op(sess)
-	sess.tape = nil
-	if err != nil {
-		t.pool.evict(sess)
-		return err
-	}
-	t.pool.checkin(sess)
-	return nil
-}
-
-// land drains the windows that pooled up behind the owner's flight, one
-// batched pipeline per window, then releases the wire. Windows stranded
-// by Close fail with ErrClosed rather than a raw connection error.
-func (t *Counter) land(cb *tcpComb, in int) {
-	for {
-		cb.mu.Lock()
-		w := cb.next
-		cb.next = nil
-		if w == nil {
-			cb.flying = false
-			cb.mu.Unlock()
-			return
-		}
-		cb.mu.Unlock()
-		t.windows.Add(1)
-		t.windowTokens.Add(w.k)
-		w.err = t.flight(func(sess *Session) error {
-			var ferr error
-			w.vals, ferr = sess.batch(in, w.k, false, w.vals[:0])
-			return ferr
-		})
-		close(w.done)
-	}
-}
-
-// RPCs returns the total round trips performed across the counter's
-// sessions, evicted and retired ones included — the count is monotone;
-// divide by operations for the E25 msgs/op metric.
-func (t *Counter) RPCs() int64 { return t.pool.rpcs() }
-
-// Close shuts the counter down: new flights (and windows stranded behind
-// a closing flight) fail with ErrClosed, running flights are waited for,
-// and every pooled session is then retired with its round trips folded
-// into the monotone RPC total. Idempotent.
-func (t *Counter) Close() {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return
-	}
-	t.closed = true
-	t.state.Store(stateDraining)
-	t.mu.Unlock()
-	t.inflight.Wait()
-	t.pool.close()
-	t.state.Store(stateClosed)
-}
-
-// pool is the Counter's session pool: up to `width` idle sessions reused
-// round-robin across flights, every dialed session announcing the
-// counter's client id, every dialed session tracked in `live` so the
-// RPC bill stays monotone through eviction and retirement.
-type pool struct {
-	c      *Cluster
-	width  int
-	id     uint64 // the owning Counter's client id
-	mu     sync.Mutex
-	idle   []*Session
-	live   map[*Session]struct{}
-	lost   int64 // RPCs of retired sessions
-	closed bool
-
-	// Control-plane counters: checkouts by flights, fresh dials, and
-	// evictions (probe failures at checkout plus mid-flight deaths —
-	// NOT retirements at the width cap or at close).
-	checkouts atomic.Int64
-	dials     atomic.Int64
-	evictions atomic.Int64
-}
-
-func newPool(c *Cluster, width int, id uint64) *pool {
-	if width < 1 {
-		width = c.net.InWidth()
-	}
-	return &pool{c: c, width: width, id: id, live: make(map[*Session]struct{})}
-}
-
-// checkout hands the caller exclusive use of a session: the least
-// recently returned idle one (round-robin across the pool) that passes
-// the health probe, or a fresh dial when none is idle. A long-dead idle
-// connection is evicted here, at checkout, instead of being discovered
-// by a flight — the probe is a deadline read, not a round trip.
-func (p *pool) checkout() (*Session, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, ErrClosed
-	}
-	for len(p.idle) > 0 {
-		sess := p.idle[0]
-		n := len(p.idle)
-		copy(p.idle, p.idle[1:])
-		p.idle = p.idle[:n-1]
-		if sess.healthy() {
-			p.mu.Unlock()
-			p.checkouts.Add(1)
-			return sess, nil
-		}
-		p.evictions.Add(1)
-		p.retireLocked(sess)
-	}
-	p.mu.Unlock()
-	sess, err := p.c.newSession(p.id, true)
-	if err != nil {
-		return nil, err
-	}
-	p.dials.Add(1)
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		sess.Close()
-		return nil, ErrClosed
-	}
-	p.live[sess] = struct{}{}
-	p.mu.Unlock()
-	p.checkouts.Add(1)
-	return sess, nil
-}
-
-// checkin returns a healthy session to the idle list; beyond the pool
-// width (or after close) it is retired instead.
-func (p *pool) checkin(sess *Session) {
-	p.mu.Lock()
-	if !p.closed && len(p.idle) < p.width {
-		p.idle = append(p.idle, sess)
-		p.mu.Unlock()
-		return
-	}
-	p.retireLocked(sess)
-	p.mu.Unlock()
-}
-
-// evict retires a session whose connection failed pool-wide: it leaves
-// the live set, its round trips fold into the monotone total, and every
-// future checkout gets a different (or freshly dialed) session.
-func (p *pool) evict(sess *Session) {
-	p.evictions.Add(1)
-	p.mu.Lock()
-	p.retireLocked(sess)
-	p.mu.Unlock()
-}
-
-func (p *pool) retireLocked(sess *Session) {
-	if _, ok := p.live[sess]; !ok {
-		return
-	}
-	delete(p.live, sess)
-	p.lost += sess.RPCs()
-	sess.Close()
-}
-
-// rpcs returns the monotone round-trip total across live and retired
-// sessions.
-func (p *pool) rpcs() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	total := p.lost
-	for sess := range p.live {
-		total += sess.RPCs()
-	}
-	return total
-}
-
-// close retires every idle session and marks the pool closed; sessions
-// still checked out are retired by their flight's checkin. (Counter.Close
-// waits for flights first, so by the time it closes the pool every
-// session is idle.)
-func (p *pool) close() {
-	p.mu.Lock()
-	p.closed = true
-	for _, sess := range p.idle {
-		p.retireLocked(sess)
-	}
-	p.idle = nil
-	p.mu.Unlock()
+	return xport.NewCounter(c, width)
 }

@@ -1,19 +1,17 @@
 package udpnet
 
 import (
-	"errors"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/ctlplane"
 	"repro/internal/wire"
+	"repro/internal/xport"
 )
 
 // ErrClosed is returned by Counter operations — including callers pooled
-// in a coalescing window — once Close has been called. Callers never see
-// a raw socket error caused by their own Counter shutting down.
-var ErrClosed = errors.New("udpnet: counter closed")
+// in a coalescing window — once Close has been called. It is the shared
+// xport sentinel, so errors.Is matches across transports.
+var ErrClosed = xport.ErrClosed
 
 // Default flight-retry budget: a flight whose exchanges exhausted their
 // retransmit budget (a shard unreachable for seconds, not a lost
@@ -21,74 +19,54 @@ var ErrClosed = errors.New("udpnet: counter closed")
 // tries within DefaultRetryBudget of the first failure, paced by
 // DefaultRetryBackoff. The retry re-draws the identical sequence
 // numbers from the flight's tape, so whatever the dead attempts already
-// applied is replayed, not re-executed.
+// applied is replayed, not re-executed. Attempts and backoff are the
+// shared xport defaults; the budget is the UDP-specific value the
+// Cluster link advertises — wide, because a flight only fails after a
+// whole retransmit budget drained.
 const (
-	DefaultRetryAttempts = 4
+	DefaultRetryAttempts = xport.DefaultRetryAttempts
 	DefaultRetryBudget   = 8 * time.Second
 )
 
 // DefaultRetryBackoff paces the pause between flight retries (jittered
-// exponential, shared machinery with tcpnet's redial backoff).
-var DefaultRetryBackoff = wire.Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
+// exponential — the shared xport schedule).
+var DefaultRetryBackoff = xport.DefaultRetryBackoff
 
-// Counter is a cluster-wide coalescing Fetch&Increment client with the
-// same shape as tcpnet.Counter: concurrent Inc callers entering on the
-// same input wire merge into one in-flight batched pipeline (a
-// single-flight window per wire), flights run on sessions checked out
-// of a shared socket pool, and a flight that fails outright — its
-// exchanges out of retransmit budget — is retried on a fresh session
-// re-sending identical (client, seq) pairs from its sequence tape.
-// Packet loss inside the retransmit budget never reaches this layer;
-// values stay dense through any absorbed loss, duplication or
-// reordering.
-type Counter struct {
-	c     *Cluster
-	id    uint64        // client id every pooled session announces
-	seqs  atomic.Uint64 // mutating-frame sequence source, shared by flights
-	combs []udpComb
-	pool  *pool
+// Counter is the cluster-wide coalescing Fetch&Increment client: the
+// shared transport-agnostic core (see xport.Counter) running over this
+// package's datagram link. Packet loss inside the retransmit budget
+// never reaches the flight layer; values stay dense through any
+// absorbed loss, duplication or reordering.
+type Counter = xport.Counter
 
-	mu          sync.Mutex
-	closed      bool
-	maxAttempts int
-	budget      time.Duration
-	backoff     wire.Backoff
-	inflight    sync.WaitGroup // flights holding pool sessions
+// CounterStatus is a pooled counter client's /status document.
+type CounterStatus = xport.CounterStatus
 
-	// Control-plane state, mirroring tcpnet.Counter: a lifecycle word
-	// for /health (0 live, 1 draining, 2 closed), bare atomics the
-	// flight and landing paths bump, and the registry /metrics reads.
-	state        atomic.Int32
-	flights      atomic.Int64
-	retries      atomic.Int64
-	inflightN    atomic.Int64
-	windows      atomic.Int64
-	windowTokens atomic.Int64
-	reg          *ctlplane.Registry
+// --- xport.Link adapter -------------------------------------------------
+
+// Transport implements xport.Link: the metrics label and /status
+// discriminator.
+func (c *Cluster) Transport() string { return "udp" }
+
+// Addrs implements xport.Link with a copy of the shard addresses.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// InWidth implements xport.Link with the topology's input width.
+func (c *Cluster) InWidth() int { return c.net.InWidth() }
+
+// OutWidth implements xport.Link with the topology's output width.
+func (c *Cluster) OutWidth() int { return c.net.OutWidth() }
+
+// Dial implements xport.Link: a session announcing the given client id
+// in every packet it sends.
+func (c *Cluster) Dial(client uint64) (xport.Session, error) {
+	return c.newSession(client)
 }
 
-// Counter lifecycle states (Counter.state).
-const (
-	stateLive     = 0
-	stateDraining = 1
-	stateClosed   = 2
-)
-
-// udpComb is the per-input-wire coalescing state.
-type udpComb struct {
-	mu     sync.Mutex
-	flying bool
-	next   *cwindow
-	_      [4]int64
-}
-
-// cwindow is one pooled group of coalesced Inc calls.
-type cwindow struct {
-	k    int64
-	vals []int64
-	err  error
-	done chan struct{}
-}
+// RetryBudget implements xport.Link: a UDP flight failure already
+// consumed a whole per-exchange retransmit budget, so the flight-level
+// window is wide.
+func (c *Cluster) RetryBudget() time.Duration { return DefaultRetryBudget }
 
 // NewCounter builds the coalescing counter client for the cluster with
 // the default pool width (one session slot per input wire).
@@ -100,491 +78,20 @@ func (c *Cluster) NewCounter() *Counter { return c.NewCounterPool(0) }
 // beyond the width open extra sockets that are retired on return. The
 // counter owns a fresh client id that every pooled session announces in
 // every packet, keying its exactly-once dedup windows on the shards.
+//
+// On top of the shared client metrics the xport core registers, the
+// datagram extras only UDP pays are registered here: packets and
+// retransmits (the E28 retransmit-rate pair), the configured pipeline
+// depth, and the outstanding-packets gauge.
 func (c *Cluster) NewCounterPool(width int) *Counter {
-	id := wire.NextClientID()
-	t := &Counter{
-		c:           c,
-		id:          id,
-		combs:       make([]udpComb, c.net.InWidth()),
-		pool:        newPool(c, width, id),
-		maxAttempts: DefaultRetryAttempts,
-		budget:      DefaultRetryBudget,
-		backoff:     DefaultRetryBackoff,
-		reg:         ctlplane.NewRegistry(),
-	}
-	t.registerMetrics()
-	return t
-}
-
-// registerMetrics wires the counter's read-side views into its
-// registry: the shared client metrics every transport serves, plus the
-// datagram pair (packets, retransmits) only UDP pays.
-func (t *Counter) registerMetrics() {
+	ctr := xport.NewCounter(c, width)
 	labels := []ctlplane.Label{{Key: "transport", Value: "udp"}}
-	t.reg.Counter(wire.MetricClientRPCs, wire.HelpClientRPCs, t.RPCs, labels...)
-	t.reg.Counter(wire.MetricClientPackets, wire.HelpClientPackets, t.Packets, labels...)
-	t.reg.Counter(wire.MetricClientRetransmits, wire.HelpClientRetransmits, t.Retransmits, labels...)
-	t.reg.Gauge(wire.MetricClientPipelineDepth, wire.HelpClientPipelineDepth, func() int64 {
-		return int64(t.c.Pipeline())
+	reg := ctr.Registry()
+	reg.Counter(wire.MetricClientPackets, wire.HelpClientPackets, ctr.Packets, labels...)
+	reg.Counter(wire.MetricClientRetransmits, wire.HelpClientRetransmits, ctr.Retransmits, labels...)
+	reg.Gauge(wire.MetricClientPipelineDepth, wire.HelpClientPipelineDepth, func() int64 {
+		return int64(c.Pipeline())
 	}, labels...)
-	t.reg.Gauge(wire.MetricClientOutstanding, wire.HelpClientOutstanding, t.pool.outstandingCount, labels...)
-	t.reg.Counter(wire.MetricClientFlights, wire.HelpClientFlights, t.flights.Load, labels...)
-	t.reg.Counter(wire.MetricClientRetries, wire.HelpClientRetries, t.retries.Load, labels...)
-	t.reg.Gauge(wire.MetricClientInflight, wire.HelpClientInflight, t.inflightN.Load, labels...)
-	t.reg.Counter(wire.MetricClientWindows, wire.HelpClientWindows, t.windows.Load, labels...)
-	t.reg.Counter(wire.MetricClientWindowTokens, wire.HelpClientWindowTokens, t.windowTokens.Load, labels...)
-	t.reg.Counter(wire.MetricClientPoolCheckouts, wire.HelpClientPoolCheckouts, t.pool.checkouts.Load, labels...)
-	t.reg.Counter(wire.MetricClientPoolDials, wire.HelpClientPoolDials, t.pool.dials.Load, labels...)
-	t.reg.Counter(wire.MetricClientPoolEvictions, wire.HelpClientPoolEvictions, t.pool.evictions.Load, labels...)
-	t.reg.Gauge(wire.MetricClientPoolIdle, wire.HelpClientPoolIdle, func() int64 {
-		t.pool.mu.Lock()
-		defer t.pool.mu.Unlock()
-		return int64(len(t.pool.idle))
-	}, labels...)
-}
-
-// CounterStatus is a pooled counter client's /status document.
-type CounterStatus struct {
-	Transport  string   `json:"transport"`
-	State      string   `json:"state"` // live, draining, closed
-	ClientID   uint64   `json:"client_id"`
-	PoolWidth  int      `json:"pool_width"`
-	InWidth    int      `json:"in_width"`
-	OutWidth   int      `json:"out_width"`
-	ShardAddrs []string `json:"shard_addrs"`
-}
-
-func stateName(s int32) string {
-	switch s {
-	case stateDraining:
-		return "draining"
-	case stateClosed:
-		return "closed"
-	}
-	return "live"
-}
-
-// Health implements ctlplane.Source: live until Close starts draining,
-// quiescent when no flight holds a pool session — the precondition for
-// an exact-count Read.
-func (t *Counter) Health() ctlplane.Health {
-	st := t.state.Load()
-	return ctlplane.Health{
-		Live:      st == stateLive,
-		Quiescent: t.inflightN.Load() == 0,
-		Detail:    stateName(st),
-	}
-}
-
-// Status implements ctlplane.Source with the counter's client-side
-// topology.
-func (t *Counter) Status() any {
-	return CounterStatus{
-		Transport:  "udp",
-		State:      stateName(t.state.Load()),
-		ClientID:   t.id,
-		PoolWidth:  t.pool.width,
-		InWidth:    t.c.net.InWidth(),
-		OutWidth:   t.c.net.OutWidth(),
-		ShardAddrs: append([]string(nil), t.c.addrs...),
-	}
-}
-
-// Gather implements ctlplane.Source, evaluating the counter's
-// registered metric views.
-func (t *Counter) Gather() []ctlplane.Sample { return t.reg.Gather() }
-
-// SetRetryPolicy bounds the flight-level self-healing path: a failed
-// flight is re-run on fresh sessions for at most attempts total tries
-// (including the first), within budget of the first failure (budget
-// <= 0 removes the time bound). attempts < 1 is clamped to 1. Applies
-// to flights started after the call. Note the per-exchange retransmit
-// budget is separate — see Cluster.SetRetransmitPolicy.
-func (t *Counter) SetRetryPolicy(attempts int, budget time.Duration) {
-	if attempts < 1 {
-		attempts = 1
-	}
-	t.mu.Lock()
-	t.maxAttempts = attempts
-	t.budget = budget
-	t.mu.Unlock()
-}
-
-// SetRetryBackoff replaces the jittered pacing between flight retries.
-func (t *Counter) SetRetryBackoff(b wire.Backoff) {
-	t.mu.Lock()
-	t.backoff = b
-	t.mu.Unlock()
-}
-
-// Inc returns the next counter value. A lone caller pays the
-// single-token exchanges; concurrent callers on the same wire coalesce.
-func (t *Counter) Inc(pid int) (int64, error) {
-	in := pid % t.c.net.InWidth()
-	cb := &t.combs[in]
-	cb.mu.Lock()
-	if cb.flying {
-		w := cb.next
-		if w == nil {
-			w = &cwindow{done: make(chan struct{})}
-			cb.next = w
-		}
-		idx := w.k
-		w.k++
-		cb.mu.Unlock()
-		<-w.done
-		if w.err != nil {
-			return 0, w.err
-		}
-		return w.vals[idx], nil
-	}
-	cb.flying = true
-	cb.mu.Unlock()
-	var v int64
-	err := t.flight(func(sess *Session) error {
-		var ferr error
-		v, ferr = sess.Inc(pid)
-		return ferr
-	})
-	t.land(cb, in)
-	if err != nil {
-		return 0, err
-	}
-	return v, nil
-}
-
-// Dec revokes the counter's most recent increment on the antitoken's
-// exit wire (a one-element batched pipeline on a pooled session).
-func (t *Counter) Dec(pid int) (int64, error) {
-	vals, err := t.DecBatch(pid, 1, nil)
-	if err != nil {
-		return 0, err
-	}
-	return vals[0], nil
-}
-
-// IncBatch claims k values as one batched pipeline on a pooled session.
-func (t *Counter) IncBatch(pid, k int, dst []int64) ([]int64, error) {
-	return t.batch(pid, k, false, dst)
-}
-
-// DecBatch revokes k values as one batched antitoken pipeline on a
-// pooled session.
-func (t *Counter) DecBatch(pid, k int, dst []int64) ([]int64, error) {
-	return t.batch(pid, k, true, dst)
-}
-
-func (t *Counter) batch(pid, k int, anti bool, dst []int64) ([]int64, error) {
-	if k <= 0 {
-		return dst, nil
-	}
-	in := pid % t.c.net.InWidth()
-	base := len(dst)
-	err := t.flight(func(sess *Session) error {
-		var ferr error
-		dst, ferr = sess.batch(in, int64(k), anti, dst[:base])
-		return ferr
-	})
-	if err != nil {
-		return dst[:base], err
-	}
-	return dst, nil
-}
-
-// Read returns the cluster's quiescent net count by summing the exit
-// cells over a pooled session — the exact-count read side.
-func (t *Counter) Read() (int64, error) {
-	var total int64
-	err := t.flight(func(sess *Session) error {
-		var ferr error
-		total, ferr = sess.Read()
-		return ferr
-	})
-	return total, err
-}
-
-// flight runs one pooled operation: check a session out, run op, and if
-// the whole retransmit budget of some exchange drained (shard gone, not
-// packet lost), retire the session and re-run the flight on a fresh one
-// under the counter's attempt/deadline budget, paced by jittered
-// backoff. Sequence numbers are drawn through a tape so every re-run
-// re-sends the same (client, seq) pairs and the shards' dedup windows
-// keep it exactly-once. Close fails new flights with ErrClosed, waits
-// for running ones, and a flight mid-retry observes it between
-// attempts.
-func (t *Counter) flight(op func(*Session) error) error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return ErrClosed
-	}
-	attempts, budget, backoff := t.maxAttempts, t.budget, t.backoff
-	t.inflight.Add(1)
-	t.mu.Unlock()
-	t.flights.Add(1)
-	t.inflightN.Add(1)
-	defer t.inflightN.Add(-1)
-	defer t.inflight.Done()
-
-	tape := wire.NewSeqTape(&t.seqs)
-	var deadline time.Time
-	for attempt := 1; ; attempt++ {
-		if attempt > 1 {
-			t.retries.Add(1)
-		}
-		err := t.attempt(op, tape)
-		if err == nil || errors.Is(err, ErrClosed) {
-			return err
-		}
-		t.mu.Lock()
-		closed := t.closed
-		t.mu.Unlock()
-		if closed {
-			return ErrClosed
-		}
-		if attempt >= attempts {
-			return err
-		}
-		if budget > 0 {
-			if deadline.IsZero() {
-				deadline = time.Now().Add(budget)
-			} else if time.Now().After(deadline) {
-				return err
-			}
-		}
-		time.Sleep(backoff.Delay(attempt))
-	}
-}
-
-func (t *Counter) attempt(op func(*Session) error, tape *wire.SeqTape) error {
-	sess, err := t.pool.checkout()
-	if err != nil {
-		return err
-	}
-	tape.Rewind()
-	sess.tape = tape
-	err = op(sess)
-	sess.tape = nil
-	if err != nil {
-		t.pool.evict(sess)
-		return err
-	}
-	t.pool.checkin(sess)
-	return nil
-}
-
-// land drains the windows that pooled up behind the owner's flight, one
-// batched pipeline per window, then releases the wire. Windows stranded
-// by Close fail with ErrClosed rather than a raw socket error.
-func (t *Counter) land(cb *udpComb, in int) {
-	for {
-		cb.mu.Lock()
-		w := cb.next
-		cb.next = nil
-		if w == nil {
-			cb.flying = false
-			cb.mu.Unlock()
-			return
-		}
-		cb.mu.Unlock()
-		t.windows.Add(1)
-		t.windowTokens.Add(w.k)
-		w.err = t.flight(func(sess *Session) error {
-			var ferr error
-			w.vals, ferr = sess.batch(in, w.k, false, w.vals[:0])
-			return ferr
-		})
-		close(w.done)
-	}
-}
-
-// RPCs returns the total request frames sent across the counter's
-// sessions (retransmits included), retired sessions folded in — the
-// monotone E28 cost numerator, in the same unit as tcpnet.Counter.RPCs.
-func (t *Counter) RPCs() int64 { return t.pool.rpcs() }
-
-// Packets returns the total request datagrams sent (monotone,
-// eviction-proof); Retransmits how many were retransmissions — the pair
-// behind E28's retransmit-rate column.
-func (t *Counter) Packets() int64 { return t.pool.packetCount() }
-
-// Retransmits returns the monotone retransmitted-datagram total.
-func (t *Counter) Retransmits() int64 { return t.pool.retransCount() }
-
-// Close shuts the counter down: new flights (and windows stranded
-// behind a closing flight) fail with ErrClosed, running flights are
-// waited for, and every pooled session is then retired with its
-// counters folded into the monotone totals. Idempotent.
-func (t *Counter) Close() {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return
-	}
-	t.closed = true
-	t.state.Store(stateDraining)
-	t.mu.Unlock()
-	t.inflight.Wait()
-	t.pool.close()
-	t.state.Store(stateClosed)
-}
-
-// pool is the Counter's session pool: up to width idle sessions reused
-// round-robin across flights, every session announcing the counter's
-// client id, every session tracked in live so the cost bills stay
-// monotone through eviction and retirement. Unlike tcpnet's pool there
-// is no checkout health probe: a UDP socket has no peer state to go
-// stale — failure lives entirely in the exchange retransmit path.
-type pool struct {
-	c           *Cluster
-	width       int
-	id          uint64 // the owning Counter's client id
-	mu          sync.Mutex
-	idle        []*Session
-	live        map[*Session]struct{}
-	lostRPCs    int64 // counters of retired sessions
-	lostPackets int64
-	lostRetrans int64
-	closed      bool
-
-	// Control-plane counters: checkouts by flights, fresh dials, and
-	// evictions (mid-flight failures only — not width-cap or close
-	// retirements). No probe-failure arm here: UDP checkout has no
-	// health probe.
-	checkouts atomic.Int64
-	dials     atomic.Int64
-	evictions atomic.Int64
-}
-
-func newPool(c *Cluster, width int, id uint64) *pool {
-	if width < 1 {
-		width = c.net.InWidth()
-	}
-	return &pool{c: c, width: width, id: id, live: make(map[*Session]struct{})}
-}
-
-// checkout hands the caller exclusive use of a session: the least
-// recently returned idle one (round-robin), or a fresh one when none is
-// idle.
-func (p *pool) checkout() (*Session, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if len(p.idle) > 0 {
-		sess := p.idle[0]
-		n := len(p.idle)
-		copy(p.idle, p.idle[1:])
-		p.idle = p.idle[:n-1]
-		p.mu.Unlock()
-		p.checkouts.Add(1)
-		return sess, nil
-	}
-	p.mu.Unlock()
-	sess, err := p.c.newSession(p.id)
-	if err != nil {
-		return nil, err
-	}
-	p.dials.Add(1)
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		sess.Close()
-		return nil, ErrClosed
-	}
-	p.live[sess] = struct{}{}
-	p.mu.Unlock()
-	p.checkouts.Add(1)
-	return sess, nil
-}
-
-// checkin returns a session to the idle list; beyond the pool width (or
-// after close) it is retired instead.
-func (p *pool) checkin(sess *Session) {
-	p.mu.Lock()
-	if !p.closed && len(p.idle) < p.width {
-		p.idle = append(p.idle, sess)
-		p.mu.Unlock()
-		return
-	}
-	p.retireLocked(sess)
-	p.mu.Unlock()
-}
-
-// evict retires a session whose flight failed outright: its sockets may
-// have surfaced ICMP state worth discarding, and a fresh session is
-// cheap.
-func (p *pool) evict(sess *Session) {
-	p.evictions.Add(1)
-	p.mu.Lock()
-	p.retireLocked(sess)
-	p.mu.Unlock()
-}
-
-func (p *pool) retireLocked(sess *Session) {
-	if _, ok := p.live[sess]; !ok {
-		return
-	}
-	delete(p.live, sess)
-	p.lostRPCs += sess.RPCs()
-	p.lostPackets += sess.Packets()
-	p.lostRetrans += sess.Retransmits()
-	sess.Close()
-}
-
-func (p *pool) rpcs() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	total := p.lostRPCs
-	for sess := range p.live {
-		total += sess.RPCs()
-	}
-	return total
-}
-
-func (p *pool) packetCount() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	total := p.lostPackets
-	for sess := range p.live {
-		total += sess.Packets()
-	}
-	return total
-}
-
-// outstandingCount sums the request datagrams currently in flight
-// across the live sessions — a gauge, so unlike the monotone totals
-// above there is nothing to fold in for retired sessions (a retiring
-// session's pipes complete every outstanding packet on close).
-func (p *pool) outstandingCount() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var total int64
-	for sess := range p.live {
-		total += sess.outstanding.Load()
-	}
-	return total
-}
-
-func (p *pool) retransCount() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	total := p.lostRetrans
-	for sess := range p.live {
-		total += sess.Retransmits()
-	}
-	return total
-}
-
-// close retires every idle session and marks the pool closed; sessions
-// still checked out are retired by their flight's checkin.
-func (p *pool) close() {
-	p.mu.Lock()
-	p.closed = true
-	for _, sess := range p.idle {
-		p.retireLocked(sess)
-	}
-	p.idle = nil
-	p.mu.Unlock()
+	reg.Gauge(wire.MetricClientOutstanding, wire.HelpClientOutstanding, ctr.Outstanding, labels...)
+	return ctr
 }

@@ -248,6 +248,21 @@ func (s *Session) Packets() int64 { return s.packets.Load() }
 // Retransmits returns how many of those datagrams were retransmissions.
 func (s *Session) Retransmits() int64 { return s.retrans.Load() }
 
+// Outstanding returns the request datagrams currently in flight on the
+// session's pipelined sockets (implements xport.PacketSession).
+func (s *Session) Outstanding() int64 { return s.outstanding.Load() }
+
+// SetTape points the session's mutating-frame sequence source at a
+// flight's rewindable tape (nil restores the session's own counter) —
+// the xport pool calls it around every flight attempt so retries
+// re-send identical (client, seq) pairs.
+func (s *Session) SetTape(tape *wire.SeqTape) { s.tape = tape }
+
+// Healthy implements the xport pool's checkout probe. A UDP socket has
+// no peer state to go stale — failure lives entirely in the exchange
+// retransmit path — so an idle session is always healthy.
+func (s *Session) Healthy() bool { return true }
+
 // nextSeq draws the next mutating-frame sequence number: from the
 // owning Counter's tape during a flight (replayable on retry), from the
 // session's own counter otherwise.
@@ -478,6 +493,13 @@ func (s *Session) DecBatch(pid, k int, dst []int64) ([]int64, error) {
 // deterministic in (wire, k, anti), so a retried flight re-sends the
 // identical frame sequence and the dedup windows make it exactly-once.
 func (s *Session) batch(in int, k int64, anti bool, dst []int64) ([]int64, error) {
+	return s.Batch(in, k, anti, dst)
+}
+
+// Batch is the exported spelling of the layer-packed batch walk
+// (implements xport.Session); `in` is the input wire, already reduced
+// mod InWidth.
+func (s *Session) Batch(in int, k int64, anti bool, dst []int64) ([]int64, error) {
 	n := s.c.net
 	shards := len(s.c.addrs)
 	if s.pending == nil {

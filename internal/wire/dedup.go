@@ -40,10 +40,20 @@ const DefaultDedupMinIdle = 10 * time.Second
 // live-but-unpinned clients from cap eviction (negative disables it).
 // Zero fields take the defaults, so the zero value is the production
 // configuration.
+//
+// MaxIdle is the idle-age expiry bound: an UNPINNED client whose last
+// binding is older than MaxIdle is expired (window reclaimed) on the
+// next registration, whether or not the Clients cap is reached — the
+// reclaim path for abandoned client ids on shards that track fewer
+// clients than the cap, where LRU eviction alone would let their
+// windows live forever. 0 (the default) disables age expiry; a
+// positive MaxIdle below the effective MinIdle is clamped up to it,
+// since the guard promises that recently-bound clients survive.
 type DedupConfig struct {
 	Window  int
 	Clients int
 	MinIdle time.Duration
+	MaxIdle time.Duration
 }
 
 func (c DedupConfig) withDefaults() DedupConfig {
@@ -57,6 +67,11 @@ func (c DedupConfig) withDefaults() DedupConfig {
 		c.MinIdle = DefaultDedupMinIdle
 	} else if c.MinIdle < 0 {
 		c.MinIdle = 0
+	}
+	if c.MaxIdle < 0 {
+		c.MaxIdle = 0
+	} else if c.MaxIdle > 0 && c.MaxIdle < c.MinIdle {
+		c.MaxIdle = c.MinIdle
 	}
 	return c
 }
@@ -74,9 +89,10 @@ type Dedup struct {
 	// the live (seq, reply) occupancy across all windows; replays and
 	// evictions are monotone. They are bare atomic adds on paths already
 	// holding a lock, so the hot path pays nothing measurable.
-	records   atomic.Int64
-	replays   atomic.Int64
-	evictions atomic.Int64
+	records     atomic.Int64
+	replays     atomic.Int64
+	evictions   atomic.Int64
+	expirations atomic.Int64
 }
 
 // NewDedup builds an empty table with cfg's bounds (zero fields take
@@ -152,6 +168,7 @@ func (d *Dedup) Bind(id uint64) *DedupEntry {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	now := time.Now()
+	d.expireLocked(now)
 	if el, ok := d.clients[id]; ok {
 		e := el.Value.(*DedupEntry)
 		e.refs++
@@ -187,6 +204,37 @@ func (d *Dedup) Bind(id uint64) *DedupEntry {
 	return e
 }
 
+// expireLocked reclaims UNPINNED clients idle past the MaxIdle bound —
+// the age-expiry path for abandoned client ids, run on every
+// registration under the table mutex. The LRU is ordered by last bind,
+// so the scan walks expired entries from the back and stops at the
+// first one young enough to keep; only pinned entries older than the
+// bound (bounded by live bindings) are stepped over. MaxIdle >= the
+// MinIdle guard by construction, so a client recent enough to be
+// protected from cap eviction is never expired either.
+func (d *Dedup) expireLocked(now time.Time) {
+	if d.cfg.MaxIdle <= 0 {
+		return
+	}
+	var next *list.Element
+	for el := d.lru.Back(); el != nil; el = next {
+		next = el.Prev()
+		e := el.Value.(*DedupEntry)
+		if now.Sub(e.lastBind) < d.cfg.MaxIdle {
+			return
+		}
+		if e.refs != 0 {
+			continue
+		}
+		d.lru.Remove(el)
+		delete(d.clients, e.id)
+		// refs == 0 under the table mutex means no Do is running, so
+		// the window length is stable here.
+		d.records.Add(-int64(len(e.replies)))
+		d.expirations.Add(1)
+	}
+}
+
 // Release unpins a dedup entry when its binding goes away (or rebinds
 // to another id). The records stay until LRU eviction, so a retry that
 // re-binds moments after its session died still finds them.
@@ -200,31 +248,36 @@ func (d *Dedup) Release(e *DedupEntry) {
 // what the control plane scrapes. Replays and Evictions are monotone;
 // the rest are levels.
 type DedupStats struct {
-	Clients    int           // client windows currently tracked
-	Pinned     int           // of which pinned by a live binding
-	Records    int64         // (seq, reply) records held across all windows
-	Replays    int64         // frames answered from a record (absorbed duplicates)
-	Evictions  int64         // client windows evicted at the Clients cap
-	MinIdle    time.Duration // configured eviction idle guard
-	OldestIdle time.Duration // age of the least recently bound unpinned client
+	Clients     int           // client windows currently tracked
+	Pinned      int           // of which pinned by a live binding
+	Records     int64         // (seq, reply) records held across all windows
+	Replays     int64         // frames answered from a record (absorbed duplicates)
+	Evictions   int64         // client windows evicted at the Clients cap
+	Expirations int64         // client windows expired by the MaxIdle age bound
+	MinIdle     time.Duration // configured eviction idle guard
+	MaxIdle     time.Duration // configured idle-age expiry bound (0 = disabled)
+	OldestIdle  time.Duration // age of the least recently bound unpinned client
 }
 
 // Stats snapshots the table. It takes the registration mutex only (a
 // scrape-time cost), never a window mutex, so it cannot delay a frame
 // being deduplicated. OldestIdle is the operator's window-bloat signal:
-// records never expire by AGE — only LRU eviction at the Clients cap
-// reclaims them — so on a shard tracking fewer clients than the cap,
-// an abandoned client's window lives forever and this age grows without
-// bound (the ROADMAP carries time-based expiry as an open item).
+// with MaxIdle unset, records never expire by AGE — only LRU eviction
+// at the Clients cap reclaims them — so on a shard tracking fewer
+// clients than the cap, an abandoned client's window lives forever and
+// this age grows without bound; with MaxIdle set, registrations sweep
+// such windows and the age stays under the bound.
 func (d *Dedup) Stats() DedupStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	st := DedupStats{
-		Clients:   len(d.clients),
-		Records:   d.records.Load(),
-		Replays:   d.replays.Load(),
-		Evictions: d.evictions.Load(),
-		MinIdle:   d.cfg.MinIdle,
+		Clients:     len(d.clients),
+		Records:     d.records.Load(),
+		Replays:     d.replays.Load(),
+		Evictions:   d.evictions.Load(),
+		Expirations: d.expirations.Load(),
+		MinIdle:     d.cfg.MinIdle,
+		MaxIdle:     d.cfg.MaxIdle,
 	}
 	now := time.Now()
 	for el := d.lru.Back(); el != nil; el = el.Prev() {
@@ -257,8 +310,12 @@ func (d *Dedup) RegisterMetrics(r *ctlplane.Registry, labels ...ctlplane.Label) 
 		func() int64 { return d.replays.Load() }, labels...)
 	r.Counter(MetricDedupEvictions, HelpDedupEvictions,
 		func() int64 { return d.evictions.Load() }, labels...)
+	r.Counter(MetricDedupExpirations, HelpDedupExpirations,
+		func() int64 { return d.expirations.Load() }, labels...)
 	r.Gauge(MetricDedupMinIdle, HelpDedupMinIdle,
 		func() int64 { return int64(d.cfg.MinIdle / time.Second) }, labels...)
+	r.Gauge(MetricDedupMaxIdle, HelpDedupMaxIdle,
+		func() int64 { return int64(d.cfg.MaxIdle / time.Second) }, labels...)
 	r.Gauge(MetricDedupOldestIdle, HelpDedupOldestIdle,
 		func() int64 { return int64(d.Stats().OldestIdle / time.Second) }, labels...)
 }

@@ -68,7 +68,13 @@ const (
 	HelpDedupMinIdle   = "Configured eviction idle guard: an unpinned client bound more recently than this is never evicted."
 
 	MetricDedupOldestIdle = "countnet_dedup_oldest_idle_seconds"
-	HelpDedupOldestIdle   = "Age of the least recently bound unpinned client window. Records never expire by age, so unbounded growth here is window bloat from abandoned clients."
+	HelpDedupOldestIdle   = "Age of the least recently bound unpinned client window. With MaxIdle unset records never expire by age, so unbounded growth here is window bloat from abandoned clients; with MaxIdle set it stays under that bound."
+
+	MetricDedupMaxIdle = "countnet_dedup_max_idle_seconds"
+	HelpDedupMaxIdle   = "Configured idle-age expiry bound: an unpinned client idle longer than this is expired on the next registration. 0 = age expiry disabled."
+
+	MetricDedupExpirations = "countnet_dedup_client_expirations_total"
+	HelpDedupExpirations   = "Client windows expired by the MaxIdle idle-age bound (abandoned client ids reclaimed; distinct from cap evictions)."
 
 	// Counter client side.
 	MetricClientRPCs = "countnet_client_rpcs_total"

@@ -104,6 +104,62 @@ func TestDedupMinIdleGuardsRecentClients(t *testing.T) {
 	}
 }
 
+// The MaxIdle age bound: an abandoned (unpinned, long-idle) client is
+// expired on the next registration even far below the Clients cap,
+// while pinned clients and recently-bound clients survive the sweep.
+func TestDedupMaxIdleExpiry(t *testing.T) {
+	// MinIdle -1 disables the recency guard so a tiny MaxIdle is not
+	// clamped up to the 10s default.
+	d := NewDedup(DedupConfig{Window: 4, Clients: 1024, MinIdle: -1, MaxIdle: 30 * time.Millisecond})
+	if cfg := d.Config(); cfg.MaxIdle != 30*time.Millisecond {
+		t.Fatalf("MaxIdle = %v, want 30ms", cfg.MaxIdle)
+	}
+
+	abandoned := d.Bind(1)
+	if _, ok := abandoned.Do(1, func() (int64, bool) { return 10, true }); !ok {
+		t.Fatal("record failed")
+	}
+	d.Release(abandoned) // departs: nothing pins it, nothing rebinds it
+
+	pinned := d.Bind(2)
+	if _, ok := pinned.Do(1, func() (int64, bool) { return 20, true }); !ok {
+		t.Fatal("record failed")
+	}
+	// Client 2 stays pinned across the idle period, like a live TCP
+	// connection that just isn't sending.
+
+	time.Sleep(40 * time.Millisecond) // both idle past MaxIdle
+
+	// A registration triggers the sweep: the abandoned window goes, the
+	// pinned one is stepped over.
+	recent := d.Bind(3)
+	if st := d.Stats(); st.Expirations != 1 || st.Clients != 2 {
+		t.Fatalf("after sweep: expirations=%d clients=%d, want 1, 2", st.Expirations, st.Clients)
+	}
+	replayed := true
+	if v, _ := pinned.Do(1, func() (int64, bool) { replayed = false; return -1, true }); v != 20 || !replayed {
+		t.Fatalf("pinned window expired by age (v=%d, replayed=%v)", v, replayed)
+	}
+
+	// A recently-bound UNPINNED client survives the next sweep: the scan
+	// stops at the first entry younger than the bound.
+	d.Release(recent)
+	d.Release(d.Bind(4))
+	if st := d.Stats(); st.Expirations != 1 {
+		t.Fatalf("recently-bound client expired: expirations=%d, want 1", st.Expirations)
+	}
+
+	// The abandoned id rebinding starts from a fresh window: its old
+	// record is gone, so the exec runs again.
+	back := d.Bind(1)
+	defer d.Release(back)
+	ran := false
+	if _, ok := back.Do(1, func() (int64, bool) { ran = true; return 0, true }); !ok || !ran {
+		t.Fatal("expired client's rebind did not re-execute")
+	}
+	d.Release(pinned)
+}
+
 // Backoff delays are jittered exponentials: within [d/2, d] for
 // d = min(Base<<(n-1), Max), never zero, never past Max.
 func TestBackoffDelayBounds(t *testing.T) {
