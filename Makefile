@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race resilience conformance bench-smoke bench fuzz docs-check
+.PHONY: check build vet fmt lint test race resilience conformance bench-smoke bench fuzz docs-check
 
-check: build vet fmt race resilience conformance bench-smoke docs-check
+check: build vet fmt lint race resilience conformance bench-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,14 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
 	fi
+
+# The project's own analyzers (cmd/countlint): spin-loop hygiene,
+# atomics-only field access, Makefile↔ci.yml gate lockstep, build-tag
+# pairing, errors.Is on the xport sentinel, and metric-name
+# conventions. Keep the invocation identical to the ci.yml lint step —
+# the lockstep analyzer checks that it is.
+lint:
+	$(GO) run ./cmd/countlint ./...
 
 test:
 	$(GO) test ./...

@@ -553,11 +553,17 @@ func tcpshardCoalesced(S, w, t int) float64 {
 // frame boundary — the E27 kill column's fault injection.
 type killNthWrite struct {
 	net.Conn
-	allow int32
+	allow atomic.Int32
+}
+
+func newKillNthWrite(conn net.Conn, allow int32) *killNthWrite {
+	k := &killNthWrite{Conn: conn}
+	k.allow.Store(allow)
+	return k
 }
 
 func (f *killNthWrite) Write(b []byte) (int, error) {
-	if atomic.AddInt32(&f.allow, -1) < 0 {
+	if f.allow.Add(-1) < 0 {
 		f.Conn.Close()
 		return 0, fmt.Errorf("injected connection kill")
 	}
@@ -617,7 +623,7 @@ func dedupRun(w, t, shards, batches, k int, kill bool) float64 {
 			if atomic.AddInt32(&conns, 1) == 1 {
 				// The first dialed connection dies after 12 more frames —
 				// mid-window for every k in the sweep.
-				return &killNthWrite{Conn: conn, allow: 12}
+				return newKillNthWrite(conn, 12)
 			}
 			return conn
 		})

@@ -63,6 +63,16 @@
 // paper-vs-measured record, and OPERATIONS.md for the operator's
 // manual: fleet bring-up, scraping, the full metric reference, and the
 // drain/triage runbooks.
+//
+// # Contributing
+//
+// Run `make check` before pushing — it mirrors CI exactly, including
+// `make lint`: cmd/countlint, the repository's own static analyzers,
+// which mechanize the tree's hand-audited invariants (spin-loop
+// hygiene, atomics-only field access, Makefile ↔ ci.yml gate
+// lockstep, build-tag pairing, errors.Is on sentinels, metric naming).
+// DESIGN.md §6 documents the analyzers; the waiver policy for
+// `//lint:ignore` is in OPERATIONS.md.
 package countnet
 
 import (

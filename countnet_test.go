@@ -1,6 +1,7 @@
 package countnet
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"sync"
@@ -191,7 +192,7 @@ func TestTCPShardedClusterFacade(t *testing.T) {
 		t.Fatalf("aggregate Read() = (%d, %v), want (50, nil)", got, err)
 	}
 	ctr.Close()
-	if _, err := ctr.Inc(0); err != ErrTCPCounterClosed {
+	if _, err := ctr.Inc(0); !errors.Is(err, ErrTCPCounterClosed) {
 		t.Fatalf("Inc after Close = %v, want ErrTCPCounterClosed", err)
 	}
 }
@@ -222,7 +223,7 @@ func TestUDPShardedClusterFacade(t *testing.T) {
 		t.Fatalf("aggregate Read() = (%d, %v), want (50, nil)", got, err)
 	}
 	ctr.Close()
-	if _, err := ctr.Inc(0); err != ErrUDPCounterClosed {
+	if _, err := ctr.Inc(0); !errors.Is(err, ErrUDPCounterClosed) {
 		t.Fatalf("Inc after Close = %v, want ErrUDPCounterClosed", err)
 	}
 }

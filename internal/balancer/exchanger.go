@@ -1,6 +1,7 @@
 package balancer
 
 import (
+	"runtime"
 	"sync/atomic"
 )
 
@@ -47,12 +48,19 @@ func (e *Exchanger) Exchange(v uint32, budget int) (partner uint32, outcome Outc
 			if !e.slot.CompareAndSwap(cur, slotWaiting|int64(v)) {
 				continue
 			}
-			// Wait for a partner to flip us to BUSY.
+			// Wait for a partner to flip us to BUSY. When goroutines
+			// outnumber processors the partner may not even be running;
+			// yield occasionally so large spin budgets translate into
+			// real wall-clock pairing windows (same guard as the
+			// eliminator in internal/shard/elim.go).
 			for j := i; j < budget; j++ {
 				now := e.slot.Load()
 				if now&stateMask == slotBusy {
 					e.slot.Store(slotEmpty)
 					return uint32(now & valueMask), First
+				}
+				if j&1023 == 1023 {
+					runtime.Gosched()
 				}
 			}
 			// Withdraw; if the CAS fails a partner just arrived.

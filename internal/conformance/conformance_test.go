@@ -47,11 +47,17 @@ var transports = []fixture{
 // boundary mid-window.
 type failAfter struct {
 	net.Conn
-	allow int32
+	allow atomic.Int32
+}
+
+func newFailAfter(conn net.Conn, allow int32) *failAfter {
+	f := &failAfter{Conn: conn}
+	f.allow.Store(allow)
+	return f
 }
 
 func (f *failAfter) Write(b []byte) (int, error) {
-	if atomic.AddInt32(&f.allow, -1) < 0 {
+	if f.allow.Add(-1) < 0 {
 		f.Conn.Close()
 		return 0, errors.New("conformance: injected connection death")
 	}
@@ -89,7 +95,7 @@ func mkTCP(t *testing.T, topo *network.Network, shards int) *instance {
 				mu.Lock()
 				allow := 25 + rng.Intn(35)
 				mu.Unlock()
-				return &failAfter{Conn: conn, allow: int32(allow)}
+				return newFailAfter(conn, int32(allow))
 			})
 		},
 		// Kill the next dialed connection after 3 frames (HELLO plus a
@@ -99,7 +105,7 @@ func mkTCP(t *testing.T, topo *network.Network, shards int) *instance {
 			var used atomic.Bool
 			c.SetDialWrapper(func(conn net.Conn) net.Conn {
 				if used.CompareAndSwap(false, true) {
-					return &failAfter{Conn: conn, allow: 3}
+					return newFailAfter(conn, 3)
 				}
 				return conn
 			})

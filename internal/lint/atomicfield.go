@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces atomics-only access to fields that are accessed
+// atomically anywhere: once any code does atomic.AddInt32(&s.f, …),
+// every plain read, write, composite-literal initialization, or
+// address-taking of s.f outside a sync/atomic call is a data race in
+// waiting — the exact bug class TestMetricsMonotoneUnderChaos chases
+// at runtime, caught here at parse time. Fields declared with the
+// typed atomics (atomic.Int64 and friends) are immune by construction
+// and need no checking; the analyzer exists for the function-style
+// sync/atomic API, where the compiler cannot tell a guarded access
+// from a plain one. The idiomatic fix is usually to migrate the field
+// to the typed form.
+var AtomicField = &Analyzer{
+	Name:    "atomicfield",
+	Doc:     "struct fields accessed via sync/atomic anywhere must be accessed atomically everywhere (prefer the typed atomic.IntNN)",
+	Package: runAtomicField,
+}
+
+func runAtomicField(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	// Pass 1: every &x.f handed to a sync/atomic function marks field f
+	// as atomic, and blesses that particular selector node.
+	atomicFields := make(map[*types.Var]ast.Node) // field → first atomic use
+	blessed := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isAtomicPkgFunc(p, sel) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				fieldSel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(p, fieldSel); fv != nil {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = call
+					}
+					blessed[fieldSel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other access to a marked field is a violation.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if blessed[n] {
+					return true
+				}
+				fv := fieldOf(p, n)
+				if fv == nil {
+					return true
+				}
+				if first, ok := atomicFields[fv]; ok {
+					p.Report(n.Sel.Pos(),
+						"plain access to field %s, which is accessed via sync/atomic at %s; use sync/atomic here too, or migrate the field to a typed atomic",
+						fv.Name(), p.Position(first.Pos()))
+				}
+			case *ast.CompositeLit:
+				// Keyed struct literals write fields without a selector:
+				// failAfter{allow: 2} is a plain store to allow.
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					fv, ok := p.Info.ObjectOf(key).(*types.Var)
+					if !ok || !fv.IsField() {
+						continue
+					}
+					if first, ok := atomicFields[fv]; ok {
+						p.Report(key.Pos(),
+							"composite-literal write to field %s, which is accessed via sync/atomic at %s; construct first and Store, or migrate the field to a typed atomic",
+							fv.Name(), p.Position(first.Pos()))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(p *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}

@@ -1,0 +1,420 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// loader resolves and type-checks module packages without x/tools: it
+// walks directories itself, evaluates build constraints for the
+// default build (current GOOS/GOARCH, no custom tags — the same
+// selection `go build ./...` makes), parses with go/parser, and
+// type-checks with go/types. Standard-library imports are delegated to
+// the stdlib source importer; module-internal imports are loaded
+// recursively from disk, so fixture packages under testdata can import
+// real repro packages.
+type loader struct {
+	fset   *token.FileSet
+	root   string
+	module string
+	std    types.Importer
+	cache  map[string]*types.Package // import path → no-test package
+	active map[string]bool           // cycle detection
+}
+
+func newLoader(root string) (*loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := moduleName(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		root:   abs,
+		module: mod,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[string]*types.Package),
+		active: make(map[string]bool),
+	}, nil
+}
+
+// moduleName reads the module path from go.mod at root.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// Import implements types.Importer: module paths load from disk,
+// everything else falls through to the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		if l.active[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		l.active[path] = true
+		defer delete(l.active, path)
+		dir := filepath.Join(l.root, strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/"))
+		files := scanDir(l.fset, l.root, dir)
+		var syntax []*ast.File
+		for _, sf := range files {
+			if sf.InBuild && !sf.Test {
+				syntax = append(syntax, sf.Syntax)
+			}
+		}
+		if len(syntax) == 0 {
+			return nil, fmt.Errorf("no buildable Go files for %s in %s", path, dir)
+		}
+		pkg, err := l.check(path, syntax, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// check type-checks one set of files as a package. Type errors are
+// hard failures: every analyzer assumes resolved types.
+func (l *loader) check(path string, syntax []*ast.File, info *types.Info) (*types.Package, error) {
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, l.fset, syntax, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, errs[0])
+	}
+	return pkg, nil
+}
+
+// importPath maps a directory to its import path under the module.
+func (l *loader) importPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside the module root %s", dir, l.root)
+	}
+	if rel == "." {
+		return l.module, nil
+	}
+	return l.module + "/" + filepath.ToSlash(rel), nil
+}
+
+// units loads the analysis units for one directory: the package with
+// its in-package test files, plus a second unit for external (_test
+// package) files when present.
+func (l *loader) units(dir string) ([]*Pass, error) {
+	path, err := l.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	all := scanDir(l.fset, l.root, dir)
+	if len(all) == 0 {
+		return nil, nil
+	}
+	var pkgFiles, xtestFiles []*ast.File
+	var pkgName string
+	for _, sf := range all {
+		if !sf.InBuild || sf.Syntax == nil {
+			continue
+		}
+		name := sf.Syntax.Name.Name
+		if sf.Test && strings.HasSuffix(name, "_test") {
+			xtestFiles = append(xtestFiles, sf.Syntax)
+			continue
+		}
+		if !sf.Test {
+			pkgName = name
+		}
+		pkgFiles = append(pkgFiles, sf.Syntax)
+	}
+	var passes []*Pass
+	if len(pkgFiles) > 0 {
+		info := newInfo()
+		pkg, err := l.check(path, pkgFiles, info)
+		if err != nil {
+			return nil, err
+		}
+		passes = append(passes, &Pass{
+			Fset: l.fset, Path: path, Dir: dir,
+			Files: pkgFiles, All: all, Pkg: pkg, Info: info,
+		})
+		_ = pkgName
+	}
+	if len(xtestFiles) > 0 {
+		info := newInfo()
+		pkg, err := l.check(path+"_test", xtestFiles, info)
+		if err != nil {
+			return nil, err
+		}
+		passes = append(passes, &Pass{
+			Fset: l.fset, Path: path + "_test", Dir: dir,
+			Files: xtestFiles, All: all, Pkg: pkg, Info: info,
+		})
+	}
+	return passes, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// scanDir parses every .go file in dir (comments kept, no constraint
+// filtering for the syntax) and records, per file, whether the default
+// build includes it. Files are registered under module-root-relative
+// names so every reported position is stable regardless of where the
+// tool runs. Unparsable files are skipped — fixture corpora may hold
+// deliberately broken files.
+func scanDir(fset *token.FileSet, root, dir string) []*SrcFile {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []*SrcFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		display := path
+		if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+			display = filepath.ToSlash(rel)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		syntax, err := parser.ParseFile(fset, display, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		expr := buildConstraintOf(syntax)
+		sf := &SrcFile{
+			Name:       name,
+			Path:       path,
+			Syntax:     syntax,
+			Constraint: constraintString(name, expr),
+			Test:       strings.HasSuffix(name, "_test.go"),
+			InBuild:    suffixSatisfied(name) && (expr == nil || expr.Eval(defaultTag)),
+		}
+		out = append(out, sf)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// constraintString normalizes a file's full build constraint: the
+// //go:build expression plus whatever the filename suffix implies
+// (mmsg_sysnum_amd64.go is constrained to amd64 even if its //go:build
+// line only says linux). Returns "" for an unconstrained file.
+func constraintString(name string, expr constraint.Expr) string {
+	var terms []string
+	if goos, goarch := suffixConstraint(name); goos != "" || goarch != "" {
+		if goos != "" {
+			terms = append(terms, goos)
+		}
+		if goarch != "" {
+			terms = append(terms, goarch)
+		}
+	}
+	if expr != nil {
+		s := expr.String()
+		if len(terms) > 0 {
+			s = "(" + s + ")"
+		}
+		terms = append(terms, s)
+	}
+	return strings.Join(terms, " && ")
+}
+
+// suffixConstraint extracts the GOOS/GOARCH a filename suffix implies.
+func suffixConstraint(name string) (goos, goarch string) {
+	base := strings.TrimSuffix(strings.TrimSuffix(name, ".go"), "_test")
+	parts := strings.Split(base, "_")
+	if len(parts) == 1 {
+		return "", ""
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		goarch = last
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			goos = parts[len(parts)-2]
+		}
+		return goos, goarch
+	}
+	if knownOS[last] {
+		return last, ""
+	}
+	return "", ""
+}
+
+// buildConstraintOf extracts the file's //go:build expression, if any.
+func buildConstraintOf(f *ast.File) constraint.Expr {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if constraint.IsGoBuild(c.Text) {
+				if expr, err := constraint.Parse(c.Text); err == nil {
+					return expr
+				}
+			}
+		}
+	}
+	return nil
+}
+
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// defaultTag evaluates one build tag for the default build: the host
+// GOOS/GOARCH, the synthetic unix tag, the gc toolchain, and any go1.N
+// version gate. Custom tags (countnet_nommsg and friends) are off,
+// exactly as in a plain `go build`.
+func defaultTag(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		return unixGOOS[runtime.GOOS]
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// suffixSatisfied applies the filename-suffix constraint rules
+// (_GOOS.go, _GOARCH.go, _GOOS_GOARCH.go) for the default build.
+func suffixSatisfied(name string) bool {
+	goos, goarch := suffixConstraint(name)
+	if goos != "" && goos != runtime.GOOS {
+		return false
+	}
+	if goarch != "" && goarch != runtime.GOARCH {
+		return false
+	}
+	return true
+}
+
+// expandPatterns resolves command-line package patterns ("./...",
+// "./internal/wire", ".") into directories holding Go files. The
+// recursive walk skips testdata, hidden directories, and vendor.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive = true
+			pat = "."
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Lockstep mechanizes the "keep Makefile and ci.yml in lockstep"
+// convention the comments in both files have carried since PR 1. Every
+// pinned-by-name test or benchmark gate (a `go test` invocation whose
+// -run or -bench regex names tests explicitly, like the resilience and
+// conformance suites) must appear with an identical regex and package
+// list in BOTH the Makefile and .github/workflows/ci.yml; dropping one
+// gate name from either side — the silent drift that previously only a
+// reviewer could catch — is a lint failure that names the missing
+// gate. The analyzer also verifies its own wiring: a `lint` target in
+// the Makefile, reachable from `check`, running the same countlint
+// invocation as a ci.yml step.
+var Lockstep = &Analyzer{
+	Name: "lockstep",
+	Doc:  "Makefile and .github/workflows/ci.yml pin the same named test/bench gates, and countlint itself is wired into both",
+	Repo: runLockstep,
+}
+
+const ciPath = ".github/workflows/ci.yml"
+
+func runLockstep(rp *RepoPass) {
+	mk, mkErr := os.ReadFile(filepath.Join(rp.Root, "Makefile"))
+	ci, ciErr := os.ReadFile(filepath.Join(rp.Root, ciPath))
+	if mkErr != nil {
+		rp.Report("Makefile", 1, 1, "cannot read Makefile: %v", mkErr)
+		return
+	}
+	if ciErr != nil {
+		rp.Report(ciPath, 1, 1, "cannot read %s: %v", ciPath, ciErr)
+		return
+	}
+	for _, d := range CheckLockstep(mk, ci) {
+		rp.Report(d.File, d.Line, 1, "%s", d.Message)
+	}
+}
+
+// LockstepDiag is one finding from the pure comparison core, positioned
+// in whichever file is missing something.
+type LockstepDiag struct {
+	File    string // "Makefile" or ".github/workflows/ci.yml"
+	Line    int
+	Message string
+}
+
+// gate is one pinned go-test invocation: the unit of lockstep.
+type gate struct {
+	run   string   // -run regex, "" if none
+	bench string   // -bench regex, "" if none
+	pkgs  []string // sorted package arguments
+	line  int
+}
+
+func (g gate) key() string {
+	return fmt.Sprintf("run=%s bench=%s pkgs=%s", g.run, g.bench, strings.Join(g.pkgs, ","))
+}
+
+func (g gate) describe() string {
+	parts := []string{}
+	if g.run != "" {
+		parts = append(parts, "-run '"+g.run+"'")
+	}
+	if g.bench != "" {
+		parts = append(parts, "-bench '"+g.bench+"'")
+	}
+	parts = append(parts, strings.Join(g.pkgs, " "))
+	return strings.Join(parts, " ")
+}
+
+// CheckLockstep compares the pinned gates of a Makefile and a ci.yml,
+// returning one diagnostic per divergence. Exported (within the lint
+// package's test surface) so the regression tests can mutate copies of
+// the real files in memory and assert the analyzer turns red.
+func CheckLockstep(makefile, ciyml []byte) []LockstepDiag {
+	var diags []LockstepDiag
+	mkGates := pinnedGates(string(makefile))
+	ciGates := pinnedGates(string(ciyml))
+
+	diags = append(diags, diffGates(mkGates, ciGates, "Makefile", ciPath)...)
+	diags = append(diags, diffGates(ciGates, mkGates, ciPath, "Makefile")...)
+
+	// Self-verification: countlint wired into both, identically.
+	mkLint, mkLintLine := countlintInvocation(string(makefile))
+	ciLint, _ := countlintInvocation(string(ciyml))
+	switch {
+	case mkLint == "":
+		diags = append(diags, LockstepDiag{File: "Makefile", Line: 1,
+			Message: "no countlint invocation: the Makefile needs a `lint` target running `go run ./cmd/countlint ./...`"})
+	case ciLint == "":
+		diags = append(diags, LockstepDiag{File: ciPath, Line: 1,
+			Message: "no countlint invocation: ci.yml needs a lint step running `go run ./cmd/countlint ./...` (lockstep with the Makefile lint target)"})
+	case mkLint != ciLint:
+		diags = append(diags, LockstepDiag{File: "Makefile", Line: mkLintLine,
+			Message: fmt.Sprintf("countlint invocations drift: Makefile runs %q, ci.yml runs %q", mkLint, ciLint)})
+	}
+	if mkLint != "" {
+		if line, ok := checkPrereq(string(makefile), "check", "lint"); !ok {
+			diags = append(diags, LockstepDiag{File: "Makefile", Line: line,
+				Message: "`make check` does not include the `lint` target; the local gate no longer mirrors CI"})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// diffGates reports gates pinned in src but absent (or drifted) in dst.
+func diffGates(src, dst []gate, srcName, dstName string) []LockstepDiag {
+	var diags []LockstepDiag
+	dstByKey := make(map[string]bool)
+	for _, g := range dst {
+		dstByKey[g.key()] = true
+	}
+	for _, g := range src {
+		if dstByKey[g.key()] {
+			continue
+		}
+		// Find the closest dst gate (same packages, or overlapping
+		// names) so the message can name the exact drifted gates.
+		if twin := closestGate(g, dst); twin != nil {
+			missing := nameSetDiff(gateNames(g), gateNames(*twin))
+			extra := nameSetDiff(gateNames(*twin), gateNames(g))
+			var detail []string
+			if len(missing) > 0 {
+				detail = append(detail, fmt.Sprintf("gates %v pinned in %s but not in %s", missing, srcName, dstName))
+			}
+			if len(extra) > 0 {
+				detail = append(detail, fmt.Sprintf("gates %v pinned in %s but not in %s", extra, dstName, srcName))
+			}
+			if len(detail) == 0 {
+				detail = append(detail, fmt.Sprintf("package lists differ: %s has %v, %s has %v",
+					srcName, g.pkgs, dstName, twin.pkgs))
+			}
+			diags = append(diags, LockstepDiag{File: srcName, Line: g.line,
+				Message: "pinned gate drifted from " + dstName + ": " + strings.Join(detail, "; ")})
+			continue
+		}
+		diags = append(diags, LockstepDiag{File: srcName, Line: g.line,
+			Message: fmt.Sprintf("pinned gate has no %s counterpart: %s", dstName, g.describe())})
+	}
+	return diags
+}
+
+// closestGate pairs a drifted gate with its other-file twin by name
+// overlap, falling back to an identical package list.
+func closestGate(g gate, candidates []gate) *gate {
+	names := gateNames(g)
+	best, bestOverlap := -1, 0
+	for i, c := range candidates {
+		overlap := 0
+		for _, n := range gateNames(c) {
+			for _, m := range names {
+				if n == m {
+					overlap++
+				}
+			}
+		}
+		if overlap > bestOverlap {
+			best, bestOverlap = i, overlap
+		}
+	}
+	if best >= 0 {
+		return &candidates[best]
+	}
+	for i, c := range candidates {
+		if strings.Join(c.pkgs, ",") == strings.Join(g.pkgs, ",") {
+			return &candidates[i]
+		}
+	}
+	return nil
+}
+
+// gateNames splits a gate's pinned regexes into individual gate names.
+func gateNames(g gate) []string {
+	var names []string
+	for _, re := range []string{g.run, g.bench} {
+		if re == "" {
+			continue
+		}
+		for _, part := range strings.Split(re, "|") {
+			part = strings.Trim(part, "^$()")
+			if part != "" {
+				names = append(names, part)
+			}
+		}
+	}
+	return names
+}
+
+func nameSetDiff(a, b []string) []string {
+	in := make(map[string]bool)
+	for _, n := range b {
+		in[n] = true
+	}
+	var out []string
+	for _, n := range a {
+		if !in[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	runFlagRE   = regexp.MustCompile(`-run[= ]'([^']*)'|-run[= ]"([^"]*)"|-run[= ]([^\s'"]+)`)
+	benchFlagRE = regexp.MustCompile(`-bench[= ]'([^']*)'|-bench[= ]"([^"]*)"|-bench[= ]([^\s'"]+)`)
+)
+
+// pinnedGates extracts every `go test` line whose -run or -bench regex
+// pins gates by name (contains letters — `-run='^$'` and `-bench=.`
+// are not pins). Works on both Makefile recipes ($(GO) normalized to
+// go) and ci.yml run blocks.
+func pinnedGates(text string) []gate {
+	var gates []gate
+	for i, raw := range strings.Split(text, "\n") {
+		line := normalizeCmd(raw)
+		if strings.HasPrefix(line, "#") || !strings.Contains(line, "go test") {
+			continue
+		}
+		run := firstGroup(runFlagRE, line)
+		bench := firstGroup(benchFlagRE, line)
+		if !pinsNames(run) {
+			run = ""
+		}
+		if !pinsNames(bench) {
+			bench = ""
+		}
+		if run == "" && bench == "" {
+			continue
+		}
+		var pkgs []string
+		for _, tok := range strings.Fields(line) {
+			if strings.HasPrefix(tok, "./") || tok == "." {
+				pkgs = append(pkgs, tok)
+			}
+		}
+		sort.Strings(pkgs)
+		gates = append(gates, gate{run: run, bench: bench, pkgs: pkgs, line: i + 1})
+	}
+	return gates
+}
+
+// normalizeCmd strips Makefile/ci.yml syntax down to the command:
+// leading tabs and YAML indentation, `run:` prefixes, $(GO) → go.
+func normalizeCmd(line string) string {
+	s := strings.TrimSpace(line)
+	s = strings.TrimPrefix(s, "run:")
+	s = strings.TrimSpace(s)
+	s = strings.ReplaceAll(s, "$(GO)", "go")
+	return s
+}
+
+func firstGroup(re *regexp.Regexp, line string) string {
+	m := re.FindStringSubmatch(line)
+	if m == nil {
+		return ""
+	}
+	for _, g := range m[1:] {
+		if g != "" {
+			return g
+		}
+	}
+	return ""
+}
+
+// pinsNames reports whether a regex names gates: it contains an
+// uppercase letter (Go test/benchmark names are exported identifiers).
+func pinsNames(re string) bool {
+	for _, r := range re {
+		if r >= 'A' && r <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+// countlintInvocation finds the normalized countlint command line.
+func countlintInvocation(text string) (string, int) {
+	for i, raw := range strings.Split(text, "\n") {
+		line := normalizeCmd(raw)
+		if strings.Contains(line, "go run ./cmd/countlint") && !strings.HasPrefix(line, "#") {
+			return line, i + 1
+		}
+	}
+	return "", 0
+}
+
+// checkPrereq reports whether Makefile target `target` lists `prereq`.
+func checkPrereq(makefile, target, prereq string) (int, bool) {
+	for i, raw := range strings.Split(makefile, "\n") {
+		rest, ok := strings.CutPrefix(raw, target+":")
+		if !ok {
+			continue
+		}
+		for _, tok := range strings.Fields(rest) {
+			if tok == prereq {
+				return i + 1, true
+			}
+		}
+		return i + 1, false
+	}
+	return 1, false
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readRepoFile(t *testing.T, rel string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(repoRoot(t), rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// mutate replaces old with new exactly once, failing loudly if the
+// underlying file no longer contains old — the regression tests must
+// not silently stop mutating anything.
+func mutate(t *testing.T, data []byte, old, new string) []byte {
+	t.Helper()
+	s := string(data)
+	if !strings.Contains(s, old) {
+		t.Fatalf("mutation target %q not found; update this test to match the current file", old)
+	}
+	return []byte(strings.Replace(s, old, new, 1))
+}
+
+func diagMessages(diags []LockstepDiag) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.File)
+		b.WriteString(": ")
+		b.WriteString(d.Message)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func assertMention(t *testing.T, diags []LockstepDiag, substr string) {
+	t.Helper()
+	if len(diags) == 0 {
+		t.Fatalf("want a lockstep diagnostic mentioning %q, got none", substr)
+	}
+	if !strings.Contains(diagMessages(diags), substr) {
+		t.Errorf("no diagnostic mentions %q; got:\n%s", substr, diagMessages(diags))
+	}
+}
+
+// TestLockstepRealFilesGreen: the committed Makefile and ci.yml are in
+// lockstep right now.
+func TestLockstepRealFilesGreen(t *testing.T) {
+	mk := readRepoFile(t, "Makefile")
+	ci := readRepoFile(t, ciPath)
+	if diags := CheckLockstep(mk, ci); len(diags) > 0 {
+		t.Errorf("committed Makefile/ci.yml drifted:\n%s", diagMessages(diags))
+	}
+}
+
+// TestLockstepDetectsDroppedGate mutates in-memory copies of the real
+// files, dropping one pinned gate name at a time, and requires the
+// analyzer to turn red naming the exact missing gate — the silent
+// drift that previously only a reviewer could catch.
+func TestLockstepDetectsDroppedGate(t *testing.T) {
+	mk := readRepoFile(t, "Makefile")
+	ci := readRepoFile(t, ciPath)
+
+	t.Run("test gate dropped from ci.yml", func(t *testing.T) {
+		broken := mutate(t, ci, "TestChaosSessionKill|", "")
+		assertMention(t, CheckLockstep(mk, broken), "TestChaosSessionKill")
+	})
+	t.Run("test gate dropped from Makefile", func(t *testing.T) {
+		broken := mutate(t, mk, "TestUDPRetransmitExactlyOnce|", "")
+		assertMention(t, CheckLockstep(broken, ci), "TestUDPRetransmitExactlyOnce")
+	})
+	t.Run("bench gate dropped from ci.yml", func(t *testing.T) {
+		broken := mutate(t, ci, "|BenchmarkUDPPipelinedBatch", "")
+		assertMention(t, CheckLockstep(mk, broken), "BenchmarkUDPPipelinedBatch")
+	})
+	t.Run("package dropped from Makefile gate", func(t *testing.T) {
+		broken := mutate(t, mk, "./internal/wire ./internal/ctlplane", "./internal/wire")
+		if diags := CheckLockstep(broken, ci); len(diags) == 0 {
+			t.Error("narrowing a gate's package list went undetected")
+		}
+	})
+}
+
+// TestLockstepDetectsMissingLintWiring: the analyzer verifies its own
+// harness — countlint present in both files, identically, and
+// reachable from `make check`.
+func TestLockstepDetectsMissingLintWiring(t *testing.T) {
+	mk := readRepoFile(t, "Makefile")
+	ci := readRepoFile(t, ciPath)
+
+	t.Run("lint target gone from Makefile", func(t *testing.T) {
+		broken := mutate(t, mk, "$(GO) run ./cmd/countlint ./...", "true")
+		assertMention(t, CheckLockstep(broken, ci), "no countlint invocation")
+	})
+	t.Run("lint step gone from ci.yml", func(t *testing.T) {
+		broken := mutate(t, ci, "go run ./cmd/countlint ./...", "true")
+		assertMention(t, CheckLockstep(mk, broken), "no countlint invocation")
+	})
+	t.Run("invocations drift", func(t *testing.T) {
+		broken := mutate(t, ci, "go run ./cmd/countlint ./...", "go run ./cmd/countlint ./internal/...")
+		assertMention(t, CheckLockstep(mk, broken), "drift")
+	})
+	t.Run("check no longer depends on lint", func(t *testing.T) {
+		broken := mutate(t, mk, "check: build vet fmt lint", "check: build vet fmt")
+		assertMention(t, CheckLockstep(broken, ci), "`make check` does not include the `lint` target")
+	})
+}
+
+// TestLockstepFixturePair runs the pure core over the committed
+// fixture pairs: the good pair is green, the bad pair names every
+// seeded divergence.
+func TestLockstepFixturePair(t *testing.T) {
+	root := repoRoot(t)
+	read := func(rel string) []byte {
+		data, err := os.ReadFile(filepath.Join(root, "internal/lint/testdata/lockstep", rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	if diags := CheckLockstep(read("good/Makefile"), read("good/ci.yml")); len(diags) > 0 {
+		t.Errorf("good fixture pair not green:\n%s", diagMessages(diags))
+	}
+
+	diags := CheckLockstep(read("bad/Makefile"), read("bad/ci.yml"))
+	assertMention(t, diags, "TestBeta")
+	assertMention(t, diags, "BenchmarkGamma")
+	assertMention(t, diags, "`make check` does not include the `lint` target")
+}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricName mechanizes the control-plane naming contract that
+// cmd/ctlplanedoc and `make docs-check` only test end-to-end: every
+// Metric* constant is a valid Prometheus metric name under the
+// countnet_ prefix with a paired Help* constant, Registry.Counter
+// registrations end in _total and Registry.Gauge registrations do not
+// (the convention wire/metrics.go documents), and the wire catalogue
+// stays in two-way sync with cmd/ctlplanedoc's hand-maintained
+// healthy-range map — a metric without an operator-facing healthy
+// range is unfinished, and a healthy range for a metric that no longer
+// exists is a lie in the manual.
+var MetricName = &Analyzer{
+	Name:    "metricname",
+	Doc:     "Prometheus naming conventions for Metric* constants and Registry registrations, synced with ctlplanedoc's healthy-range map",
+	Package: runMetricNamePkg,
+	Repo:    runMetricNameRepo,
+}
+
+var promNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+const (
+	wirePkgPath    = "repro/internal/wire"
+	ctlplanedocDir = "cmd/ctlplanedoc"
+)
+
+func runMetricNamePkg(p *Pass) {
+	consts := metricConsts(p)
+	helps := helpConsts(p)
+	for _, mc := range consts {
+		suffix := strings.TrimPrefix(mc.name, "Metric")
+		if !promNameRE.MatchString(mc.value) {
+			p.Report(mc.pos, "metric name %q is not a valid Prometheus name (want %s)", mc.value, promNameRE)
+		} else if !strings.HasPrefix(mc.value, "countnet_") {
+			p.Report(mc.pos, "metric name %q lacks the countnet_ namespace prefix", mc.value)
+		}
+		if strings.Contains(mc.value, "__") || strings.HasSuffix(mc.value, "_") {
+			p.Report(mc.pos, "metric name %q has empty name segments", mc.value)
+		}
+		help, ok := helps[suffix]
+		switch {
+		case !ok:
+			p.Report(mc.pos, "metric constant %s has no paired Help%s constant with its help text", mc.name, suffix)
+		case strings.TrimSpace(help.value) == "":
+			p.Report(help.pos, "Help%s is empty; every metric carries operator-facing help text", suffix)
+		case !strings.HasSuffix(strings.TrimSpace(help.value), "."):
+			p.Report(help.pos, "Help%s does not end in a period; help strings are sentences", suffix)
+		}
+	}
+
+	// Registration sites: Counter ⇒ *_total, Gauge ⇒ not *_total.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind := sel.Sel.Name
+			if kind != "Counter" && kind != "Gauge" {
+				return true
+			}
+			if !isRegistryRecv(p, sel.X) {
+				return true
+			}
+			name, ok := stringConst(p, call.Args[0])
+			if !ok || !strings.HasPrefix(name, "countnet_") {
+				return true
+			}
+			total := strings.HasSuffix(name, "_total")
+			if kind == "Counter" && !total {
+				p.Report(call.Args[0].Pos(), "counter %q must end in _total (Prometheus counter convention)", name)
+			}
+			if kind == "Gauge" && total {
+				p.Report(call.Args[0].Pos(), "gauge %q must not end in _total; that suffix is reserved for counters", name)
+			}
+			return true
+		})
+	}
+}
+
+// runMetricNameRepo diffs the wire metric catalogue against the
+// healthy-range map in cmd/ctlplanedoc, both ways.
+func runMetricNameRepo(rp *RepoPass) {
+	var wirePass, docPass *Pass
+	for _, p := range rp.Packages {
+		switch {
+		case p.Path == wirePkgPath:
+			wirePass = p
+		case strings.HasSuffix(strings.TrimSuffix(p.Dir, "/"), ctlplanedocDir):
+			docPass = p
+		}
+	}
+	if wirePass == nil || docPass == nil {
+		return // partial runs (single-package invocations) skip the cross-check
+	}
+	registered := make(map[string]token.Pos)
+	for _, mc := range metricConsts(wirePass) {
+		registered[mc.value] = mc.pos
+	}
+	healthy, healthyPos, mapPos := healthyKeys(docPass)
+	if mapPos == token.NoPos {
+		rp.ReportPos(docPass, docPass.Files[0].Package, "cmd/ctlplanedoc has no `healthy` map literal; the healthy-range catalogue is gone")
+		return
+	}
+	for name, pos := range registered {
+		if _, ok := healthy[name]; !ok {
+			rp.ReportPos(wirePass, pos, "metric %q has no healthy-range entry in cmd/ctlplanedoc's healthy map; operators have no reference for it", name)
+		}
+	}
+	for name := range healthy {
+		if _, ok := registered[name]; !ok {
+			rp.ReportPos(docPass, healthyPos[name], "ctlplanedoc documents %q but internal/wire/metrics.go declares no such metric; stale healthy-range entry", name)
+		}
+	}
+}
+
+type metricConst struct {
+	name  string
+	value string
+	pos   token.Pos
+}
+
+// metricConsts collects package-level `const MetricX = "…"` string
+// constants — the catalogue convention wire/metrics.go establishes.
+func metricConsts(p *Pass) []metricConst {
+	return prefixedConsts(p, "Metric")
+}
+
+func helpConsts(p *Pass) map[string]metricConst {
+	out := make(map[string]metricConst)
+	for _, hc := range prefixedConsts(p, "Help") {
+		out[strings.TrimPrefix(hc.name, "Help")] = hc
+	}
+	return out
+}
+
+func prefixedConsts(p *Pass, prefix string) []metricConst {
+	var out []metricConst
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, prefix) || len(name.Name) == len(prefix) {
+						continue
+					}
+					if i >= len(vs.Values) {
+						continue
+					}
+					val, ok := stringConst(p, vs.Values[i])
+					if !ok {
+						continue
+					}
+					out = append(out, metricConst{name: name.Name, value: val, pos: name.Pos()})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// healthyKeys extracts the string keys of ctlplanedoc's `healthy` map
+// literal, with positions for stale-entry diagnostics.
+func healthyKeys(p *Pass) (map[string]bool, map[string]token.Pos, token.Pos) {
+	keys := make(map[string]bool)
+	pos := make(map[string]token.Pos)
+	var mapPos token.Pos
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range vs.Names {
+				if name.Name != "healthy" || i >= len(vs.Values) {
+					continue
+				}
+				cl, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				mapPos = cl.Pos()
+				for _, elt := range cl.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if k, ok := stringConst(p, kv.Key); ok {
+						keys[k] = true
+						pos[k] = kv.Key.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+	return keys, pos, mapPos
+}
+
+// stringConst resolves an expression to its compile-time string value.
+func stringConst(p *Pass, e ast.Expr) (string, bool) {
+	if p.Info == nil {
+		return "", false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isRegistryRecv reports whether the receiver expression is a
+// ctlplane-style Registry (named type Registry, possibly through a
+// pointer) — loose enough for fixtures, tight enough not to fire on
+// unrelated Counter methods.
+func isRegistryRecv(p *Pass, x ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	t := p.Info.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Sentinel guards the single-ErrClosed design. The transports alias
+// ONE sentinel (xport.ErrClosed) so errors.Is works across the seam;
+// both halves of that contract are mechanical:
+//
+//   - comparisons against package-level Err* variables must go through
+//     errors.Is, never == or != (a future wrapped error silently breaks
+//     every == site — the seam explicitly reserves the right to wrap);
+//   - no package other than internal/xport may mint a new *Closed
+//     sentinel with errors.New/fmt.Errorf: a Closed-flavored error var
+//     outside xport must be a plain alias of an existing sentinel, or
+//     two transports stop agreeing on what "closed" is.
+var Sentinel = &Analyzer{
+	Name: "sentinel",
+	Doc:  "error sentinels: errors.Is instead of ==, and no new *Closed sentinel declared outside internal/xport",
+	File: runSentinelFile,
+}
+
+const xportPath = "repro/internal/xport"
+
+func runSentinelFile(p *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for _, side := range []ast.Expr{n.X, n.Y} {
+				if obj := sentinelVar(p, side); obj != nil {
+					p.Report(n.OpPos,
+						"comparison with sentinel %s uses %s; use errors.Is so wrapped errors keep matching",
+						obj.Name(), n.Op)
+					break
+				}
+			}
+		case *ast.SwitchStmt:
+			// switch err { case ErrClosed: … } is == in disguise.
+			if n.Tag == nil || !isErrorExpr(p, n.Tag) {
+				return true
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if obj := sentinelVar(p, e); obj != nil {
+						p.Report(e.Pos(),
+							"switch case compares sentinel %s with ==; use errors.Is so wrapped errors keep matching",
+							obj.Name())
+					}
+				}
+			}
+		case *ast.GenDecl:
+			if n.Tok == token.VAR {
+				checkSentinelDecl(p, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkSentinelDecl flags package-level *Closed error sentinels minted
+// outside xport. An alias (var ErrClosed = xport.ErrClosed) is the
+// sanctioned form; a fresh errors.New is a second source of truth.
+func checkSentinelDecl(p *Pass, decl *ast.GenDecl) {
+	if p.Path == xportPath {
+		return
+	}
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if !strings.HasPrefix(name.Name, "Err") || !strings.Contains(name.Name, "Closed") {
+				continue
+			}
+			obj := p.Info.ObjectOf(name)
+			if obj == nil || obj.Parent() != p.Pkg.Scope() || !isErrorType(obj.Type()) {
+				continue
+			}
+			if i >= len(vs.Values) {
+				continue
+			}
+			switch vs.Values[i].(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+				// Alias of an existing sentinel: the sanctioned form.
+			default:
+				p.Report(name.Pos(),
+					"new Closed sentinel %s declared outside internal/xport; alias xport.ErrClosed instead so errors.Is matches across transports",
+					name.Name)
+			}
+		}
+	}
+}
+
+// sentinelVar resolves an expression to a package-level error variable
+// named Err…, the shape of a sentinel.
+func sentinelVar(p *Pass, e ast.Expr) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := p.Info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if v.Parent() == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+func isErrorExpr(p *Pass, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	t := p.Info.TypeOf(e)
+	return t != nil && isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpinLoop mechanizes the PR 3 hand audit: no unyielded spin loops. A
+// loop that polls shared state (an atomic Load) waiting for another
+// goroutine to change it, without ever reaching a scheduling point
+// (runtime.Gosched, time.Sleep, a channel operation, a mutex/Cond), can
+// burn a whole processor slice while the goroutine it waits for is not
+// even running — the exact failure the elimination layer's yield-every
+// 1024-iterations guard exists to prevent.
+//
+// The check is deliberately conservative, flagging only loops it can
+// prove are pure spins:
+//
+//   - not a range loop (those walk finite collections);
+//   - every call in the loop is a known-nonblocking atomic operation or
+//     a type conversion — any other call might block, so the loop is
+//     given the benefit of the doubt;
+//   - no channel operation, select, or go statement appears;
+//   - the loop actually waits on an atomic: either its condition loads
+//     one, or the body has an exit branch (if … break/return) whose
+//     condition depends on a loaded value without making progress
+//     itself (a CompareAndSwap/Swap/Add in the exit condition marks a
+//     lock-free retry loop, which is progress, not spinning).
+var SpinLoop = &Analyzer{
+	Name: "spinloop",
+	Doc:  "spin loops polling an atomic without runtime.Gosched/time.Sleep or a blocking operation (the PR 3 audit, mechanized)",
+	File: runSpinLoop,
+}
+
+func runSpinLoop(p *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if loop, ok := n.(*ast.ForStmt); ok {
+			checkSpin(p, loop)
+		}
+		return true
+	})
+}
+
+func checkSpin(p *Pass, loop *ast.ForStmt) {
+	s := spinScan{pass: p, loadVars: make(map[types.Object]bool)}
+	if loop.Cond != nil {
+		s.scan(loop.Cond, false)
+	}
+	s.scan(loop.Body, true)
+	if s.blocks || s.unknownCall || s.sawMutate {
+		// sawMutate: a CompareAndSwap/Swap/Add anywhere in the loop
+		// marks a lock-free update loop — retries imply another thread
+		// made progress, which is not spinning.
+		return
+	}
+	polls := loop.Cond != nil && s.exprLoads(loop.Cond)
+	if !polls {
+		polls = s.waitExit
+	}
+	if !polls || !s.sawLoad {
+		return
+	}
+	p.Report(loop.For, "spin loop polls an atomic without a scheduling point; yield (runtime.Gosched every ~1k iterations, like internal/shard/elim.go), sleep, or block on a channel")
+}
+
+// spinScan classifies everything inside one loop.
+type spinScan struct {
+	pass        *Pass
+	blocks      bool // channel op, select, go, or a known blocking call
+	unknownCall bool // a call that might block: benefit of the doubt
+	sawLoad     bool // an atomic Load happened anywhere in the loop
+	sawMutate   bool // a CAS/Swap/Add happened: lock-free progress
+	waitExit    bool // an exit branch conditioned on a loaded value
+	loadVars    map[types.Object]bool
+}
+
+// scan walks one subtree. Nested function literals are skipped (their
+// bodies run elsewhere); statements are classified in source order so
+// a variable assigned from a Load is known by the time a later if
+// tests it.
+func (s *spinScan) scan(n ast.Node, stmtCtx bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt, *ast.GoStmt:
+			s.blocks = true
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW { // channel receive
+				s.blocks = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel blocks; over anything else it is a
+			// bounded walk whose calls still get classified below.
+			if s.pass.Info != nil {
+				if t := s.pass.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						s.blocks = true
+						return false
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if s.exprLoads(rhs) && i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && s.pass.Info != nil {
+						if obj := s.pass.Info.ObjectOf(id); obj != nil {
+							s.loadVars[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if s.isWaitExit(n) {
+				s.waitExit = true
+			}
+		case *ast.CallExpr:
+			s.classifyCall(n)
+		}
+		return true
+	})
+}
+
+// classifyCall buckets one call: known-nonblocking atomic/conversion,
+// known scheduling point, or unknown (assume it can block).
+func (s *spinScan) classifyCall(call *ast.CallExpr) {
+	if s.pass.Info != nil {
+		if tv, ok := s.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			return // conversion
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "len", "cap", "min", "max", "append", "copy", "make", "new":
+			return
+		}
+		s.unknownCall = true
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		s.unknownCall = true
+		return
+	}
+	name := sel.Sel.Name
+	if isSchedulingCall(s.pass, sel) {
+		s.blocks = true
+		return
+	}
+	if atomicMethod[name] || isAtomicPkgFunc(s.pass, sel) {
+		if isLoadName(name) {
+			s.sawLoad = true
+		}
+		if isMutateName(name) {
+			s.sawMutate = true
+		}
+		return
+	}
+	s.unknownCall = true
+}
+
+// isWaitExit reports whether the if statement is an exit branch
+// conditioned on polled state: its block reaches break or return, its
+// condition depends on an atomic Load (directly or via a variable
+// assigned from one in this loop), and the condition itself makes no
+// progress (no CAS/Swap/Add).
+func (s *spinScan) isWaitExit(ifStmt *ast.IfStmt) bool {
+	if !s.exprLoads(ifStmt.Cond) && !s.usesLoadVar(ifStmt.Cond) {
+		return false
+	}
+	if s.exprMutates(ifStmt.Cond) {
+		return false
+	}
+	return blockExits(ifStmt.Body)
+}
+
+// blockExits reports whether the statement list contains a break or
+// return binding to the enclosing loop (nested loops and function
+// literals shield their own branches).
+func blockExits(block *ast.BlockStmt) bool {
+	exits := false
+	ast.Inspect(block, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			// Nested loops and function literals capture their own
+			// break/return; being conservative here only costs recall.
+			return false
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				exits = true
+			}
+		}
+		return true
+	})
+	return exits
+}
+
+func (s *spinScan) exprLoads(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if isLoadName(sel.Sel.Name) && (atomicMethod[sel.Sel.Name] || isAtomicPkgFunc(s.pass, sel)) {
+					found = true
+					s.sawLoad = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (s *spinScan) usesLoadVar(e ast.Expr) bool {
+	if s.pass.Info == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := s.pass.Info.ObjectOf(id); obj != nil && s.loadVars[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (s *spinScan) exprMutates(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if isMutateName(sel.Sel.Name) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// atomicMethod is the method surface of the typed atomics
+// (atomic.Int64, atomic.Bool, atomic.Pointer, …).
+var atomicMethod = map[string]bool{
+	"Load": true, "Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "And": true, "Or": true,
+}
+
+func isLoadName(name string) bool {
+	return name == "Load" || (len(name) > 4 && name[:4] == "Load")
+}
+
+func isMutateName(name string) bool {
+	switch {
+	case name == "Add", name == "Swap", name == "CompareAndSwap", name == "And", name == "Or":
+		return true
+	}
+	for _, prefix := range []string{"Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicPkgFunc reports whether sel is a sync/atomic package-level
+// function (atomic.LoadInt64, atomic.AddUint32, …).
+func isAtomicPkgFunc(p *Pass, sel *ast.SelectorExpr) bool {
+	return selectorPkgPath(p, sel) == "sync/atomic"
+}
+
+// isSchedulingCall recognizes calls that yield or block: Gosched,
+// Sleep, mutex/RWMutex Lock family, Cond Wait, WaitGroup Wait.
+func isSchedulingCall(p *Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Gosched":
+		return selectorPkgPath(p, sel) == "runtime"
+	case "Sleep":
+		return selectorPkgPath(p, sel) == "time"
+	case "Lock", "RLock", "Unlock", "RUnlock", "Wait", "TryLock":
+		return true
+	}
+	return false
+}
+
+// selectorPkgPath returns the import path when sel is pkg.Name, else "".
+func selectorPkgPath(p *Pass, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return ""
+	}
+	if pn, ok := p.Info.ObjectOf(id).(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// TagPair guards the paired build-tag fallback convention: a
+// declaration that lives behind a build constraint (the recvmmsg/
+// sendmmsg fast path, the MSG_PEEK health probe, the per-arch syscall
+// numbers) and is referenced from outside its own variant family must
+// be declared by at least two differently-constrained files — the fast
+// path and its portable fallback. Delete mmsg_other.go and every
+// non-linux build of udpnet breaks; this analyzer says so at lint time
+// instead of on the first darwin checkout.
+//
+// The check is name-based and deliberately syntactic: for each
+// constrained file, its package-scope declarations that are referenced
+// from unconstrained files (or from files under a different
+// constraint) form the variant surface, and each surface name needs a
+// sibling declaration under a different constraint. Test files are
+// exempt — they are not cross-platform API.
+var TagPair = &Analyzer{
+	Name:    "tagpair",
+	Doc:     "build-tagged declarations referenced across the tag boundary must have a fallback variant under a different constraint",
+	Package: runTagPair,
+}
+
+func runTagPair(p *Pass) {
+	// Work from All: the analyzer must see files the default build
+	// excluded, since those ARE the fallbacks.
+	type declSite struct {
+		file *SrcFile
+		pos  int // index into p.All, for stable iteration
+	}
+	decls := make(map[string][]declSite) // name → declaring constrained files
+	var unconstrained, constrained []*SrcFile
+	for i, sf := range p.All {
+		if sf.Syntax == nil || sf.Test {
+			continue
+		}
+		if sf.Constraint == "" {
+			unconstrained = append(unconstrained, sf)
+			continue
+		}
+		constrained = append(constrained, sf)
+		for _, name := range topLevelNames(sf.Syntax) {
+			decls[name] = append(decls[name], declSite{file: sf, pos: i})
+		}
+	}
+	if len(constrained) == 0 {
+		return
+	}
+
+	// referencedFrom[name] holds the constraints ("" for unconstrained)
+	// of files that mention the name without declaring it.
+	referencedFrom := make(map[string]map[string]bool)
+	note := func(sf *SrcFile) {
+		own := make(map[string]bool)
+		for _, name := range topLevelNames(sf.Syntax) {
+			own[name] = true
+		}
+		ast.Inspect(sf.Syntax, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, tracked := decls[id.Name]; tracked && !own[id.Name] {
+				m := referencedFrom[id.Name]
+				if m == nil {
+					m = make(map[string]bool)
+					referencedFrom[id.Name] = m
+				}
+				m[sf.Constraint] = true
+			}
+			return true
+		})
+	}
+	for _, sf := range unconstrained {
+		note(sf)
+	}
+	for _, sf := range constrained {
+		note(sf)
+	}
+
+	for name, sites := range decls {
+		refs := referencedFrom[name]
+		crossBoundary := false
+		for refConstr := range refs {
+			declaredThere := false
+			for _, site := range sites {
+				if site.file.Constraint == refConstr {
+					declaredThere = true
+				}
+			}
+			if !declaredThere {
+				crossBoundary = true
+			}
+		}
+		if !crossBoundary {
+			continue
+		}
+		distinct := make(map[string]bool)
+		for _, site := range sites {
+			distinct[site.file.Constraint] = true
+		}
+		if len(distinct) >= 2 {
+			continue
+		}
+		site := sites[0]
+		pos := declPos(site.file.Syntax, name)
+		p.Report(pos, "%s is declared only under build constraint %q (%s) but referenced across the tag boundary; add a fallback variant under the inverse constraint",
+			name, site.file.Constraint, site.file.Name)
+	}
+}
+
+// topLevelNames returns the package-scope names a file declares:
+// functions (not methods), and const/var/type names. The blank
+// identifier and init are skipped.
+func topLevelNames(f *ast.File) []string {
+	var out []string
+	add := func(name string) {
+		if name != "_" && name != "init" {
+			out = append(out, name)
+		}
+	}
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil {
+				add(d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						add(n.Name)
+					}
+				case *ast.TypeSpec:
+					add(s.Name.Name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// declPos finds the declaration position of name in f.
+func declPos(f *ast.File, name string) token.Pos {
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			if d.Recv == nil && d.Name.Name == name {
+				return d.Name.Pos()
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.Name == name {
+							return n.Pos()
+						}
+					}
+				case *ast.TypeSpec:
+					if s.Name.Name == name {
+						return s.Name.Pos()
+					}
+				}
+			}
+		}
+	}
+	return f.Package
+}

@@ -1,0 +1,22 @@
+// Package fixture holds deliberate atomicfield violations: fields
+// touched by sync/atomic in one place and accessed plainly in another.
+package fixture
+
+import "sync/atomic"
+
+type gaugeBad struct {
+	hits int64
+	name string
+}
+
+func (g *gaugeBad) inc() {
+	atomic.AddInt64(&g.hits, 1)
+}
+
+func (g *gaugeBad) read() int64 {
+	return g.hits // want "plain access to field hits"
+}
+
+func newGaugeBad() *gaugeBad {
+	return &gaugeBad{hits: 1, name: "fixture"} // want "composite-literal write to field hits"
+}

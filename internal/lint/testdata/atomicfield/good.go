@@ -1,0 +1,31 @@
+package fixture
+
+import "sync/atomic"
+
+// gaugeGood uses the typed atomic: immune by construction, nothing for
+// the analyzer to track.
+type gaugeGood struct {
+	hits atomic.Int64
+}
+
+func (g *gaugeGood) inc() {
+	g.hits.Add(1)
+}
+
+func (g *gaugeGood) read() int64 {
+	return g.hits.Load()
+}
+
+// seqGood sticks to the function-style API everywhere: every access is
+// blessed, so consistency holds and nothing fires.
+type seqGood struct {
+	n uint32
+}
+
+func (s *seqGood) next() uint32 {
+	return atomic.AddUint32(&s.n, 1)
+}
+
+func (s *seqGood) load() uint32 {
+	return atomic.LoadUint32(&s.n)
+}

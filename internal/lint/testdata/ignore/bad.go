@@ -1,0 +1,25 @@
+// Package fixture exercises the //lint:ignore directive's own
+// diagnostics: a waiver without a reason and a waiver that waives
+// nothing are both findings (under the analyzer name "countlint").
+// TestIgnoreDirectives asserts on these directly rather than via
+// `// want` annotations, since the directives are comments themselves.
+package fixture
+
+import "sync/atomic"
+
+var pending atomic.Bool
+
+// The reason is mandatory: a bare ignore is the undocumented exception
+// the tool exists to prevent. Because the directive is malformed it
+// suppresses nothing, so the spin loop below is also reported.
+//
+//lint:ignore spinloop
+func spinBareIgnore() {
+	for !pending.Load() {
+	}
+}
+
+//lint:ignore atomicfield nothing on the next line ever fires this
+func plainFunc() bool {
+	return pending.Load()
+}

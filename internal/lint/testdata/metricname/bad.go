@@ -1,0 +1,22 @@
+// Package fixture holds deliberate metricname violations; each
+// constant or registration breaks exactly one rule so the `// want`
+// annotations stay one-per-line.
+package fixture
+
+const (
+	MetricUpperCase = "countnet_Shard_Frames_total" // want "not a valid Prometheus name"
+	HelpUpperCase   = "Frames relayed by the fixture shard."
+
+	MetricNoPrefix = "shard_frames_total" // want "lacks the countnet_ namespace prefix"
+	HelpNoPrefix   = "Frames relayed by the fixture shard."
+
+	MetricUnpaired = "countnet_fixture_unpaired_total" // want "has no paired HelpUnpaired constant"
+
+	MetricNoPeriod = "countnet_fixture_ops_total"
+	HelpNoPeriod   = "Operations so far" // want "does not end in a period"
+)
+
+func registerBad(r *Registry) {
+	r.Counter("countnet_fixture_ops", "Counter missing its suffix.")     // want "must end in _total"
+	r.Gauge("countnet_fixture_depth_total", "Gauge wearing the suffix.") // want "must not end in _total"
+}

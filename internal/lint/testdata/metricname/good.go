@@ -1,0 +1,21 @@
+package fixture
+
+// Registry mimics the ctlplane registry surface: the analyzer matches
+// any named type called Registry so fixtures need not import ctlplane.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) {}
+func (r *Registry) Gauge(name, help string)   {}
+
+const (
+	MetricGoodFrames = "countnet_fixture_frames_total"
+	HelpGoodFrames   = "Frames processed by the fixture."
+
+	MetricGoodDepth = "countnet_fixture_depth"
+	HelpGoodDepth   = "Current depth of the fixture queue."
+)
+
+func registerGood(r *Registry) {
+	r.Counter(MetricGoodFrames, HelpGoodFrames)
+	r.Gauge(MetricGoodDepth, HelpGoodDepth)
+}

@@ -1,0 +1,24 @@
+// Package fixture holds deliberate sentinel violations: a second
+// source of truth for "closed" and == comparisons that break the
+// moment the seam wraps an error.
+package fixture
+
+import "errors"
+
+var ErrFixtureClosed = errors.New("fixture: closed") // want "new Closed sentinel ErrFixtureClosed declared outside internal/xport"
+
+func isClosedBad(err error) bool {
+	return err == ErrFixtureClosed // want "comparison with sentinel ErrFixtureClosed uses =="
+}
+
+func notClosedBad(err error) bool {
+	return err != ErrFixtureClosed // want "comparison with sentinel ErrFixtureClosed uses !="
+}
+
+func classifyBad(err error) string {
+	switch err {
+	case ErrFixtureClosed: // want "switch case compares sentinel ErrFixtureClosed with =="
+		return "closed"
+	}
+	return "other"
+}

@@ -1,0 +1,18 @@
+package fixture
+
+import "errors"
+
+// Not Closed-flavored: new sentinels for other conditions are fine.
+var ErrFixtureTimeout = errors.New("fixture: timeout")
+
+// Aliasing an existing sentinel is the sanctioned way to re-export a
+// Closed error under a package-local name.
+var ErrAliasClosed = ErrFixtureClosed
+
+func isClosedGood(err error) bool {
+	return errors.Is(err, ErrAliasClosed)
+}
+
+func isTimeoutGood(err error) bool {
+	return errors.Is(err, ErrFixtureTimeout)
+}

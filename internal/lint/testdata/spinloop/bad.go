@@ -1,0 +1,36 @@
+// Package fixture holds deliberate spinloop violations: loops that
+// poll an atomic with no scheduling point. The `// want` annotations
+// drive TestFixtures in internal/lint.
+package fixture
+
+import "sync/atomic"
+
+var ready atomic.Bool
+
+// condSpin polls in the loop condition itself: classic busy-wait.
+func condSpin() {
+	for !ready.Load() { // want "spin loop polls an atomic without a scheduling point"
+	}
+}
+
+// exitSpin polls via an exit branch: the condition is empty but the
+// body tests a loaded value and breaks, so the loop only ever leaves
+// when another goroutine stores — still a pure spin.
+func exitSpin() {
+	for { // want "spin loop polls an atomic without a scheduling point"
+		if ready.Load() {
+			break
+		}
+	}
+}
+
+// varSpin launders the load through a local variable before testing it;
+// the analyzer tracks the assignment.
+func varSpin() {
+	for { // want "spin loop polls an atomic without a scheduling point"
+		v := ready.Load()
+		if v {
+			return
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package fixture
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+var (
+	done  atomic.Bool
+	state atomic.Int64
+)
+
+// yieldingWait polls but yields every 1024 iterations — the elim.go
+// idiom the analyzer's message recommends.
+func yieldingWait(budget int) bool {
+	for i := 0; i < budget; i++ {
+		if done.Load() {
+			return true
+		}
+		if i&1023 == 1023 {
+			runtime.Gosched()
+		}
+	}
+	return false
+}
+
+// casRetry is a lock-free update loop: a failed CompareAndSwap means
+// another goroutine made progress, so retrying is not spinning.
+func casRetry(delta int64) int64 {
+	for {
+		cur := state.Load()
+		if state.CompareAndSwap(cur, cur+delta) {
+			return cur + delta
+		}
+	}
+}
+
+// channelWait blocks on a channel: the scheduler parks it.
+func channelWait(ch <-chan struct{}) {
+	for !done.Load() {
+		<-ch
+	}
+}
+
+// waivedSpin is a real violation carrying the sanctioned in-place
+// waiver; the directive must suppress the finding (and count as used).
+func waivedSpin() {
+	//lint:ignore spinloop fixture exercises the waiver path end to end
+	for !done.Load() {
+	}
+}

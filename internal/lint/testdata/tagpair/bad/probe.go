@@ -1,0 +1,8 @@
+// Package fixture demonstrates a tagpair violation: the portable API
+// calls fastProbe, which exists only under one build constraint — on
+// any build where the constraint is false the package stops compiling.
+package fixture
+
+func probeReady() bool {
+	return fastProbe()
+}

@@ -1,0 +1,8 @@
+// Package fixture is the repaired twin of testdata/tagpair/bad: the
+// constrained fast path now has a fallback sibling under the inverse
+// constraint, so every build resolves fastProbe.
+package fixture
+
+func probeReady() bool {
+	return fastProbe()
+}

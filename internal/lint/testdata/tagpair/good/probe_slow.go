@@ -1,0 +1,5 @@
+//go:build fixture_slow
+
+package fixture
+
+func fastProbe() bool { return false }

@@ -21,11 +21,17 @@ import (
 type killOnOp struct {
 	net.Conn
 	op   byte
-	skip int32
+	skip atomic.Int32
+}
+
+func newKillOnOp(conn net.Conn, op byte, skip int32) *killOnOp {
+	k := &killOnOp{Conn: conn, op: op}
+	k.skip.Store(skip)
+	return k
 }
 
 func (k *killOnOp) Write(b []byte) (int, error) {
-	if len(b) > 0 && b[0] == k.op && atomic.AddInt32(&k.skip, -1) < 0 {
+	if len(b) > 0 && b[0] == k.op && k.skip.Add(-1) < 0 {
 		k.Conn.Close()
 		return 0, errInjected
 	}
@@ -78,7 +84,7 @@ func TestRetryExactlyOnce(t *testing.T) {
 	}
 
 	sess := idleSession(t, ctr)
-	sess.conns[0] = &killOnOp{Conn: sess.conns[0], op: wire.OpCellN2, skip: 2}
+	sess.conns[0] = newKillOnOp(sess.conns[0], wire.OpCellN2, 2)
 
 	vals, err := ctr.IncBatch(0, k, nil)
 	if err != nil {
@@ -120,7 +126,7 @@ func TestRetryExactlyOnceMidSteps(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess := idleSession(t, ctr)
-	sess.conns[0] = &killOnOp{Conn: sess.conns[0], op: wire.OpStepN2, skip: 2}
+	sess.conns[0] = newKillOnOp(sess.conns[0], wire.OpStepN2, 2)
 
 	vals, err := ctr.IncBatch(0, 10, nil)
 	if err != nil {
@@ -181,7 +187,7 @@ func TestDedupSurvivesClientChurn(t *testing.T) {
 	// If the churn had evicted the Counter's window, the replayed
 	// frames would re-execute and the count would overshoot.
 	sess := idleSession(t, ctr)
-	sess.conns[0] = &killOnOp{Conn: sess.conns[0], op: wire.OpCellN2, skip: 1}
+	sess.conns[0] = newKillOnOp(sess.conns[0], wire.OpCellN2, 1)
 	if _, err := ctr.IncBatch(0, 10, nil); err != nil {
 		t.Fatalf("mid-window connection death surfaced: %v", err)
 	}
@@ -203,7 +209,7 @@ func TestChaosSessionKillExactCountGrid(t *testing.T) {
 		rmu.Lock()
 		allow := 25 + rng.Intn(35)
 		rmu.Unlock()
-		return &failAfter{Conn: conn, allow: int32(allow)}
+		return newFailAfter(conn, int32(allow))
 	}
 	for _, S := range []int{1, 2} {
 		for _, width := range []int{1, 2} {

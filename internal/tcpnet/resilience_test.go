@@ -17,13 +17,19 @@ import (
 // successful ones — a deterministic mid-window connection death.
 type failAfter struct {
 	net.Conn
-	allow int32
+	allow atomic.Int32
+}
+
+func newFailAfter(conn net.Conn, allow int32) *failAfter {
+	f := &failAfter{Conn: conn}
+	f.allow.Store(allow)
+	return f
 }
 
 var errInjected = errors.New("injected connection failure")
 
 func (f *failAfter) Write(b []byte) (int, error) {
-	if atomic.AddInt32(&f.allow, -1) < 0 {
+	if f.allow.Add(-1) < 0 {
 		f.Conn.Close()
 		return 0, errInjected
 	}
@@ -63,7 +69,7 @@ func TestCounterRetriesFailedWindow(t *testing.T) {
 	}
 	before := ctr.RPCs()
 	sess := idleSession(t, ctr)
-	sess.conns[0] = &failAfter{Conn: sess.conns[0], allow: 2}
+	sess.conns[0] = newFailAfter(sess.conns[0], 2)
 
 	vals, err := ctr.IncBatch(0, 10, nil)
 	if err != nil {
@@ -444,7 +450,7 @@ func TestDedupConfigThreaded(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess := idleSession(t, ctr)
-	sess.conns[0] = &failAfter{Conn: sess.conns[0], allow: 2}
+	sess.conns[0] = newFailAfter(sess.conns[0], 2)
 	if _, err := ctr.IncBatch(0, 5, nil); err != nil {
 		t.Fatalf("mid-window death surfaced under a custom dedup config: %v", err)
 	}

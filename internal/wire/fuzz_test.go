@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
@@ -41,7 +42,7 @@ func FuzzFrameCodec(f *testing.F) {
 		for {
 			before := r.Len()
 			err := ReadFrame(r, &buf, &fr)
-			if err == ErrUnknownOp {
+			if errors.Is(err, ErrUnknownOp) {
 				// Unknown ops must be rejected after exactly the 5-byte
 				// header, before any payload is consumed.
 				if got := before - r.Len(); got != 5 {
