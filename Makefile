@@ -49,10 +49,14 @@ race:
 # chaos scrape), and the raw-speed-path gates (pipelined sessions
 # through reorder-heavy fault grids staying exact, the pipelined frame
 # bill matching stop-and-wait, and worker-pool packet-buffer
-# isolation). Keep this regex in lockstep with
+# isolation), and the observability gates (the histogram
+# scraper-vs-writers race consistency check, the Prometheus histogram
+# exposition format, the bounded flight ring, and the
+# zero-added-frames latency gate replaying E31's exact bill on every
+# transport). Keep this regex in lockstep with
 # .github/workflows/ci.yml.
 resilience:
-	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestDedupConfig|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|TestPacketRoundTrip|FuzzFrameCodec|FuzzPacketCodec|TestUDPChaosExactCountGrid|TestUDPRetransmitExactlyOnce|TestUDPResponseLoss|TestUDPMalformedPackets|TestUDPBatchRPCsMatchTCPFloor|TestUDPPipelineReorderExactCount|TestUDPPipelineRPCFloorMatchesSerial|TestUDPShardWorkersBufferIsolation|TestWritePrometheusFormat|TestServeEndpoints|TestDrainOnSignal|TestFleetAggregation|TestShardControlPlaneEndpoints|TestCounterHealthFlipsAcrossDrain|TestShardedCounterEndpointAggregation|TestSIGTERMDrainExactCount|TestUDPShardControlPlaneEndpoints|TestMetricsMonotoneUnderChaos' ./internal/tcpnet ./internal/udpnet ./internal/wire ./internal/ctlplane
+	$(GO) test -race -run 'TestRetryExactlyOnce|TestChaosSessionKill|TestDedupSurvives|TestDedupConfig|TestPoolHealthCheck|TestCounterCloseDuringRetry|TestLegacyFrames|TestFrameRoundTrip|TestPacketRoundTrip|FuzzFrameCodec|FuzzPacketCodec|TestUDPChaosExactCountGrid|TestUDPRetransmitExactlyOnce|TestUDPResponseLoss|TestUDPMalformedPackets|TestUDPBatchRPCsMatchTCPFloor|TestUDPPipelineReorderExactCount|TestUDPPipelineRPCFloorMatchesSerial|TestUDPShardWorkersBufferIsolation|TestWritePrometheusFormat|TestServeEndpoints|TestDrainOnSignal|TestFleetAggregation|TestShardControlPlaneEndpoints|TestCounterHealthFlipsAcrossDrain|TestShardedCounterEndpointAggregation|TestSIGTERMDrainExactCount|TestUDPShardControlPlaneEndpoints|TestMetricsMonotoneUnderChaos|TestHistogramRaceConsistency|TestPrometheusHistogramFormat|TestFlightRingBufferBounded|TestLatencyFrameBillUnchanged' ./internal/tcpnet ./internal/udpnet ./internal/wire ./internal/ctlplane ./internal/conformance
 
 # The transport conformance suite pinned BY NAME, run under the race
 # detector: one behavioural contract — chaos exact-count grids,
@@ -70,18 +74,24 @@ conformance:
 # and UDP-transport (E28) benchmarks by name so a rename can't silently
 # drop them, and the third pins the raw-speed-path allocation gates
 # (E30): BenchmarkUDPShardWorkers and BenchmarkUDPPipelinedBatch carry
-# the ReportAllocs zero-allocation claim. The countbench runs re-emit
-# BENCH_udp.json (the committed machine-readable E30 record) and
-# BENCH_transports.json (E31: the per-transport frame bill,
-# panic-checked integer-identical across tcp/udp/inproc) — commit the
-# refreshed files when the engine changes. Keep in lockstep with
-# .github/workflows/ci.yml.
+# the ReportAllocs zero-allocation claim, and the fourth pins
+# BenchmarkHistogramObserve, whose ReportAllocs carries the
+# zero-allocation claim for the latency-histogram record path. The
+# countbench runs re-emit BENCH_udp.json (the committed
+# machine-readable E30 record), BENCH_transports.json (E31: the
+# per-transport frame bill, panic-checked integer-identical across
+# tcp/udp/inproc) and BENCH_latency.json (E32: per-transport flight
+# latency distributions with the client histogram's own p99 as
+# cross-check) — commit the refreshed files when the engine changes.
+# Keep in lockstep with .github/workflows/ci.yml.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) test -bench='Sharded|Dedup|UDP' -benchtime=1x -run='^$$' ./internal/distnet ./internal/tcpnet ./internal/udpnet
 	$(GO) test -bench='BenchmarkUDPShardWorkers|BenchmarkUDPPipelinedBatch' -benchtime=1x -run='^$$' ./internal/udpnet
+	$(GO) test -bench='BenchmarkHistogramObserve' -benchtime=1x -run='^$$' ./internal/ctlplane
 	$(GO) run ./cmd/countbench -exp udpspeed -out BENCH_udp.json
 	$(GO) run ./cmd/countbench -exp transports -out BENCH_transports.json
+	$(GO) run ./cmd/countbench -exp latency -out BENCH_latency.json
 
 # The OPERATIONS.md metric reference is generated from the live
 # registrations: rebuild it with cmd/ctlplanedoc and diff against the

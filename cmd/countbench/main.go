@@ -18,6 +18,7 @@
 //	countbench -exp ctlplane     # E29: control-plane scrape overhead (HTTP /metrics mid-run)
 //	countbench -exp udpspeed     # E30: raw-speed datagram path (workers × pipeline × batched syscalls)
 //	countbench -exp transports   # E31: one protocol core over tcp/udp/inproc — identical frame bills
+//	countbench -exp latency      # E32: flight-latency distributions (p50/p95/p99/max per transport×k cell)
 //	countbench -exp timesim      # E13: queueing simulation (host-independent)
 //	countbench -exp linearize    # E18: linearizability observation
 //	countbench -exp ablation     # E16/E17: bitonic merger, random init
@@ -36,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -63,7 +65,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | distshard | dedup | udp | ctlplane | udpspeed | transports | timesim | linearize | ablation | all")
+		exp      = flag.String("exp", "all", "depth | contention | compare | blocks | slope | throughput | fastpath | elim | dist | distbatch | distshard | dedup | udp | ctlplane | udpspeed | transports | latency | timesim | linearize | ablation | all")
 		rounds   = flag.Int("rounds", 60, "tokens per process in simulations")
 		opsK     = flag.Int("ops", 50, "thousands of operations per throughput cell")
 		shards   = flag.Int("shards", 4, "max stripe count S for sharded-deployment experiments")
@@ -98,13 +100,14 @@ func main() {
 		"ctlplane":   func() { expCtlplane(*out) },
 		"udpspeed":   func() { expUDPSpeed(*workers, *pipeline, *out) },
 		"transports": func() { expTransports(*out) },
+		"latency":    func() { expLatency(*out) },
 		"timesim":    expTimesim,
 		"linearize":  expLinearize,
 		"ablation":   expAblation,
 	}
 	order := []string{"depth", "contention", "compare", "blocks", "slope",
 		"throughput", "fastpath", "elim", "dist", "distbatch", "distshard",
-		"dedup", "udp", "ctlplane", "udpspeed", "transports", "timesim", "linearize", "ablation"}
+		"dedup", "udp", "ctlplane", "udpspeed", "transports", "latency", "timesim", "linearize", "ablation"}
 	if *exp == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
@@ -1123,37 +1126,16 @@ func expAblation() {
 	}
 }
 
-// transportRow is one E31 cell's bill — the rows -out records.
-type transportRow struct {
-	Transport       string  `json:"transport"`
-	K               int     `json:"k"`
-	Tokens          int64   `json:"tokens"`
-	RPCs            int64   `json:"rpcs"`
-	RPCsPerToken    float64 `json:"rpcs_per_token"`
-	NsPerToken      float64 `json:"ns_per_token"`
-	PacketsPerToken float64 `json:"packets_per_token,omitempty"`
+// transportBoot starts one real transport deployment and hands back a
+// pooled xport.Counter over it — the shared fixture for the
+// cross-transport experiments (E31 bills, E32 latency).
+type transportBoot struct {
+	name string
+	mk   func() (ctr *xport.Counter, stop func())
 }
 
-// E31: the transport seam's bill, measured. The same pooled Counter
-// (internal/xport) drives the same C(4,8) walk over every link — TCP
-// streams, UDP datagrams, the in-memory inproc transport — so the
-// request-frame bill per token must be INTEGER-identical across
-// transports at every batch size (the conformance suite pins this;
-// here it is recorded with wall-clock context). What differs is pure
-// link cost: ns/token separates the protocol's price from the
-// socket's, and inproc is the protocol-only floor — counting-network
-// machinery with zero kernel crossings. packets/token (UDP) shows the
-// MTU packing amortizing frames into datagrams.
-func expTransports(outPath string) {
-	const w, t, shards = 4, 8, 2
-	topo := must(core.New(w, t))
-	fmt.Printf("E31: one protocol core over every transport, C(%d,%d), %d shards\n\n", w, t, shards)
-
-	type boot struct {
-		name string
-		mk   func() (ctr *xport.Counter, stop func())
-	}
-	boots := []boot{
+func transportBoots(topo *network.Network, shards int) []transportBoot {
+	return []transportBoot{
 		{"tcp", func() (*xport.Counter, func()) {
 			addrs := make([]string, shards)
 			var servers []*tcpnet.Shard
@@ -1187,6 +1169,34 @@ func expTransports(outPath string) {
 			return cluster.NewCounterPool(1), stop
 		}},
 	}
+}
+
+// transportRow is one E31 cell's bill — the rows -out records.
+type transportRow struct {
+	Transport       string  `json:"transport"`
+	K               int     `json:"k"`
+	Tokens          int64   `json:"tokens"`
+	RPCs            int64   `json:"rpcs"`
+	RPCsPerToken    float64 `json:"rpcs_per_token"`
+	NsPerToken      float64 `json:"ns_per_token"`
+	PacketsPerToken float64 `json:"packets_per_token,omitempty"`
+}
+
+// E31: the transport seam's bill, measured. The same pooled Counter
+// (internal/xport) drives the same C(4,8) walk over every link — TCP
+// streams, UDP datagrams, the in-memory inproc transport — so the
+// request-frame bill per token must be INTEGER-identical across
+// transports at every batch size (the conformance suite pins this;
+// here it is recorded with wall-clock context). What differs is pure
+// link cost: ns/token separates the protocol's price from the
+// socket's, and inproc is the protocol-only floor — counting-network
+// machinery with zero kernel crossings. packets/token (UDP) shows the
+// MTU packing amortizing frames into datagrams.
+func expTransports(outPath string) {
+	const w, t, shards = 4, 8, 2
+	topo := must(core.New(w, t))
+	fmt.Printf("E31: one protocol core over every transport, C(%d,%d), %d shards\n\n", w, t, shards)
+	boots := transportBoots(topo, shards)
 
 	var rows []transportRow
 	bills := make(map[int]map[string]int64)
@@ -1265,6 +1275,142 @@ func expTransports(outPath string) {
 		writeBenchDoc(outPath, "E31", rows, map[string]any{
 			"bill_identical":     true,
 			"rpcs_per_token_k64": float64(bills[64]["tcp"]) / float64(32*64),
+		})
+	}
+}
+
+// latencyRow is one E32 transport×k cell: the flight-latency
+// distribution (exact order statistics over per-op wall clocks) with
+// the client histogram's own p99 beside it as a cross-check that the
+// zero-alloc log-bucketed estimate brackets the truth.
+type latencyRow struct {
+	Transport    string  `json:"transport"`
+	K            int     `json:"k"`
+	Ops          int     `json:"ops"`
+	Tokens       int64   `json:"tokens"`
+	P50Ns        int64   `json:"p50_ns"`
+	P95Ns        int64   `json:"p95_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	MaxNs        int64   `json:"max_ns"`
+	HistP99Ns    float64 `json:"hist_p99_ns"`
+	RPCsPerToken float64 `json:"rpcs_per_token"`
+}
+
+// pctNs is the exact q-th percentile of a sorted sample: the smallest
+// element with at least ceil(q·n) observations at or below it.
+func pctNs(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// histQuantileNs digs the client's own flight histogram out of a
+// Gather and returns its q-quantile in nanoseconds — the number an
+// operator would read off /metrics, as opposed to the exact order
+// statistics the benchmark measures directly.
+func histQuantileNs(samples []ctlplane.Sample, q float64) float64 {
+	for _, s := range samples {
+		if s.Name == wire.MetricClientFlightSeconds && s.Hist != nil {
+			return s.Hist.Quantile(q) * 1e9
+		}
+	}
+	return 0
+}
+
+// E32: what the new flight histograms actually record, measured. Each
+// transport×k cell runs E31's workload shape and collects BOTH the
+// exact per-op latency distribution (sorted wall clocks, so p50/p95/
+// p99/max are true order statistics) and the client histogram's own
+// p99 — the operator-facing number — so the committed table documents
+// how tight the log-bucketed estimate is (buckets are 2× apart, so
+// hist_p99 may read up to one bucket above p99). inproc is the
+// protocol-only floor; tcp and udp add the socket's tail.
+func expLatency(outPath string) {
+	const w, t, shards = 4, 8, 2
+	topo := must(core.New(w, t))
+	fmt.Printf("E32: flight-latency distributions over every transport, C(%d,%d), %d shards\n\n", w, t, shards)
+	boots := transportBoots(topo, shards)
+
+	var rows []latencyRow
+	for _, k := range []int{1, 64} {
+		for _, b := range boots {
+			ctr, stop := b.mk()
+			ops := 512
+			if k > 1 {
+				ops = 64
+			}
+			samples := make([]int64, 0, ops)
+			var scratch []int64
+			var err error
+			for i := 0; i < ops; i++ {
+				begin := time.Now()
+				if k == 1 {
+					_, err = ctr.Inc(i)
+				} else {
+					scratch, err = ctr.IncBatch(i, k, scratch[:0])
+				}
+				if err != nil {
+					panic(fmt.Sprintf("E32 %s k=%d: %v", b.name, k, err))
+				}
+				samples = append(samples, time.Since(begin).Nanoseconds())
+			}
+			// Gather BEFORE the verifying Read so the flight histogram
+			// holds exactly the ops timed above.
+			histP99 := histQuantileNs(ctr.Gather(), 0.99)
+			tokens := int64(ops * k)
+			rpcs := ctr.RPCs()
+			got, err := ctr.Read()
+			if err != nil {
+				panic(err)
+			}
+			if got != tokens {
+				panic(fmt.Sprintf("E32 %s k=%d: Read %d != %d — values leaked", b.name, k, got, tokens))
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			rows = append(rows, latencyRow{
+				Transport:    b.name,
+				K:            k,
+				Ops:          ops,
+				Tokens:       tokens,
+				P50Ns:        pctNs(samples, 0.50),
+				P95Ns:        pctNs(samples, 0.95),
+				P99Ns:        pctNs(samples, 0.99),
+				MaxNs:        samples[len(samples)-1],
+				HistP99Ns:    histP99,
+				RPCsPerToken: float64(rpcs) / float64(tokens),
+			})
+			ctr.Close()
+			stop()
+		}
+	}
+
+	tb := stats.NewTable("transport", "k", "ops", "p50 µs", "p95 µs", "p99 µs", "max µs", "hist p99 µs", "rpcs/token")
+	for _, r := range rows {
+		tb.AddRowf(r.Transport, r.K, r.Ops,
+			fmt.Sprintf("%.1f", float64(r.P50Ns)/1e3),
+			fmt.Sprintf("%.1f", float64(r.P95Ns)/1e3),
+			fmt.Sprintf("%.1f", float64(r.P99Ns)/1e3),
+			fmt.Sprintf("%.1f", float64(r.MaxNs)/1e3),
+			fmt.Sprintf("%.1f", r.HistP99Ns/1e3),
+			fmt.Sprintf("%.3f", r.RPCsPerToken))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\n(exact order statistics from per-op wall clocks; hist p99 is the client's" +
+		"\n own log-bucketed flight histogram read back through Gather — the same" +
+		"\n number /metrics exports — and brackets the exact p99 from above by at" +
+		"\n most one 2× bucket)")
+	if outPath != "" {
+		writeBenchDoc(outPath, "E32", rows, map[string]any{
+			"hist_source": wire.MetricClientFlightSeconds,
+			"note":        "hist_p99_ns is the bucket upper bound; exact percentiles from sorted per-op wall clocks",
 		})
 	}
 }

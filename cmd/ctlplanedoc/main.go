@@ -68,6 +68,12 @@ var healthy = map[string]string{
 	"countnet_client_pipeline_depth":          "= configured depth (constant); 1 = stop-and-wait",
 	"countnet_client_outstanding_packets":     "≤ depth × sessions; 0 when quiescent",
 	"countnet_client_msgs_total":              "≈4.4 per token batched (E25); 2(d+1) unbatched",
+	"countnet_client_flight_seconds":          "p99 ≈ one RTT × pipeline depth; spikes track retries (see OPERATIONS.md triage)",
+	"countnet_client_attempt_seconds":         "≈ one wire RTT; ≪ flight_seconds unless retries are zero",
+	"countnet_client_coalesce_wait_seconds":   "≤ one flight; grows with window size under concurrency",
+	"countnet_client_pool_checkout_seconds":   "≈0 with idle sessions; ≈ dial time after evictions",
+	"countnet_client_flight_attempts":         "p99 = 1 on a healthy network; >1 tracks retries_total",
+	"countnet_client_flight_events":           "≤ ring capacity (64); = recent completed flights",
 }
 
 type row struct {

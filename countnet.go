@@ -727,16 +727,38 @@ func NewControlPlaneFleet(name, labelKey string) *ControlPlaneFleet {
 	return ctlplane.NewFleet(name, labelKey)
 }
 
+// ControlPlaneOptions selects the optional admin endpoints:
+// Pprof mounts net/http/pprof under /debug/pprof/ (off by default —
+// profiling exposes stacks and timings; opt in deliberately).
+type ControlPlaneOptions = ctlplane.HandlerOptions
+
+// ControlPlaneFlightEvent is one completed flight from a counter's
+// bounded trace ring, served as JSON at /debug/flights.
+type ControlPlaneFlightEvent = ctlplane.FlightEvent
+
 // ServeControlPlane starts the admin surface for src on addr: /health
-// (HTTP 503 once draining or closed), /status, /metrics.
+// (HTTP 503 once draining or closed), /status, /metrics, and — when
+// src is a counter or fleet of counters — /debug/flights.
 func ServeControlPlane(addr string, src ControlPlaneSource) (*ControlPlaneServer, error) {
 	return ctlplane.Serve(addr, src)
+}
+
+// ServeControlPlaneOpts is ServeControlPlane with the optional
+// endpoints (pprof) selected.
+func ServeControlPlaneOpts(addr string, src ControlPlaneSource, opts ControlPlaneOptions) (*ControlPlaneServer, error) {
+	return ctlplane.ServeOpts(addr, src, opts)
 }
 
 // ControlPlaneHandler returns the admin mux for src, for mounting under
 // an existing HTTP server.
 func ControlPlaneHandler(src ControlPlaneSource) http.Handler {
 	return ctlplane.Handler(src)
+}
+
+// ControlPlaneHandlerOpts is ControlPlaneHandler with the optional
+// endpoints (pprof) selected.
+func ControlPlaneHandlerOpts(src ControlPlaneSource, opts ControlPlaneOptions) http.Handler {
+	return ctlplane.HandlerOpts(src, opts)
 }
 
 // DrainOnSignal runs drain once when one of the given signals arrives

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -110,13 +111,23 @@ func TestRegistryRejectsBadRegistrations(t *testing.T) {
 // format 0.0.4 subset WritePrometheus emits: every non-comment line is
 // `name{labels} value`, every name is announced by exactly one
 // # HELP / # TYPE pair before its first sample, and no name's samples
-// are split across groups.
-func validatePrometheusText(t *testing.T, text string) map[string]int64 {
+// are split across groups. Histogram families get the full treatment:
+// their _bucket/_sum/_count series must follow the family's single
+// HELP/TYPE pair, every bucket series must carry an le label, le values
+// must ascend strictly and end at +Inf, cumulative counts must be
+// monotone, and the +Inf bucket must equal the matching _count series.
+func validatePrometheusText(t *testing.T, text string) map[string]float64 {
 	t.Helper()
-	values := make(map[string]int64) // series key -> value
+	values := make(map[string]float64) // series key -> value
 	helped := make(map[string]bool)
 	typed := make(map[string]Type)
-	finished := make(map[string]bool) // name -> a different name's samples followed
+	finished := make(map[string]bool) // family -> a different family's samples followed
+	// histogram family + "|" + non-le labels -> ascending (le, count)
+	type bucket struct {
+		le  float64
+		val float64
+	}
+	buckets := make(map[string][]bucket)
 	var last string
 	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		switch {
@@ -136,7 +147,7 @@ func validatePrometheusText(t *testing.T, text string) map[string]int64 {
 				t.Fatalf("line %d: malformed TYPE %q", ln+1, line)
 			}
 			name, typ := fields[0], Type(fields[1])
-			if typ != TypeCounter && typ != TypeGauge {
+			if typ != TypeCounter && typ != TypeGauge && typ != TypeHistogram {
 				t.Fatalf("line %d: unknown type %q", ln+1, typ)
 			}
 			if _, dup := typed[name]; dup {
@@ -146,7 +157,7 @@ func validatePrometheusText(t *testing.T, text string) map[string]int64 {
 		case strings.HasPrefix(line, "#"):
 			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
 		default:
-			// Sample line: name or name{k="v",...}, space, integer.
+			// Sample line: name or name{k="v",...}, space, value.
 			// Label values may contain spaces, so split on the last one.
 			cut := strings.LastIndexByte(line, ' ')
 			if cut < 0 {
@@ -163,27 +174,112 @@ func validatePrometheusText(t *testing.T, text string) map[string]int64 {
 			if !metricNameRe.MatchString(name) {
 				t.Fatalf("line %d: bad sample name %q", ln+1, name)
 			}
-			if !helped[name] || typed[name] == "" {
+			// A histogram family announces one name; its samples carry
+			// the expanded _bucket/_sum/_count names.
+			family := name
+			if typed[name] == "" {
+				for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+					if f, ok := strings.CutSuffix(name, suffix); ok && typed[f] == TypeHistogram {
+						family = f
+						break
+					}
+				}
+			}
+			if !helped[family] || typed[family] == "" {
 				t.Fatalf("line %d: sample for %s before HELP/TYPE", ln+1, name)
 			}
-			if finished[name] {
-				t.Fatalf("line %d: samples for %s split across groups", ln+1, name)
+			if typed[family] == TypeHistogram && family == name {
+				t.Fatalf("line %d: bare sample %q for histogram family (want _bucket/_sum/_count)", ln+1, name)
 			}
-			if last != "" && last != name {
+			if finished[family] {
+				t.Fatalf("line %d: samples for %s split across groups", ln+1, family)
+			}
+			if last != "" && last != family {
 				finished[last] = true
 			}
-			last = name
-			v, err := strconv.ParseInt(valStr, 10, 64)
+			last = family
+			v, err := strconv.ParseFloat(valStr, 64)
 			if err != nil {
 				t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+			}
+			if typed[family] != TypeHistogram && strings.ContainsAny(valStr, ".eE") {
+				t.Fatalf("line %d: non-integer value %q for %s", ln+1, valStr, name)
 			}
 			if _, dup := values[body]; dup {
 				t.Fatalf("line %d: duplicate series %q", ln+1, body)
 			}
 			values[body] = v
+			if name == family+"_bucket" && typed[family] == TypeHistogram {
+				rest, le, ok := splitLE(body[len(name):])
+				if !ok {
+					t.Fatalf("line %d: bucket series %q without an le label", ln+1, body)
+				}
+				buckets[family+"|"+rest] = append(buckets[family+"|"+rest], bucket{le: le, val: v})
+			}
+		}
+	}
+	// Histogram family post-pass: per (family, labels) series set.
+	for key, bs := range buckets {
+		family, rest, _ := strings.Cut(key, "|")
+		for i := 1; i < len(bs); i++ {
+			if !(bs[i].le > bs[i-1].le) {
+				t.Fatalf("%s%s: le values not strictly ascending (%v after %v)",
+					family, rest, bs[i].le, bs[i-1].le)
+			}
+			if bs[i].val < bs[i-1].val {
+				t.Fatalf("%s%s: cumulative bucket counts not monotone (%v < %v at le=%v)",
+					family, rest, bs[i].val, bs[i-1].val, bs[i].le)
+			}
+		}
+		inf := bs[len(bs)-1]
+		if !math.IsInf(inf.le, 1) {
+			t.Fatalf("%s%s: last bucket le = %v, want +Inf", family, rest, inf.le)
+		}
+		count, ok := values[family+"_count"+rest]
+		if !ok {
+			t.Fatalf("%s%s: histogram without a _count series", family, rest)
+		}
+		if inf.val != count {
+			t.Fatalf("%s%s: +Inf bucket %v != _count %v", family, rest, inf.val, count)
+		}
+		if _, ok := values[family+"_sum"+rest]; !ok {
+			t.Fatalf("%s%s: histogram without a _sum series", family, rest)
 		}
 	}
 	return values
+}
+
+// splitLE strips the le label out of a label body (`{a="b",le="x"}`),
+// returning the remaining labels (`{a="b"}`, or "" when le was alone)
+// and the parsed le bound.
+func splitLE(labels string) (rest string, le float64, ok bool) {
+	i := strings.LastIndex(labels, `le="`)
+	if i < 0 {
+		return labels, 0, false
+	}
+	end := strings.IndexByte(labels[i+4:], '"')
+	if end < 0 {
+		return labels, 0, false
+	}
+	leStr := labels[i+4 : i+4+end]
+	if leStr == "+Inf" {
+		le = math.Inf(1)
+	} else {
+		var err error
+		if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+			return labels, 0, false
+		}
+	}
+	rest = labels[:i] + labels[i+4+end+1:]
+	rest = strings.TrimSuffix(rest, ",}") // le was last: {a="b",le="x"}
+	if rest != labels[:i]+labels[i+4+end+1:] {
+		rest += "}"
+	}
+	rest = strings.Replace(rest, "{,", "{", 1) // le was first but not alone
+	if rest == "{}" {
+		rest = ""
+	}
+	return rest, le, true
 }
 
 func TestWritePrometheusFormat(t *testing.T) {
@@ -204,10 +300,10 @@ func TestWritePrometheusFormat(t *testing.T) {
 		t.Fatalf("validator saw %d series, want 3:\n%s", len(values), text)
 	}
 	if v := values[`countnet_x_total{transport="tcp",shard="0"}`]; v != 1 {
-		t.Fatalf("tcp series = %d, want 1:\n%s", v, text)
+		t.Fatalf("tcp series = %v, want 1:\n%s", v, text)
 	}
 	if v := values[`countnet_x_total{transport="udp",value="needs \"escaping\"\n"}`]; v != 3 {
-		t.Fatalf("udp series = %d, want 3:\n%s", v, text)
+		t.Fatalf("udp series = %v, want 3:\n%s", v, text)
 	}
 	if !strings.Contains(text, `# HELP countnet_x_total a "quoted" help with \\ and\nnewline`) {
 		t.Fatalf("help not escaped:\n%s", text)

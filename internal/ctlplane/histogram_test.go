@@ -1,0 +1,415 @@
+package ctlplane
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramRejectsBadConstruction(t *testing.T) {
+	mustPanic(t, "no bounds", func() { NewHistogram(1) })
+	mustPanic(t, "zero scale", func() { NewHistogram(0, 1, 2) })
+	mustPanic(t, "non-ascending bounds", func() { NewHistogram(1, 1, 1, 2) })
+	mustPanic(t, "nil histogram registration", func() {
+		NewRegistry().Histogram("countnet_h_seconds", "h", nil)
+	})
+	// Non-countnet name so the registry-level check is exercised on its
+	// own (the countlint metricname rule covers countnet_ names).
+	mustPanic(t, "histogram family ending _total", func() {
+		NewRegistry().Histogram("other_h_total", "h", NewHistogram(1, 1))
+	})
+	mustPanic(t, "metric colliding with histogram expansion", func() {
+		r := NewRegistry()
+		r.Histogram("countnet_h_seconds", "h", NewHistogram(1, 1))
+		r.Gauge("countnet_h_seconds_count", "clash", func() int64 { return 0 })
+	})
+	mustPanic(t, "histogram expanding over existing metric", func() {
+		r := NewRegistry()
+		r.Gauge("countnet_h_seconds_sum", "taken", func() int64 { return 0 })
+		r.Histogram("countnet_h_seconds", "h", NewHistogram(1, 1))
+	})
+}
+
+// TestHistogramBucketBoundaries is the boundary property test: every
+// observed value lands in exactly one non-cumulative step, and that
+// step is the first bucket whose (inclusive) upper bound covers it.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []int64{10, 100, 1000, 10000}
+	expectedBucket := func(v int64) int {
+		for i, b := range bounds {
+			if v <= b {
+				return i
+			}
+		}
+		return len(bounds) // +Inf
+	}
+	probe := []int64{-5, 0, 1, 9, 10, 11, 99, 100, 101, 999, 1000, 1001, 9999, 10000, 10001, 1 << 40}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		probe = append(probe, rng.Int63n(20000))
+	}
+	for _, v := range probe {
+		h := NewHistogram(1, bounds...)
+		h.Observe(v)
+		s := h.Snapshot()
+		if s.Count != 1 {
+			t.Fatalf("Observe(%d): snapshot count = %d, want 1", v, s.Count)
+		}
+		// Exactly one cumulative step: counts are 0...0,1...1 with the
+		// step at the expected bucket.
+		step := -1
+		var prev int64
+		for j, b := range s.Buckets {
+			if d := b.Count - prev; d != 0 {
+				if d != 1 || step != -1 {
+					t.Fatalf("Observe(%d): more than one cumulative step: %+v", v, s.Buckets)
+				}
+				step = j
+			}
+			prev = b.Count
+		}
+		if want := expectedBucket(v); step != want {
+			t.Fatalf("Observe(%d) landed in bucket %d, want %d (bounds %v)", v, step, want, bounds)
+		}
+	}
+}
+
+func TestHistogramSnapshotAndQuantile(t *testing.T) {
+	h := NewHistogram(1000, 1000, 2000, 4000) // exposes units of 1k
+	for _, v := range []int64{500, 1000, 1500, 3000, 9000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	wantLE := []float64{1, 2, 4, math.Inf(1)}
+	wantCum := []int64{2, 3, 4, 5}
+	for i, b := range s.Buckets {
+		if b.LE != wantLE[i] || b.Count != wantCum[i] {
+			t.Fatalf("bucket %d = {%v %d}, want {%v %d}", i, b.LE, b.Count, wantLE[i], wantCum[i])
+		}
+	}
+	if s.Count != 5 || s.Sum != 15 {
+		t.Fatalf("snapshot count/sum = %d/%v, want 5/15", s.Count, s.Sum)
+	}
+	if q := s.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %v, want bucket bound 2", q)
+	}
+	if q := s.Quantile(0.79); q != 4 {
+		t.Fatalf("p79 = %v, want bucket bound 4", q)
+	}
+	if q := s.Quantile(1); !math.IsInf(q, 1) {
+		t.Fatalf("p100 = %v, want +Inf (value above the last bound)", q)
+	}
+	if q := (HistSnapshot{}).Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty-histogram quantile = %v, want NaN", q)
+	}
+}
+
+// TestPrometheusHistogramFormat pins the exposition shape end to end:
+// registry -> Gather -> WritePrometheus -> the strict validator, plus
+// exact series values for a known observation set, under labels and
+// under a fleet prefix.
+func TestPrometheusHistogramFormat(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHistogram(1000, 1000, 2000, 4000)
+	for _, v := range []int64{500, 1500, 9000} {
+		h.Observe(v)
+	}
+	reg.Histogram("countnet_test_latency_seconds", "Test latency.", h,
+		Label{"transport", "tcp"})
+	reg.Counter("countnet_test_ops_total", "Test operations.", func() int64 { return 7 })
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	values := validatePrometheusText(t, text)
+
+	series := func(s string) float64 {
+		v, ok := values[s]
+		if !ok {
+			t.Fatalf("series %q missing from:\n%s", s, text)
+		}
+		return v
+	}
+	if v := series(`countnet_test_latency_seconds_bucket{transport="tcp",le="1"}`); v != 1 {
+		t.Fatalf("le=1 bucket = %v, want 1:\n%s", v, text)
+	}
+	if v := series(`countnet_test_latency_seconds_bucket{transport="tcp",le="2"}`); v != 2 {
+		t.Fatalf("le=2 bucket = %v, want 2:\n%s", v, text)
+	}
+	if v := series(`countnet_test_latency_seconds_bucket{transport="tcp",le="+Inf"}`); v != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3:\n%s", v, text)
+	}
+	if v := series(`countnet_test_latency_seconds_count{transport="tcp"}`); v != 3 {
+		t.Fatalf("_count = %v, want 3:\n%s", v, text)
+	}
+	if v := series(`countnet_test_latency_seconds_sum{transport="tcp"}`); v != 11 {
+		t.Fatalf("_sum = %v, want 11:\n%s", v, text)
+	}
+	if n := strings.Count(text, "# TYPE countnet_test_latency_seconds"); n != 1 {
+		t.Fatalf("histogram family announced %d times, want 1:\n%s", n, text)
+	}
+	if !strings.Contains(text, "# TYPE countnet_test_latency_seconds histogram\n") {
+		t.Fatalf("family not typed histogram:\n%s", text)
+	}
+
+	// The same samples through a fleet keep the le label composable:
+	// fleet labels prefix, le stays on the bucket series.
+	fl := NewFleet("f", "stripe")
+	fl.Add("3", &fakeSource{health: Health{Live: true}, reg: reg})
+	b.Reset()
+	if err := WritePrometheus(&b, fl.Gather()); err != nil {
+		t.Fatal(err)
+	}
+	fleetValues := validatePrometheusText(t, b.String())
+	if v := fleetValues[`countnet_test_latency_seconds_bucket{stripe="3",transport="tcp",le="+Inf"}`]; v != 3 {
+		t.Fatalf("fleet-prefixed +Inf bucket = %v, want 3:\n%s", v, b.String())
+	}
+}
+
+// TestHistogramRaceConsistency hammers Observe from many goroutines
+// while a scraper keeps snapshotting: every snapshot must be internally
+// consistent (cumulative buckets monotone, +Inf == Count) and Count
+// must be monotone across snapshots; after the writers quiesce the
+// totals must be exact. Run under -race via make resilience.
+func TestHistogramRaceConsistency(t *testing.T) {
+	const writers = 8
+	const perWriter = 5000
+	h := NewHistogram(1, 10, 100, 1000)
+
+	stop := make(chan struct{})
+	scraped := make(chan error, 1)
+	go func() {
+		var lastCount int64
+		defer close(scraped)
+		for {
+			s := h.Snapshot()
+			var prev int64
+			for i, b := range s.Buckets {
+				if b.Count < prev {
+					t.Errorf("snapshot bucket %d not cumulative: %d < %d", i, b.Count, prev)
+					return
+				}
+				prev = b.Count
+			}
+			if s.Buckets[len(s.Buckets)-1].Count != s.Count {
+				t.Errorf("+Inf bucket %d != Count %d", s.Buckets[len(s.Buckets)-1].Count, s.Count)
+				return
+			}
+			if s.Count < lastCount {
+				t.Errorf("Count went backwards: %d after %d", s.Count, lastCount)
+				return
+			}
+			lastCount = s.Count
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(rng.Int63n(2000))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	<-scraped
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("final count = %d, want %d", s.Count, writers*perWriter)
+	}
+	// Replay the deterministic observation stream for the exact sum and
+	// per-bucket totals.
+	var wantSum float64
+	wantBuckets := make([]int64, 4)
+	for w := 0; w < writers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < perWriter; i++ {
+			v := rng.Int63n(2000)
+			wantSum += float64(v)
+			switch {
+			case v <= 10:
+				wantBuckets[0]++
+			case v <= 100:
+				wantBuckets[1]++
+			case v <= 1000:
+				wantBuckets[2]++
+			default:
+				wantBuckets[3]++
+			}
+		}
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("final sum = %v, want %v", s.Sum, wantSum)
+	}
+	var cum int64
+	for i, want := range wantBuckets {
+		cum += want
+		if s.Buckets[i].Count != cum {
+			t.Fatalf("final bucket %d = %d, want %d", i, s.Buckets[i].Count, cum)
+		}
+	}
+}
+
+// TestHistogramObserveAllocs pins the zero-allocation record path
+// directly (BenchmarkHistogramObserve carries the same claim in
+// bench-smoke).
+func TestHistogramObserveAllocs(t *testing.T) {
+	h := NewLatencyHistogram()
+	var v int64
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v += 997
+	}); allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewLatencyHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) * 977)
+	}
+}
+
+func TestFlightRingBufferBounded(t *testing.T) {
+	r := NewFlightRing(8)
+	base := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		r.Record(FlightEvent{Start: base.Add(time.Duration(i) * time.Second), Tokens: int64(i)})
+	}
+	if n := r.Len(); n != 8 {
+		t.Fatalf("ring len = %d, want capacity 8", n)
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("Events returned %d, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(99 - i); ev.Tokens != want {
+			t.Fatalf("event %d tokens = %d, want %d (newest first, oldest evicted)", i, ev.Tokens, want)
+		}
+	}
+	// Partial fill: no zero-value padding events.
+	r2 := NewFlightRing(0) // default capacity
+	r2.Record(FlightEvent{Tokens: 1})
+	r2.Record(FlightEvent{Tokens: 2})
+	if evs := r2.Events(); len(evs) != 2 || evs[0].Tokens != 2 || evs[1].Tokens != 1 {
+		t.Fatalf("partial ring events = %+v, want [2 1]", evs)
+	}
+}
+
+func TestFleetFlightsAggregation(t *testing.T) {
+	mk := func(tokens int64, at time.Time) *flightFakeSource {
+		r := NewFlightRing(4)
+		r.Record(FlightEvent{Start: at, Tokens: tokens})
+		return &flightFakeSource{fakeSource: fakeSource{health: Health{Live: true}, reg: NewRegistry()}, ring: r}
+	}
+	base := time.Unix(2000, 0)
+	fl := NewFleet("f", "stripe")
+	fl.Add("0", mk(10, base.Add(time.Second)))
+	fl.Add("1", mk(11, base.Add(2*time.Second)))
+	fl.Add("2", &fakeSource{health: Health{Live: true}, reg: NewRegistry()}) // not a FlightSource
+
+	evs := fl.Flights()
+	if len(evs) != 2 {
+		t.Fatalf("fleet flights = %d events, want 2", len(evs))
+	}
+	if evs[0].Tokens != 11 || evs[0].Source != "stripe=1" {
+		t.Fatalf("newest event = %+v, want tokens 11 from stripe=1", evs[0])
+	}
+	if evs[1].Source != "stripe=0" {
+		t.Fatalf("second event = %+v, want stripe=0", evs[1])
+	}
+}
+
+// flightFakeSource is a fakeSource that also retains flights.
+type flightFakeSource struct {
+	fakeSource
+	ring *FlightRing
+}
+
+func (f *flightFakeSource) Flights() []FlightEvent { return f.ring.Events() }
+
+func TestDebugFlightsEndpoint(t *testing.T) {
+	// A plain Source gets no /debug/flights.
+	plain := &fakeSource{health: Health{Live: true}, reg: NewRegistry()}
+	srv, err := Serve("127.0.0.1:0", plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ := httpGet(t, "http://"+srv.Addr()+"/debug/flights")
+	srv.Close()
+	if code != http.StatusNotFound {
+		t.Fatalf("/debug/flights on a flightless source = %d, want 404", code)
+	}
+
+	// A FlightSource serves its ring as JSON, newest first.
+	ring := NewFlightRing(4)
+	ring.Record(FlightEvent{Op: "inc", Wire: 2, Tokens: 1, Attempts: 1, RPCs: 4, Outcome: "ok"})
+	ring.Record(FlightEvent{Op: "window", Wire: 0, Tokens: 9, Attempts: 2, RPCs: 8, Retransmits: 1, Outcome: "ok"})
+	src := &flightFakeSource{fakeSource: fakeSource{health: Health{Live: true}, reg: NewRegistry()}, ring: ring}
+	srv, err = Serve("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, ctype, body := httpGet(t, "http://"+srv.Addr()+"/debug/flights")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/debug/flights = %d %q, want 200 application/json", code, ctype)
+	}
+	var evs []FlightEvent
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/debug/flights body %q: %v", body, err)
+	}
+	if len(evs) != 2 || evs[0].Op != "window" || evs[0].Retransmits != 1 || evs[1].Op != "inc" {
+		t.Fatalf("/debug/flights events = %+v", evs)
+	}
+}
+
+func TestPprofEndpointOptIn(t *testing.T) {
+	src := &fakeSource{health: Health{Live: true}, reg: NewRegistry()}
+
+	// Default surface: no profiling endpoints.
+	srv, err := Serve("127.0.0.1:0", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ := httpGet(t, "http://"+srv.Addr()+"/debug/pprof/")
+	srv.Close()
+	if code != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without opt-in = %d, want 404", code)
+	}
+
+	// Opted in: the pprof index and profiles are live.
+	srv, err = ServeOpts("127.0.0.1:0", src, HandlerOptions{Pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, _, body := httpGet(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ opted in = %d, body %q", code, body)
+	}
+	code, _, _ = httpGet(t, "http://"+srv.Addr()+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/goroutine = %d, want 200", code)
+	}
+}

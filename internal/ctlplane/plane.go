@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -132,11 +133,44 @@ func (f *Fleet) Gather() []Sample {
 	return out
 }
 
+// HandlerOptions configures the optional debug surface of the admin
+// mux. The zero value is the safe production default: flight tracing
+// on (it is dependency-free and bounded), pprof off.
+type HandlerOptions struct {
+	// Pprof mounts net/http/pprof under /debug/pprof/ (profile, heap,
+	// goroutine, trace, ...). Opt-in: profiling endpoints can stall a
+	// busy process and leak internals, so they are off unless a
+	// deployment asks for them.
+	Pprof bool
+}
+
 // Handler returns the admin mux for a Source: /health (JSON; HTTP 200
 // while live, 503 once draining or closed), /status (JSON topology),
-// /metrics (Prometheus text exposition format).
-func Handler(src Source) http.Handler {
+// /metrics (Prometheus text exposition format), and — when the Source
+// also implements FlightSource — /debug/flights (JSON, last-N
+// completed flights, newest first).
+func Handler(src Source) http.Handler { return HandlerOpts(src, HandlerOptions{}) }
+
+// HandlerOpts is Handler plus the opt-in debug surface.
+func HandlerOpts(src Source, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
+	if fs, ok := src.(FlightSource); ok {
+		mux.HandleFunc("/debug/flights", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(fs.Flights()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
 		h := src.Health()
 		w.Header().Set("Content-Type", "application/json")
@@ -169,11 +203,16 @@ type Server struct {
 // Serve starts the admin surface for src on addr (use "127.0.0.1:0" in
 // tests and read back Addr).
 func Serve(addr string, src Source) (*Server, error) {
+	return ServeOpts(addr, src, HandlerOptions{})
+}
+
+// ServeOpts is Serve with the opt-in debug surface configured.
+func ServeOpts(addr string, src Source, opts HandlerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(src)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: HandlerOpts(src, opts)}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

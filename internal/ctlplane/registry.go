@@ -31,8 +31,10 @@ package ctlplane
 import (
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -42,8 +44,9 @@ import (
 type Type string
 
 const (
-	TypeCounter Type = "counter"
-	TypeGauge   Type = "gauge"
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
 )
 
 // Label is one name="value" pair attached to a metric's samples.
@@ -53,23 +56,27 @@ type Label struct {
 }
 
 // Sample is one evaluated metric reading, the unit Gather returns and
-// WritePrometheus renders.
+// WritePrometheus renders. Counter and gauge samples carry Value;
+// histogram samples carry Hist instead (Value stays zero).
 type Sample struct {
 	Name   string
 	Type   Type
 	Help   string
 	Labels []Label
 	Value  int64
+	Hist   *HistSnapshot
 }
 
 // metric is one registered read-side view: a name plus the closure that
-// reads the underlying atomic at scrape time.
+// reads the underlying atomic at scrape time. Exactly one of read/hist
+// is set, matching the sample shape.
 type metric struct {
 	name   string
 	typ    Type
 	help   string
 	labels []Label
 	read   func() int64
+	hist   func() HistSnapshot
 }
 
 var (
@@ -83,15 +90,20 @@ var (
 // the slice only — the closures read atomics the data path maintains
 // anyway, so a scrape never blocks an operation.
 type Registry struct {
-	mu      sync.Mutex
-	metrics []metric
-	seen    map[string]struct{} // name + sorted labels, duplicate guard
-	meta    map[string]metric   // name -> first registration, consistency guard
+	mu       sync.Mutex
+	metrics  []metric
+	seen     map[string]struct{} // name + sorted labels, duplicate guard
+	meta     map[string]metric   // name -> first registration, consistency guard
+	reserved map[string]string   // histogram-expanded name (_bucket/_sum/_count) -> family
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{seen: make(map[string]struct{}), meta: make(map[string]metric)}
+	return &Registry{
+		seen:     make(map[string]struct{}),
+		meta:     make(map[string]metric),
+		reserved: make(map[string]string),
+	}
 }
 
 // Counter registers a monotonically increasing metric read from the
@@ -107,33 +119,65 @@ func (r *Registry) Gauge(name, help string, read func() int64, labels ...Label) 
 	r.register(name, TypeGauge, help, read, labels)
 }
 
+// Histogram registers a distribution metric whose snapshot closure is
+// evaluated at scrape time. The name is the family name: exposition
+// expands it to name_bucket{le="..."} / name_sum / name_count series,
+// so those three expanded names are reserved against separate
+// registrations (and a histogram family must not end in _total — that
+// suffix is the counter convention).
+func (r *Registry) Histogram(name, help string, h *Histogram, labels ...Label) {
+	if h == nil {
+		panic(fmt.Sprintf("ctlplane: histogram %s registered with a nil Histogram", name))
+	}
+	r.registerMetric(metric{name: name, typ: TypeHistogram, help: help, labels: labels, hist: h.Snapshot})
+}
+
 func (r *Registry) register(name string, typ Type, help string, read func() int64, labels []Label) {
-	if !metricNameRe.MatchString(name) {
-		panic(fmt.Sprintf("ctlplane: invalid metric name %q", name))
-	}
-	for _, l := range labels {
-		if !labelNameRe.MatchString(l.Key) {
-			panic(fmt.Sprintf("ctlplane: metric %s: invalid label name %q", name, l.Key))
-		}
-	}
 	if read == nil {
 		panic(fmt.Sprintf("ctlplane: metric %s registered without a read func", name))
 	}
-	key := seriesKey(name, labels)
+	r.registerMetric(metric{name: name, typ: typ, help: help, labels: labels, read: read})
+}
+
+func (r *Registry) registerMetric(m metric) {
+	if !metricNameRe.MatchString(m.name) {
+		panic(fmt.Sprintf("ctlplane: invalid metric name %q", m.name))
+	}
+	for _, l := range m.labels {
+		if !labelNameRe.MatchString(l.Key) {
+			panic(fmt.Sprintf("ctlplane: metric %s: invalid label name %q", m.name, l.Key))
+		}
+	}
+	if m.typ == TypeHistogram && strings.HasSuffix(m.name, "_total") {
+		panic(fmt.Sprintf("ctlplane: histogram family %s must not end in _total", m.name))
+	}
+	key := seriesKey(m.name, m.labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.seen[key]; dup {
 		panic(fmt.Sprintf("ctlplane: duplicate series %s", key))
 	}
-	if prev, ok := r.meta[name]; ok {
-		if prev.typ != typ || prev.help != help {
-			panic(fmt.Sprintf("ctlplane: metric %s re-registered with different type or help", name))
+	if prev, ok := r.meta[m.name]; ok {
+		if prev.typ != m.typ || prev.help != m.help {
+			panic(fmt.Sprintf("ctlplane: metric %s re-registered with different type or help", m.name))
 		}
 	} else {
-		r.meta[name] = metric{name: name, typ: typ, help: help}
+		if fam, clash := r.reserved[m.name]; clash {
+			panic(fmt.Sprintf("ctlplane: metric %s collides with histogram family %s", m.name, fam))
+		}
+		if m.typ == TypeHistogram {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				expanded := m.name + suffix
+				if _, taken := r.meta[expanded]; taken {
+					panic(fmt.Sprintf("ctlplane: histogram family %s expands to existing metric %s", m.name, expanded))
+				}
+				r.reserved[expanded] = m.name
+			}
+		}
+		r.meta[m.name] = metric{name: m.name, typ: m.typ, help: m.help}
 	}
 	r.seen[key] = struct{}{}
-	r.metrics = append(r.metrics, metric{name: name, typ: typ, help: help, labels: labels, read: read})
+	r.metrics = append(r.metrics, m)
 }
 
 // seriesKey canonicalizes a (name, labels) pair for duplicate detection.
@@ -162,7 +206,14 @@ func (r *Registry) Gather() []Sample {
 	r.mu.Unlock()
 	out := make([]Sample, 0, len(metrics))
 	for _, m := range metrics {
-		out = append(out, Sample{Name: m.name, Type: m.typ, Help: m.help, Labels: m.labels, Value: m.read()})
+		s := Sample{Name: m.name, Type: m.typ, Help: m.help, Labels: m.labels}
+		if m.hist != nil {
+			snap := m.hist()
+			s.Hist = &snap
+		} else {
+			s.Value = m.read()
+		}
+		out = append(out, s)
 	}
 	return out
 }
@@ -187,12 +238,48 @@ func WritePrometheus(w io.Writer, samples []Sample) error {
 			return err
 		}
 		for _, s := range group {
+			if s.Type == TypeHistogram && s.Hist != nil {
+				if err := writeHistogram(w, name, s); err != nil {
+					return err
+				}
+				continue
+			}
 			if _, err := fmt.Fprintf(w, "%s%s %d\n", name, formatLabels(s.Labels), s.Value); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// writeHistogram renders one histogram sample as the Prometheus
+// cumulative-bucket form: name_bucket{...,le="..."} per bound ending
+// with le="+Inf", then name_sum and name_count. The le label is
+// appended after the sample's own labels, so fleet label prefixing
+// composes unchanged.
+func writeHistogram(w io.Writer, name string, s Sample) error {
+	base := formatLabels(s.Labels)
+	for _, b := range s.Hist.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.LE, 1) {
+			le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+		}
+		var labels string
+		if base == "" {
+			labels = fmt.Sprintf(`{le="%s"}`, le)
+		} else {
+			labels = fmt.Sprintf(`%s,le="%s"}`, base[:len(base)-1], le)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels, b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, base,
+		strconv.FormatFloat(s.Hist.Sum, 'g', -1, 64)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, base, s.Hist.Count)
+	return err
 }
 
 func formatLabels(labels []Label) string {

@@ -28,6 +28,11 @@ var MetricName = &Analyzer{
 
 var promNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
+// latencyHelpRE marks help text describing a duration distribution —
+// such a histogram must carry the _seconds unit suffix so dashboards
+// and alert rules can assume the unit.
+var latencyHelpRE = regexp.MustCompile(`(?i)\b(latency|latencies|duration|rtt|round-trip|wait|time|seconds)\b`)
+
 const (
 	wirePkgPath    = "repro/internal/wire"
 	ctlplanedocDir = "cmd/ctlplanedoc"
@@ -57,7 +62,10 @@ func runMetricNamePkg(p *Pass) {
 		}
 	}
 
-	// Registration sites: Counter ⇒ *_total, Gauge ⇒ not *_total.
+	// Registration sites: Counter ⇒ *_total, Gauge ⇒ not *_total,
+	// Histogram ⇒ not *_total (exposition appends _bucket/_sum/_count)
+	// and, when the help text describes a duration, the _seconds unit
+	// suffix.
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -69,7 +77,7 @@ func runMetricNamePkg(p *Pass) {
 				return true
 			}
 			kind := sel.Sel.Name
-			if kind != "Counter" && kind != "Gauge" {
+			if kind != "Counter" && kind != "Gauge" && kind != "Histogram" {
 				return true
 			}
 			if !isRegistryRecv(p, sel.X) {
@@ -80,11 +88,25 @@ func runMetricNamePkg(p *Pass) {
 				return true
 			}
 			total := strings.HasSuffix(name, "_total")
-			if kind == "Counter" && !total {
-				p.Report(call.Args[0].Pos(), "counter %q must end in _total (Prometheus counter convention)", name)
-			}
-			if kind == "Gauge" && total {
-				p.Report(call.Args[0].Pos(), "gauge %q must not end in _total; that suffix is reserved for counters", name)
+			switch kind {
+			case "Counter":
+				if !total {
+					p.Report(call.Args[0].Pos(), "counter %q must end in _total (Prometheus counter convention)", name)
+				}
+			case "Gauge":
+				if total {
+					p.Report(call.Args[0].Pos(), "gauge %q must not end in _total; that suffix is reserved for counters", name)
+				}
+			case "Histogram":
+				if total {
+					p.Report(call.Args[0].Pos(), "histogram family %q must not end in _total; exposition appends _bucket/_sum/_count", name)
+				}
+				if len(call.Args) >= 2 {
+					if help, ok := stringConst(p, call.Args[1]); ok &&
+						latencyHelpRE.MatchString(help) && !strings.HasSuffix(name, "_seconds") {
+						p.Report(call.Args[0].Pos(), "latency histogram %q must carry the _seconds unit suffix", name)
+					}
+				}
 			}
 			return true
 		})

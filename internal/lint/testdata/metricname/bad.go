@@ -17,6 +17,8 @@ const (
 )
 
 func registerBad(r *Registry) {
-	r.Counter("countnet_fixture_ops", "Counter missing its suffix.")     // want "must end in _total"
-	r.Gauge("countnet_fixture_depth_total", "Gauge wearing the suffix.") // want "must not end in _total"
+	r.Counter("countnet_fixture_ops", "Counter missing its suffix.")                        // want "must end in _total"
+	r.Gauge("countnet_fixture_depth_total", "Gauge wearing the suffix.")                    // want "must not end in _total"
+	r.Histogram("countnet_fixture_lag_total", "Histogram wearing the counter suffix.", nil) // want "must not end in _total"
+	r.Histogram("countnet_fixture_lag", "Latency of fixture flights.", nil)                 // want "must carry the _seconds unit suffix"
 }

@@ -7,15 +7,28 @@ type Registry struct{}
 func (r *Registry) Counter(name, help string) {}
 func (r *Registry) Gauge(name, help string)   {}
 
+// Histogram mimics ctlplane's registration shape (the real third
+// argument is a *ctlplane.Histogram; the analyzer only reads the
+// name and help strings).
+func (r *Registry) Histogram(name, help string, h any) {}
+
 const (
 	MetricGoodFrames = "countnet_fixture_frames_total"
 	HelpGoodFrames   = "Frames processed by the fixture."
 
 	MetricGoodDepth = "countnet_fixture_depth"
 	HelpGoodDepth   = "Current depth of the fixture queue."
+
+	MetricGoodLatency = "countnet_fixture_flight_seconds"
+	HelpGoodLatency   = "Latency of fixture flights."
+
+	MetricGoodAttempts = "countnet_fixture_flight_attempts"
+	HelpGoodAttempts   = "Tries per fixture flight."
 )
 
 func registerGood(r *Registry) {
 	r.Counter(MetricGoodFrames, HelpGoodFrames)
 	r.Gauge(MetricGoodDepth, HelpGoodDepth)
+	r.Histogram(MetricGoodLatency, HelpGoodLatency, nil)
+	r.Histogram(MetricGoodAttempts, HelpGoodAttempts, nil)
 }

@@ -34,9 +34,9 @@ func scrape(t *testing.T, url string) (int, string) {
 
 // parseMetrics reads a /metrics body into series -> value (series is
 // the full `name{labels}` sample key; comment lines are skipped).
-func parseMetrics(t *testing.T, body string) map[string]int64 {
+func parseMetrics(t *testing.T, body string) map[string]float64 {
 	t.Helper()
-	out := make(map[string]int64)
+	out := make(map[string]float64)
 	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -45,7 +45,7 @@ func parseMetrics(t *testing.T, body string) map[string]int64 {
 		if cut < 0 {
 			t.Fatalf("malformed metric line %q", line)
 		}
-		v, err := strconv.ParseInt(line[cut+1:], 10, 64)
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
 		if err != nil {
 			t.Fatalf("metric line %q: %v", line, err)
 		}
@@ -269,7 +269,7 @@ func TestShardedCounterEndpointAggregation(t *testing.T) {
 		if !ok || v == 0 {
 			t.Fatalf("stripe %d rpcs missing from fleet scrape:\n%s", stripe, body)
 		}
-		fleetRPCs += v
+		fleetRPCs += int64(v)
 	}
 	if got := ctr.RPCs(); fleetRPCs != got {
 		t.Fatalf("scraped stripe rpcs sum to %d, aggregate says %d", fleetRPCs, got)

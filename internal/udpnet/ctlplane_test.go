@@ -87,7 +87,7 @@ func TestUDPShardControlPlaneEndpoints(t *testing.T) {
 	}
 
 	_, body = scrapeURL(t, base+"/metrics")
-	m := make(map[string]int64)
+	m := make(map[string]float64)
 	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
 		if strings.HasPrefix(line, "#") {
 			continue
@@ -96,7 +96,7 @@ func TestUDPShardControlPlaneEndpoints(t *testing.T) {
 		if cut < 0 {
 			t.Fatalf("malformed metric line %q", line)
 		}
-		v, err := strconv.ParseInt(line[cut+1:], 10, 64)
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
 		if err != nil {
 			t.Fatalf("metric line %q: %v", line, err)
 		}

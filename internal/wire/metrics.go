@@ -121,4 +121,27 @@ const (
 
 	MetricClientMsgs = "countnet_client_msgs_total"
 	HelpClientMsgs   = "Link-level messages sent inside the in-process emulation — distnet's wire-cost unit (distnet only)."
+
+	// Flight-latency histograms (PR 10). All four _seconds families
+	// record nanoseconds on lock-free log buckets and expose seconds;
+	// the attempts family records plain counts. Observing them adds
+	// zero frames — the bill stays bit-identical to the detached
+	// counter (the conformance frame-bill gate pins this).
+	MetricClientFlightSeconds = "countnet_client_flight_seconds"
+	HelpClientFlightSeconds   = "End-to-end flight latency: first checkout through landing, retry backoff included; the tail an Inc caller actually feels."
+
+	MetricClientAttemptSeconds = "countnet_client_attempt_seconds"
+	HelpClientAttemptSeconds   = "Wire round-trip time of one flight attempt on one checked-out session (checkout excluded)."
+
+	MetricClientCoalesceSeconds = "countnet_client_coalesce_wait_seconds"
+	HelpClientCoalesceSeconds   = "Time an Inc caller spent parked in a coalescing window before its batched flight landed."
+
+	MetricClientCheckoutSeconds = "countnet_client_pool_checkout_seconds"
+	HelpClientCheckoutSeconds   = "Time flights spent checking a session out of the pool, health probes and fresh dials included."
+
+	MetricClientFlightAttempts = "countnet_client_flight_attempts"
+	HelpClientFlightAttempts   = "Tries per completed flight: 1 on a clean link, more means sessions died mid-flight and the tape replayed."
+
+	MetricClientFlightEvents = "countnet_client_flight_events"
+	HelpClientFlightEvents   = "Completed flights currently retained in the /debug/flights ring buffer."
 )

@@ -54,6 +54,34 @@ type Counter struct {
 	windows      atomic.Int64
 	windowTokens atomic.Int64
 	reg          *ctlplane.Registry
+
+	// Latency observability: lock-free log-bucketed histograms observed
+	// on the flight path (zero frames, zero allocations — the bill stays
+	// bit-identical to the uninstrumented counter) plus the bounded
+	// ring of recent flights /debug/flights serves.
+	histFlight   *ctlplane.Histogram // end-to-end flight latency
+	histAttempt  *ctlplane.Histogram // per-attempt wire RTT
+	histCoalesce *ctlplane.Histogram // Inc caller wait inside a window
+	histCheckout *ctlplane.Histogram // pool checkout, probes + dials
+	histAttempts *ctlplane.Histogram // tries per completed flight
+	ring         *ctlplane.FlightRing
+}
+
+// flightMeta labels one flight for the /debug/flights ring: which
+// operation, on which input wire (-1 for reads), moving how many
+// tokens.
+type flightMeta struct {
+	op     string
+	wire   int
+	tokens int64
+}
+
+// flightStats accumulates what one flight actually cost across its
+// attempts — filled by attempt(), recorded into the ring at landing.
+type flightStats struct {
+	attempts int
+	rpcs     int64
+	retrans  int64
 }
 
 // Counter lifecycle states (Counter.state).
@@ -99,6 +127,13 @@ func NewCounter(link Link, width int) *Counter {
 		budget:      link.RetryBudget(),
 		backoff:     DefaultRetryBackoff,
 		reg:         ctlplane.NewRegistry(),
+
+		histFlight:   ctlplane.NewLatencyHistogram(),
+		histAttempt:  ctlplane.NewLatencyHistogram(),
+		histCoalesce: ctlplane.NewLatencyHistogram(),
+		histCheckout: ctlplane.NewLatencyHistogram(),
+		histAttempts: ctlplane.NewHistogram(1, 1, 2, 3, 4, 6, 8, 12, 16),
+		ring:         ctlplane.NewFlightRing(ctlplane.DefaultFlightEvents),
 	}
 	t.registerMetrics(link.Transport())
 	return t
@@ -123,7 +158,19 @@ func (t *Counter) registerMetrics(transport string) {
 		defer t.pool.mu.Unlock()
 		return int64(len(t.pool.idle))
 	}, labels...)
+	t.reg.Histogram(wire.MetricClientFlightSeconds, wire.HelpClientFlightSeconds, t.histFlight, labels...)
+	t.reg.Histogram(wire.MetricClientAttemptSeconds, wire.HelpClientAttemptSeconds, t.histAttempt, labels...)
+	t.reg.Histogram(wire.MetricClientCoalesceSeconds, wire.HelpClientCoalesceSeconds, t.histCoalesce, labels...)
+	t.reg.Histogram(wire.MetricClientCheckoutSeconds, wire.HelpClientCheckoutSeconds, t.histCheckout, labels...)
+	t.reg.Histogram(wire.MetricClientFlightAttempts, wire.HelpClientFlightAttempts, t.histAttempts, labels...)
+	t.reg.Gauge(wire.MetricClientFlightEvents, wire.HelpClientFlightEvents, func() int64 {
+		return int64(t.ring.Len())
+	}, labels...)
 }
+
+// Flights implements ctlplane.FlightSource: the last-N completed
+// flights, newest first — what /debug/flights serves for this counter.
+func (t *Counter) Flights() []ctlplane.FlightEvent { return t.ring.Events() }
 
 // Registry exposes the counter's metric registry so a link adapter can
 // register transport-specific extras (udpnet adds packet, retransmit,
@@ -225,7 +272,9 @@ func (t *Counter) Inc(pid int) (int64, error) {
 		idx := w.k
 		w.k++
 		cb.mu.Unlock()
+		parked := time.Now()
 		<-w.done
+		t.histCoalesce.Observe(time.Since(parked).Nanoseconds())
 		if w.err != nil {
 			return 0, w.err
 		}
@@ -234,7 +283,7 @@ func (t *Counter) Inc(pid int) (int64, error) {
 	cb.flying = true
 	cb.mu.Unlock()
 	var v int64
-	err := t.flight(func(sess Session) error {
+	err := t.flight(flightMeta{op: "inc", wire: in, tokens: 1}, func(sess Session) error {
 		var ferr error
 		v, ferr = sess.Inc(pid)
 		return ferr
@@ -274,7 +323,11 @@ func (t *Counter) batch(pid, k int, anti bool, dst []int64) ([]int64, error) {
 	}
 	in := pid % t.link.InWidth()
 	base := len(dst)
-	err := t.flight(func(sess Session) error {
+	op := "inc-batch"
+	if anti {
+		op = "dec-batch"
+	}
+	err := t.flight(flightMeta{op: op, wire: in, tokens: int64(k)}, func(sess Session) error {
 		var ferr error
 		dst, ferr = sess.Batch(in, int64(k), anti, dst[:base])
 		return ferr
@@ -289,7 +342,7 @@ func (t *Counter) batch(pid, k int, anti bool, dst []int64) ([]int64, error) {
 // cells over a pooled session — the exact-count read side.
 func (t *Counter) Read() (int64, error) {
 	var total int64
-	err := t.flight(func(sess Session) error {
+	err := t.flight(flightMeta{op: "read", wire: -1}, func(sess Session) error {
 		var ferr error
 		total, ferr = sess.Read()
 		return ferr
@@ -305,7 +358,12 @@ func (t *Counter) Read() (int64, error) {
 // windows make the retry exactly-once. Close fails new flights with
 // ErrClosed, waits for running ones, and a flight mid-retry observes it
 // between attempts.
-func (t *Counter) flight(op func(Session) error) error {
+//
+// Every completed flight lands in the latency histograms and the
+// /debug/flights ring. Both are local atomics/mutexed memory — no
+// frames, so the wire bill is bit-identical to the uninstrumented
+// counter (pinned by the conformance frame-bill gate).
+func (t *Counter) flight(meta flightMeta, op func(Session) error) (err error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -319,13 +377,37 @@ func (t *Counter) flight(op func(Session) error) error {
 	defer t.inflightN.Add(-1)
 	defer t.inflight.Done()
 
+	var fs flightStats
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		t.histFlight.Observe(d.Nanoseconds())
+		t.histAttempts.Observe(int64(fs.attempts))
+		outcome := "ok"
+		if err != nil {
+			outcome = err.Error()
+		}
+		t.ring.Record(ctlplane.FlightEvent{
+			Start:       start,
+			DurationNs:  d.Nanoseconds(),
+			Op:          meta.op,
+			Wire:        meta.wire,
+			Tokens:      meta.tokens,
+			Attempts:    fs.attempts,
+			RPCs:        fs.rpcs,
+			Retransmits: fs.retrans,
+			Outcome:     outcome,
+		})
+	}()
+
 	tape := wire.NewSeqTape(&t.seqs)
 	var deadline time.Time
 	for attempt := 1; ; attempt++ {
 		if attempt > 1 {
 			t.retries.Add(1)
 		}
-		err := t.attempt(op, tape)
+		fs.attempts = attempt
+		err = t.attempt(op, tape, &fs)
 		if err == nil || errors.Is(err, ErrClosed) {
 			return err
 		}
@@ -355,15 +437,31 @@ func (t *Counter) flight(op func(Session) error) error {
 	}
 }
 
-func (t *Counter) attempt(op func(Session) error, tape *wire.SeqTape) error {
+func (t *Counter) attempt(op func(Session) error, tape *wire.SeqTape, fs *flightStats) error {
+	checkoutStart := time.Now()
 	sess, err := t.pool.checkout()
+	t.histCheckout.Observe(time.Since(checkoutStart).Nanoseconds())
 	if err != nil {
 		return err
 	}
+	rpcs0 := sess.RPCs()
+	ps, isPacket := sess.(PacketSession)
+	var retrans0 int64
+	if isPacket {
+		retrans0 = ps.Retransmits()
+	}
 	tape.Rewind()
 	sess.SetTape(tape)
+	attemptStart := time.Now()
 	err = op(sess)
+	t.histAttempt.Observe(time.Since(attemptStart).Nanoseconds())
 	sess.SetTape(nil)
+	// Bill the attempt while the session is still exclusively ours —
+	// after checkin another flight may bump its counters.
+	fs.rpcs += sess.RPCs() - rpcs0
+	if isPacket {
+		fs.retrans += ps.Retransmits() - retrans0
+	}
 	if err != nil {
 		t.pool.evict(sess)
 		return err
@@ -388,7 +486,7 @@ func (t *Counter) land(cb *comb, in int) {
 		cb.mu.Unlock()
 		t.windows.Add(1)
 		t.windowTokens.Add(w.k)
-		w.err = t.flight(func(sess Session) error {
+		w.err = t.flight(flightMeta{op: "window", wire: in, tokens: w.k}, func(sess Session) error {
 			var ferr error
 			w.vals, ferr = sess.Batch(in, w.k, false, w.vals[:0])
 			return ferr

@@ -83,6 +83,11 @@ func (t *ShardedCounter) Status() any {
 // visible directly.
 func (t *ShardedCounter) Gather() []ctlplane.Sample { return t.plane.Gather() }
 
+// Flights implements ctlplane.FlightSource: every stripe's recent
+// flights merged newest first, each stamped with its stripe label — the
+// fleet-wide /debug/flights sampler.
+func (t *ShardedCounter) Flights() []ctlplane.FlightEvent { return t.plane.Flights() }
+
 // Name identifies the fleet in benchmark tables and /status.
 func (t *ShardedCounter) Name() string { return t.name }
 
